@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one table/figure-equivalent of the paper
+(experiment ids E1..E15, see DESIGN.md).  Besides pytest-benchmark timing,
+each bench *prints* the rows it reproduces and records them under
+``benchmarks/results/<exp_id>.txt`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_table(
+    exp_id: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: str = "",
+) -> str:
+    """Format, print and persist one experiment's table."""
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows))
+        for i, header in enumerate(headers)
+    ]
+    lines = [f"== {exp_id}: {title} =="]
+    lines.append(
+        "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).rjust(w) for cell, w in zip(row, widths))
+        )
+    if notes:
+        lines.append(notes)
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text

@@ -1,0 +1,52 @@
+"""E1 — Section 4.4 case 1: one exception, no nested actions.
+
+Paper claim: "when only one exception is raised and there are no nested
+actions, then the number of messages is 3 × (N − 1), i.e. (N − 1)
+Exceptions, (N − 1) ACKs, and (N − 1) Commit messages".
+
+This bench runs the workload for a sweep of N, counts every protocol
+message the simulated network carried, and checks the exact equality.
+"""
+
+from _harness import record_table
+
+from repro.analysis import case1_messages
+from repro.workloads.generator import single_exception_case
+
+SWEEP = (2, 4, 8, 16, 32, 64)
+
+
+def run_sweep():
+    rows = []
+    for n in SWEEP:
+        result = single_exception_case(n).run()
+        counts = result.messages_for_action("A1")
+        measured = result.resolution_message_total()
+        expected = case1_messages(n)
+        rows.append(
+            (
+                n,
+                expected,
+                measured,
+                counts["EXCEPTION"],
+                counts["ACK"],
+                counts["COMMIT"],
+                "OK" if measured == expected else "MISMATCH",
+            )
+        )
+    return rows
+
+
+def test_case1_single_exception(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=2, iterations=1)
+    record_table(
+        "E1",
+        "one exception, no nesting -> 3(N-1) messages",
+        ["N", "paper", "measured", "EXC", "ACK", "COMMIT", "verdict"],
+        rows,
+        notes="per-kind split matches the paper's (N-1)/(N-1)/(N-1) breakdown",
+    )
+    for row in rows:
+        assert row[-1] == "OK"
+        n = row[0]
+        assert row[3] == row[4] == row[5] == n - 1

@@ -1,0 +1,53 @@
+"""E2 — Section 4.4 case 2: one exception, all other objects nested.
+
+Paper claim: "when one exception is raised and all other objects have
+nested actions, then the number of messages is 3N × (N − 1), i.e. (N − 1)
+Exceptions, (N − 1) ACKs, (N − 1)² HaveNesteds, (N − 1)² ACKs, (N − 1)²
+NestedCompleteds and (N − 1) Commit messages".
+"""
+
+from _harness import record_table
+
+from repro.analysis import case2_messages
+from repro.workloads.generator import all_nested_case
+
+SWEEP = (2, 4, 8, 16, 32)
+
+
+def run_sweep():
+    rows = []
+    for n in SWEEP:
+        result = all_nested_case(n).run()
+        counts = result.messages_for_action("A1")
+        measured = result.resolution_message_total()
+        expected = case2_messages(n)
+        rows.append(
+            (
+                n,
+                expected,
+                measured,
+                counts["EXCEPTION"],
+                counts["HAVE_NESTED"],
+                counts["NESTED_COMPLETED"],
+                counts["ACK"],
+                counts["COMMIT"],
+                "OK" if measured == expected else "MISMATCH",
+            )
+        )
+    return rows
+
+
+def test_case2_all_nested(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=2, iterations=1)
+    record_table(
+        "E2",
+        "one exception, everyone else nested -> 3N(N-1) messages",
+        ["N", "paper", "measured", "EXC", "HN", "NC", "ACK", "COMMIT", "verdict"],
+        rows,
+        notes="HN/NC are (N-1)^2 each; ACK = (N-1) + (N-1)^2, as the paper lists",
+    )
+    for row in rows:
+        n = row[0]
+        assert row[-1] == "OK"
+        assert row[4] == row[5] == (n - 1) ** 2
+        assert row[6] == (n - 1) + (n - 1) ** 2

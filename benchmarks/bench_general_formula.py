@@ -1,0 +1,50 @@
+"""E4 — Section 4.4 general formula: (N−1)(2P + 3Q + 1).
+
+"Now let P: [1, N] be the number of objects in which exceptions have been
+raised, and Q ... the number of the objects with the nested actions.  Then
+the number of total messages is: (N − 1) × (2P + 3Q + 1)."
+
+The bench sweeps the full (P, Q) grid for several N and checks the exact
+equality for every point.
+"""
+
+from _harness import record_table
+
+from repro.analysis import general_messages
+from repro.workloads.generator import general_case
+
+SWEEP_N = (4, 6, 8, 12)
+
+
+def run_grid():
+    rows = []
+    mismatches = 0
+    for n in SWEEP_N:
+        for p in range(1, n + 1):
+            for q in range(0, n - p + 1):
+                result = general_case(n, p, q).run()
+                measured = result.resolution_message_total()
+                expected = general_messages(n, p, q)
+                if measured != expected:
+                    mismatches += 1
+                rows.append((n, p, q, expected, measured))
+    return rows, mismatches
+
+
+def test_general_formula(benchmark):
+    rows, mismatches = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    sample = [
+        row for row in rows if (row[1], row[2]) in {(1, 0), (1, row[0] - 1),
+                                                    (row[0], 0), (2, 2)}
+    ]
+    record_table(
+        "E4",
+        "general formula (N-1)(2P+3Q+1) over the full (P,Q) grid",
+        ["N", "P", "Q", "paper", "measured"],
+        sample,
+        notes=(
+            f"full grid: {len(rows)} (N,P,Q) points checked, "
+            f"{mismatches} mismatches (sample shown)"
+        ),
+    )
+    assert mismatches == 0

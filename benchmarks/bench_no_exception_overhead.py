@@ -1,0 +1,48 @@
+"""E13 — Section 4.4: "our algorithm (and the CR algorithm) will have no
+overhead if an exception is not raised".
+
+The bench runs exception-free workloads (with and without nested actions)
+and checks that not a single resolution-protocol message is sent, while
+the actions still complete normally.  Exit-barrier synchronization
+traffic (DONE) is reported separately — the paper treats
+"application-related message passing ... independently".
+"""
+
+from _harness import record_table
+
+from repro.core.manager import ActionStatus
+from repro.workloads.generator import no_exception_case
+
+SWEEP = [(2, 0), (4, 0), (8, 0), (8, 4), (16, 0), (16, 8), (32, 0)]
+
+
+def run_sweep():
+    rows = []
+    for n, q in SWEEP:
+        result = no_exception_case(n, q=q).run()
+        counts = result.messages_by_kind()
+        rows.append(
+            (
+                n,
+                q,
+                result.resolution_message_total(),
+                counts.get("DONE", 0),
+                result.status("A1").value,
+            )
+        )
+    return rows
+
+
+def test_no_exception_overhead(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=2, iterations=1)
+    record_table(
+        "E13",
+        "zero resolution overhead on exception-free runs",
+        ["N", "Q", "resolution msgs", "DONE msgs (sync)", "status"],
+        rows,
+        notes="resolution kinds are exactly zero whenever nothing is raised",
+    )
+    for n, q, resolution, done, status in rows:
+        assert resolution == 0
+        assert status == ActionStatus.COMPLETED.value
+        assert done > 0  # the barrier still synchronises the exit

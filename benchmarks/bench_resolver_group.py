@@ -1,0 +1,76 @@
+"""E14 — the k-resolver extension's constant-factor claim (Section 4.4).
+
+"In the interest of fault tolerance, the algorithm can be easily extended
+to the use of a group of objects that are responsible for performing
+resolution and producing the commit messages.  This only contributes a
+constant factor to its total complexity."
+
+The bench sweeps k for several N (with the raiser/nested population
+scaling with N, the regime where the base algorithm is Θ(N²)) and checks
+the measured bill equals (N−1)(2P+3Q+k): each extra resolver costs exactly
+one more Commit round — an additive constant per redundancy unit, leaving
+the O(N²) order intact.
+"""
+
+from _harness import record_table
+
+from repro.analysis import fit_power_law, resolver_group_messages
+from repro.workloads.generator import general_case
+
+
+def population(n: int) -> tuple[int, int]:
+    """Raisers and nested objects scaling with N (P = N/2, Q = N/4)."""
+    return max(1, n // 2), n // 4
+
+
+def run_sweep():
+    rows = []
+    points = {1: [], 2: [], 3: []}
+    for n in (6, 8, 12, 16, 24):
+        p, q = population(n)
+        per_k = []
+        for k in (1, 2, 3):
+            result = general_case(n, p, q, resolver_group_size=k).run()
+            measured = result.resolution_message_total()
+            expected = resolver_group_messages(n, p, q, k)
+            assert measured == expected, (n, p, q, k, measured, expected)
+            commits = len(result.commit_entries("A1"))
+            per_k.append((measured, commits))
+            points[k].append((n, measured))
+        rows.append(
+            (
+                n,
+                p,
+                q,
+                per_k[0][0],
+                per_k[1][0],
+                per_k[2][0],
+                per_k[1][0] - per_k[0][0],
+                per_k[2][0] - per_k[1][0],
+                per_k[2][1],
+            )
+        )
+    exponents = {k: fit_power_law(pts).exponent for k, pts in points.items()}
+    return rows, exponents
+
+
+def test_resolver_group(benchmark):
+    rows, exponents = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record_table(
+        "E14",
+        "k-resolver redundancy (P=N/2, Q=N/4)",
+        ["N", "P", "Q", "k=1", "k=2", "k=3", "Δ(2-1)", "Δ(3-2)", "commits@k=3"],
+        rows,
+        notes=(
+            "each redundancy unit costs exactly N-1 extra messages; growth "
+            + ", ".join(
+                f"k={k}: ~N^{e:.2f}" for k, e in sorted(exponents.items())
+            )
+        ),
+    )
+    for n, p, q, k1, k2, k3, d21, d32, commits in rows:
+        assert d21 == n - 1
+        assert d32 == n - 1
+        assert commits == 3
+    for exponent in exponents.values():
+        assert 1.7 < exponent < 2.3  # still O(N^2) at every k

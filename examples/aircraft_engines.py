@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""The paper's aircraft example: an exception tree declared by subtyping.
+
+Section 3.2 gives this exception hierarchy (in C++-ish syntax)::
+
+    class universal_exception {}
+    class emergency_engine_loss_exception : universal_exception {}
+    class left_engine_exception  : emergency_engine_loss_exception {}
+    class right_engine_exception : emergency_engine_loss_exception {}
+
+Here a flight-control CA action coordinates four subsystems.  Losing one
+engine is handled by the engine-specific handler; losing *both engines at
+once* must not run two independent single-engine procedures — the
+resolution tree recognises the two concurrent exceptions as "symptoms of a
+different, more serious fault" and selects the emergency-engine-loss
+handler everywhere.
+
+Run:  python examples/aircraft_engines.py
+"""
+
+from repro import (
+    ActionBlock,
+    CAActionDef,
+    Compute,
+    Handler,
+    HandlerOutcome,
+    HandlerResult,
+    HandlerSet,
+    ParticipantSpec,
+    Raise,
+    ResolutionTree,
+    Scenario,
+    UniformLatency,
+    UniversalException,
+)
+
+
+class EmergencyEngineLoss(UniversalException):
+    """Thrust emergency: some combination of engines is gone."""
+
+
+class LeftEngineException(EmergencyEngineLoss):
+    """The left engine flamed out."""
+
+
+class RightEngineException(EmergencyEngineLoss):
+    """The right engine flamed out."""
+
+
+class HydraulicsException(UniversalException):
+    """Hydraulic pressure loss (unrelated branch of the tree)."""
+
+
+SUBSYSTEMS = ("autopilot", "engine-left", "engine-right", "hydraulics")
+
+RECOVERY_ACTIONS = {
+    "LeftEngineException": "trim right, single-engine climb profile",
+    "RightEngineException": "trim left, single-engine climb profile",
+    "EmergencyEngineLoss": "pitch for best glide, run dual-flameout drill",
+    "HydraulicsException": "switch to alternate hydraulic system",
+    "UniversalException": "declare emergency, stabilise, divert",
+}
+
+
+def handler_for(exception_name: str) -> Handler:
+    def body(participant, exception):
+        print(
+            f"    [{participant.name:<12}] t={participant.sim_now:6.2f} "
+            f"{exception.name()} -> {RECOVERY_ACTIONS[exception.name()]}"
+        )
+        return HandlerResult(HandlerOutcome.COMPLETED)
+
+    return Handler(body=body, duration=2.0)
+
+
+def fly(raises: dict[str, type], title: str, seed: int = 0) -> None:
+    tree = ResolutionTree.from_classes(UniversalException)
+    action = CAActionDef("flight-control", SUBSYSTEMS, tree)
+    handler_set = HandlerSet(
+        {exc: handler_for(exc.name()) for exc in tree.members}
+    )
+    specs = []
+    for name in SUBSYSTEMS:
+        if name in raises:
+            behaviour = [
+                ActionBlock("flight-control", [Compute(5.0), Raise(raises[name])])
+            ]
+        else:
+            behaviour = [ActionBlock("flight-control", [Compute(60.0)])]
+        specs.append(
+            ParticipantSpec(name, behaviour, {"flight-control": handler_set})
+        )
+    print(f"\n--- {title} ---")
+    result = Scenario(
+        [action], specs, latency=UniformLatency(0.3, 1.5), seed=seed
+    ).run()
+    (commit,) = result.commit_entries("flight-control")
+    print(
+        f"  resolved to {commit.details['exception']} by {commit.subject} "
+        f"({result.resolution_message_total()} protocol messages)"
+    )
+
+
+def main() -> None:
+    print("=== aircraft engine-loss scenarios (paper Section 3.2) ===")
+    fly(
+        {"engine-left": LeftEngineException},
+        "left engine fails alone -> engine-specific recovery",
+    )
+    fly(
+        {
+            "engine-left": LeftEngineException,
+            "engine-right": RightEngineException,
+        },
+        "BOTH engines fail concurrently -> resolved to EmergencyEngineLoss",
+    )
+    fly(
+        {
+            "engine-left": LeftEngineException,
+            "hydraulics": HydraulicsException,
+        },
+        "engine + hydraulics concurrently -> unrelated branches, resolved "
+        "to the universal handler",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Banking transfers: CA actions over external atomic objects (Figure 2).
+
+Two bank branches cooperate in a transactional CA action that moves money
+between shared accounts.  The example shows the two recovery styles of
+Figure 2:
+
+* **forward recovery (Figure 2a)** — an overdraft is detected mid-action;
+  the exception handlers *repair* the accounts into a new valid state and
+  the transaction commits those corrections ("the appropriate exception
+  handlers may be able to put them into new valid states");
+* **backward outcome (Figure 2b)** — recovery is impossible, the handlers
+  signal a failure exception, and the associated transaction rolls every
+  account back to its pre-action state.
+
+It also demonstrates competitive concurrency: the accounts are atomic
+objects "individually responsible for their own integrity" — an invariant
+(`balance >= 0`) is enforced at commit, and strict two-phase locking
+isolates the action's writes from outside readers.
+
+Run:  python examples/banking_transfers.py
+"""
+
+from repro import (
+    ActionBlock,
+    AtomicObject,
+    AtomicWrite,
+    CAActionDef,
+    Compute,
+    Handler,
+    HandlerOutcome,
+    HandlerResult,
+    HandlerSet,
+    ParticipantSpec,
+    Raise,
+    ResolutionTree,
+    Scenario,
+    UniversalException,
+    declare_exception,
+)
+from repro.transactions import LockConflictError
+
+
+class OverdraftDetected(UniversalException):
+    """A transfer would leave an account negative."""
+
+
+class LedgerMismatch(UniversalException):
+    """The two branches disagree on the running total."""
+
+
+TransferAbandoned = declare_exception("TransferAbandoned")
+
+
+def make_accounts():
+    checking = AtomicObject(
+        "checking", {"balance": 300}, invariant=lambda s: s["balance"] >= 0
+    )
+    savings = AtomicObject(
+        "savings", {"balance": 100}, invariant=lambda s: s["balance"] >= 0
+    )
+    return checking, savings
+
+
+def tree():
+    return ResolutionTree(
+        UniversalException,
+        {
+            OverdraftDetected: UniversalException,
+            LedgerMismatch: UniversalException,
+            TransferAbandoned: UniversalException,
+        },
+    )
+
+
+def run_forward_recovery() -> None:
+    print("\n--- Figure 2(a): forward recovery repairs and commits ---")
+    checking, savings = make_accounts()
+    the_tree = tree()
+
+    def repair(participant, exception):
+        # The handler corrects the books instead of undoing everything:
+        # cap the transfer at the available funds.
+        txn = participant.action_manager.txn_for("transfer")
+        txn.write(checking, "balance", 0)
+        txn.write(savings, "balance", 400)
+        print(
+            f"    [{participant.name}] repairing accounts "
+            f"(capped transfer) at t={participant.sim_now:.1f}"
+        )
+        return HandlerResult(HandlerOutcome.COMPLETED)
+
+    handlers = HandlerSet.completing_all(the_tree).with_override(
+        OverdraftDetected, Handler(body=repair, duration=1.0)
+    )
+    action = CAActionDef(
+        "transfer", ("branch-A", "branch-B"), the_tree, transactional=True
+    )
+    specs = [
+        ParticipantSpec(
+            "branch-A",
+            [
+                ActionBlock(
+                    "transfer",
+                    [
+                        # Withdraw more than the balance: erroneous state.
+                        AtomicWrite(checking, "balance", -200),
+                        Compute(1.0),
+                        Raise(OverdraftDetected),
+                    ],
+                )
+            ],
+            {"transfer": handlers},
+        ),
+        ParticipantSpec(
+            "branch-B",
+            [ActionBlock("transfer", [Compute(20.0)])],
+            {"transfer": handlers},
+        ),
+    ]
+    result = Scenario([action], specs, atomic_objects=[checking, savings]).run()
+    print(f"  action: {result.status('transfer').value}, "
+          f"handled: {result.handled_exception('transfer').name()}")
+    print(f"  checking={checking.get('balance')} savings={savings.get('balance')} "
+          f"(versions {checking.version}/{savings.version})")
+    assert checking.get("balance") == 0 and savings.get("balance") == 400
+
+
+def run_backward_outcome() -> None:
+    print("\n--- Figure 2(b): failed recovery aborts the transaction ---")
+    checking, savings = make_accounts()
+    the_tree = tree()
+    giving_up = HandlerSet.completing_all(the_tree).with_override(
+        LedgerMismatch, Handler.signalling(TransferAbandoned, duration=1.0)
+    )
+    action = CAActionDef(
+        "transfer", ("branch-A", "branch-B"), the_tree, transactional=True
+    )
+    specs = [
+        ParticipantSpec(
+            "branch-A",
+            [
+                ActionBlock(
+                    "transfer",
+                    [
+                        AtomicWrite(checking, "balance", 50),
+                        AtomicWrite(savings, "balance", 350),
+                        Compute(1.0),
+                        Raise(LedgerMismatch),
+                    ],
+                )
+            ],
+            {"transfer": giving_up},
+        ),
+        ParticipantSpec(
+            "branch-B",
+            [ActionBlock("transfer", [Compute(20.0)])],
+            {"transfer": giving_up},
+        ),
+    ]
+    result = Scenario([action], specs, atomic_objects=[checking, savings]).run()
+    print(f"  action: {result.status('transfer').value}, "
+          f"signalled: {result.manager.instance('transfer').signalled.name()}")
+    print(f"  checking={checking.get('balance')} savings={savings.get('balance')} "
+          f"(rolled back, versions {checking.version}/{savings.version})")
+    assert checking.get("balance") == 300 and savings.get("balance") == 100
+
+
+def run_isolation_demo() -> None:
+    print("\n--- competitive concurrency: strict 2PL isolation ---")
+    checking, _ = make_accounts()
+    from repro.transactions import TransactionManager
+
+    tm = TransactionManager()
+    action_txn = tm.begin()
+    action_txn.write(checking, "balance", 250)
+    auditor = tm.begin()
+    try:
+        auditor.read(checking, "balance")
+    except LockConflictError as exc:
+        print(f"  auditor blocked while the action holds the lock: {exc}")
+    action_txn.commit()
+    print(f"  after commit the auditor reads {auditor.read(checking, 'balance')}")
+
+
+def main() -> None:
+    print("=== banking transfers over atomic objects ===")
+    run_forward_recovery()
+    run_backward_outcome()
+    run_isolation_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Backward error recovery: a conversation with rollback and alternates.
+
+The paper's Section 2.2 recalls the conversation scheme the CA-action
+work grew out of: cooperating processes save recovery points on entry,
+synchronize at an acceptance-test line, and — if *any* test fails — all
+roll back together and retry with alternate algorithms.
+
+Scenario: two planners (route and load) compute a joint delivery plan over
+a shared manifest.  The primary algorithms are fast but cut corners; the
+acceptance tests catch the inconsistency, everything rolls back (including
+the shared manifest, an atomic object), and the conservative alternates
+produce a plan that passes.  A single-process recovery block is shown for
+contrast.
+
+Run:  python examples/conversation_rollback.py
+"""
+
+from repro import (
+    AcceptanceTest,
+    Alternate,
+    AtomicObject,
+    Conversation,
+    ConversationProcess,
+    RecoveryBlock,
+)
+from repro.simkernel import Simulator
+
+
+def plan_route_fast(state, shared):
+    state["route"] = ["depot", "north-bridge", "plant"]
+    state["eta"] = 45
+    shared["manifest"].put("route_len", 2)
+
+
+def plan_route_conservative(state, shared):
+    state["route"] = ["depot", "ring-road", "east-gate", "plant"]
+    state["eta"] = 70
+    shared["manifest"].put("route_len", 3)
+
+
+def plan_load_fast(state, shared):
+    # The fast loader overpacks: 14 crates exceed the bridge limit the
+    # route planner assumed.
+    state["crates"] = 14
+    shared["manifest"].put("crates", 14)
+
+
+def plan_load_safe(state, shared):
+    state["crates"] = 9
+    shared["manifest"].put("crates", 9)
+
+
+def main() -> None:
+    print("=== conversation: joint backward recovery ===")
+    sim = Simulator()
+    manifest = AtomicObject("manifest", {"crates": 0, "route_len": 0})
+
+    route_planner = ConversationProcess(
+        "route-planner",
+        alternates=[
+            Alternate(plan_route_fast, duration=3.0),
+            Alternate(plan_route_conservative, duration=6.0),
+        ],
+        acceptance=AcceptanceTest(
+            # The north-bridge route only tolerates light loads.
+            lambda s: manifest.peek("crates", 0) <= 10,
+            name="bridge-load-limit",
+        ),
+        entry_delay=0.0,
+    )
+    load_planner = ConversationProcess(
+        "load-planner",
+        alternates=[
+            Alternate(plan_load_fast, duration=4.0),
+            Alternate(plan_load_safe, duration=5.0),
+        ],
+        acceptance=AcceptanceTest.requires("crates", lambda v: v > 0),
+        entry_delay=2.0,  # enters the conversation asynchronously
+    )
+
+    conversation = Conversation(
+        sim,
+        [route_planner, load_planner],
+        shared={"manifest": manifest},
+        name="delivery-plan",
+    )
+    conversation.start()
+    sim.run()
+
+    print(f"  accepted: {conversation.accepted} "
+          f"(attempt {conversation.attempt}, t={sim.now})")
+    print(f"  final route: {route_planner.state['route']} "
+          f"(ETA {route_planner.state['eta']} min)")
+    print(f"  final load:  {load_planner.state['crates']} crates")
+    print(f"  shared manifest: {manifest.snapshot()}")
+    print("  test-line history:")
+    for attempt, name, passed in conversation.test_log:
+        print(f"    attempt {attempt}: {name:<14} {'pass' if passed else 'FAIL'}")
+    assert conversation.accepted and conversation.attempt == 1
+
+    print("\n=== recovery block: the single-process special case ===")
+    def primary(state, shared):
+        state["estimate"] = -3  # buggy fast path
+
+    def alternate(state, shared):
+        state["estimate"] = 12
+
+    block = RecoveryBlock(
+        AcceptanceTest.requires("estimate", lambda v: v >= 0),
+        [Alternate(primary), Alternate(alternate)],
+    )
+    state = block.execute({})
+    print(f"  estimate={state['estimate']} "
+          f"(succeeded with alternate #{block.succeeded_with})")
+
+
+if __name__ == "__main__":
+    main()

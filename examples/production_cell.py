@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""A production cell with nested CA actions (the Figure 4 situation).
+
+The production-cell case study was the canonical demonstrator of the
+CA-action line of work: a conveyor feeds blanks to a robot that loads a
+press.  Here the cell runs as nested CA actions::
+
+    load-cycle (controller, robot, press, conveyor)
+      └─ press-cycle (robot, press, conveyor)
+           └─ clamp (robot, press)        # conveyor is belated for clamp
+
+Mid-cycle, the robot detects a gripper fault inside ``clamp`` while — at
+almost the same time — the controller detects a safety-light interruption
+at the *outer* level.  The paper's algorithm guarantees:
+
+* the inner resolution for the gripper fault is eliminated by the outer
+  one (Section 3.3, problem 4);
+* ``clamp`` and ``press-cycle`` are aborted innermost-first via abortion
+  handlers, without waiting for the belated conveyor (problems 1 and 3);
+* the press's abortion handler signals ``PressJammed`` upward, and the
+  final resolution covers both the safety fault and the jam.
+
+Run:  python examples/production_cell.py
+"""
+
+from repro import (
+    AbortionHandler,
+    ActionBlock,
+    CAActionDef,
+    Compute,
+    HandlerSet,
+    ParticipantSpec,
+    Raise,
+    ResolutionTree,
+    Scenario,
+    UniversalException,
+)
+
+
+class SafetyLightInterrupted(UniversalException):
+    """Someone reached into the cell: stop everything."""
+
+
+class PressJammed(UniversalException):
+    """The press aborted with a blank stuck in it."""
+
+
+class GripperFault(UniversalException):
+    """The robot's gripper lost vacuum (clamp-level exception)."""
+
+
+def main() -> None:
+    outer_tree = ResolutionTree(
+        UniversalException,
+        {
+            SafetyLightInterrupted: UniversalException,
+            PressJammed: SafetyLightInterrupted,  # a jam during a safety
+            # stop is handled by the safety procedure's superset handler
+        },
+    )
+    mid_tree = ResolutionTree(UniversalException)
+    clamp_tree = ResolutionTree(
+        UniversalException, {GripperFault: UniversalException}
+    )
+
+    actions = [
+        CAActionDef(
+            "load-cycle",
+            ("controller", "conveyor", "press", "robot"),
+            outer_tree,
+        ),
+        CAActionDef(
+            "press-cycle", ("conveyor", "press", "robot"), mid_tree,
+            parent="load-cycle",
+        ),
+        CAActionDef("clamp", ("press", "robot"), clamp_tree, parent="press-cycle"),
+    ]
+
+    def sets_for(*names):
+        trees = {
+            "load-cycle": outer_tree,
+            "press-cycle": mid_tree,
+            "clamp": clamp_tree,
+        }
+        return {n: HandlerSet.completing_all(trees[n]) for n in names}
+
+    specs = [
+        ParticipantSpec(
+            "controller",
+            # Detects the safety-light fault at t=10, within load-cycle.
+            [ActionBlock("load-cycle", [Compute(10.0), Raise(SafetyLightInterrupted)])],
+            sets_for("load-cycle"),
+        ),
+        ParticipantSpec(
+            "conveyor",
+            # Deep in press-cycle but still positioning: belated for clamp.
+            [
+                ActionBlock(
+                    "load-cycle",
+                    [ActionBlock("press-cycle", [Compute(60.0)])],
+                )
+            ],
+            sets_for("load-cycle", "press-cycle"),
+            abortion_handlers={
+                "press-cycle": AbortionHandler.silent(duration=1.0)
+            },
+        ),
+        ParticipantSpec(
+            "press",
+            [
+                ActionBlock(
+                    "load-cycle",
+                    [
+                        ActionBlock(
+                            "press-cycle",
+                            [ActionBlock("clamp", [Compute(60.0)])],
+                        )
+                    ],
+                )
+            ],
+            sets_for("load-cycle", "press-cycle", "clamp"),
+            abortion_handlers={
+                "clamp": AbortionHandler.silent(duration=0.5),
+                # Aborting the press mid-stroke leaves a jammed blank:
+                # its last-will signals PressJammed to load-cycle.
+                "press-cycle": AbortionHandler.signalling(
+                    PressJammed, duration=1.5
+                ),
+            },
+        ),
+        ParticipantSpec(
+            "robot",
+            # Raises the gripper fault inside clamp at t=8 — just before
+            # the controller's outer exception lands.
+            [
+                ActionBlock(
+                    "load-cycle",
+                    [
+                        ActionBlock(
+                            "press-cycle",
+                            [
+                                ActionBlock(
+                                    "clamp", [Compute(8.0), Raise(GripperFault)]
+                                )
+                            ],
+                        )
+                    ],
+                )
+            ],
+            sets_for("load-cycle", "press-cycle", "clamp"),
+            abortion_handlers={
+                "clamp": AbortionHandler.silent(duration=0.5),
+                "press-cycle": AbortionHandler.silent(duration=1.0),
+            },
+        ),
+    ]
+
+    result = Scenario(actions, specs).run()
+
+    print("=== production cell: nested actions under concurrent faults ===")
+    for action in ("load-cycle", "press-cycle", "clamp"):
+        print(f"  {action:<12} -> {result.status(action).value}")
+    (commit,) = result.commit_entries("load-cycle")
+    print(f"\n  resolver: {commit.subject}; raisers: {commit.details['raisers']}")
+    print(f"  resolved exception: {commit.details['exception']}")
+    print(f"  load-cycle protocol messages: "
+          f"{sum(result.messages_for_action('load-cycle').values())} "
+          f"(paper formula (N-1)(2P+3Q+1) with N=4, P=1, Q=3 -> 36)")
+    print("\n  abortion order per machine (innermost first):")
+    for name in ("press", "robot", "conveyor"):
+        chain = [
+            f"{e.details['action']}"
+            + (f" (signalled {e.details['signal']})" if e.details["signal"] else "")
+            for e in result.runtime.trace.by_category("abort.done")
+            if e.subject == name
+        ]
+        print(f"    {name:<9} {' -> '.join(chain) if chain else '(nothing to abort)'}")
+    print("\n  handlers run in load-cycle:")
+    for name, exc in sorted(result.handlers_started("load-cycle").items()):
+        print(f"    {name:<10} {exc}")
+    print("\n  The gripper fault's resolution inside `clamp` was eliminated")
+    print("  by the outer safety stop; the jam signalled by the press's")
+    print("  abortion handler joined the outer resolution, which picked the")
+    print("  handler covering both (SafetyLightInterrupted covers PressJammed).")
+
+
+if __name__ == "__main__":
+    main()

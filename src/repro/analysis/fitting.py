@@ -1,0 +1,58 @@
+"""Power-law fitting for empirical complexity estimation.
+
+A measured sweep ``(n, messages)`` is fit as ``messages ≈ c · n^k`` by
+least squares in log-log space.  The exponent ``k`` is the empirical
+growth order: ~2 for the new algorithm, ~3 for the CR baseline — the
+Section 4.4 comparison in measurable form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y = coefficient * x ** exponent`` with an r² quality score."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+
+def fit_power_law(points: Sequence[tuple[float, float]]) -> PowerLawFit:
+    """Least-squares fit in log-log space.
+
+    Args:
+        points: (x, y) pairs; both coordinates must be positive and at
+            least two distinct x values are required.
+    """
+    cleaned = [(x, y) for x, y in points if x > 0 and y > 0]
+    if len(cleaned) < 2 or len({x for x, _ in cleaned}) < 2:
+        raise ValueError("need at least two points with distinct positive x")
+    logs = [(math.log(x), math.log(y)) for x, y in cleaned]
+    n = len(logs)
+    mean_x = sum(lx for lx, _ in logs) / n
+    mean_y = sum(ly for _, ly in logs) / n
+    sxx = sum((lx - mean_x) ** 2 for lx, _ in logs)
+    sxy = sum((lx - mean_x) * (ly - mean_y) for lx, ly in logs)
+    exponent = sxy / sxx
+    intercept = mean_y - exponent * mean_x
+    ss_tot = sum((ly - mean_y) ** 2 for _, ly in logs)
+    ss_res = sum(
+        (ly - (exponent * lx + intercept)) ** 2 for lx, ly in logs
+    )
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(
+        exponent=exponent, coefficient=math.exp(intercept), r_squared=r_squared
+    )
+
+
+def growth_order(points: Sequence[tuple[float, float]]) -> float:
+    """Shorthand for the fitted exponent."""
+    return fit_power_law(points).exponent

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``formulas N P Q`` — print the Section 4.4 closed-form predictions;
+* ``run N P Q``      — simulate one workload and compare with the model;
+* ``chart {example1,example2,figure3}`` — replay a worked example and
+  render its message-sequence chart;
+* ``compare``        — the new algorithm vs the CR baseline (O(N²) vs O(N³));
+* ``fuzz``           — random nested-scenario invariant checking.
+
+The pytest-benchmark harness under ``benchmarks/`` remains the canonical
+reproduction; this CLI is the quick, dependency-free way to poke at the
+system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_formulas(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        general_messages,
+        multicast_operations,
+        resolver_group_messages,
+    )
+
+    n, p, q = args.n, args.p, args.q
+    print(f"N={n} participants, P={p} raisers, Q={q} nested objects")
+    print(f"  base algorithm      (N-1)(2P+3Q+1) = {general_messages(n, p, q)}")
+    for k in (2, 3):
+        print(
+            f"  k={k} resolvers       (N-1)(2P+3Q+{k}) = "
+            f"{resolver_group_messages(n, p, q, k)}"
+        )
+    print(f"  multicast variant   N+Q+1 ops       = {multicast_operations(n, p, q)}")
+    print(f"  CR baseline         O(N^3) (measured, not closed-form)")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis import general_messages
+    from repro.workloads.generator import general_case
+
+    result = general_case(args.n, args.p, args.q, seed=args.seed).run()
+    measured = result.resolution_message_total()
+    expected = general_messages(args.n, args.p, args.q)
+    print(f"workload: N={args.n} P={args.p} Q={args.q} seed={args.seed}")
+    print(f"  resolution messages: {measured} (model {expected})"
+          f" {'OK' if measured == expected else 'MISMATCH'}")
+    print(f"  per kind: {dict(result.messages_for_action('A1'))}")
+    commits = result.commit_entries("A1")
+    if commits:
+        print(f"  resolver: {commits[0].subject} -> "
+              f"{commits[0].details['exception']}")
+    print(f"  status: {result.status('A1').value}; "
+          f"virtual duration {result.duration:.1f}")
+    return 0 if measured == expected else 1
+
+
+def cmd_chart(args: argparse.Namespace) -> int:
+    from repro.analysis import render_sequence_chart
+    from repro.workloads.generator import (
+        example1_scenario,
+        example2_scenario,
+        figure3_scenario,
+    )
+
+    scenarios = {
+        "example1": (example1_scenario, ["O1", "O2", "O3"]),
+        "example2": (example2_scenario, ["O1", "O2", "O3", "O4"]),
+        "figure3": (figure3_scenario, ["O0", "O1", "O2", "O3"]),
+    }
+    factory, lanes = scenarios[args.scenario]
+    result = factory().run()
+    print(render_sequence_chart(result.runtime.trace, lanes, max_rows=args.rows))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis import fit_power_law
+    from repro.core.cr_baseline import run_cr_concurrent
+    from repro.workloads.generator import all_raise_case
+
+    sweep = [int(x) for x in args.sweep.split(",")]
+    print(f"{'N':>4} {'CR msgs':>10} {'new msgs':>10} {'ratio':>7}")
+    cr_points, new_points = [], []
+    for n in sweep:
+        cr = run_cr_concurrent(n).total_messages()
+        new = all_raise_case(n).run().resolution_message_total()
+        cr_points.append((n, cr))
+        new_points.append((n, new))
+        print(f"{n:>4} {cr:>10} {new:>10} {cr / new:>6.1f}x")
+    if len(sweep) >= 2:
+        cr_fit = fit_power_law(cr_points)
+        new_fit = fit_power_law(new_points)
+        print(
+            f"growth: CR ~ N^{cr_fit.exponent:.2f}, "
+            f"new ~ N^{new_fit.exponent:.2f} (paper: O(N^3) vs O(N^2))"
+        )
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.workloads.fuzz import build_random_scenario, check_invariants
+
+    failures = 0
+    for seed in range(args.start, args.start + args.count):
+        scenario, plan = build_random_scenario(
+            seed, n_participants=args.participants, max_depth=args.depth
+        )
+        try:
+            result = scenario.run(max_events=600_000)
+            problems = check_invariants(result, plan)
+        except Exception as exc:  # report, keep fuzzing
+            problems = [f"{type(exc).__name__}: {exc}"]
+        if problems:
+            failures += 1
+            print(f"FAIL seed={seed}: {problems}")
+            print(f"     {plan.describe()}")
+        elif args.verbose:
+            print(f"ok   seed={seed}: {plan.describe()}")
+    print(f"{args.count - failures}/{args.count} scenarios upheld all invariants")
+    return 1 if failures else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.report import generate_report
+
+    text = generate_report()
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0 if "DISCREPANCIES" not in text else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_formulas = sub.add_parser("formulas", help="Section 4.4 predictions")
+    p_formulas.add_argument("n", type=int)
+    p_formulas.add_argument("p", type=int)
+    p_formulas.add_argument("q", type=int)
+    p_formulas.set_defaults(fn=cmd_formulas)
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("n", type=int)
+    p_run.add_argument("p", type=int)
+    p_run.add_argument("q", type=int)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_chart = sub.add_parser("chart", help="sequence chart of a worked example")
+    p_chart.add_argument(
+        "scenario", choices=["example1", "example2", "figure3"]
+    )
+    p_chart.add_argument("--rows", type=int, default=300)
+    p_chart.set_defaults(fn=cmd_chart)
+
+    p_compare = sub.add_parser("compare", help="new algorithm vs CR baseline")
+    p_compare.add_argument("--sweep", default="2,4,8,16")
+    p_compare.set_defaults(fn=cmd_compare)
+
+    p_report = sub.add_parser(
+        "report", help="rerun the key experiments, emit a markdown report"
+    )
+    p_report.add_argument("--output", default=None)
+    p_report.set_defaults(fn=cmd_report)
+
+    p_fuzz = sub.add_parser("fuzz", help="random-scenario invariant check")
+    p_fuzz.add_argument("--count", type=int, default=50)
+    p_fuzz.add_argument("--start", type=int, default=0)
+    p_fuzz.add_argument("--participants", type=int, default=4)
+    p_fuzz.add_argument("--depth", type=int, default=3)
+    p_fuzz.add_argument("--verbose", action="store_true")
+    p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

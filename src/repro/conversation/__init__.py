@@ -1,0 +1,36 @@
+"""Conversations: joint backward error recovery (paper Section 2.2).
+
+"Each process participating in such a conversation must save its state on
+entering it ... If any process fails its acceptance test, then every
+process taking part in the conversation rolls back to the saved state and
+uses an alternate algorithm.  Processes can enter a conversation
+asynchronously but must leave it at the same time once the acceptance test
+in each process has been satisfied."
+
+This package provides that scheme — recovery points, acceptance tests, the
+synchronized test line, rollback with alternates — plus the single-process
+recovery block [Randell 75] it generalises.  Together with the transaction
+substrate it implements the *backward* half of Figure 2; CA actions use
+the forward half (exception handling).
+"""
+
+from repro.conversation.acceptance import AcceptanceTest
+from repro.conversation.conversation import (
+    Alternate,
+    Conversation,
+    ConversationFailure,
+    ConversationProcess,
+)
+from repro.conversation.recovery_block import RecoveryBlock, RecoveryBlockFailure
+from repro.conversation.recovery_point import RecoveryPoint
+
+__all__ = [
+    "AcceptanceTest",
+    "Alternate",
+    "Conversation",
+    "ConversationFailure",
+    "ConversationProcess",
+    "RecoveryBlock",
+    "RecoveryBlockFailure",
+    "RecoveryPoint",
+]

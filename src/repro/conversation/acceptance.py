@@ -1,0 +1,41 @@
+"""Acceptance tests.
+
+An acceptance test is the error-detection measure of backward recovery: a
+predicate over the process state evaluated at the conversation's test line
+(or at the end of a recovery block's alternate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+Predicate = Callable[[dict[str, Any]], bool]
+
+
+@dataclass(frozen=True)
+class AcceptanceTest:
+    """A named predicate over a process-state dict."""
+
+    predicate: Predicate
+    name: str = "acceptance"
+
+    def passes(self, state: dict[str, Any]) -> bool:
+        """Evaluate; a predicate that *raises* counts as failed (an error
+        inside the check is itself an error)."""
+        try:
+            return bool(self.predicate(state))
+        except Exception:
+            return False
+
+    @staticmethod
+    def always() -> "AcceptanceTest":
+        return AcceptanceTest(lambda state: True, name="always")
+
+    @staticmethod
+    def requires(key: str, check: Callable[[Any], bool]) -> "AcceptanceTest":
+        """Pass iff ``key`` exists and ``check(state[key])`` holds."""
+        return AcceptanceTest(
+            lambda state: key in state and check(state[key]),
+            name=f"requires({key})",
+        )

@@ -1,0 +1,192 @@
+"""The conversation controller.
+
+Processes enter asynchronously (each with its own entry delay), save
+recovery points, run their current alternate, and synchronize at the test
+line.  If every acceptance test passes the conversation commits and all
+processes leave *together*; if any fails, every process rolls back and
+switches to its next alternate.  Running out of alternates raises a
+failure to the environment — exactly the behaviour a CA action would map
+to signalling a failure exception.
+
+Alternates run in virtual time on the simulator, so conversations compose
+with everything else in a scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.conversation.acceptance import AcceptanceTest
+from repro.conversation.recovery_point import RecoveryPoint
+from repro.simkernel.scheduler import Simulator
+from repro.simkernel.trace import TraceRecorder
+from repro.transactions.atomic_object import AtomicObject
+
+#: An alternate's body mutates the process state (and shared objects).
+AlternateBody = Callable[[dict[str, Any], dict[str, AtomicObject]], None]
+
+
+@dataclass(frozen=True)
+class Alternate:
+    """One try block of a process: a body plus its execution time."""
+
+    body: AlternateBody
+    duration: float = 1.0
+
+
+@dataclass
+class ConversationProcess:
+    """One process taking part in a conversation."""
+
+    name: str
+    alternates: list[Alternate]
+    acceptance: AcceptanceTest
+    state: dict[str, Any] = field(default_factory=dict)
+    entry_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.alternates:
+            raise ValueError(f"process {self.name} needs at least one alternate")
+
+
+class ConversationFailure(RuntimeError):
+    """All alternates exhausted without passing every acceptance test."""
+
+
+class Conversation:
+    """Coordinates joint backward recovery of a set of processes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        processes: list[ConversationProcess],
+        shared: dict[str, AtomicObject] | None = None,
+        trace: TraceRecorder | None = None,
+        name: str = "conversation",
+    ) -> None:
+        if not processes:
+            raise ValueError("a conversation needs at least one process")
+        names = [p.name for p in processes]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate process names")
+        self.sim = sim
+        self.processes = processes
+        self.shared = dict(shared or {})
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.name = name
+        self.attempt = 0
+        self.accepted = False
+        self.failed = False
+        #: (attempt, process name, passed) per test-line evaluation.
+        self.test_log: list[tuple[int, str, bool]] = []
+        self._recovery: dict[str, RecoveryPoint] = {}
+        #: One snapshot of the shared atomic objects, captured when the
+        #: FIRST process enters.  Per-process snapshots of shared state
+        #: would be wrong: a late entrant would capture (and a rollback
+        #: would resurrect) mutations another process already made.
+        self._shared_recovery: Optional[RecoveryPoint] = None
+        self._at_test_line: set[str] = set()
+        self._entered: set[str] = set()
+        #: Called when the conversation commits or fails definitively.
+        self.on_finish: Optional[Callable[[bool], None]] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule every process's (asynchronous) entry."""
+        for process in self.processes:
+            self.sim.schedule(
+                process.entry_delay,
+                lambda p=process: self._enter(p),
+                label=f"{self.name}:enter:{process.name}",
+            )
+
+    def _enter(self, process: ConversationProcess) -> None:
+        self._entered.add(process.name)
+        # Save the recovery point on entry — the defining move of the
+        # conversation scheme.  Process-private state is per-process; the
+        # shared atomic objects are captured exactly once, at the
+        # conversation's first entry.
+        if self._shared_recovery is None:
+            self._shared_recovery = RecoveryPoint.capture(
+                self.sim.now, {}, self.shared
+            )
+        self._recovery[process.name] = RecoveryPoint.capture(
+            self.sim.now, process.state
+        )
+        self.trace.record(self.sim.now, "conv.enter", process.name, attempt=0)
+        self._run_alternate(process)
+
+    def _run_alternate(self, process: ConversationProcess) -> None:
+        alternate = process.alternates[self.attempt]
+        self.trace.record(
+            self.sim.now, "conv.alternate", process.name, attempt=self.attempt
+        )
+        self.sim.schedule(
+            alternate.duration,
+            lambda: self._reach_test_line(process, alternate),
+            label=f"{self.name}:alt",
+        )
+
+    def _reach_test_line(
+        self, process: ConversationProcess, alternate: Alternate
+    ) -> None:
+        try:
+            alternate.body(process.state, self.shared)
+        except Exception:
+            # A crashing alternate is just a failed computation; the
+            # acceptance test below will fail and trigger rollback.
+            process.state["__alternate_crashed__"] = True
+        self._at_test_line.add(process.name)
+        self.trace.record(
+            self.sim.now, "conv.test_line", process.name, attempt=self.attempt
+        )
+        self._maybe_evaluate()
+
+    def _maybe_evaluate(self) -> None:
+        if self.accepted or self.failed:
+            return
+        if self._at_test_line != {p.name for p in self.processes}:
+            return  # the test line is a barrier: wait for everyone
+        results = {}
+        for process in self.processes:
+            passed = process.acceptance.passes(process.state)
+            results[process.name] = passed
+            self.test_log.append((self.attempt, process.name, passed))
+        self.trace.record(
+            self.sim.now, "conv.evaluate", self.name,
+            attempt=self.attempt, results=str(sorted(results.items())),
+        )
+        if all(results.values()):
+            self.accepted = True
+            self.trace.record(self.sim.now, "conv.accept", self.name,
+                              attempt=self.attempt)
+            if self.on_finish:
+                self.on_finish(True)
+            return
+        self._rollback_all()
+
+    def _rollback_all(self) -> None:
+        """Every process rolls back — failure anywhere is failure everywhere
+        (the conversation is the unit of recovery)."""
+        self._at_test_line.clear()
+        self.attempt += 1
+        out_of_alternates = any(
+            self.attempt >= len(process.alternates) for process in self.processes
+        )
+        if self._shared_recovery is not None:
+            self._shared_recovery.restore({}, self.shared)
+        for process in self.processes:
+            self._recovery[process.name].restore(process.state)
+            self.trace.record(
+                self.sim.now, "conv.rollback", process.name, attempt=self.attempt
+            )
+        if out_of_alternates:
+            self.failed = True
+            self.trace.record(self.sim.now, "conv.fail", self.name)
+            if self.on_finish:
+                self.on_finish(False)
+            return
+        for process in self.processes:
+            self._run_alternate(process)

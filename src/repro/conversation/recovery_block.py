@@ -1,0 +1,62 @@
+"""Recovery blocks: single-process backward recovery [Randell 75].
+
+``ensure <acceptance> by <primary> else by <alternate> ... else error`` —
+the degenerate, one-process form of a conversation, provided both for
+completeness (the paper cites recovery blocks as one of the two basic
+fault-tolerant software techniques, Section 2.1) and as a local recovery
+tool inside examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.conversation.acceptance import AcceptanceTest
+from repro.conversation.conversation import Alternate
+from repro.conversation.recovery_point import RecoveryPoint
+from repro.transactions.atomic_object import AtomicObject
+
+
+class RecoveryBlockFailure(RuntimeError):
+    """Every alternate failed the acceptance test."""
+
+
+class RecoveryBlock:
+    """A synchronous recovery block over a state dict."""
+
+    def __init__(
+        self,
+        acceptance: AcceptanceTest,
+        alternates: list[Alternate],
+        shared: dict[str, AtomicObject] | None = None,
+    ) -> None:
+        if not alternates:
+            raise ValueError("a recovery block needs at least one alternate")
+        self.acceptance = acceptance
+        self.alternates = alternates
+        self.shared = dict(shared or {})
+        #: Index of the alternate that passed (set by execute()).
+        self.succeeded_with: int | None = None
+
+    def execute(self, state: dict[str, Any]) -> dict[str, Any]:
+        """Run alternates until one passes the acceptance test.
+
+        Returns the (mutated) state.  Raises
+        :class:`RecoveryBlockFailure` after restoring the entry state if
+        all alternates fail.
+        """
+        recovery = RecoveryPoint.capture(0.0, state, self.shared)
+        for index, alternate in enumerate(self.alternates):
+            try:
+                alternate.body(state, self.shared)
+            except Exception:
+                recovery.restore(state, self.shared)
+                continue
+            if self.acceptance.passes(state):
+                self.succeeded_with = index
+                return state
+            recovery.restore(state, self.shared)
+        raise RecoveryBlockFailure(
+            f"all {len(self.alternates)} alternates failed "
+            f"{self.acceptance.name}"
+        )

@@ -1,0 +1,49 @@
+"""Recovery points: saved state for backward error recovery."""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.transactions.atomic_object import AtomicObject
+
+
+@dataclass
+class RecoveryPoint:
+    """A snapshot of one process's state plus shared atomic objects.
+
+    The process state is deep-copied so that in-place mutation of nested
+    structures cannot leak through a rollback.
+    """
+
+    time: float
+    process_state: dict[str, Any]
+    object_snapshots: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def capture(
+        cls,
+        time: float,
+        process_state: dict[str, Any],
+        shared: dict[str, AtomicObject] | None = None,
+    ) -> "RecoveryPoint":
+        return cls(
+            time=time,
+            process_state=copy.deepcopy(process_state),
+            object_snapshots={
+                name: obj.snapshot() for name, obj in (shared or {}).items()
+            },
+        )
+
+    def restore(
+        self,
+        process_state: dict[str, Any],
+        shared: dict[str, AtomicObject] | None = None,
+    ) -> None:
+        """Roll the live state back to this point (in place)."""
+        process_state.clear()
+        process_state.update(copy.deepcopy(self.process_state))
+        for name, snapshot in self.object_snapshots.items():
+            if shared and name in shared:
+                shared[name].restore_snapshot(snapshot)

@@ -1,0 +1,220 @@
+"""An Arche-style resolution mechanism, for the Section 4.4 comparison.
+
+"The Arche language [12] allows the application programmer to implement a
+function that can resolve the exceptions propagated from several objects
+(i.e. different implementations) of the same type.  The resolution
+function takes all exceptions that have been raised and not handled in
+those objects as input parameters and returns the only 'concerted'
+exception that will be handled in the context of the calling object.
+Although the Arche approach is object-oriented, it cannot be generally
+applied to the coordination of multiple interacting objects with
+different types ... it can be used for NVP-type schemes but is not
+suitable for cooperative concurrency."
+
+This module implements that mechanism so the comparison is executable:
+
+* a :class:`VersionGroup` holds N independently designed implementations
+  (*versions*) of one type;
+* a **multi-function call** invokes the same operation on every version
+  concurrently (the "underlying multi-function call feature" Arche relies
+  on);
+* versions that return are majority-voted (N-version programming);
+  versions that raise feed the programmer-supplied *resolution function*,
+  whose single concerted exception is handled by the *caller* — not by
+  the versions cooperatively, which is precisely the expressive gap the
+  paper points out versus CA actions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.exceptions.tree import ExceptionClass
+from repro.net.message import Message
+from repro.objects.base import DistributedObject
+from repro.objects.runtime import Runtime
+
+KIND_ARCHE_CALL = "ARCHE_CALL"
+KIND_ARCHE_REPLY = "ARCHE_REPLY"
+
+ARCHE_KINDS = frozenset({KIND_ARCHE_CALL, KIND_ARCHE_REPLY})
+
+#: A version body: args -> result, or raise an ActionException subclass.
+VersionBody = Callable[..., Any]
+#: The programmer's resolution function (Arche's distinguishing feature):
+#: takes every raised-and-unhandled exception, returns the concerted one.
+ResolutionFunction = Callable[[Sequence[ExceptionClass]], ExceptionClass]
+
+
+@dataclass(frozen=True)
+class _CallRequest:
+    call_id: int
+    operation: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class _CallReply:
+    call_id: int
+    version: str
+    result: Any = None
+    exception: Optional[ExceptionClass] = None
+
+
+class VersionObject(DistributedObject):
+    """One implementation (version) of the replicated type."""
+
+    def __init__(
+        self, name: str, operations: dict[str, VersionBody], compute_time: float = 1.0
+    ) -> None:
+        super().__init__(name)
+        self.operations = operations
+        self.compute_time = compute_time
+        self.on_kind(KIND_ARCHE_CALL, self._on_call)
+
+    def _on_call(self, message: Message) -> None:
+        request: _CallRequest = message.payload
+        caller = message.src
+
+        def compute() -> None:
+            body = self.operations.get(request.operation)
+            try:
+                if body is None:
+                    raise LookupError(
+                        f"{self.name}: no operation {request.operation}"
+                    )
+                reply = _CallReply(
+                    request.call_id, self.name, result=body(*request.args)
+                )
+            except Exception as exc:
+                # A version's unhandled exception propagates to the caller
+                # as data (the Arche model's input to resolution).
+                reply = _CallReply(
+                    request.call_id, self.name, exception=type(exc)
+                )
+            self.send(caller, KIND_ARCHE_REPLY, reply)
+
+        self.runtime.sim.schedule(
+            self.compute_time, compute, label=f"arche:{self.name}"
+        )
+
+
+@dataclass
+class MultiCallOutcome:
+    """Result of one multi-function call."""
+
+    results: dict[str, Any]
+    exceptions: dict[str, ExceptionClass]
+    voted_result: Any = None
+    concerted: Optional[ExceptionClass] = None
+
+    @property
+    def exceptional(self) -> bool:
+        return self.concerted is not None
+
+
+class ArcheCaller(DistributedObject):
+    """The calling object: issues multi-function calls to a version group."""
+
+    def __init__(
+        self,
+        name: str,
+        versions: tuple[str, ...],
+        resolution_function: ResolutionFunction,
+        majority: Optional[int] = None,
+    ) -> None:
+        super().__init__(name)
+        self.versions = versions
+        self.resolution_function = resolution_function
+        self.majority = majority if majority is not None else len(versions) // 2 + 1
+        self._next_call = 0
+        self._outstanding: dict[int, dict] = {}
+        self.outcomes: list[MultiCallOutcome] = []
+        self.on_kind(KIND_ARCHE_REPLY, self._on_reply)
+
+    def multi_call(
+        self,
+        operation: str,
+        *args: Any,
+        on_outcome: Callable[[MultiCallOutcome], None] | None = None,
+    ) -> int:
+        """Invoke ``operation`` on every version concurrently."""
+        call_id = self._next_call
+        self._next_call += 1
+        self._outstanding[call_id] = {
+            "replies": {},
+            "on_outcome": on_outcome,
+        }
+        for version in self.versions:
+            self.send(
+                version, KIND_ARCHE_CALL, _CallRequest(call_id, operation, args)
+            )
+        return call_id
+
+    def _on_reply(self, message: Message) -> None:
+        reply: _CallReply = message.payload
+        pending = self._outstanding.get(reply.call_id)
+        if pending is None:
+            return
+        pending["replies"][reply.version] = reply
+        if len(pending["replies"]) < len(self.versions):
+            return
+        del self._outstanding[reply.call_id]
+        self._conclude(reply.call_id, pending)
+
+    def _conclude(self, call_id: int, pending: dict) -> None:
+        replies: dict[str, _CallReply] = pending["replies"]
+        results = {
+            v: r.result for v, r in replies.items() if r.exception is None
+        }
+        exceptions = {
+            v: r.exception for v, r in replies.items() if r.exception is not None
+        }
+        outcome = MultiCallOutcome(results=results, exceptions=exceptions)
+        if exceptions:
+            # Arche: the resolution function computes the single concerted
+            # exception, handled in the CALLER's context.
+            outcome.concerted = self.resolution_function(
+                list(exceptions.values())
+            )
+            self.runtime.trace.record(
+                self.sim_now, "arche.concerted", self.name,
+                exception=outcome.concerted.__name__,
+                from_versions=",".join(sorted(exceptions)),
+            )
+        else:
+            # NVP majority vote over the version results.
+            tally = Counter(results.values())
+            value, count = tally.most_common(1)[0]
+            if count >= self.majority:
+                outcome.voted_result = value
+            else:
+                # No majority: treated as a (locally declared) failure.
+                outcome.concerted = self.resolution_function([])
+        self.outcomes.append(outcome)
+        callback = pending["on_outcome"]
+        if callback is not None:
+            callback(outcome)
+
+
+def run_nvp_call(
+    version_bodies: Sequence[VersionBody],
+    resolution_function: ResolutionFunction,
+    operation_args: tuple = (),
+    seed: int = 0,
+) -> MultiCallOutcome:
+    """Convenience harness: one multi-function call over N versions."""
+    runtime = Runtime(seed=seed)
+    names = tuple(f"V{i}" for i in range(len(version_bodies)))
+    for name, body in zip(names, version_bodies):
+        runtime.register(
+            VersionObject(name, {"op": body}, compute_time=1.0 + 0.1 * int(name[1:]))
+        )
+    caller = ArcheCaller("caller", names, resolution_function)
+    runtime.register(caller)
+    runtime.sim.schedule(0.0, lambda: caller.multi_call("op", *operation_args))
+    runtime.run(max_events=100_000)
+    (outcome,) = caller.outcomes
+    return outcome

@@ -1,0 +1,268 @@
+"""A centralised resolution variant (paper Section 4.5).
+
+"Such implementation would allow the dynamic change of different
+resolution algorithms (e.g. centralised or decentralised), being
+transparent to the application programmer."
+
+Here is the centralised pole of that spectrum, for flat actions: a
+dedicated *coordinator* object (a meta-object, typically co-located with
+the action manager) collects every raised exception, decides when the
+raiser set is complete, resolves through the action's tree and tells every
+participant which handler to run.
+
+Protocol (per resolution):
+
+* a raiser sends ``CD_EXCEPTION`` to the coordinator (1 message);
+* the coordinator immediately ``CD_SUSPEND``s every other participant
+  (N-1 messages, once per resolution) so no one keeps computing;
+* suspended participants answer ``CD_STATUS`` — raised-before-suspension
+  or clean (N-1 messages) — giving the coordinator a definite raiser set;
+* the coordinator resolves and broadcasts ``CD_COMMIT`` (N messages,
+  including the raisers).
+
+Total: ``3N - 2 + P`` messages for P raisers — *linear* in N versus
+the decentralised algorithm's quadratic ``(N-1)(2P+1)``.  The price is
+the paper's reason to prefer decentralisation anyway: every resolution
+funnels through one process (a bottleneck and single point of failure:
+if the coordinator's node crashes, no action can recover at all), and
+every message crosses the network twice instead of once.  Experiment E18
+measures both sides of the trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions.handlers import HandlerSet
+from repro.exceptions.tree import ExceptionClass, ResolutionTree
+from repro.net.message import Message
+from repro.objects.base import DistributedObject
+from repro.objects.runtime import Runtime
+
+KIND_CD_EXCEPTION = "CD_EXCEPTION"
+KIND_CD_SUSPEND = "CD_SUSPEND"
+KIND_CD_STATUS = "CD_STATUS"
+KIND_CD_COMMIT = "CD_COMMIT"
+
+CD_KINDS = frozenset(
+    {KIND_CD_EXCEPTION, KIND_CD_SUSPEND, KIND_CD_STATUS, KIND_CD_COMMIT}
+)
+
+
+@dataclass(frozen=True)
+class CdException:
+    action: str
+    sender: str
+    exception: ExceptionClass
+
+
+@dataclass(frozen=True)
+class CdSuspend:
+    action: str
+    sender: str
+
+
+@dataclass(frozen=True)
+class CdStatus:
+    action: str
+    sender: str
+    exception: Optional[ExceptionClass]  # raised before suspension, or None
+
+
+@dataclass(frozen=True)
+class CdCommit:
+    action: str
+    sender: str
+    exception: ExceptionClass
+    raisers: tuple[str, ...]
+
+
+class ResolutionCoordinator(DistributedObject):
+    """The central meta-object running one action's resolutions."""
+
+    def __init__(
+        self, name: str, action: str, members: tuple[str, ...], tree: ResolutionTree
+    ) -> None:
+        super().__init__(name)
+        self.action = action
+        self.members = members
+        self.tree = tree
+        self.le: dict[str, ExceptionClass] = {}
+        self.statuses: set[str] = set()
+        self.suspend_sent = False
+        self.committed: Optional[CdCommit] = None
+        self.on_kind(KIND_CD_EXCEPTION, self._on_exception)
+        self.on_kind(KIND_CD_STATUS, self._on_status)
+
+    def _on_exception(self, message: Message) -> None:
+        payload: CdException = message.payload
+        if self.committed is not None:
+            return  # post-commit raiser: recovery already decided
+        self.le[payload.sender] = payload.exception
+        self.statuses.add(payload.sender)
+        if not self.suspend_sent:
+            self.suspend_sent = True
+            for member in self.members:
+                if member != payload.sender:
+                    self.send(
+                        member, KIND_CD_SUSPEND, CdSuspend(self.action, self.name)
+                    )
+        self._maybe_commit()
+
+    def _on_status(self, message: Message) -> None:
+        payload: CdStatus = message.payload
+        self.statuses.add(payload.sender)
+        if payload.exception is not None:
+            self.le[payload.sender] = payload.exception
+        self._maybe_commit()
+
+    def _maybe_commit(self) -> None:
+        if self.committed is not None:
+            return
+        if self.statuses != set(self.members):
+            return
+        resolved = self.tree.resolve(self.le.values())
+        self.committed = CdCommit(
+            self.action, self.name, resolved, tuple(sorted(self.le))
+        )
+        self.runtime.trace.record(
+            self.sim_now, "cd.commit", self.name,
+            action=self.action, exception=resolved.name(),
+        )
+        for member in self.members:
+            self.send(member, KIND_CD_COMMIT, self.committed)
+
+
+class CentralizedParticipant(DistributedObject):
+    """A flat-action participant under coordinator-based resolution."""
+
+    def __init__(
+        self,
+        name: str,
+        action: str,
+        coordinator: str,
+        tree: ResolutionTree,
+        handlers: HandlerSet,
+    ) -> None:
+        super().__init__(name)
+        self.action = action
+        self.coordinator = coordinator
+        self.tree = tree
+        self.handlers = handlers
+        self.raised: Optional[ExceptionClass] = None
+        self.suspended = False
+        self.handled: Optional[ExceptionClass] = None
+        self.on_kind(KIND_CD_SUSPEND, self._on_suspend)
+        self.on_kind(KIND_CD_COMMIT, self._on_commit)
+
+    def raise_exception(self, exception: ExceptionClass) -> None:
+        if self.suspended or self.raised is not None or self.handled is not None:
+            return  # informed first: no further raising (paper assumption)
+        self.raised = exception
+        self.send(
+            self.coordinator,
+            KIND_CD_EXCEPTION,
+            CdException(self.action, self.name, exception),
+        )
+
+    def _on_suspend(self, message: Message) -> None:
+        if self.suspended:
+            return
+        self.suspended = True
+        # Answer the suspension.  Even if we raced it with a raise of our
+        # own, the CD_EXCEPTION already carries that exception, so the
+        # status is always "clean" — the coordinator dedupes by sender.
+        self.send(
+            self.coordinator,
+            KIND_CD_STATUS,
+            CdStatus(self.action, self.name, None),
+        )
+
+    def _on_commit(self, message: Message) -> None:
+        payload: CdCommit = message.payload
+        if self.handled is not None:
+            return
+        self.handled = payload.exception
+        self.runtime.trace.record(
+            self.sim_now, "cd.handle", self.name,
+            exception=payload.exception.name(),
+        )
+
+
+@dataclass
+class CentralizedRunResult:
+    runtime: Runtime
+    participants: dict[str, CentralizedParticipant]
+    coordinator: ResolutionCoordinator
+
+    def total_messages(self) -> int:
+        return self.runtime.network.total_sent(set(CD_KINDS))
+
+    def all_handled(self) -> bool:
+        return all(p.handled is not None for p in self.participants.values())
+
+    def handled_exceptions(self) -> set[str]:
+        return {
+            p.handled.name()
+            for p in self.participants.values()
+            if p.handled is not None
+        }
+
+    def commit_time(self) -> Optional[float]:
+        commits = self.runtime.trace.by_category("cd.commit")
+        return commits[0].time if commits else None
+
+
+def run_centralized(
+    n: int,
+    raisers: int = 1,
+    seed: int = 0,
+    latency=None,
+    raise_at: float = 10.0,
+    coordinator_crashes_at: Optional[float] = None,
+    run_until: Optional[float] = None,
+) -> CentralizedRunResult:
+    """Run the centralised variant on the flat P-raisers workload."""
+    from repro.exceptions.declarations import UniversalException, declare_exception
+    from repro.objects.naming import canonical_name
+
+    if not 1 <= raisers <= n:
+        raise ValueError(f"bad raiser count {raisers} for n={n}")
+    leaves = [declare_exception(f"CD_{i}") for i in range(raisers)]
+    tree = ResolutionTree(
+        UniversalException, {leaf: UniversalException for leaf in leaves}
+    )
+    handlers = HandlerSet.completing_all(tree)
+    names = tuple(canonical_name(i) for i in range(n))
+    runtime = Runtime(seed=seed, latency=latency)
+    coordinator = ResolutionCoordinator("coord", "A1", names, tree)
+    runtime.register(coordinator)
+    participants: dict[str, CentralizedParticipant] = {}
+    for name in names:
+        participant = CentralizedParticipant(name, "A1", "coord", tree, handlers)
+        runtime.register(participant)
+        participants[name] = participant
+    for i in range(raisers):
+        raiser = participants[names[i]]
+        runtime.sim.schedule(
+            raise_at,
+            lambda r=raiser, e=leaves[i]: r.raise_exception(e),
+            label="cd-raise",
+        )
+    if coordinator_crashes_at is not None:
+        runtime.sim.schedule(
+            coordinator_crashes_at,
+            lambda: runtime.crash_node("node:coord"),
+            label="crash-coord",
+        )
+    runtime.run(until=run_until, max_events=1_000_000)
+    return CentralizedRunResult(runtime, participants, coordinator)
+
+
+def expected_centralized_messages(n: int, p: int) -> int:
+    """``P exceptions + (N-1) suspends + (N-1) statuses + N commits``
+    = ``3N - 2 + P``."""
+    if p == 0:
+        return 0
+    return p + (n - 1) + (n - 1) + n

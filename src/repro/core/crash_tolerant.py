@@ -1,0 +1,286 @@
+"""Crash-tolerant exception resolution (future-work extension).
+
+The base algorithm (Section 4.2) waits for an ACK from *every* participant
+before any object becomes Ready — so a participant that crashes
+mid-protocol stalls resolution forever.  The paper gestures at fault
+tolerance only via the k-resolver extension, which redounds Commit
+delivery but cannot unblock the wait.  This module supplies the missing
+piece as an explicit extension:
+
+* every member runs a heartbeat failure detector
+  (:class:`repro.net.detector.Heartbeater`);
+* readiness is computed over the *alive* view: ACKs and NestedCompleteds
+  owed by suspected members are waived;
+* the resolver is the biggest **alive** raiser — if the elected resolver
+  crashes before committing, its suspicion re-triggers election and the
+  next-biggest raiser commits; if *every* raiser died after broadcasting,
+  the biggest surviving member takes the resolution over (all survivors
+  hold the same LE, so the verdict is unique);
+* handlers still start on Commit, whose raiser list covers exceptions
+  raised by members that later crashed (their recovery is the survivors'
+  business — the crashed object is gone).
+
+The variant is implemented for flat (unnested) actions, the setting where
+the liveness problem is already fully visible; nested abortion under
+crashes would additionally need coordinated view changes, which we leave
+as the next increment (documented limitation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions.handlers import HandlerSet
+from repro.exceptions.tree import ExceptionClass, ResolutionTree
+from repro.net.detector import Heartbeater
+from repro.net.message import Message
+from repro.objects.base import DistributedObject
+from repro.objects.runtime import Runtime
+
+KIND_CT_EXCEPTION = "CT_EXCEPTION"
+KIND_CT_ACK = "CT_ACK"
+KIND_CT_COMMIT = "CT_COMMIT"
+
+CT_KINDS = frozenset({KIND_CT_EXCEPTION, KIND_CT_ACK, KIND_CT_COMMIT})
+
+
+@dataclass(frozen=True)
+class CtException:
+    action: str
+    sender: str
+    exception: ExceptionClass
+
+
+@dataclass(frozen=True)
+class CtAck:
+    action: str
+    sender: str
+
+
+@dataclass(frozen=True)
+class CtCommit:
+    action: str
+    sender: str
+    exception: ExceptionClass
+    raisers: tuple[str, ...]
+
+
+class CrashTolerantParticipant(DistributedObject):
+    """A flat-action participant that survives peer crashes."""
+
+    def __init__(
+        self,
+        name: str,
+        action: str,
+        group: tuple[str, ...],
+        tree: ResolutionTree,
+        handlers: HandlerSet,
+        hb_interval: float = 2.0,
+        hb_timeout: float = 7.0,
+    ) -> None:
+        super().__init__(name)
+        self.action = action
+        self.group = group
+        self.tree = tree
+        self.handlers = handlers
+        self.le: dict[str, ExceptionClass] = {}
+        self.acks_missing: set[str] = set()
+        self.raised_local = False
+        self.commit: Optional[CtCommit] = None
+        self.handled: Optional[ExceptionClass] = None
+        self.detector = Heartbeater(
+            self, group, interval=hb_interval, timeout=hb_timeout,
+            on_suspect=self._on_suspect,
+        )
+        self.on_kind(KIND_CT_EXCEPTION, self._on_exception)
+        self.on_kind(KIND_CT_ACK, self._on_ack)
+        self.on_kind(KIND_CT_COMMIT, self._on_commit)
+
+    def start(self) -> None:
+        self.detector.start()
+
+    # -- raising --------------------------------------------------------------
+
+    def raise_exception(self, exception: ExceptionClass) -> None:
+        if self.raised_local or self.le or self.handled is not None:
+            return  # informed or already recovered: suspended semantics
+        self.raised_local = True
+        self.le[self.name] = exception
+        self.acks_missing = set(self.detector.alive_peers())
+        for peer in self.group:
+            if peer != self.name:
+                self.send(
+                    peer, KIND_CT_EXCEPTION,
+                    CtException(self.action, self.name, exception),
+                )
+        self._advance()
+
+    # -- message handling ------------------------------------------------------
+
+    def _on_exception(self, message: Message) -> None:
+        payload: CtException = message.payload
+        self.le[payload.sender] = payload.exception
+        self.send(payload.sender, KIND_CT_ACK, CtAck(self.action, self.name))
+        self._advance()
+
+    def _on_ack(self, message: Message) -> None:
+        self.acks_missing.discard(message.src)
+        self._advance()
+
+    def _on_commit(self, message: Message) -> None:
+        payload: CtCommit = message.payload
+        if self.commit is not None and self.commit.exception is not payload.exception:
+            raise RuntimeError(
+                f"{self.name}: conflicting crash-tolerant commits "
+                f"{self.commit.exception.name()} vs {payload.exception.name()}"
+            )
+        if self.commit is None:
+            self.commit = payload
+        self._start_handler(payload.exception)
+
+    def _on_suspect(self, peer: str) -> None:
+        # Waive anything the dead peer owed us, then re-evaluate: this is
+        # both the liveness fix and the resolver re-election trigger.
+        self.acks_missing.discard(peer)
+        self._advance()
+
+    # -- progress ----------------------------------------------------------------
+
+    def _alive_raisers(self) -> list[str]:
+        return [
+            name
+            for name in self.le
+            if name == self.name or not self.detector.is_suspected(name)
+        ]
+
+    def _advance(self) -> None:
+        if self.crashed:
+            return  # halt semantics: a dead object takes no decisions
+        if self.handled is not None or self.commit is not None:
+            return
+        alive_raisers = self._alive_raisers()
+        if not self.raised_local:
+            # Suspended members normally wait for Commit — but if every
+            # known raiser has died after broadcasting, no raiser is left
+            # to resolve: the biggest surviving member takes over
+            # (all survivors hold the same LE, so any of them resolves to
+            # the same verdict and the conflicting-commit guard stands).
+            if not self.le or alive_raisers:
+                return
+            alive_members = [
+                m for m in self.group
+                if m == self.name or not self.detector.is_suspected(m)
+            ]
+            if self.name != max(alive_members):
+                return
+            self.runtime.trace.record(
+                self.sim_now, "ct.takeover", self.name, action=self.action
+            )
+        else:
+            if self.acks_missing - self.detector.suspected:
+                return  # still waiting on live peers
+            if not alive_raisers or self.name != max(alive_raisers):
+                return
+        resolved = self.tree.resolve(self.le.values())
+        commit = CtCommit(
+            self.action, self.name, resolved, raisers=tuple(sorted(self.le))
+        )
+        self.commit = commit
+        self.runtime.trace.record(
+            self.sim_now, "ct.commit", self.name,
+            action=self.action, exception=resolved.name(),
+        )
+        for peer in self.detector.alive_peers():
+            self.send(peer, KIND_CT_COMMIT, commit)
+        self._start_handler(resolved)
+
+    def _start_handler(self, exception: ExceptionClass) -> None:
+        if self.handled is not None:
+            return
+        self.handled = exception
+        self.detector.stop()
+        self.runtime.trace.record(
+            self.sim_now, "ct.handle", self.name, exception=exception.name()
+        )
+
+
+@dataclass
+class CrashTolerantRunResult:
+    runtime: Runtime
+    participants: dict[str, CrashTolerantParticipant]
+    crashed: tuple[str, ...]
+
+    def survivors(self) -> list[CrashTolerantParticipant]:
+        return [
+            p for n, p in self.participants.items() if n not in self.crashed
+        ]
+
+    def all_survivors_handled(self) -> bool:
+        return all(p.handled is not None for p in self.survivors())
+
+    def handled_exceptions(self) -> set[str]:
+        return {
+            p.handled.name() for p in self.survivors() if p.handled is not None
+        }
+
+    def protocol_messages(self) -> int:
+        return self.runtime.network.total_sent(set(CT_KINDS))
+
+
+def run_crash_tolerant(
+    n: int,
+    raisers: int = 2,
+    crash: tuple[str, ...] = (),
+    crash_at: float = 12.0,
+    raise_at: float = 10.0,
+    seed: int = 0,
+    latency=None,
+    hb_interval: float = 2.0,
+    hb_timeout: float = 7.0,
+    run_until: float = 200.0,
+) -> CrashTolerantRunResult:
+    """Run the crash-tolerant variant, optionally crashing members.
+
+    ``crash`` names participants whose nodes die at ``crash_at`` —
+    typically *after* raising, the case that deadlocks the base algorithm.
+    """
+    from repro.exceptions.declarations import UniversalException, declare_exception
+    from repro.objects.naming import canonical_name
+
+    if not 1 <= raisers <= n:
+        raise ValueError(f"bad raiser count {raisers} for n={n}")
+    leaves = [declare_exception(f"CT_{i}") for i in range(raisers)]
+    tree = ResolutionTree(
+        UniversalException, {leaf: UniversalException for leaf in leaves}
+    )
+    handlers = HandlerSet.completing_all(tree)
+    names = tuple(canonical_name(i) for i in range(n))
+    unknown = set(crash) - set(names)
+    if unknown:
+        raise ValueError(f"cannot crash unknown members: {sorted(unknown)}")
+    runtime = Runtime(seed=seed, latency=latency)
+    participants: dict[str, CrashTolerantParticipant] = {}
+    for name in names:
+        participant = CrashTolerantParticipant(
+            name, "A1", names, tree, handlers,
+            hb_interval=hb_interval, hb_timeout=hb_timeout,
+        )
+        runtime.register(participant)
+        participants[name] = participant
+        runtime.sim.schedule(0.0, participant.start, label=f"start:{name}")
+    for i in range(raisers):
+        raiser = participants[names[i]]
+        runtime.sim.schedule(
+            raise_at,
+            lambda r=raiser, e=leaves[i]: r.raise_exception(e),
+            label="ct-raise",
+        )
+    for victim in crash:
+        runtime.sim.schedule(
+            crash_at,
+            lambda v=victim: runtime.crash_node(f"node:{v}"),
+            label=f"crash:{victim}",
+        )
+    runtime.run(until=run_until, max_events=2_000_000)
+    return CrashTolerantRunResult(runtime, participants, tuple(crash))

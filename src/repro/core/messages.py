@@ -1,0 +1,97 @@
+"""Protocol messages of the resolution algorithm (paper Section 4.1).
+
+The five resolution kinds are exactly the messages the complexity analysis
+of Section 4.4 counts.  ``DONE`` is the synchronous-exit barrier message
+("leave A synchronously") — it is *synchronization*, not resolution, and is
+kept in a separate kind set so the benchmark counts match the paper's
+("application-related message passing is treated independently").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions.tree import ExceptionClass
+
+KIND_EXCEPTION = "EXCEPTION"
+KIND_HAVE_NESTED = "HAVE_NESTED"
+KIND_NESTED_COMPLETED = "NESTED_COMPLETED"
+KIND_ACK = "ACK"
+KIND_COMMIT = "COMMIT"
+KIND_DONE = "DONE"
+
+#: The message kinds charged by the Section 4.4 complexity analysis.
+RESOLUTION_KINDS = frozenset(
+    {KIND_EXCEPTION, KIND_HAVE_NESTED, KIND_NESTED_COMPLETED, KIND_ACK, KIND_COMMIT}
+)
+
+#: Synchronization traffic (exit barrier), excluded from resolution counts.
+SYNC_KINDS = frozenset({KIND_DONE})
+
+
+@dataclass(frozen=True)
+class ExceptionMsg:
+    """``Exception(A, O_i, E)`` — O_i raised E within action A."""
+
+    action: str
+    sender: str
+    exception: ExceptionClass
+
+
+@dataclass(frozen=True)
+class HaveNestedMsg:
+    """``HaveNested(O_i, A)`` — O_i is inside an action nested in A and is
+    starting to abort its nested chain."""
+
+    action: str
+    sender: str
+
+
+@dataclass(frozen=True)
+class NestedCompletedMsg:
+    """``NestedCompleted(A, O_i, E)`` — O_i finished aborting its nested
+    chain; E is the exception signalled by the abortion handlers of the
+    action directly nested in A (or ``None``)."""
+
+    action: str
+    sender: str
+    exception: Optional[ExceptionClass]
+
+
+@dataclass(frozen=True)
+class AckMsg:
+    """``ACK(O_i)`` — acknowledges one Exception or NestedCompleted.
+
+    ``ref_kind`` says which of the sender's broadcasts is acknowledged
+    (an object sends at most one of each per resolution context).
+    """
+
+    action: str
+    sender: str
+    ref_kind: str
+
+
+@dataclass(frozen=True)
+class CommitMsg:
+    """``Commit(E)`` — the resolver's verdict for action A.
+
+    ``raisers`` lists the objects whose exceptions entered resolution; a
+    suspended recipient uses it to drain in-flight Exception messages
+    before starting its handler ("wait until all exception messages are
+    handled", Section 4.2).
+    """
+
+    action: str
+    sender: str
+    exception: ExceptionClass
+    raisers: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DoneMsg:
+    """Exit-barrier message: the sender finished its part of action A."""
+
+    action: str
+    sender: str
+    epoch: int

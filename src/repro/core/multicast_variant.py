@@ -1,0 +1,292 @@
+"""The Section 4.5 group-communication variant of the resolution algorithm.
+
+"In order to implement the resolution algorithm and support reliable
+message passing a practical way could be to use group communication and a
+group membership service.  Participating objects in a CA action could be
+treated as members of a closed group which multicasts service messages to
+all members.  If a reliable multicast can be used, acknowledgement
+messages will be no longer necessary and so communications in our
+algorithm would consist of only several multicasts (Exception, Commit,
+HaveNested, and NestedCompleted)."
+
+The paper stops there, so one gap must be filled: without ACKs, a resolver
+needs another way to know it has seen every concurrent raiser.  We use the
+standard group-communication answer — a *flush round*: on first learning of
+an exception in the action, each member multicasts exactly one status
+message, either its own ``MC_EXCEPTION`` (if it raised) or an ``MC_FLUSH``
+(suspended, possibly announcing a nested chain it is aborting, i.e. the
+``HaveNested`` content rides on the flush).  Nested members follow up with
+one ``MC_NESTED_COMPLETED``.  Once a member holds a status from every
+group member and a NestedCompleted from every nested one, the raiser set
+is definitive; the biggest raiser resolves and multicasts ``MC_COMMIT``.
+
+Multicast-operation cost for N members, P raisers, Q nested::
+
+    P + (N - P) + Q + 1  =  N + Q + 1   operations
+
+versus the unicast algorithm's ``(N-1)(2P+3Q+1)`` messages.  Counting the
+unicasts under the multicast (fan-out N-1 each) gives ``(N+Q+1)(N-1)``,
+which crosses over with the base algorithm at ``2P + 2Q = N`` — both
+numbers are reported by experiment E12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions.handlers import HandlerSet
+from repro.exceptions.tree import ExceptionClass, ResolutionTree
+from repro.net.message import Message
+from repro.objects.base import DistributedObject
+from repro.objects.runtime import Runtime
+
+KIND_MC_EXCEPTION = "MC_EXCEPTION"
+KIND_MC_FLUSH = "MC_FLUSH"
+KIND_MC_NESTED_COMPLETED = "MC_NESTED_COMPLETED"
+KIND_MC_COMMIT = "MC_COMMIT"
+
+MC_KINDS = frozenset(
+    {KIND_MC_EXCEPTION, KIND_MC_FLUSH, KIND_MC_NESTED_COMPLETED, KIND_MC_COMMIT}
+)
+
+
+@dataclass(frozen=True)
+class McException:
+    action: str
+    sender: str
+    exception: ExceptionClass
+
+
+@dataclass(frozen=True)
+class McFlush:
+    action: str
+    sender: str
+    have_nested: bool
+
+
+@dataclass(frozen=True)
+class McNestedCompleted:
+    action: str
+    sender: str
+    exception: Optional[ExceptionClass]
+
+
+@dataclass(frozen=True)
+class McCommit:
+    action: str
+    sender: str
+    exception: ExceptionClass
+
+
+class MulticastParticipant(DistributedObject):
+    """A participant of the flat-action multicast variant."""
+
+    def __init__(
+        self,
+        name: str,
+        action: str,
+        group: str,
+        members: tuple[str, ...],
+        tree: ResolutionTree,
+        handlers: HandlerSet,
+        nested_depth: int = 0,
+        abort_duration: float = 0.0,
+        abort_signal: Optional[ExceptionClass] = None,
+    ) -> None:
+        super().__init__(name)
+        self.action = action
+        self.group = group
+        self.members = members
+        self.tree = tree
+        self.handlers = handlers
+        self.nested_depth = nested_depth
+        self.abort_duration = abort_duration
+        self.abort_signal = abort_signal
+        self.statuses: dict[str, Optional[ExceptionClass]] = {}
+        self.nested_members: set[str] = set()
+        self.nested_done: dict[str, Optional[ExceptionClass]] = {}
+        self.flushed = False
+        self.handled: Optional[ExceptionClass] = None
+        self.commit: Optional[McCommit] = None
+        for kind in MC_KINDS:
+            self.on_kind(kind, self._on_message)
+
+    # -- sending ------------------------------------------------------------------
+
+    def _mcast(self, kind: str, payload: object) -> None:
+        self.runtime.multicast.multicast(self.group, self.name, kind, payload)
+
+    def raise_exception(self, exception: ExceptionClass) -> None:
+        if self.flushed or self.handled is not None:
+            return  # informed first: suspended, does not raise any more
+        self.flushed = True
+        self.statuses[self.name] = exception
+        self._mcast(
+            KIND_MC_EXCEPTION, McException(self.action, self.name, exception)
+        )
+        self._check_complete()
+
+    def _flush(self) -> None:
+        """The one status multicast of a non-raiser (flush round)."""
+        if self.flushed:
+            return
+        self.flushed = True
+        self.statuses[self.name] = None
+        has_nested = self.nested_depth > 0
+        self._mcast(
+            KIND_MC_FLUSH, McFlush(self.action, self.name, has_nested)
+        )
+        if has_nested:
+            self.nested_members.add(self.name)
+            # Abort the nested chain (one abortion handler per level), then
+            # announce completion with the admissible signal.
+            self.runtime.sim.schedule(
+                self.abort_duration * self.nested_depth,
+                self._nested_completed,
+                label=f"mc-abort:{self.name}",
+            )
+        self._check_complete()
+
+    def _nested_completed(self) -> None:
+        self.nested_done[self.name] = self.abort_signal
+        if self.abort_signal is not None:
+            self.statuses[self.name] = self.abort_signal
+        self._mcast(
+            KIND_MC_NESTED_COMPLETED,
+            McNestedCompleted(self.action, self.name, self.abort_signal),
+        )
+        self._check_complete()
+
+    # -- receiving -----------------------------------------------------------------
+
+    def _on_message(self, message: Message) -> None:
+        payload = message.payload
+        if message.kind == KIND_MC_EXCEPTION:
+            self.statuses[payload.sender] = payload.exception
+            self._flush()
+        elif message.kind == KIND_MC_FLUSH:
+            self.statuses.setdefault(payload.sender, None)
+            if payload.have_nested:
+                self.nested_members.add(payload.sender)
+            self._flush()
+        elif message.kind == KIND_MC_NESTED_COMPLETED:
+            self.nested_done[payload.sender] = payload.exception
+            if payload.exception is not None:
+                self.statuses[payload.sender] = payload.exception
+        elif message.kind == KIND_MC_COMMIT:
+            self.commit = payload
+            self._start_handler(payload.exception)
+            return
+        self._check_complete()
+
+    # -- resolution ------------------------------------------------------------------
+
+    def _raisers(self) -> dict[str, ExceptionClass]:
+        return {
+            name: exc for name, exc in self.statuses.items() if exc is not None
+        }
+
+    def _check_complete(self) -> None:
+        if self.handled is not None or self.commit is not None:
+            return
+        if set(self.statuses) != set(self.members):
+            return
+        if not self.nested_members <= set(self.nested_done):
+            return
+        raisers = self._raisers()
+        if not raisers:
+            return
+        if self.name != max(raisers):
+            return  # not the resolver: wait for Commit
+        resolved = self.tree.resolve(raisers.values())
+        self.commit = McCommit(self.action, self.name, resolved)
+        if self.runtime is not None:
+            self.runtime.trace.record(
+                self.sim_now, "mc.commit", self.name, action=self.action,
+                exception=resolved.name(),
+            )
+        self._mcast(KIND_MC_COMMIT, self.commit)
+        self._start_handler(resolved)
+
+    def _start_handler(self, exception: ExceptionClass) -> None:
+        if self.handled is not None:
+            return
+        self.handled = exception
+        if self.runtime is not None:
+            self.runtime.trace.record(
+                self.sim_now, "mc.handle", self.name,
+                exception=exception.name(),
+            )
+
+
+@dataclass
+class MulticastRunResult:
+    runtime: Runtime
+    participants: dict[str, MulticastParticipant]
+
+    def multicast_operations(self) -> int:
+        return self.runtime.multicast.total_operations(set(MC_KINDS))
+
+    def underlying_unicasts(self) -> int:
+        return self.runtime.network.total_sent(set(MC_KINDS))
+
+    def all_handled(self) -> bool:
+        return all(p.handled is not None for p in self.participants.values())
+
+    def handled_exceptions(self) -> set[str]:
+        return {
+            p.handled.name()
+            for p in self.participants.values()
+            if p.handled is not None
+        }
+
+
+def run_multicast_resolution(
+    n: int,
+    p: int,
+    q: int = 0,
+    seed: int = 0,
+    latency=None,
+    raise_at: float = 1.0,
+    abort_duration: float = 0.5,
+) -> MulticastRunResult:
+    """Run the multicast variant on the Section 4.4 workload shape."""
+    from repro.exceptions.declarations import UniversalException, declare_exception
+    from repro.objects.naming import canonical_name
+
+    if not 1 <= p <= n or not 0 <= q <= n - p:
+        raise ValueError(f"bad workload n={n} p={p} q={q}")
+    leaves = [declare_exception(f"MC_{i}") for i in range(p)]
+    tree = ResolutionTree(
+        UniversalException, {leaf: UniversalException for leaf in leaves}
+    )
+    handlers = HandlerSet.completing_all(tree)
+    names = tuple(canonical_name(i) for i in range(n))
+    runtime = Runtime(seed=seed, latency=latency)
+    runtime.membership.create("GA", list(names))
+    participants: dict[str, MulticastParticipant] = {}
+    for index, name in enumerate(names):
+        nested = 1 if p <= index < p + q else 0
+        participant = MulticastParticipant(
+            name, "A1", "GA", names, tree, handlers,
+            nested_depth=nested, abort_duration=abort_duration,
+        )
+        runtime.register(participant)
+        participants[name] = participant
+    for i in range(p):
+        raiser = participants[names[i]]
+        runtime.sim.schedule(
+            raise_at,
+            lambda r=raiser, e=leaves[i]: r.raise_exception(e),
+            label="mc-raise",
+        )
+    runtime.run(max_events=2_000_000)
+    return MulticastRunResult(runtime, participants)
+
+
+def expected_multicast_operations(n: int, p: int, q: int) -> int:
+    """N + Q + 1 multicast operations (see module docstring)."""
+    if p == 0:
+        return 0
+    return n + q + 1

@@ -1,0 +1,488 @@
+"""Participating objects of CA actions.
+
+A :class:`CAParticipant` is a distributed object that can enter and leave
+CA actions, raise exceptions within them, and take part in distributed
+exception resolution.  The resolution protocol itself lives in
+:class:`repro.core.algorithm.ResolutionEngine`, attached to the participant
+in the meta-object style the paper suggests for implementations
+(Section 4.5: "The algorithm can be programmed as a meta-protocol
+connecting a set of meta-objects: one for each CA action participant").
+
+The participant owns everything that is *not* the resolution algorithm:
+
+* the exception-context stack (``SA_i``) following entered actions,
+* buffering of protocol messages for actions not yet entered (belated
+  participants, Section 3.3 problem 3),
+* the synchronous exit barrier ("leave A synchronously", Section 4.2),
+* running exception handlers and signalling failures to containing actions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from repro.core.abortion import AbortionHandler
+from repro.core.action import ActionRegistry
+from repro.core.manager import CAActionManager
+from repro.core.messages import (
+    KIND_ACK,
+    KIND_COMMIT,
+    KIND_DONE,
+    KIND_EXCEPTION,
+    KIND_HAVE_NESTED,
+    KIND_NESTED_COMPLETED,
+    DoneMsg,
+)
+from repro.exceptions.context import ExceptionContext, ExceptionContextStack
+from repro.exceptions.handlers import HandlerOutcome, HandlerSet
+from repro.exceptions.tree import ExceptionClass
+from repro.net.message import Message
+from repro.objects.base import DistributedObject
+
+#: Outcomes reported through ``on_action_exit``.
+EXIT_COMPLETED = "completed"
+EXIT_FAILED = "failed"
+
+
+class ProtocolViolation(RuntimeError):
+    """The participant was driven in a way the model forbids."""
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HandlerExecution:
+    """One handler run, as recorded in a participant's ``handler_log``.
+
+    ``attempt`` is the action's own backward-recovery attempt;
+    ``incarnation`` additionally encodes every enclosing action's attempt
+    (outermost first, dot-separated), so two runs of a nested action under
+    different retries of its parent are distinguishable.
+    """
+
+    time: float
+    action: str
+    exception: str
+    outcome: str
+    attempt: int = 1
+    incarnation: str = "1"
+
+
+class ActionUnavailableError(RuntimeError):
+    """A belated participant tried to enter an already-aborted action.
+
+    Not a protocol violation: the paper's abortion rules explicitly do not
+    wait for belated participants (Section 4.1), so an object can
+    legitimately arrive at the entry of an action that no longer exists.
+    The behaviour layer skips the dead block; the outer resolution that
+    caused the abortion necessarily involves this object too and will take
+    over its activity.
+    """
+
+
+class CAParticipant(DistributedObject):
+    """A participating object with an attached resolution engine."""
+
+    def __init__(
+        self,
+        name: str,
+        registry: ActionRegistry,
+        action_manager: CAActionManager,
+        handler_sets: Mapping[str, HandlerSet],
+        abortion_handlers: Mapping[str, AbortionHandler] | None = None,
+    ) -> None:
+        """Create a participant.
+
+        Args:
+            name: unique object name (its position in the lexicographic
+                order decides resolver election).
+            registry: the scenario's action declarations.
+            action_manager: the centralized CA action manager.
+            handler_sets: per-action complete handler sets; every action
+                this object participates in must be present (checked at
+                entry).
+            abortion_handlers: per-nested-action abortion handlers; actions
+                without an entry get a silent zero-duration handler.
+        """
+        super().__init__(name)
+        self.registry = registry
+        self.action_manager = action_manager
+        self.handler_sets = dict(handler_sets)
+        self.abortion_handlers = dict(abortion_handlers or {})
+        self.contexts = ExceptionContextStack()
+        #: Buffered protocol messages for actions not yet entered, and
+        #: messages deferred by the WAIT_FOR_NESTED policy.
+        self.pending: dict[str, list[Message]] = {}
+        #: DONE senders per (action, attempt) — the exit barrier; attempts
+        #: are the epochs of Figure 2(b)'s backward-recovery retries.
+        self._barrier: dict[tuple[str, int], set[str]] = {}
+        self._done_broadcast: set[str] = set()
+        self._waiting_barrier: Optional[str] = None
+        self._handled_markers: dict[str, ExceptionClass] = {}
+        self._handler_handles: dict[str, object] = {}
+        #: This participant's attempt number per action (1 = primary).
+        self._attempts: dict[str, int] = {}
+        #: Hook called when the action's acceptance test fails and a new
+        #: attempt starts: (action, next_attempt).
+        self.on_action_retry: Callable[[str, int], None] = (
+            lambda action, attempt: None
+        )
+        #: Chronological record of handler executions.  Tests assert the
+        #: paper's "same handlers are called in all participating objects"
+        #: on this.
+        self.handler_log: list[HandlerExecution] = []
+        #: Hook called when the behaviour must stop (termination model).
+        self.on_interrupt: Callable[[], None] = lambda: None
+        #: Hook called when an action is exited: (action, outcome, exc).
+        self.on_action_exit: Callable[
+            [str, str, Optional[ExceptionClass]], None
+        ] = lambda action, outcome, exc: None
+
+        # Engine import is deferred to dodge the module cycle.
+        from repro.core.algorithm import ResolutionEngine
+
+        self.engine = ResolutionEngine(self)
+        for kind in (
+            KIND_EXCEPTION,
+            KIND_HAVE_NESTED,
+            KIND_NESTED_COMPLETED,
+            KIND_ACK,
+            KIND_COMMIT,
+        ):
+            self.on_kind(kind, self._on_protocol_message)
+        self.on_kind(KIND_DONE, self._on_done)
+
+    # -- small helpers -------------------------------------------------------
+
+    def trace(self, category: str, **details: object) -> None:
+        if self.runtime is not None:
+            self.runtime.trace.record(
+                self.sim_now, category, self.name, **details
+            )
+
+    def handler_set_for(self, action: str) -> HandlerSet:
+        try:
+            return self.handler_sets[action]
+        except KeyError:
+            raise ProtocolViolation(
+                f"{self.name} has no handler set for action {action}"
+            ) from None
+
+    def abortion_handler_for(self, action: str) -> AbortionHandler:
+        return self.abortion_handlers.get(action, AbortionHandler.silent())
+
+    @property
+    def active_action(self) -> Optional[str]:
+        active = self.contexts.active
+        return active.action_name if active else None
+
+    # -- action entry/exit API (called by behaviours) ---------------------------
+
+    def enter_action(self, action: str) -> None:
+        """Enter ``action``: push its exception context, join its group.
+
+        Objects "may enter a CA action asynchronously" (Section 4); any
+        protocol messages that arrived before entry are processed now
+        ("process messages having arrived", Section 4.2).
+        """
+        definition = self.registry.get(action)
+        if definition.parent is not None and self.active_action != definition.parent:
+            raise ProtocolViolation(
+                f"{self.name} cannot enter {action}: its parent "
+                f"{definition.parent} is not the active action"
+            )
+        if definition.parent is None and self.contexts.active is not None:
+            raise ProtocolViolation(
+                f"{self.name} cannot enter top-level {action} while inside "
+                f"{self.active_action}"
+            )
+        handlers = self.handler_set_for(action)
+        handlers.validate_complete(definition.tree)
+        if self.action_manager.is_cancelled(action):
+            self.trace("action.enter_refused", action=action)
+            raise ActionUnavailableError(
+                f"{self.name} arrived belatedly at {action}, which has "
+                "already been aborted"
+            )
+        self.action_manager.note_entered(action, self.name, self.sim_now)
+        self.contexts.push(ExceptionContext(action, definition.tree, handlers))
+        self.trace("action.enter", action=action)
+        self._process_pending(action)
+
+    def request_leave(self, action: str) -> None:
+        """Start the synchronous exit: broadcast DONE, wait for the rest."""
+        if self.active_action != action:
+            raise ProtocolViolation(
+                f"{self.name} cannot leave {action}: active action is "
+                f"{self.active_action}"
+            )
+        if self.engine.resolving_action() == action:
+            raise ProtocolViolation(
+                f"{self.name} cannot leave {action} during resolution"
+            )
+        definition = self.registry.get(action)
+        attempt = self._attempts.setdefault(action, 1)
+        if action not in self._done_broadcast:
+            self._done_broadcast.add(action)
+            for other in definition.others(self.name):
+                self.send(
+                    other, KIND_DONE, DoneMsg(action, self.name, epoch=attempt)
+                )
+        self._waiting_barrier = action
+        self.trace("action.leave_requested", action=action, attempt=attempt)
+        self._check_barrier(action)
+
+    def _on_done(self, message: Message) -> None:
+        done: DoneMsg = message.payload
+        self._barrier.setdefault((done.action, done.epoch), set()).add(done.sender)
+        self._check_barrier(done.action)
+
+    def _check_barrier(self, action: str) -> None:
+        if self._waiting_barrier != action or action not in self._done_broadcast:
+            return
+        if self.engine.resolving_action() is not None:
+            # A resolution is in progress: either for this action (the exit
+            # resumes from _exit_after_handler once the handler completes)
+            # or for a containing one, whose abortion chain is about to pop
+            # this context — in both cases the barrier must not fire now.
+            return
+        definition = self.registry.get(action)
+        attempt = self._attempts.get(action, 1)
+        arrived = self._barrier.get((action, attempt), set())
+        if set(definition.others(self.name)) <= arrived:
+            self._waiting_barrier = None
+            self._complete_action(action)
+
+    def _complete_action(self, action: str) -> None:
+        attempt = self._attempts.get(action, 1)
+        decision = self.action_manager.exit_decision(action, attempt, self.sim_now)
+        if decision == self.action_manager.EXIT_RETRY:
+            self._start_retry(action, attempt)
+            return
+        if decision == self.action_manager.EXIT_FAIL:
+            from repro.exceptions.declarations import ActionFailureException
+
+            self.trace("action.acceptance_failed", action=action, attempt=attempt)
+            self._signal_failure(action, ActionFailureException)
+            return
+        handled = self._handled_markers.pop(action, None)
+        self.contexts.pop(action)
+        self._barrier.pop((action, attempt), None)
+        self._done_broadcast.discard(action)
+        self._attempts.pop(action, None)
+        self.engine.forget_action(action)
+        self.action_manager.note_completed(action, self.sim_now, handled)
+        self.trace(
+            "action.exit", action=action, outcome=EXIT_COMPLETED,
+            handled=handled.name() if handled else None,
+        )
+        self.on_action_exit(action, EXIT_COMPLETED, handled)
+        # Messages deferred under WAIT_FOR_NESTED become processable once
+        # the containing action is active again.
+        new_active = self.active_action
+        if new_active is not None:
+            self._process_pending(new_active)
+
+    def _start_retry(self, action: str, attempt: int) -> None:
+        """Backward recovery: the acceptance test failed; rerun the block.
+
+        The exception context stays (the object remains inside the
+        action); barrier and resolution bookkeeping reset for the new
+        attempt; atomic-object state was already rolled back by the
+        manager's implicit transaction abort.
+        """
+        next_attempt = attempt + 1
+        self._attempts[action] = next_attempt
+        self._barrier.pop((action, attempt), None)
+        self._done_broadcast.discard(action)
+        self._handled_markers.pop(action, None)
+        self.engine.forget_action(action)
+        # Descendant actions rerun as fresh incarnations: purge whatever
+        # protocol state the failed attempt left for them (their stale
+        # traffic has fully drained — see CAActionManager.exit_decision).
+        for descendant in self.registry.descendants(action):
+            self.engine.forget_action(descendant)
+            self._attempts.pop(descendant, None)
+            self._purge_barrier(descendant)
+            self._done_broadcast.discard(descendant)
+            self._handled_markers.pop(descendant, None)
+            self.pending.pop(descendant, None)
+        context = self.contexts.find(action)
+        if context is not None:
+            context.raised.clear()  # a fresh attempt may raise anew
+        self.trace("action.retry", action=action, attempt=next_attempt)
+        self.on_action_retry(action, next_attempt)
+
+    def abort_local(self, action: str) -> None:
+        """Pop ``action`` during nested-chain abortion.
+
+        Clears any half-finished exit-barrier state for the action (a
+        participant may be aborted out of an action while waiting on its
+        exit line) and records the abortion with the manager, which rolls
+        back the action's transaction.
+        """
+        self.contexts.pop(action)
+        self._purge_barrier(action)
+        self._done_broadcast.discard(action)
+        self._handled_markers.pop(action, None)
+        self._attempts.pop(action, None)
+        if self._waiting_barrier == action:
+            self._waiting_barrier = None
+        self.action_manager.note_aborted(action, self.sim_now)
+
+    def _purge_barrier(self, action: str) -> None:
+        for key in [k for k in self._barrier if k[0] == action]:
+            del self._barrier[key]
+
+    # -- raising -----------------------------------------------------------------
+
+    def raise_exception(self, exception: ExceptionClass) -> None:
+        """Raise ``exception`` in the active action (Section 4.2's
+        "E_i is raised in O_i")."""
+        active = self.contexts.active
+        if active is None:
+            raise ProtocolViolation(
+                f"{self.name} cannot raise {exception.name()} outside any action"
+            )
+        if exception not in active.tree:
+            raise ProtocolViolation(
+                f"{exception.name()} is not declared in action "
+                f"{active.action_name}"
+            )
+        if active.raised:
+            raise ProtocolViolation(
+                f"{self.name} already raised in {active.action_name}; only "
+                "one exception per object per action is allowed (Section 4.1)"
+            )
+        active.raised.append(exception)
+        self.engine.local_raise(active.action_name, exception)
+
+    # -- handler execution (called by the engine after Commit) ---------------------
+
+    def start_resolved_handler(self, action: str, exception: ExceptionClass) -> None:
+        """Run the handler for the resolved exception ``exception``."""
+        handler = self.handler_set_for(action).lookup(exception)
+        self.trace(
+            "handler.start", action=action, exception=exception.name(),
+            duration=handler.duration,
+        )
+        self._handler_handles[action] = self.runtime.sim.schedule(
+            handler.duration,
+            lambda: self._finish_handler(action, exception, handler),
+            label=f"handler:{self.name}:{action}",
+        )
+
+    def cancel_handler(self, action: str) -> None:
+        """Stop a still-running handler: an outer abortion supersedes it
+        ("any activity of the nested action is stopped (including ...
+        execution of any handlers)", Section 4.1)."""
+        handle = self._handler_handles.pop(action, None)
+        if handle is not None:
+            handle.cancel()
+            self.trace("handler.cancelled", action=action)
+
+    def _finish_handler(self, action, exception, handler) -> None:
+        self._handler_handles.pop(action, None)
+        result = handler.run(self, exception)
+        chain = [action, *self.registry.ancestors(action)]
+        incarnation = ".".join(
+            str(self._attempts.get(level, 1)) for level in reversed(chain)
+        )
+        self.handler_log.append(
+            HandlerExecution(
+                time=self.sim_now,
+                action=action,
+                exception=exception.name(),
+                outcome=result.outcome.value,
+                attempt=self._attempts.get(action, 1),
+                incarnation=incarnation,
+            )
+        )
+        self.trace(
+            "handler.done", action=action, exception=exception.name(),
+            outcome=result.outcome.value,
+        )
+        self.engine.handler_finished(action)
+        if result.outcome is HandlerOutcome.COMPLETED:
+            # Termination model: the handler took over and completed the
+            # action; proceed to the synchronous exit.
+            self._exit_after_handler(action, exception)
+        else:
+            self._signal_failure(action, result.signal)
+
+    def _exit_after_handler(self, action: str, handled: ExceptionClass) -> None:
+        # Record the handled exception for the completion record, then run
+        # the normal synchronous exit (DONE dedupes by sender, so a
+        # participant that already broadcast before the exception need not
+        # rebroadcast).
+        self._handled_markers[action] = handled
+        self.request_leave(action)
+
+    def _signal_failure(self, action: str, signal: ExceptionClass) -> None:
+        """Handlers failed: signal ``signal`` to the containing action.
+
+        "Note that an exception is raised within a CA action, but signalled
+        between nested actions" (Section 3.1): each participant pops the
+        failed action's context and raises the signalled exception in the
+        containing action, where resolution proceeds as usual.
+        """
+        self.contexts.pop(action)
+        self._purge_barrier(action)
+        self._done_broadcast.discard(action)
+        self._attempts.pop(action, None)
+        self.engine.forget_action(action)
+        self.action_manager.note_failed(action, self.sim_now, signal)
+        self.trace(
+            "action.exit", action=action, outcome=EXIT_FAILED,
+            signal=signal.name(),
+        )
+        parent = self.registry.get(action).parent
+        if parent is None:
+            self.on_action_exit(action, EXIT_FAILED, signal)
+            return
+        self.on_action_exit(action, EXIT_FAILED, signal)
+        active = self.contexts.active
+        if active is not None and active.action_name == parent:
+            if not active.raised:
+                active.raised.append(signal)
+                self.engine.local_raise(parent, signal)
+
+    # -- protocol plumbing ---------------------------------------------------------
+
+    def _on_protocol_message(self, message: Message) -> None:
+        self.engine.on_message(message)
+
+    def buffer_pending(self, action: str, message: Message) -> None:
+        self.pending.setdefault(action, []).append(message)
+
+    def drop_pending_nested(self, action: str) -> int:
+        """Discard buffered messages of actions nested within ``action``.
+
+        The Section 4.2 "clean up messages related to nested actions": when
+        an outer resolution cancels inner actions, protocol traffic of
+        those inner actions must never be processed (e.g. the Exception O2
+        sent within A3 to the belated O3 in Example 2).
+        """
+        dropped = 0
+        for nested in self.registry.descendants(action):
+            dropped += len(self.pending.pop(nested, []))
+        if dropped:
+            self.trace("pending.cleanup", action=action, dropped=dropped)
+        return dropped
+
+    def _process_pending(self, action: str) -> None:
+        queued = self.pending.pop(action, None)
+        if not queued:
+            return
+        if self.action_manager.is_cancelled(action):
+            return
+        for message in queued:
+            self.engine.on_message(message)
+
+    # -- behaviour integration -----------------------------------------------------
+
+    def interrupt_behaviour(self) -> None:
+        """Stop normal activity: resolution is taking over (termination
+        model).  Idempotent."""
+        self.on_interrupt()

@@ -1,0 +1,37 @@
+"""The k-resolver fault-tolerance extension (paper Section 4.4).
+
+"In the interest of fault tolerance, the algorithm can be easily extended
+to the use of a group of objects that are responsible for performing
+resolution and producing the commit messages.  This only contributes a
+constant factor to its total complexity."
+
+With ``k`` resolvers, the k biggest-named raisers each resolve the (same)
+LE set and each broadcasts Commit; receivers act on the first and discard
+the agreeing duplicates.  The message count becomes::
+
+    (N - 1) * (2P + 3Q + k)
+
+i.e. an additive constant per unit of resolver redundancy — the claim the
+``bench_resolver_group`` experiment (E14) measures.
+
+Note the scope of the claim, which we inherit: redundant Commit *delivery*
+is tolerated; making the resolution itself survive a resolver crash would
+additionally need a failure detector so the remaining participants stop
+waiting for the crashed object's ACKs, which the paper leaves open.
+"""
+
+from __future__ import annotations
+
+
+def expected_messages_with_resolver_group(n: int, p: int, q: int, k: int) -> int:
+    """``(N-1)(2P + 3Q + k)`` — Section 4.4's formula with k commits."""
+    if p == 0:
+        return 0
+    effective_k = min(k, p_effective_raisers(p, q))
+    return (n - 1) * (2 * p + 3 * q + effective_k)
+
+
+def p_effective_raisers(p: int, q: int) -> int:
+    """Raisers available for resolver election (primary raisers only in
+    the generated workloads: nested objects signal nothing)."""
+    return p

@@ -1,0 +1,40 @@
+"""The object-oriented exception model of the paper.
+
+Exceptions are declared as Python classes (the paper's Section 3.2:
+"exceptions are classes and declared by subtyping").  A
+:class:`~repro.exceptions.tree.ResolutionTree` arranges the exceptions an
+action declares into the partial order used to resolve concurrently raised
+exceptions; :class:`~repro.exceptions.context.ExceptionContextStack` models
+the nesting of exception contexts that follows the nesting of CA actions;
+:class:`~repro.exceptions.handlers.HandlerSet` binds handlers to exceptions
+at object level.
+"""
+
+from repro.exceptions.attachment import AttachmentLevel, LayeredHandlers
+from repro.exceptions.declarations import (
+    AbortionException,
+    ActionException,
+    ActionFailureException,
+    UniversalException,
+    declare_exception,
+)
+from repro.exceptions.context import ExceptionContext, ExceptionContextStack
+from repro.exceptions.handlers import HandlerOutcome, HandlerSet, ReducedHandlerSet
+from repro.exceptions.tree import ResolutionTree, TreeValidationError
+
+__all__ = [
+    "AbortionException",
+    "ActionException",
+    "ActionFailureException",
+    "AttachmentLevel",
+    "ExceptionContext",
+    "ExceptionContextStack",
+    "HandlerOutcome",
+    "HandlerSet",
+    "LayeredHandlers",
+    "ReducedHandlerSet",
+    "ResolutionTree",
+    "TreeValidationError",
+    "UniversalException",
+    "declare_exception",
+]

@@ -1,0 +1,143 @@
+"""Flexible handler attachment (paper Section 2.3).
+
+The paper surveys where OO languages let handlers live: "Exception
+handlers can be declared and attached to the level of statements, methods,
+classes or objects", and argues flexible attachment "provides a clear
+separation of an object's abnormal behaviour from its normal one" and
+lets handler association with a CA action's exception context be done
+"either statically or dynamically" (Section 3.1).
+
+:class:`LayeredHandlers` implements that taxonomy with the conventional
+innermost-wins precedence::
+
+    statement  >  method  >  object  >  class
+
+and can *flatten* itself into the complete per-action
+:class:`~repro.exceptions.handlers.HandlerSet` the resolution algorithm
+requires — the bridge between the language-level survey of Section 2.3 and
+the algorithm-level assumption of Section 3.3.
+"""
+
+from __future__ import annotations
+
+import enum
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Optional
+
+from repro.exceptions.handlers import Handler, HandlerSet
+from repro.exceptions.tree import ExceptionClass, ResolutionTree
+
+
+class AttachmentLevel(enum.Enum):
+    """Where a handler is attached, outermost last (lookup order)."""
+
+    STATEMENT = "statement"
+    METHOD = "method"
+    OBJECT = "object"
+    CLASS = "class"
+
+
+#: Lookup precedence, innermost first.
+PRECEDENCE = (
+    AttachmentLevel.STATEMENT,
+    AttachmentLevel.METHOD,
+    AttachmentLevel.OBJECT,
+    AttachmentLevel.CLASS,
+)
+
+
+class LayeredHandlers:
+    """Handler bindings at the four attachment levels of Section 2.3."""
+
+    def __init__(self) -> None:
+        self._class: dict[ExceptionClass, Handler] = {}
+        self._object: dict[ExceptionClass, Handler] = {}
+        self._method: dict[str, dict[ExceptionClass, Handler]] = {}
+        self._statement_stack: list[dict[ExceptionClass, Handler]] = []
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach_class(self, exception: ExceptionClass, handler: Handler) -> None:
+        """Class-level: shared default for every instance of the class."""
+        self._class[exception] = handler
+
+    def attach_object(self, exception: ExceptionClass, handler: Handler) -> None:
+        """Object-level: this instance's own recovery behaviour."""
+        self._object[exception] = handler
+
+    def attach_method(
+        self, method: str, exception: ExceptionClass, handler: Handler
+    ) -> None:
+        """Method-level: active while ``method`` executes."""
+        self._method.setdefault(method, {})[exception] = handler
+
+    @contextmanager
+    def statement_scope(
+        self, handlers: Mapping[ExceptionClass, Handler]
+    ) -> Iterator[None]:
+        """Statement-level: a lexical block with its own handlers
+        (C++/Modula-3 style ``try`` regions)."""
+        self._statement_stack.append(dict(handlers))
+        try:
+            yield
+        finally:
+            self._statement_stack.pop()
+
+    # -- lookup ------------------------------------------------------------------
+
+    def lookup(
+        self, exception: ExceptionClass, method: Optional[str] = None
+    ) -> tuple[Handler, AttachmentLevel]:
+        """Innermost handler for ``exception``; raises KeyError if none.
+
+        Statement scopes are searched innermost-first, then the current
+        method's handlers, then object-level, then class-level.
+        """
+        for scope in reversed(self._statement_stack):
+            if exception in scope:
+                return scope[exception], AttachmentLevel.STATEMENT
+        if method is not None:
+            bound = self._method.get(method, {})
+            if exception in bound:
+                return bound[exception], AttachmentLevel.METHOD
+        if exception in self._object:
+            return self._object[exception], AttachmentLevel.OBJECT
+        if exception in self._class:
+            return self._class[exception], AttachmentLevel.CLASS
+        raise KeyError(
+            f"no handler attached for {exception.name()} at any level"
+        )
+
+    def handles(self, exception: ExceptionClass, method: Optional[str] = None) -> bool:
+        try:
+            self.lookup(exception, method)
+            return True
+        except KeyError:
+            return False
+
+    # -- bridging to the resolution algorithm ---------------------------------------
+
+    def flatten_for_action(
+        self,
+        tree: ResolutionTree,
+        method: Optional[str] = None,
+        default: Optional[Handler] = None,
+    ) -> HandlerSet:
+        """Build the complete per-action handler set (Section 3.1's
+        "association could be done either statically or dynamically").
+
+        Every exception of the action's tree must resolve to some attached
+        handler (or ``default``); otherwise the set would be incomplete
+        and the action manager would reject it — surfacing the
+        configuration error at entry time rather than mid-recovery.
+        """
+        bindings: dict[ExceptionClass, Handler] = {}
+        for exception in tree.members:
+            try:
+                handler, _ = self.lookup(exception, method)
+            except KeyError:
+                if default is None:
+                    raise
+                handler = default
+            bindings[exception] = handler
+        return HandlerSet(bindings)

@@ -1,0 +1,107 @@
+"""Exception contexts.
+
+"Exception contexts [are] regions in which the same exceptions are treated
+in the same way" (Section 2.1).  In the CA-action model a participating
+object enters a new exception context whenever it enters an action, and the
+nesting of actions causes the nesting of contexts (Section 3.1).  The stack
+here is the paper's ``SA_i``: it "stores the exception context and the
+exception tree corresponding to each of nested CA actions" (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.exceptions.tree import ExceptionClass, ResolutionTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exceptions.handlers import HandlerSet
+
+
+@dataclass
+class ExceptionContext:
+    """One level of the context stack: an action with its tree and handlers.
+
+    Attributes:
+        action_name: the CA action this context belongs to.
+        tree: the action's resolution tree.
+        handlers: this participant's handlers for the action's exceptions.
+    """
+
+    action_name: str
+    tree: ResolutionTree
+    handlers: "HandlerSet"
+    #: Exceptions raised locally in this context so far (at most one is
+    #: allowed by the Section 4.1 assumption; tracked to enforce it).
+    raised: list[ExceptionClass] = field(default_factory=list)
+
+
+class ContextError(RuntimeError):
+    """Misuse of the context stack (pop of wrong action, empty stack...)."""
+
+
+class ExceptionContextStack:
+    """The per-participant stack of nested exception contexts (``SA_i``)."""
+
+    def __init__(self) -> None:
+        self._stack: list[ExceptionContext] = []
+
+    def push(self, context: ExceptionContext) -> None:
+        """Enter a (possibly nested) action's exception context."""
+        self._stack.append(context)
+
+    def pop(self, action_name: str) -> ExceptionContext:
+        """Leave the innermost context; must match ``action_name``."""
+        if not self._stack:
+            raise ContextError(f"no context to pop for action {action_name}")
+        top = self._stack[-1]
+        if top.action_name != action_name:
+            raise ContextError(
+                f"context mismatch: popping {action_name} but innermost is "
+                f"{top.action_name}"
+            )
+        return self._stack.pop()
+
+    @property
+    def active(self) -> ExceptionContext | None:
+        """The innermost context — the participant's *active* action."""
+        return self._stack[-1] if self._stack else None
+
+    def find(self, action_name: str) -> ExceptionContext | None:
+        """The context for ``action_name``, if this object has entered it."""
+        for context in reversed(self._stack):
+            if context.action_name == action_name:
+                return context
+        return None
+
+    def depth_below(self, action_name: str) -> int:
+        """How many contexts are nested strictly inside ``action_name``.
+
+        Zero means ``action_name`` is the active action.  Used to decide
+        whether an incoming protocol message for action ``A`` finds this
+        object "in the action nested within A" (Section 4.2).
+        """
+        for index, context in enumerate(reversed(self._stack)):
+            if context.action_name == action_name:
+                return index
+        raise ContextError(f"not inside action {action_name}")
+
+    def inner_chain(self, action_name: str) -> list[ExceptionContext]:
+        """Contexts nested inside ``action_name``, innermost first.
+
+        This is the abortion order of Section 4.1: "it must execute abortion
+        handlers in the order (i+k), (i+k-1), ..., (i+1)".
+        """
+        depth = self.depth_below(action_name)
+        return list(reversed(self._stack[len(self._stack) - depth:]))
+
+    def entered(self, action_name: str) -> bool:
+        return self.find(action_name) is not None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def names(self) -> list[str]:
+        """Action names outermost-first."""
+        return [context.action_name for context in self._stack]

@@ -1,0 +1,196 @@
+"""Handler association.
+
+The paper's key simplifying assumption (Section 3.3): *every* participating
+object has a handler for *every* exception declared in a given action —
+eliminating the CR algorithm's "third source" of exceptions (re-raising
+after failed lookup) and the domino effect.  :class:`HandlerSet` enforces
+this completeness; :class:`ReducedHandlerSet` deliberately relaxes it to
+model the CR baseline's per-participant reduced trees.
+
+Handlers follow the termination model (Section 3.1): they take over the
+participant's duties and finish the action either successfully or by
+signalling a failure exception to the containing action.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from repro.exceptions.tree import ExceptionClass, ResolutionTree
+
+
+class HandlerOutcome(enum.Enum):
+    """What a handler achieved, per the termination model."""
+
+    #: The handler recovered the objects; the action completes normally.
+    COMPLETED = "completed"
+    #: Recovery failed; an exception is signalled to the containing action.
+    SIGNAL = "signal"
+
+
+@dataclass(frozen=True)
+class HandlerResult:
+    """Result of running one handler.
+
+    Attributes:
+        outcome: completed or signalling.
+        signal: the exception signalled to the containing action (only for
+            ``SIGNAL`` outcomes; for abortion handlers this is the
+            "last-will" exception, possibly ``None``).
+    """
+
+    outcome: HandlerOutcome
+    signal: Optional[ExceptionClass] = None
+
+    def __post_init__(self) -> None:
+        if self.outcome is HandlerOutcome.SIGNAL and self.signal is None:
+            raise ValueError("SIGNAL outcome requires a signal exception")
+        if self.outcome is HandlerOutcome.COMPLETED and self.signal is not None:
+            raise ValueError("COMPLETED outcome must not carry a signal")
+
+
+#: A handler body: receives (participant, exception class), returns a result.
+#: The participant is typed as ``object`` to avoid a dependency cycle with
+#: repro.core; concrete handlers downcast as needed.
+HandlerBody = Callable[[object, ExceptionClass], HandlerResult]
+
+
+@dataclass(frozen=True)
+class Handler:
+    """An exception handler with a simulated execution duration.
+
+    Attributes:
+        body: the handling logic.
+        duration: virtual time the handler takes to run; contributes to
+            recovery-latency measurements (experiments E9/E15).
+    """
+
+    body: HandlerBody
+    duration: float = 0.0
+
+    @staticmethod
+    def completing(duration: float = 0.0) -> "Handler":
+        """A handler that always recovers successfully."""
+        return Handler(
+            body=lambda participant, exception: HandlerResult(
+                HandlerOutcome.COMPLETED
+            ),
+            duration=duration,
+        )
+
+    @staticmethod
+    def signalling(signal: ExceptionClass, duration: float = 0.0) -> "Handler":
+        """A handler that always signals ``signal`` to the containing action."""
+        return Handler(
+            body=lambda participant, exception: HandlerResult(
+                HandlerOutcome.SIGNAL, signal
+            ),
+            duration=duration,
+        )
+
+    def run(self, participant: object, exception: ExceptionClass) -> HandlerResult:
+        result = self.body(participant, exception)
+        if not isinstance(result, HandlerResult):
+            raise TypeError(
+                f"handler returned {result!r}, expected HandlerResult"
+            )
+        return result
+
+
+class IncompleteHandlerSetError(ValueError):
+    """A HandlerSet does not cover every exception of the action's tree."""
+
+
+class HandlerSet:
+    """A complete exception → handler binding for one participant.
+
+    Completeness against an action's tree is checked with
+    :meth:`validate_complete`, which the action manager calls when the
+    participant is registered — enforcing the paper's assumption statically,
+    as Section 3.1 recommends.
+    """
+
+    def __init__(self, handlers: Mapping[ExceptionClass, Handler]) -> None:
+        self._handlers = dict(handlers)
+
+    @classmethod
+    def completing_all(
+        cls, tree: ResolutionTree, duration: float = 0.0
+    ) -> "HandlerSet":
+        """A set with a successful default handler for every tree member."""
+        return cls({exc: Handler.completing(duration) for exc in tree.members})
+
+    def with_override(
+        self, exception: ExceptionClass, handler: Handler
+    ) -> "HandlerSet":
+        """A copy of this set with one binding replaced."""
+        handlers = dict(self._handlers)
+        handlers[exception] = handler
+        return HandlerSet(handlers)
+
+    def validate_complete(self, tree: ResolutionTree) -> None:
+        missing = sorted(
+            exception.name()
+            for exception in tree.members
+            if exception not in self._handlers
+        )
+        if missing:
+            raise IncompleteHandlerSetError(
+                f"missing handlers for: {', '.join(missing)}"
+            )
+
+    def lookup(self, exception: ExceptionClass) -> Handler:
+        try:
+            return self._handlers[exception]
+        except KeyError:
+            raise KeyError(f"no handler bound for {exception.name()}") from None
+
+    def __contains__(self, exception: ExceptionClass) -> bool:
+        return exception in self._handlers
+
+    def covered(self) -> set[ExceptionClass]:
+        return set(self._handlers)
+
+
+class ReducedHandlerSet:
+    """A *partial* handler binding — the CR baseline's reduced tree.
+
+    In the Campbell–Randell mechanism each participant has handlers for
+    only a subset of the action's exceptions and, when informed of an
+    exception outside its subset, raises the nearest covering exception it
+    *does* handle (Section 3.3).  The subset must contain the tree root so
+    a cover always exists.
+    """
+
+    def __init__(
+        self, tree: ResolutionTree, handlers: Mapping[ExceptionClass, Handler]
+    ) -> None:
+        if tree.root not in handlers:
+            raise IncompleteHandlerSetError(
+                "a reduced handler set must at least handle the root exception"
+            )
+        unknown = [exc.name() for exc in handlers if exc not in tree]
+        if unknown:
+            raise ValueError(f"handlers for undeclared exceptions: {unknown}")
+        self.tree = tree
+        self._handlers = dict(handlers)
+
+    def covered(self) -> set[ExceptionClass]:
+        return set(self._handlers)
+
+    def handles(self, exception: ExceptionClass) -> bool:
+        return exception in self._handlers
+
+    def cover_for(self, exception: ExceptionClass) -> ExceptionClass:
+        """The exception this participant raises when told of ``exception``.
+
+        Returns ``exception`` itself when handled directly, else the nearest
+        handled ancestor — the CR re-raising rule that produces the domino
+        chains of Section 3.3.
+        """
+        return self.tree.cover_within(set(self._handlers), exception)
+
+    def lookup(self, exception: ExceptionClass) -> Handler:
+        return self._handlers[self.cover_for(exception)]

@@ -1,0 +1,38 @@
+"""Simulated network substrate.
+
+Nodes exchange :class:`~repro.net.message.Message` envelopes over per-pair
+FIFO channels with configurable latency models and fault injection.  The
+network counts every message by kind — the quantity the paper's Section 4.4
+analysis is about — and supports a reliable-multicast primitive used by the
+Section 4.5 algorithm variant.
+"""
+
+from repro.net.channel import Channel
+from repro.net.failures import FailureInjector, FailurePlan
+from repro.net.latency import (
+    BandwidthLatency,
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.net.membership import GroupMembership, GroupView
+from repro.net.message import Message
+from repro.net.multicast import ReliableMulticast
+from repro.net.network import Network
+
+__all__ = [
+    "BandwidthLatency",
+    "Channel",
+    "ConstantLatency",
+    "ExponentialLatency",
+    "FailureInjector",
+    "FailurePlan",
+    "GroupMembership",
+    "GroupView",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "ReliableMulticast",
+    "UniformLatency",
+]

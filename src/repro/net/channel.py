@@ -1,0 +1,48 @@
+"""Per-pair FIFO channels.
+
+The resolution algorithm (paper Section 4.2) assumes "FIFO message
+sending/receiving between objects"; its correctness argument leans on this
+(e.g. a ``HaveNested`` always arrives before the sender's later
+``NestedCompleted``).  A :class:`Channel` enforces FIFO for one ordered
+endpoint pair by never letting a later message be delivered before an
+earlier one, whatever the sampled latencies.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message
+
+
+class Channel:
+    """Unidirectional FIFO link between two endpoint names."""
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        latency: LatencyModel | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self._rng = rng if rng is not None else random.Random(0)
+        self._last_delivery = 0.0
+        self.sent = 0
+
+    def stamp(self, message: Message, now: float) -> float:
+        """Assign send/deliver times to ``message`` and return the latter.
+
+        FIFO is enforced by clamping the delivery time to be no earlier than
+        the previous message's delivery on this channel.
+        """
+        delay = self.latency.sample(self._rng)
+        deliver_at = max(now + delay, self._last_delivery)
+        self._last_delivery = deliver_at
+        message.send_time = now
+        message.deliver_time = deliver_at
+        self.sent += 1
+        return deliver_at

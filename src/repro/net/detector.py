@@ -1,0 +1,109 @@
+"""Heartbeat-based failure detection.
+
+The paper's fault model includes node crashes (Section 2) but its
+algorithm assumes every participant stays reachable; a crashed peer would
+stall resolution forever (the resolver waits for its ACK).  The
+crash-tolerant variant (:mod:`repro.core.crash_tolerant`) closes that gap
+using this detector: every member periodically heartbeats the group, and
+a member whose heartbeats stop for ``timeout`` is *suspected*.
+
+This is an eventually-perfect-style detector under the simulator's fault
+model: crashed endpoints never heartbeat again (no false recoveries), but
+slow networks can cause false suspicion — consumers must tolerate
+messages from suspected peers arriving late, which the variant does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.net.message import Message
+from repro.objects.base import DistributedObject
+
+KIND_HEARTBEAT = "HEARTBEAT"
+
+
+class Heartbeater:
+    """Emits and monitors heartbeats for one object within a peer group."""
+
+    def __init__(
+        self,
+        obj: DistributedObject,
+        peers: Sequence[str],
+        interval: float = 2.0,
+        timeout: float = 7.0,
+        on_suspect: Callable[[str], None] | None = None,
+    ) -> None:
+        if timeout <= interval:
+            raise ValueError(
+                f"timeout ({timeout}) must exceed the interval ({interval})"
+            )
+        self.obj = obj
+        self.peers = [p for p in peers if p != obj.name]
+        self.interval = interval
+        self.timeout = timeout
+        self.on_suspect = on_suspect
+        self.last_seen: dict[str, float] = {}
+        self.suspected: set[str] = set()
+        self._running = False
+        obj.on_kind(KIND_HEARTBEAT, self._on_heartbeat)
+
+    def start(self) -> None:
+        """Begin heartbeating and monitoring (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        now = self.obj.sim_now
+        for peer in self.peers:
+            self.last_seen[peer] = now
+        self._beat()
+        self._check()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def is_suspected(self, name: str) -> bool:
+        return name in self.suspected
+
+    def alive_peers(self) -> list[str]:
+        return [p for p in self.peers if p not in self.suspected]
+
+    # -- internals ------------------------------------------------------------
+
+    def _beat(self) -> None:
+        if not self._running or self.obj.crashed:
+            return
+        for peer in self.peers:
+            self.obj.send(peer, KIND_HEARTBEAT, None)
+        self.obj.runtime.sim.schedule(
+            self.interval, self._beat, label=f"hb:{self.obj.name}"
+        )
+
+    def _on_heartbeat(self, message: Message) -> None:
+        self.last_seen[message.src] = self.obj.sim_now
+        if message.src in self.suspected:
+            # Late heartbeat from a suspected peer: with crash-only faults
+            # this cannot happen, but under message delays it can — we keep
+            # the suspicion (decisions already made must stay stable).
+            self.obj.runtime.trace.record(
+                self.obj.sim_now, "detector.late_heartbeat", self.obj.name,
+                peer=message.src,
+            )
+
+    def _check(self) -> None:
+        if not self._running or self.obj.crashed:
+            return
+        now = self.obj.sim_now
+        for peer in self.peers:
+            if peer in self.suspected:
+                continue
+            if now - self.last_seen.get(peer, now) > self.timeout:
+                self.suspected.add(peer)
+                self.obj.runtime.trace.record(
+                    now, "detector.suspect", self.obj.name, peer=peer
+                )
+                if self.on_suspect is not None:
+                    self.on_suspect(peer)
+        self.obj.runtime.sim.schedule(
+            self.interval, self._check, label=f"hbcheck:{self.obj.name}"
+        )

@@ -1,0 +1,103 @@
+"""Fault injection.
+
+The paper's fault model (Section 2): hardware faults are node or network
+crashes and transient errors, software faults are design faults; fail-stop
+is *not* assumed — erroneous information may spread through channels.  The
+injector models:
+
+* message drop (lossy channel),
+* message corruption (delivered but flagged; receivers detect and raise),
+* node crash windows (a crashed endpoint neither sends nor receives),
+* network partitions (sets of endpoints mutually unreachable for a window).
+
+All decisions are drawn from named RNG streams, so failure schedules are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Endpoint ``name`` is crashed during ``[start, end)``."""
+
+    name: str
+    start: float
+    end: float = float("inf")
+
+    def covers(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """During ``[start, end)`` endpoints in ``side_a`` cannot talk to
+    endpoints in ``side_b`` (and vice versa)."""
+
+    side_a: frozenset[str]
+    side_b: frozenset[str]
+    start: float
+    end: float = float("inf")
+
+    def separates(self, x: str, y: str, time: float) -> bool:
+        if not (self.start <= time < self.end):
+            return False
+        return (x in self.side_a and y in self.side_b) or (
+            x in self.side_b and y in self.side_a
+        )
+
+
+@dataclass
+class FailurePlan:
+    """Declarative description of the faults to inject in a run."""
+
+    drop_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    crashes: list[CrashWindow] = field(default_factory=list)
+    partitions: list[PartitionWindow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError(f"bad drop probability: {self.drop_probability}")
+        if not 0.0 <= self.corrupt_probability <= 1.0:
+            raise ValueError(f"bad corrupt probability: {self.corrupt_probability}")
+
+
+class FailureInjector:
+    """Applies a :class:`FailurePlan` to messages as the network sends them."""
+
+    DELIVER = "deliver"
+    DROP = "drop"
+    CORRUPT = "corrupt"
+
+    def __init__(self, plan: FailurePlan | None = None, rng: random.Random | None = None):
+        self.plan = plan if plan is not None else FailurePlan()
+        self._rng = rng if rng is not None else random.Random(0)
+        self.dropped = 0
+        self.corrupted = 0
+
+    def crashed(self, name: str, time: float) -> bool:
+        """True if endpoint ``name`` is inside a crash window at ``time``."""
+        return any(w.name == name and w.covers(time) for w in self.plan.crashes)
+
+    def decide(self, src: str, dst: str, time: float) -> str:
+        """Fate of a message sent ``src → dst`` at ``time``."""
+        if self.crashed(src, time) or self.crashed(dst, time):
+            self.dropped += 1
+            return self.DROP
+        if any(p.separates(src, dst, time) for p in self.plan.partitions):
+            self.dropped += 1
+            return self.DROP
+        if self.plan.drop_probability and self._rng.random() < self.plan.drop_probability:
+            self.dropped += 1
+            return self.DROP
+        if (
+            self.plan.corrupt_probability
+            and self._rng.random() < self.plan.corrupt_probability
+        ):
+            self.corrupted += 1
+            return self.CORRUPT
+        return self.DELIVER

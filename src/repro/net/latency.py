@@ -1,0 +1,128 @@
+"""Channel latency models.
+
+The paper's message-count analysis is latency-independent, but the
+Figure 1 policy comparison (wait vs. abort) and the latency-sensitivity
+ablation (experiments E9 and E15 in DESIGN.md) need controllable delay
+distributions.  All models draw from a named RNG stream so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+
+class LatencyModel(ABC):
+    """Strategy producing a per-message transmission delay."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Return the delay for one message, in virtual time units."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise ValueError(f"latency cannot be negative: {delay}")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def describe(self) -> str:
+        return f"constant({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ValueError(f"invalid uniform latency bounds: [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def describe(self) -> str:
+        return f"uniform({self.low}, {self.high})"
+
+
+class ExponentialLatency(LatencyModel):
+    """Delay ``base + Exp(mean)`` — a long-tailed WAN-like model."""
+
+    def __init__(self, mean: float, base: float = 0.0) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean latency must be positive: {mean}")
+        if base < 0:
+            raise ValueError(f"base latency cannot be negative: {base}")
+        self.mean = mean
+        self.base = base
+
+    def sample(self, rng: random.Random) -> float:
+        return self.base + rng.expovariate(1.0 / self.mean)
+
+    def describe(self) -> str:
+        return f"exponential(mean={self.mean}, base={self.base})"
+
+
+class BandwidthLatency(LatencyModel):
+    """Propagation delay plus size-dependent serialization time.
+
+    The paper motivates distributed exception handling partly with the
+    physics of the wire: software on different nodes "must communicate by
+    the exchange of messages over relatively narrow bandwidth
+    communication channels.  Thus, the time of message passing is not
+    negligible" (Section 2.1).  This model makes that explicit::
+
+        delay = propagation + message_size / bandwidth  (+ jitter)
+
+    The channel samples per message but has no access to the payload, so
+    the size is drawn from a configurable distribution (``size_mean`` ±
+    ``size_spread``, uniformly) — adequate for studying how shrinking
+    bandwidth stretches recovery time while message *counts* stay fixed.
+    """
+
+    def __init__(
+        self,
+        bandwidth: float,
+        propagation: float = 0.5,
+        size_mean: float = 64.0,
+        size_spread: float = 32.0,
+        jitter: float = 0.0,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth}")
+        if propagation < 0 or jitter < 0:
+            raise ValueError("propagation and jitter cannot be negative")
+        if size_mean <= 0 or size_spread < 0 or size_spread > size_mean:
+            raise ValueError(
+                f"bad size distribution: mean={size_mean}, spread={size_spread}"
+            )
+        self.bandwidth = bandwidth
+        self.propagation = propagation
+        self.size_mean = size_mean
+        self.size_spread = size_spread
+        self.jitter = jitter
+
+    def sample(self, rng: random.Random) -> float:
+        size = rng.uniform(
+            self.size_mean - self.size_spread, self.size_mean + self.size_spread
+        )
+        delay = self.propagation + size / self.bandwidth
+        if self.jitter:
+            delay += rng.uniform(0.0, self.jitter)
+        return delay
+
+    def describe(self) -> str:
+        return (
+            f"bandwidth(bw={self.bandwidth}, prop={self.propagation}, "
+            f"size~{self.size_mean}±{self.size_spread})"
+        )

@@ -1,0 +1,76 @@
+"""Group membership service.
+
+Section 4.5 of the paper suggests implementing the resolution protocol over
+group communication with a membership service: "participating objects in a
+CA action could be treated as members of a closed group".  This module
+provides that service: named closed groups with versioned views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GroupView:
+    """An immutable snapshot of a group's membership.
+
+    Attributes:
+        group: group name.
+        version: monotonically increasing view number.
+        members: sorted tuple of member endpoint names.
+    """
+
+    group: str
+    version: int
+    members: tuple[str, ...]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.members
+
+    def others(self, name: str) -> tuple[str, ...]:
+        """All members except ``name`` (used for 'all O_j in G_A' sends)."""
+        return tuple(member for member in self.members if member != name)
+
+
+class GroupMembership:
+    """Registry of closed groups with view-change tracking."""
+
+    def __init__(self) -> None:
+        self._views: dict[str, GroupView] = {}
+
+    def create(self, group: str, members: list[str]) -> GroupView:
+        if group in self._views:
+            raise ValueError(f"group already exists: {group}")
+        view = GroupView(group, 1, tuple(sorted(members)))
+        self._views[group] = view
+        return view
+
+    def view(self, group: str) -> GroupView:
+        try:
+            return self._views[group]
+        except KeyError:
+            raise KeyError(f"no such group: {group}") from None
+
+    def join(self, group: str, member: str) -> GroupView:
+        old = self.view(group)
+        if member in old.members:
+            return old
+        new = GroupView(group, old.version + 1, tuple(sorted((*old.members, member))))
+        self._views[group] = new
+        return new
+
+    def leave(self, group: str, member: str) -> GroupView:
+        old = self.view(group)
+        if member not in old.members:
+            return old
+        remaining = tuple(m for m in old.members if m != member)
+        new = GroupView(group, old.version + 1, remaining)
+        self._views[group] = new
+        return new
+
+    def dissolve(self, group: str) -> None:
+        self._views.pop(group, None)
+
+    def groups(self) -> list[str]:
+        return sorted(self._views)

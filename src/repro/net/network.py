@@ -1,0 +1,158 @@
+"""The network hub: endpoints, routing, delivery, counting.
+
+Endpoints (distributed objects, action coordinators, transaction managers)
+register a name plus a receive callback.  :meth:`Network.send` stamps the
+message on the per-pair FIFO channel, lets the failure injector decide its
+fate, and schedules delivery on the simulator.  Every send is counted by
+message kind — the paper's unit of complexity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable
+
+from repro.net.channel import Channel
+from repro.net.failures import FailureInjector
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message
+from repro.simkernel.events import PRIORITY_DELIVERY
+from repro.simkernel.rng import RngRegistry
+from repro.simkernel.scheduler import Simulator
+from repro.simkernel.trace import TraceRecorder
+
+Receiver = Callable[[Message], None]
+
+
+class UnknownEndpointError(KeyError):
+    """Sent to an endpoint name that was never registered."""
+
+
+class Network:
+    """Message transport between named endpoints over FIFO channels."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        rng: RngRegistry | None = None,
+        injector: FailureInjector | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.sim = sim
+        self.default_latency = latency if latency is not None else ConstantLatency(1.0)
+        self.rng = rng if rng is not None else RngRegistry(0)
+        self.injector = injector if injector is not None else FailureInjector(
+            rng=self.rng.stream("net.failures")
+        )
+        self.trace = trace if trace is not None else TraceRecorder()
+        self._receivers: dict[str, Receiver] = {}
+        self._channels: dict[tuple[str, str], Channel] = {}
+        self._latency_overrides: dict[tuple[str, str], LatencyModel] = {}
+        self.sent_by_kind: Counter[str] = Counter()
+        self.delivered_by_kind: Counter[str] = Counter()
+
+    # -- endpoint management -------------------------------------------------
+
+    def register(self, name: str, receiver: Receiver) -> None:
+        """Attach ``receiver`` to endpoint ``name`` (replacing any prior)."""
+        self._receivers[name] = receiver
+
+    def unregister(self, name: str) -> None:
+        self._receivers.pop(name, None)
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._receivers)
+
+    # -- latency configuration ----------------------------------------------
+
+    def set_pair_latency(self, src: str, dst: str, model: LatencyModel) -> None:
+        """Override the latency model for the ordered pair ``src → dst``.
+
+        Must be called before the first message on that pair.
+        """
+        if (src, dst) in self._channels:
+            raise RuntimeError(f"channel {src}->{dst} already in use")
+        self._latency_overrides[(src, dst)] = model
+
+    def _channel(self, src: str, dst: str) -> Channel:
+        key = (src, dst)
+        channel = self._channels.get(key)
+        if channel is None:
+            model = self._latency_overrides.get(key, self.default_latency)
+            channel = Channel(
+                src, dst, model, self.rng.stream(f"net.latency.{src}->{dst}")
+            )
+            self._channels[key] = channel
+        return channel
+
+    # -- sending --------------------------------------------------------------
+
+    def send(self, src: str, dst: str, kind: str, payload: object = None) -> Message:
+        """Send one message; returns the (already stamped) envelope.
+
+        The message is counted as sent even if the failure injector drops it
+        — the sender did the work, which is what the complexity analysis
+        charges for.
+        """
+        if dst not in self._receivers:
+            raise UnknownEndpointError(dst)
+        message = Message(src=src, dst=dst, kind=kind, payload=payload)
+        self.sent_by_kind[kind] += 1
+        now = self.sim.now
+        fate = self.injector.decide(src, dst, now)
+        channel = self._channel(src, dst)
+        deliver_at = channel.stamp(message, now)
+        self.trace.record(
+            now, "msg.send", src, dst=dst, kind=kind, id=message.msg_id,
+            action=getattr(payload, "action", None),
+        )
+        if fate == FailureInjector.DROP:
+            message.dropped = True
+            self.trace.record(now, "msg.drop", src, dst=dst, kind=kind, id=message.msg_id)
+            return message
+        if fate == FailureInjector.CORRUPT:
+            message.corrupted = True
+        self.sim.schedule_at(
+            deliver_at,
+            lambda: self._deliver(message),
+            priority=PRIORITY_DELIVERY,
+            label=f"deliver:{kind}:{src}->{dst}",
+        )
+        return message
+
+    def _deliver(self, message: Message) -> None:
+        receiver = self._receivers.get(message.dst)
+        if receiver is None:
+            # Endpoint disappeared (e.g. crashed and deregistered) while the
+            # message was in flight: the message is silently lost, matching
+            # the non-fail-stop fault model.
+            self.trace.record(
+                self.sim.now, "msg.lost", message.dst, kind=message.kind,
+                id=message.msg_id,
+            )
+            return
+        if self.injector.crashed(message.dst, self.sim.now):
+            self.trace.record(
+                self.sim.now, "msg.lost", message.dst, kind=message.kind,
+                id=message.msg_id,
+            )
+            return
+        self.delivered_by_kind[message.kind] += 1
+        self.trace.record(
+            self.sim.now, "msg.recv", message.dst, src=message.src,
+            kind=message.kind, id=message.msg_id,
+        )
+        receiver(message)
+
+    # -- accounting ------------------------------------------------------------
+
+    def total_sent(self, kinds: set[str] | None = None) -> int:
+        """Total messages sent, optionally restricted to ``kinds``."""
+        if kinds is None:
+            return sum(self.sent_by_kind.values())
+        return sum(count for kind, count in self.sent_by_kind.items() if kind in kinds)
+
+    def reset_counters(self) -> None:
+        self.sent_by_kind.clear()
+        self.delivered_by_kind.clear()

@@ -1,0 +1,118 @@
+"""Remote method invocation.
+
+Objects expose *operations*; other objects invoke them by name with a
+request/reply message pair.  This is the ordinary application-level
+communication of the paper's OO model ("application-related message passing
+is treated independently", Section 4.1): invocation messages use their own
+kinds and are therefore never confused with resolution-protocol traffic in
+the benchmark counts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.net.message import Message
+from repro.objects.base import DistributedObject
+
+KIND_REQUEST = "RMI_REQUEST"
+KIND_REPLY = "RMI_REPLY"
+
+#: Kinds used by remote invocation (excluded from resolution counts).
+INVOCATION_KINDS = {KIND_REQUEST, KIND_REPLY}
+
+
+class InvocationError(RuntimeError):
+    """The remote operation raised or does not exist."""
+
+
+@dataclass
+class _Request:
+    call_id: int
+    operation: str
+    args: tuple
+    kwargs: dict
+
+
+@dataclass
+class _Reply:
+    call_id: int
+    value: Any = None
+    error: str | None = None
+
+
+class RemoteInvoker:
+    """Adds RMI capability to a distributed object.
+
+    Usage::
+
+        invoker = RemoteInvoker(obj)
+        invoker.expose("deposit", account.deposit)
+        invoker.call("O2", "balance", on_result=print)
+    """
+
+    _call_ids = itertools.count(1)
+
+    def __init__(self, obj: DistributedObject) -> None:
+        self.obj = obj
+        self._operations: dict[str, Callable[..., Any]] = {}
+        self._pending: dict[int, Callable[[Any], None]] = {}
+        self._error_handlers: dict[int, Callable[[str], None]] = {}
+        obj.on_kind(KIND_REQUEST, self._on_request)
+        obj.on_kind(KIND_REPLY, self._on_reply)
+
+    def expose(self, operation: str, fn: Callable[..., Any]) -> None:
+        """Make ``fn`` remotely callable as ``operation``."""
+        if operation in self._operations:
+            raise ValueError(f"operation already exposed: {operation}")
+        self._operations[operation] = fn
+
+    def call(
+        self,
+        dst: str,
+        operation: str,
+        *args: Any,
+        on_result: Callable[[Any], None] | None = None,
+        on_error: Callable[[str], None] | None = None,
+        **kwargs: Any,
+    ) -> int:
+        """Invoke ``operation`` on object ``dst``; returns the call id.
+
+        Results arrive asynchronously through ``on_result`` (the simulation
+        is event-driven; there is no blocking).  Remote errors arrive
+        through ``on_error``, or raise :class:`InvocationError` at reply
+        time if no error callback was given.
+        """
+        call_id = next(self._call_ids)
+        if on_result is not None:
+            self._pending[call_id] = on_result
+        if on_error is not None:
+            self._error_handlers[call_id] = on_error
+        self.obj.send(dst, KIND_REQUEST, _Request(call_id, operation, args, kwargs))
+        return call_id
+
+    def _on_request(self, message: Message) -> None:
+        request: _Request = message.payload
+        fn = self._operations.get(request.operation)
+        if fn is None:
+            reply = _Reply(request.call_id, error=f"no such operation: {request.operation}")
+        else:
+            try:
+                reply = _Reply(request.call_id, value=fn(*request.args, **request.kwargs))
+            except Exception as exc:  # deliberate: remote errors are data
+                reply = _Reply(request.call_id, error=f"{type(exc).__name__}: {exc}")
+        self.obj.send(message.src, KIND_REPLY, reply)
+
+    def _on_reply(self, message: Message) -> None:
+        reply: _Reply = message.payload
+        on_result = self._pending.pop(reply.call_id, None)
+        on_error = self._error_handlers.pop(reply.call_id, None)
+        if reply.error is not None:
+            if on_error is not None:
+                on_error(reply.error)
+                return
+            raise InvocationError(reply.error)
+        if on_result is not None:
+            on_result(reply.value)

@@ -1,0 +1,40 @@
+"""Object naming and ordering.
+
+Section 4.1: "each object O_i has a unique number and all objects are
+ordered (e.g. object names and the lexicographic ordering could be used).
+Such ordering helps to dynamically identify a unique object amongst objects
+which raised exceptions, and the chosen object will be responsible for
+exception resolution."
+
+We use plain string names ordered lexicographically.  :func:`canonical_name`
+zero-pads indices so lexicographic and numeric order agree for generated
+fleets of objects of any size.
+"""
+
+from __future__ import annotations
+
+
+def canonical_name(index: int, prefix: str = "O", width: int = 4) -> str:
+    """Name for the ``index``-th generated object, e.g. ``O0007``.
+
+    Zero-padding makes lexicographic order match numeric order, so
+    ``canonical_name(i) < canonical_name(j)`` iff ``i < j`` (for ``i, j``
+    below ``10**width``).
+    """
+    if index < 0:
+        raise ValueError(f"object index cannot be negative: {index}")
+    if index >= 10**width:
+        raise ValueError(f"index {index} does not fit in width {width}")
+    return f"{prefix}{index:0{width}d}"
+
+
+def name_sort_key(name: str) -> str:
+    """Sort key for object names — lexicographic, per the paper."""
+    return name
+
+
+def biggest(names: list[str]) -> str:
+    """The highest-ordered name: the resolver among raisers (Section 4.2)."""
+    if not names:
+        raise ValueError("cannot pick the biggest of no names")
+    return max(names, key=name_sort_key)

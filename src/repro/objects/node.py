@@ -1,0 +1,41 @@
+"""Network nodes.
+
+A node hosts distributed objects.  Nodes exist so failure injection can be
+expressed at the hardware grain the paper assumes (node crashes take down
+every object hosted there) and so examples can place cooperating objects on
+distinct machines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.objects.base import DistributedObject
+
+
+class Node:
+    """One machine in the simulated distributed system."""
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self.objects: dict[str, "DistributedObject"] = {}
+        self.crashed = False
+
+    def host(self, obj: "DistributedObject") -> None:
+        if obj.name in self.objects:
+            raise ValueError(f"node {self.node_id} already hosts {obj.name}")
+        self.objects[obj.name] = obj
+        obj.node = self
+
+    def evict(self, name: str) -> None:
+        obj = self.objects.pop(name, None)
+        if obj is not None:
+            obj.node = None
+
+    def hosted_names(self) -> list[str]:
+        return sorted(self.objects)
+
+    def __repr__(self) -> str:
+        state = "crashed" if self.crashed else "up"
+        return f"Node({self.node_id}, {state}, objects={self.hosted_names()})"

@@ -1,0 +1,271 @@
+"""Exception propagation along distributed call chains (paper Section 2.3).
+
+"Object/class exception propagation is another important topic.  Lore,
+Eiffel and Guide propagate exceptions through the call chain.  To do
+this, the exception context is associated not only with the method
+execution but also with the object/class itself."
+
+:class:`PropagatingObject` implements that model over the message-passing
+runtime: an operation may *delegate* part of its work to another object
+(building a distributed call chain), and an exception raised anywhere in
+the chain searches for a handler at each level on the way back up —
+first in the raising object's method/object/class contexts, then in its
+caller's, and so on.  An exception that escapes the chain's root surfaces
+to the original client as a failure.
+
+Handlers here are *substitution* handlers (resumption-flavoured at the
+call boundary): a handler maps the exception to a replacement result for
+the failed call, after which normal computation continues upward — the
+behaviour the surveyed sequential OO languages give their callers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.exceptions.tree import ExceptionClass
+from repro.net.message import Message
+from repro.objects.base import DistributedObject
+
+KIND_PROP_CALL = "PROP_CALL"
+KIND_PROP_REPLY = "PROP_REPLY"
+
+PROPAGATION_KINDS = frozenset({KIND_PROP_CALL, KIND_PROP_REPLY})
+
+#: A substitution handler: exception class -> replacement result.
+SubstitutionHandler = Callable[[ExceptionClass], Any]
+#: An operation body: (*args) -> plain result, or a Delegate, or raise.
+OperationBody = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class Delegate:
+    """Returned by an operation to continue the call chain elsewhere.
+
+    ``post`` (optional) transforms the delegate's result before this
+    level replies upward.
+    """
+
+    target: str
+    operation: str
+    args: tuple = ()
+    post: Optional[Callable[[Any], Any]] = None
+
+
+@dataclass(frozen=True)
+class _PropCall:
+    call_id: int
+    operation: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class _PropReply:
+    call_id: int
+    value: Any = None
+    exception: Optional[ExceptionClass] = None
+
+
+@dataclass
+class _PendingDelegate:
+    reply_to: Optional[str]            # upstream caller (None = local root)
+    upstream_call_id: int
+    operation: str                     # our method context for handlers
+    post: Optional[Callable[[Any], Any]]
+    on_result: Optional[Callable[[Any], None]] = None
+    on_failure: Optional[Callable[[ExceptionClass], None]] = None
+
+
+class PropagatingObject(DistributedObject):
+    """A distributed object with call-chain exception propagation."""
+
+    #: Class-level handlers, shared by every instance of a subclass —
+    #: "exceptions are associated with types" (Section 2.3).
+    class_handlers: dict[ExceptionClass, SubstitutionHandler] = {}
+
+    _call_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        name: str,
+        operations: dict[str, OperationBody],
+        object_handlers: dict[ExceptionClass, SubstitutionHandler] | None = None,
+        method_handlers: dict[str, dict[ExceptionClass, SubstitutionHandler]] | None = None,
+        compute_time: float = 1.0,
+    ) -> None:
+        super().__init__(name)
+        self.operations = dict(operations)
+        self.object_handlers = dict(object_handlers or {})
+        self.method_handlers = {
+            m: dict(hs) for m, hs in (method_handlers or {}).items()
+        }
+        self.compute_time = compute_time
+        self._pending: dict[int, _PendingDelegate] = {}
+        #: (operation, exception name, level) of handled exceptions.
+        self.handled_log: list[tuple[str, str, str]] = []
+        self.on_kind(KIND_PROP_CALL, self._on_call)
+        self.on_kind(KIND_PROP_REPLY, self._on_reply)
+
+    # -- client API ----------------------------------------------------------
+
+    def call(
+        self,
+        target: str,
+        operation: str,
+        *args: Any,
+        on_result: Callable[[Any], None] | None = None,
+        on_failure: Callable[[ExceptionClass], None] | None = None,
+    ) -> int:
+        """Start a call chain from this object."""
+        call_id = next(self._call_ids)
+        self._pending[call_id] = _PendingDelegate(
+            reply_to=None, upstream_call_id=call_id, operation="<client>",
+            post=None, on_result=on_result, on_failure=on_failure,
+        )
+        self.send(target, KIND_PROP_CALL, _PropCall(call_id, operation, args))
+        return call_id
+
+    # -- serving calls --------------------------------------------------------------
+
+    def _on_call(self, message: Message) -> None:
+        request: _PropCall = message.payload
+        caller = message.src
+
+        def execute() -> None:
+            body = self.operations.get(request.operation)
+            try:
+                if body is None:
+                    raise LookupError(f"no operation {request.operation}")
+                value = body(*request.args)
+            except Exception as exc:
+                self._handle_or_propagate(
+                    type(exc), request.operation, caller, request.call_id
+                )
+                return
+            if isinstance(value, Delegate):
+                downstream_id = next(self._call_ids)
+                self._pending[downstream_id] = _PendingDelegate(
+                    reply_to=caller,
+                    upstream_call_id=request.call_id,
+                    operation=request.operation,
+                    post=value.post,
+                )
+                self.send(
+                    value.target,
+                    KIND_PROP_CALL,
+                    _PropCall(downstream_id, value.operation, value.args),
+                )
+                return
+            self.send(
+                caller, KIND_PROP_REPLY, _PropReply(request.call_id, value=value)
+            )
+
+        self.runtime.sim.schedule(
+            self.compute_time, execute, label=f"prop:{self.name}"
+        )
+
+    # -- replies coming back up the chain ----------------------------------------------
+
+    def _on_reply(self, message: Message) -> None:
+        reply: _PropReply = message.payload
+        pending = self._pending.pop(reply.call_id, None)
+        if pending is None:
+            return
+        if reply.exception is not None:
+            # The callee (or something below it) failed and nothing down
+            # there handled it: this level's contexts are searched next.
+            self._resolve_upward(reply.exception, pending)
+            return
+        value = reply.value
+        if pending.post is not None:
+            try:
+                value = pending.post(value)
+            except Exception as exc:
+                self._resolve_upward(type(exc), pending)
+                return
+        self._deliver_up(pending, value)
+
+    def _deliver_up(self, pending: _PendingDelegate, value: Any) -> None:
+        if pending.reply_to is None:
+            if pending.on_result is not None:
+                pending.on_result(value)
+            return
+        self.send(
+            pending.reply_to,
+            KIND_PROP_REPLY,
+            _PropReply(pending.upstream_call_id, value=value),
+        )
+
+    # -- handler search -------------------------------------------------------------
+
+    def _lookup(
+        self, exception: ExceptionClass, method: str
+    ) -> Optional[tuple[SubstitutionHandler, str]]:
+        """Method > object > class precedence (Section 2.3)."""
+        bound = self.method_handlers.get(method, {})
+        if exception in bound:
+            return bound[exception], "method"
+        if exception in self.object_handlers:
+            return self.object_handlers[exception], "object"
+        if exception in type(self).class_handlers:
+            return type(self).class_handlers[exception], "class"
+        return None
+
+    def _handle_or_propagate(
+        self,
+        exception: ExceptionClass,
+        method: str,
+        caller: str,
+        call_id: int,
+    ) -> None:
+        found = self._lookup(exception, method)
+        if found is not None:
+            handler, level = found
+            self.handled_log.append((method, exception.__name__, level))
+            self.trace_handled(method, exception, level)
+            self.send(
+                caller,
+                KIND_PROP_REPLY,
+                _PropReply(call_id, value=handler(exception)),
+            )
+            return
+        # Unhandled here: propagate through the call chain.
+        self.send(
+            caller, KIND_PROP_REPLY, _PropReply(call_id, exception=exception)
+        )
+
+    def _resolve_upward(
+        self, exception: ExceptionClass, pending: _PendingDelegate
+    ) -> None:
+        found = self._lookup(exception, pending.operation)
+        if found is not None:
+            handler, level = found
+            self.handled_log.append(
+                (pending.operation, exception.__name__, level)
+            )
+            self.trace_handled(pending.operation, exception, level)
+            self._deliver_up(pending, handler(exception))
+            return
+        if pending.reply_to is None:
+            # Escaped the chain root: surfaces to the client callback.
+            if pending.on_failure is not None:
+                pending.on_failure(exception)
+                return
+            raise RuntimeError(
+                f"{self.name}: unhandled {exception.__name__} escaped the "
+                "call chain with no failure callback"
+            )
+        self.send(
+            pending.reply_to,
+            KIND_PROP_REPLY,
+            _PropReply(pending.upstream_call_id, exception=exception),
+        )
+
+    def trace_handled(self, method, exception, level) -> None:
+        if self.runtime is not None:
+            self.runtime.trace.record(
+                self.sim_now, "prop.handled", self.name,
+                method=method, exception=exception.__name__, level=level,
+            )

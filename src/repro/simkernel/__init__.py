@@ -1,0 +1,32 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the virtual-time substrate on which the distributed
+system is simulated: an event queue with deterministic tie-breaking, a
+simulator loop, generator-based simulated processes, named seeded random
+streams and a structured trace recorder.
+
+The kernel is intentionally single-threaded: all concurrency in the
+reproduction is *simulated* concurrency, which makes every run reproducible
+and makes message counting exact (see DESIGN.md, "Key design decisions").
+"""
+
+from repro.simkernel.clock import VirtualClock
+from repro.simkernel.events import Event, EventQueue
+from repro.simkernel.process import Delay, SimProcess, Stop
+from repro.simkernel.rng import RngRegistry
+from repro.simkernel.scheduler import ScheduledHandle, Simulator
+from repro.simkernel.trace import TraceEntry, TraceRecorder
+
+__all__ = [
+    "Delay",
+    "Event",
+    "EventQueue",
+    "RngRegistry",
+    "ScheduledHandle",
+    "SimProcess",
+    "Simulator",
+    "Stop",
+    "TraceEntry",
+    "TraceRecorder",
+    "VirtualClock",
+]

@@ -1,0 +1,38 @@
+"""Virtual clock for the discrete-event simulator.
+
+The clock only ever moves forward, and only the simulator advances it.
+Keeping the clock as its own small object (rather than a bare float on the
+simulator) lets substrates hold a reference to "the current time" without
+holding a reference to the whole simulator.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonically non-decreasing virtual time, in abstract time units."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """The current virtual time."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises:
+            ValueError: if ``time`` is earlier than the current time.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: now={self._now}, requested={time}"
+            )
+        self._now = time
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now})"

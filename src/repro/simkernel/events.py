@@ -1,0 +1,90 @@
+"""Events and the event queue.
+
+Events are ordered by ``(time, priority, seq)``.  The sequence number is
+assigned by the queue at insertion and guarantees a *deterministic* total
+order even when many events share a timestamp — essential for reproducible
+distributed-system runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Default event priority.  Lower priorities run first at equal times.
+PRIORITY_NORMAL = 0
+#: Priority used for message deliveries so that, at equal times, deliveries
+#: happen before locally scheduled work (mirrors "process messages having
+#: arrived" in the paper's algorithm).
+PRIORITY_DELIVERY = -1
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled occurrence in virtual time.
+
+    Attributes:
+        time: virtual time at which the event fires.
+        priority: tie-break rank at equal times (lower runs first).
+        seq: insertion sequence number; final deterministic tie-break.
+        action: zero-argument callable run when the event fires.
+        label: human-readable tag used in traces and debugging.
+        cancelled: a cancelled event stays in the heap but is skipped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the simulator will skip it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` with deterministic ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Insert an event and return it (so callers may cancel it)."""
+        event = Event(
+            time=time, priority=priority, seq=self._seq, action=action, label=label
+        )
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the next live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

@@ -1,0 +1,141 @@
+"""The simulator loop.
+
+:class:`Simulator` owns the clock and the event queue and runs events in
+deterministic order.  Everything else in the reproduction — channels, nodes,
+objects, protocol engines — schedules work through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.simkernel.clock import VirtualClock
+from repro.simkernel.events import PRIORITY_NORMAL, Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulator (negative delays, re-running...)."""
+
+
+@dataclass
+class ScheduledHandle:
+    """Handle to a scheduled event, allowing cancellation."""
+
+    event: Event
+
+    def cancel(self) -> None:
+        self.event.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self.event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self.event.time
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = VirtualClock(start_time)
+        self._queue = EventQueue()
+        self._events_executed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (for budget checks in tests)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> ScheduledHandle:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        event = self._queue.push(self.now + delay, action, priority, label)
+        return ScheduledHandle(event)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> ScheduledHandle:
+        """Schedule ``action`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: now={self.now}, time={time}"
+            )
+        event = self._queue.push(time, action, priority, label)
+        return ScheduledHandle(event)
+
+    def step(self) -> bool:
+        """Execute the single next event.  Returns ``False`` when idle."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self._events_executed += 1
+        event.action()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events until the queue drains, ``until`` passes, or the
+        ``max_events`` budget is exhausted.
+
+        Args:
+            until: stop once the next event would fire after this time.  The
+                clock is advanced to ``until`` when given.
+            max_events: safety budget; raises :class:`SimulationError` when
+                exceeded (catches accidental protocol livelock in tests).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {executed} events at "
+                        f"t={self.now}; likely livelock"
+                    )
+                self.step()
+                executed += 1
+            if until is not None and until > self.now:
+                self.clock.advance_to(until)
+        finally:
+            self._running = False

@@ -1,0 +1,78 @@
+"""Structured trace recorder.
+
+Protocol engines and substrates record what happened as typed entries
+``(time, category, subject, details)``.  Integration tests for the paper's
+worked examples (Sections 4.3 and 3.3) assert on these traces, and the
+benchmark harness prints them for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded occurrence.
+
+    Attributes:
+        time: virtual time of the occurrence.
+        category: machine-friendly kind, e.g. ``"msg.send"``, ``"handler"``.
+        subject: the acting entity, e.g. an object name.
+        details: free-form payload describing the occurrence.
+    """
+
+    time: float
+    category: str
+    subject: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail_str = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"[{self.time:10.3f}] {self.category:<22} {self.subject:<12} {detail_str}"
+
+
+class TraceRecorder:
+    """Append-only log of :class:`TraceEntry` with simple query helpers."""
+
+    def __init__(self) -> None:
+        self.entries: list[TraceEntry] = []
+        self.enabled = True
+
+    def record(
+        self, time: float, category: str, subject: str, **details: Any
+    ) -> None:
+        if not self.enabled:
+            return
+        self.entries.append(TraceEntry(time, category, subject, details))
+
+    def by_category(self, category: str) -> list[TraceEntry]:
+        """All entries whose category equals or starts with ``category``."""
+        prefix = category + "."
+        return [
+            entry
+            for entry in self.entries
+            if entry.category == category or entry.category.startswith(prefix)
+        ]
+
+    def by_subject(self, subject: str) -> list[TraceEntry]:
+        return [entry for entry in self.entries if entry.subject == subject]
+
+    def matching(self, **details: Any) -> list[TraceEntry]:
+        """Entries whose details contain every given key/value pair."""
+        return [
+            entry
+            for entry in self.entries
+            if all(entry.details.get(k) == v for k, v in details.items())
+        ]
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def dump(self) -> str:
+        """Human-readable rendering of the whole trace."""
+        return "\n".join(str(entry) for entry in self.entries)

@@ -1,0 +1,39 @@
+"""Transactional substrate for external atomic objects.
+
+CA actions control shared external objects with "the associated transaction
+mechanism that guarantees the ACID properties"; such objects "must be atomic
+and individually responsible for their own integrity" (paper Section 3).
+This package provides those atomic objects, a strict two-phase lock manager
+with deadlock detection, undo logging, and nested transactions with the
+explicit ``start`` / ``commit`` / ``abort`` operations that exception
+handlers may call (Figure 2(a)) and that backward recovery calls implicitly
+(Figure 2(b)).
+"""
+
+from repro.transactions.atomic_object import AtomicObject
+from repro.transactions.errors import (
+    DeadlockError,
+    LockConflictError,
+    TransactionAborted,
+    TransactionError,
+    TransactionStateError,
+)
+from repro.transactions.locks import LockManager, LockMode
+from repro.transactions.log import UndoLog, UndoRecord
+from repro.transactions.manager import Transaction, TransactionManager, TxnState
+
+__all__ = [
+    "AtomicObject",
+    "DeadlockError",
+    "LockConflictError",
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionError",
+    "TransactionManager",
+    "TransactionStateError",
+    "TxnState",
+    "UndoLog",
+    "UndoRecord",
+]

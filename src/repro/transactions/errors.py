@@ -1,0 +1,27 @@
+"""Transaction-layer errors."""
+
+from __future__ import annotations
+
+
+class TransactionError(RuntimeError):
+    """Base class of transaction-layer failures."""
+
+
+class TransactionStateError(TransactionError):
+    """Operation invalid for the transaction's current state."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (explicitly or by deadlock resolution)."""
+
+
+class LockConflictError(TransactionError):
+    """A non-waiting acquire could not be granted immediately."""
+
+
+class DeadlockError(TransactionError):
+    """Granting the request would create a wait-for cycle."""
+
+    def __init__(self, cycle: list[int]):
+        super().__init__(f"wait-for cycle: {' -> '.join(map(str, cycle))}")
+        self.cycle = cycle

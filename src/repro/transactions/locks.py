@@ -1,0 +1,222 @@
+"""Strict two-phase locking with deadlock detection.
+
+Transactions acquire shared/exclusive locks on resources (atomic objects)
+and hold them until commit or abort (strict 2PL), which gives the isolation
+the paper requires of external atomic objects.  Conflicting requests either
+fail fast (``wait=False``) or queue with a granted-callback; a wait-for
+graph is maintained and a request that would close a cycle is rejected with
+:class:`DeadlockError` at enqueue time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.transactions.errors import DeadlockError, LockConflictError
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+@dataclass
+class _Waiter:
+    txn_id: int
+    mode: LockMode
+    on_granted: Callable[[], None]
+
+
+@dataclass
+class _ResourceLock:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    queue: list[_Waiter] = field(default_factory=list)
+
+
+def _compatible(requested: LockMode, held: LockMode) -> bool:
+    return requested is LockMode.SHARED and held is LockMode.SHARED
+
+
+class LockManager:
+    """Lock table over hashable resource ids."""
+
+    def __init__(self) -> None:
+        self._table: dict[Hashable, _ResourceLock] = {}
+
+    # -- queries ---------------------------------------------------------------
+
+    def holds(self, txn_id: int, resource: Hashable, mode: LockMode) -> bool:
+        """True if ``txn_id`` holds a lock at least as strong as ``mode``."""
+        lock = self._table.get(resource)
+        if lock is None:
+            return False
+        held = lock.holders.get(txn_id)
+        if held is None:
+            return False
+        return held is LockMode.EXCLUSIVE or mode is LockMode.SHARED
+
+    def held_resources(self, txn_id: int) -> list[Hashable]:
+        return [
+            resource
+            for resource, lock in self._table.items()
+            if txn_id in lock.holders
+        ]
+
+    # -- acquisition -----------------------------------------------------------
+
+    def acquire(
+        self,
+        txn_id: int,
+        resource: Hashable,
+        mode: LockMode,
+        wait: bool = False,
+        on_granted: Callable[[], None] | None = None,
+        ancestors: frozenset[int] = frozenset(),
+    ) -> bool:
+        """Request a lock.
+
+        Returns ``True`` when granted immediately.  On conflict: with
+        ``wait=False`` raises :class:`LockConflictError`; with ``wait=True``
+        enqueues the request (``on_granted`` fires later) unless the wait
+        would deadlock, in which case :class:`DeadlockError` is raised and
+        nothing is queued.
+
+        ``ancestors`` implements nested-transaction locking: holders that
+        are ancestors of the requester never conflict with it (a nested
+        action may use what its enclosing action already holds).
+        """
+        lock = self._table.setdefault(resource, _ResourceLock())
+        if self._grantable(lock, txn_id, mode, ancestors):
+            self._grant(lock, txn_id, mode)
+            return True
+        if not wait:
+            raise LockConflictError(
+                f"txn {txn_id} cannot {mode.value}-lock {resource!r} "
+                f"(held by {sorted(set(lock.holders) - {txn_id})})"
+            )
+        if on_granted is None:
+            raise ValueError("waiting acquire requires on_granted callback")
+        cycle = self._would_deadlock(txn_id, lock)
+        if cycle:
+            raise DeadlockError(cycle)
+        lock.queue.append(_Waiter(txn_id, mode, on_granted))
+        return False
+
+    def _grantable(
+        self,
+        lock: _ResourceLock,
+        txn_id: int,
+        mode: LockMode,
+        ancestors: frozenset[int] = frozenset(),
+    ) -> bool:
+        held = lock.holders.get(txn_id)
+        if held is LockMode.EXCLUSIVE or held is mode:
+            return True  # re-entrant or already stronger
+        others = {
+            t: m
+            for t, m in lock.holders.items()
+            if t != txn_id and t not in ancestors
+        }
+        if held is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+            return not others  # upgrade only as sole (non-ancestor) holder
+        if mode is LockMode.SHARED:
+            # FIFO fairness: behind a queued EXCLUSIVE waiter, new shared
+            # requests must queue too (prevents writer starvation).
+            writer_queued = any(w.mode is LockMode.EXCLUSIVE for w in lock.queue)
+            return not writer_queued and all(
+                _compatible(mode, m) for m in others.values()
+            )
+        return not others and not lock.queue
+
+    def _grant(self, lock: _ResourceLock, txn_id: int, mode: LockMode) -> None:
+        held = lock.holders.get(txn_id)
+        if held is LockMode.EXCLUSIVE:
+            return
+        lock.holders[txn_id] = mode if held is None else (
+            LockMode.EXCLUSIVE if mode is LockMode.EXCLUSIVE else held
+        )
+
+    # -- release ------------------------------------------------------------------
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock held by ``txn_id`` and wake eligible waiters."""
+        for resource in list(self._table):
+            lock = self._table[resource]
+            if txn_id in lock.holders:
+                del lock.holders[txn_id]
+            lock.queue = [w for w in lock.queue if w.txn_id != txn_id]
+            self._wake(lock)
+            if not lock.holders and not lock.queue:
+                del self._table[resource]
+
+    def transfer(self, from_txn: int, to_txn: int) -> None:
+        """Move all locks of ``from_txn`` to ``to_txn``.
+
+        Lock inheritance at nested-transaction commit: the parent keeps the
+        child's locks until the top-level outcome, preserving isolation of
+        the nested action's effects.
+        """
+        for lock in self._table.values():
+            mode = lock.holders.pop(from_txn, None)
+            if mode is None:
+                continue
+            existing = lock.holders.get(to_txn)
+            if existing is LockMode.EXCLUSIVE or mode is LockMode.EXCLUSIVE:
+                lock.holders[to_txn] = LockMode.EXCLUSIVE
+            else:
+                lock.holders[to_txn] = mode
+
+    def _wake(self, lock: _ResourceLock) -> None:
+        while lock.queue:
+            waiter = lock.queue[0]
+            held = lock.holders.get(waiter.txn_id)
+            others = {t for t in lock.holders if t != waiter.txn_id}
+            if waiter.mode is LockMode.SHARED:
+                ok = all(
+                    lock.holders[t] is LockMode.SHARED for t in others
+                )
+            else:
+                ok = not others and held in (None, LockMode.SHARED)
+            if not ok:
+                return
+            lock.queue.pop(0)
+            self._grant(lock, waiter.txn_id, waiter.mode)
+            waiter.on_granted()
+
+    # -- deadlock detection ----------------------------------------------------------
+
+    def _would_deadlock(self, txn_id: int, lock: _ResourceLock) -> list[int]:
+        """Cycle that enqueueing ``txn_id`` on ``lock`` would create, if any."""
+        blockers = {t for t in lock.holders if t != txn_id}
+        blockers.update(w.txn_id for w in lock.queue if w.txn_id != txn_id)
+        graph = self._wait_for_graph()
+        graph.setdefault(txn_id, set()).update(blockers)
+        # DFS from txn_id looking for a path back to txn_id.
+        path: list[int] = []
+
+        def dfs(node: int, visited: set[int]) -> list[int]:
+            path.append(node)
+            for succ in sorted(graph.get(node, ())):
+                if succ == txn_id:
+                    return [*path, txn_id]
+                if succ not in visited:
+                    visited.add(succ)
+                    found = dfs(succ, visited)
+                    if found:
+                        return found
+            path.pop()
+            return []
+
+        return dfs(txn_id, {txn_id})
+
+    def _wait_for_graph(self) -> dict[int, set[int]]:
+        graph: dict[int, set[int]] = {}
+        for lock in self._table.values():
+            ahead: list[int] = list(lock.holders)
+            for waiter in lock.queue:
+                edges = graph.setdefault(waiter.txn_id, set())
+                edges.update(t for t in ahead if t != waiter.txn_id)
+                ahead.append(waiter.txn_id)
+        return graph

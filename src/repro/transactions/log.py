@@ -1,0 +1,62 @@
+"""Undo logging.
+
+Backward recovery of atomic objects: every transactional write records the
+previous value; aborting replays the records in reverse — "the 'bottom
+line' of relying on undoing all previous modifications" (paper Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.transactions.atomic_object import AtomicObject
+
+
+@dataclass(frozen=True)
+class UndoRecord:
+    """Reverses one write: restore ``key`` of ``target`` to ``old_value``.
+
+    ``existed`` distinguishes overwriting an existing key from creating a
+    new one (undo of a create is a delete).
+    """
+
+    target: "AtomicObject"
+    key: Hashable
+    old_value: Any
+    existed: bool
+
+    def apply(self) -> None:
+        if self.existed:
+            self.target.restore(self.key, self.old_value)
+        else:
+            self.target.remove(self.key)
+
+
+class UndoLog:
+    """Ordered undo records for one transaction."""
+
+    def __init__(self) -> None:
+        self._records: list[UndoRecord] = []
+
+    def append(self, record: UndoRecord) -> None:
+        self._records.append(record)
+
+    def extend_from(self, other: "UndoLog") -> None:
+        """Absorb a committing child's records (they precede nothing of
+        ours chronologically after the child finished, so appending keeps
+        reverse-order undo correct for the parent)."""
+        self._records.extend(other._records)
+        other._records = []
+
+    def undo_all(self) -> int:
+        """Apply all records newest-first; returns how many were undone."""
+        count = 0
+        while self._records:
+            self._records.pop().apply()
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,215 @@
+"""Transactions and the transaction manager.
+
+Provides the three functions the paper lets exception handlers call
+explicitly — ``start``, ``commit`` and ``abort`` (Section 3.1 / Figure 2) —
+plus nested transactions matching nested CA actions ("a nested CA action
+... has all properties of a nested transaction in the terms of atomic
+objects", Section 3.1).
+
+Semantics:
+
+* strict 2PL via :class:`~repro.transactions.locks.LockManager`;
+* undo logs per transaction; abort restores state in reverse order;
+* nested commit is *relative*: locks and undo records are inherited by the
+  parent, so the whole nest remains undoable until the top level commits;
+* top-level commit checks every touched object's integrity invariant, then
+  bumps its version and releases locks.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable, Hashable
+
+from repro.transactions.atomic_object import AtomicObject
+from repro.transactions.errors import TransactionStateError
+from repro.transactions.locks import LockManager, LockMode
+from repro.transactions.log import UndoLog, UndoRecord
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One (possibly nested) transaction."""
+
+    def __init__(
+        self, manager: "TransactionManager", txn_id: int, parent: "Transaction | None"
+    ) -> None:
+        self.manager = manager
+        self.txn_id = txn_id
+        self.parent = parent
+        self.children: list[Transaction] = []
+        self.state = TxnState.ACTIVE
+        self.undo = UndoLog()
+        self.touched: set[AtomicObject] = set()
+
+    # -- data operations ---------------------------------------------------------
+
+    def ancestor_ids(self) -> frozenset[int]:
+        """Ids of all enclosing transactions (for nested-txn locking)."""
+        ids = set()
+        cursor = self.parent
+        while cursor is not None:
+            ids.add(cursor.txn_id)
+            cursor = cursor.parent
+        return frozenset(ids)
+
+    def read(self, obj: AtomicObject, key: Hashable) -> Any:
+        """Read under a shared lock (fails fast on conflict)."""
+        self._require_active()
+        self.manager.locks.acquire(
+            self.txn_id, obj.name, LockMode.SHARED, ancestors=self.ancestor_ids()
+        )
+        self.touched.add(obj)
+        return obj.get(key)
+
+    def write(self, obj: AtomicObject, key: Hashable, value: Any) -> None:
+        """Write under an exclusive lock, logging undo information."""
+        self._require_active()
+        self.manager.locks.acquire(
+            self.txn_id, obj.name, LockMode.EXCLUSIVE, ancestors=self.ancestor_ids()
+        )
+        self.touched.add(obj)
+        old_value, existed = obj.put(key, value)
+        self.undo.append(UndoRecord(obj, key, old_value, existed))
+
+    def acquire_async(
+        self,
+        obj: AtomicObject,
+        mode: LockMode,
+        on_granted: "Callable[[], None]",
+    ) -> bool:
+        """Lock ``obj``, waiting if a competitor holds it.
+
+        Returns ``True`` when the lock was granted immediately; otherwise
+        the request queues and ``on_granted`` fires when the holder
+        releases (competitive concurrency between CA actions).  Raises
+        :class:`~repro.transactions.errors.DeadlockError` when waiting
+        would close a cycle — callers typically turn that into an
+        exception *raised within their CA action*, so recovery is
+        coordinated rather than ad hoc.
+        """
+        self._require_active()
+        return self.manager.locks.acquire(
+            self.txn_id,
+            obj.name,
+            mode,
+            wait=True,
+            on_granted=on_granted,
+            ancestors=self.ancestor_ids(),
+        )
+
+    def write_locked(self, obj: AtomicObject, key: Hashable, value: Any) -> None:
+        """Write assuming the exclusive lock is already held (after a
+        granted :meth:`acquire_async`)."""
+        self._require_active()
+        if not self.manager.locks.holds(self.txn_id, obj.name, LockMode.EXCLUSIVE):
+            raise TransactionStateError(
+                f"txn {self.txn_id} does not hold the X lock on {obj.name}"
+            )
+        self.touched.add(obj)
+        old_value, existed = obj.put(key, value)
+        self.undo.append(UndoRecord(obj, key, old_value, existed))
+
+    def read_locked(self, obj: AtomicObject, key: Hashable) -> Any:
+        """Read assuming at least a shared lock is already held."""
+        self._require_active()
+        if not self.manager.locks.holds(self.txn_id, obj.name, LockMode.SHARED):
+            raise TransactionStateError(
+                f"txn {self.txn_id} does not hold a lock on {obj.name}"
+            )
+        self.touched.add(obj)
+        return obj.get(key)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start_nested(self) -> "Transaction":
+        """Start a nested transaction (the handler-visible ``start``)."""
+        self._require_active()
+        return self.manager.begin(parent=self)
+
+    def commit(self) -> None:
+        """Commit this transaction.
+
+        Nested: effects and locks are inherited by the parent.  Top-level:
+        integrity invariants are checked (the atomic object "individually
+        responsible for its own integrity"), versions bump, locks release.
+        An invariant violation aborts the transaction and re-raises.
+        """
+        self._require_active()
+        self._require_children_settled()
+        if self.parent is not None:
+            self.parent.undo.extend_from(self.undo)
+            self.parent.touched.update(self.touched)
+            self.manager.locks.transfer(self.txn_id, self.parent.txn_id)
+            self.state = TxnState.COMMITTED
+            return
+        try:
+            for obj in self.touched:
+                obj.check_integrity()
+        except Exception:
+            self.abort()
+            raise
+        for obj in self.touched:
+            obj.version += 1
+        self.state = TxnState.COMMITTED
+        self.manager.locks.release_all(self.txn_id)
+
+    def abort(self) -> None:
+        """Abort: roll back own (and any active children's) effects."""
+        if self.state is TxnState.ABORTED:
+            return  # idempotent
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionStateError(f"cannot abort {self.state.value} txn")
+        for child in self.children:
+            if child.state is TxnState.ACTIVE:
+                child.abort()
+        self.undo.undo_all()
+        self.state = TxnState.ABORTED
+        self.manager.locks.release_all(self.txn_id)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"txn {self.txn_id} is {self.state.value}, not active"
+            )
+
+    def _require_children_settled(self) -> None:
+        live = [c.txn_id for c in self.children if c.state is TxnState.ACTIVE]
+        if live:
+            raise TransactionStateError(
+                f"txn {self.txn_id} cannot commit with active children {live}"
+            )
+
+    def __repr__(self) -> str:
+        nested = f" parent={self.parent.txn_id}" if self.parent else ""
+        return f"Transaction(#{self.txn_id} {self.state.value}{nested})"
+
+
+class TransactionManager:
+    """Creates transactions and owns the lock table."""
+
+    def __init__(self) -> None:
+        self.locks = LockManager()
+        self._ids = itertools.count(1)
+        self.transactions: dict[int, Transaction] = {}
+
+    def begin(self, parent: Transaction | None = None) -> Transaction:
+        """Start a new transaction (the handler-visible ``start``)."""
+        txn = Transaction(self, next(self._ids), parent)
+        if parent is not None:
+            parent.children.append(txn)
+        self.transactions[txn.txn_id] = txn
+        return txn
+
+    def active_count(self) -> int:
+        return sum(
+            1 for txn in self.transactions.values() if txn.state is TxnState.ACTIVE
+        )

@@ -1,0 +1,166 @@
+"""Scenario assembly and result collection.
+
+A :class:`Scenario` wires action declarations, participant specs (behaviour
++ handlers) and atomic objects into a complete simulated system, runs it,
+and returns a :class:`ScenarioResult` with everything the benchmarks and
+tests assert on: per-kind and per-action message counts, handler
+executions, action outcomes and timing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.abortion import AbortionHandler
+from repro.core.action import ActionRegistry, CAActionDef
+from repro.core.manager import ActionStatus, CAActionManager
+from repro.core.messages import RESOLUTION_KINDS
+from repro.core.participant import CAParticipant
+from repro.exceptions.handlers import HandlerSet
+from repro.net.failures import FailurePlan
+from repro.net.latency import LatencyModel
+from repro.objects.runtime import Runtime
+from repro.transactions.atomic_object import AtomicObject
+from repro.workloads.behaviour import BehaviourRunner, Step
+
+
+@dataclass
+class ParticipantSpec:
+    """Everything needed to instantiate one participating object."""
+
+    name: str
+    behaviour: Sequence[Step]
+    handler_sets: dict[str, HandlerSet]
+    abortion_handlers: dict[str, AbortionHandler] = field(default_factory=dict)
+    start_delay: float = 0.0
+    node_id: Optional[str] = None
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    runtime: Runtime
+    manager: CAActionManager
+    participants: dict[str, CAParticipant]
+    runners: dict[str, BehaviourRunner]
+    duration: float
+
+    # -- message accounting ------------------------------------------------------
+
+    def messages_by_kind(self) -> Counter:
+        return Counter(self.runtime.network.sent_by_kind)
+
+    def resolution_message_total(self) -> int:
+        """Total resolution-protocol messages — the paper's metric."""
+        return self.runtime.network.total_sent(set(RESOLUTION_KINDS))
+
+    def messages_for_action(self, action: str) -> Counter:
+        """Per-kind resolution messages belonging to one action's protocol."""
+        counts: Counter = Counter()
+        for entry in self.runtime.trace.by_category("msg.send"):
+            if (
+                entry.details.get("action") == action
+                and entry.details.get("kind") in RESOLUTION_KINDS
+            ):
+                counts[entry.details["kind"]] += 1
+        return counts
+
+    def resolution_messages_for_action(self, action: str) -> int:
+        return sum(self.messages_for_action(action).values())
+
+    # -- outcomes -------------------------------------------------------------------
+
+    def status(self, action: str) -> ActionStatus:
+        return self.manager.instance(action).status
+
+    def handled_exception(self, action: str):
+        return self.manager.instance(action).handled_exception
+
+    def handlers_started(self, action: str) -> dict[str, str]:
+        """participant name -> exception name handled, for ``action``."""
+        started = {}
+        for name, participant in self.participants.items():
+            for execution in participant.handler_log:
+                if execution.action == action:
+                    started[name] = execution.exception
+        return started
+
+    def all_finished(self) -> bool:
+        return all(runner.finished for runner in self.runners.values())
+
+    def commit_entries(self, action: str):
+        return [
+            e
+            for e in self.runtime.trace.by_category("resolution.commit")
+            if e.details.get("action") == action
+        ]
+
+
+class Scenario:
+    """A declarative simulated-system builder."""
+
+    def __init__(
+        self,
+        actions: Sequence[CAActionDef],
+        participants: Sequence[ParticipantSpec],
+        atomic_objects: Sequence[AtomicObject] = (),
+        seed: int = 0,
+        latency: LatencyModel | None = None,
+        failure_plan: FailurePlan | None = None,
+        reliable: bool = False,
+        ack_timeout: float = 5.0,
+    ) -> None:
+        self.registry = ActionRegistry()
+        for definition in actions:
+            self.registry.declare(definition)
+        self.specs = list(participants)
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate participant names")
+        self.atomic_objects = {obj.name: obj for obj in atomic_objects}
+        self.seed = seed
+        self.latency = latency
+        self.failure_plan = failure_plan
+        self.reliable = reliable
+        self.ack_timeout = ack_timeout
+
+    def build(self) -> tuple[Runtime, CAActionManager, dict, dict]:
+        runtime = Runtime(
+            seed=self.seed, latency=self.latency,
+            failure_plan=self.failure_plan, reliable=self.reliable,
+            ack_timeout=self.ack_timeout,
+        )
+        manager = CAActionManager(self.registry)
+        participants: dict[str, CAParticipant] = {}
+        runners: dict[str, BehaviourRunner] = {}
+        for spec in self.specs:
+            participant = CAParticipant(
+                spec.name,
+                self.registry,
+                manager,
+                spec.handler_sets,
+                spec.abortion_handlers,
+            )
+            runtime.register(participant, node_id=spec.node_id)
+            runner = BehaviourRunner(participant, spec.behaviour)
+            participants[spec.name] = participant
+            runners[spec.name] = runner
+        for spec in self.specs:
+            runners[spec.name].start(spec.start_delay)
+        return runtime, manager, participants, runners
+
+    def run(
+        self, until: float | None = None, max_events: int | None = 500_000
+    ) -> ScenarioResult:
+        runtime, manager, participants, runners = self.build()
+        runtime.run(until=until, max_events=max_events)
+        return ScenarioResult(
+            runtime=runtime,
+            manager=manager,
+            participants=participants,
+            runners=runners,
+            duration=runtime.sim.now,
+        )

@@ -1,0 +1,316 @@
+"""Integration tests: backward error recovery over CA actions (Figure 2(b)).
+
+"The start, abort and commit functions would be called implicitly,
+corresponding to three different cases that an attempt of the CA action
+starts, or fails or passes the acceptance test."
+
+These tests drive the acceptance-test/retry machinery: synchronized
+evaluation at the exit line, implicit transaction abort between attempts,
+alternate bodies (recovery-block semantics), exhaustion signalling
+ActionFailureException, and composition with forward recovery.
+"""
+
+import pytest
+
+from repro.core.action import CAActionDef
+from repro.core.manager import ActionStatus
+from repro.exceptions import (
+    ActionFailureException,
+    HandlerSet,
+    ResolutionTree,
+    UniversalException,
+    declare_exception,
+)
+from repro.exceptions.handlers import Handler
+from repro.transactions import AtomicObject
+from repro.workloads import (
+    ActionBlock,
+    AtomicWrite,
+    Compute,
+    ParticipantSpec,
+    Raise,
+    Scenario,
+)
+
+
+def plain_tree():
+    return ResolutionTree(UniversalException)
+
+
+def two_party(action, o1_block, o2_block=None, objects=(), tree=None):
+    tree = tree or plain_tree()
+    specs = [
+        ParticipantSpec("O1", [o1_block], {"A1": HandlerSet.completing_all(tree)}),
+        ParticipantSpec(
+            "O2",
+            [o2_block if o2_block is not None else ActionBlock("A1", [Compute(4)])],
+            {"A1": HandlerSet.completing_all(tree)},
+        ),
+    ]
+    return Scenario([action], specs, atomic_objects=objects)
+
+
+class TestAcceptanceRetry:
+    def test_primary_fails_alternate_passes(self):
+        obj = AtomicObject("o", {"v": 0})
+        action = CAActionDef(
+            "A1", ("O1", "O2"), plain_tree(), transactional=True,
+            acceptance=lambda: obj.peek("v") > 0, max_attempts=3,
+        )
+        block = ActionBlock(
+            "A1",
+            steps=[Compute(2), AtomicWrite(obj, "v", -5)],
+            alternates=[[Compute(3), AtomicWrite(obj, "v", 7)]],
+        )
+        result = two_party(action, block, objects=[obj]).run()
+        assert result.status("A1") is ActionStatus.COMPLETED
+        assert obj.peek("v") == 7
+        assert result.manager.attempt_of("A1") == 2
+        assert result.all_finished()
+
+    def test_failed_attempt_writes_rolled_back(self):
+        obj = AtomicObject("o", {"v": 0, "junk": 0})
+        action = CAActionDef(
+            "A1", ("O1", "O2"), plain_tree(), transactional=True,
+            acceptance=lambda: obj.peek("v") > 0, max_attempts=2,
+        )
+        block = ActionBlock(
+            "A1",
+            steps=[AtomicWrite(obj, "junk", 99), AtomicWrite(obj, "v", -1)],
+            alternates=[[AtomicWrite(obj, "v", 1)]],
+        )
+        result = two_party(action, block, objects=[obj]).run()
+        assert result.status("A1") is ActionStatus.COMPLETED
+        # junk was written only by the failed attempt: rolled back.
+        assert obj.snapshot() == {"v": 1, "junk": 0}
+        assert obj.version == 1  # one top-level commit
+
+    def test_alternates_cycle_through(self):
+        obj = AtomicObject("o", {"v": 0})
+        action = CAActionDef(
+            "A1", ("O1", "O2"), plain_tree(), transactional=True,
+            acceptance=lambda: obj.peek("v") >= 10, max_attempts=4,
+        )
+        block = ActionBlock(
+            "A1",
+            steps=[AtomicWrite(obj, "v", 1)],
+            alternates=[
+                [AtomicWrite(obj, "v", 5)],
+                [AtomicWrite(obj, "v", 10)],
+            ],
+        )
+        result = two_party(action, block, objects=[obj]).run()
+        assert result.status("A1") is ActionStatus.COMPLETED
+        assert obj.peek("v") == 10
+        assert result.manager.attempt_of("A1") == 3
+
+    def test_last_alternate_repeats_when_attempts_exceed(self):
+        block = ActionBlock("A1", steps=[Compute(1)], alternates=[[Compute(2)]])
+        assert block.steps_for_attempt(1) == block.steps
+        assert block.steps_for_attempt(2) == block.alternates[0]
+        assert block.steps_for_attempt(5) == block.alternates[0]
+
+    def test_without_alternates_primary_reruns(self):
+        attempts_seen = []
+        obj = AtomicObject("o", {"v": 0})
+
+        def acceptance():
+            attempts_seen.append(1)
+            return len(attempts_seen) >= 2  # pass on the second look
+
+        action = CAActionDef(
+            "A1", ("O1", "O2"), plain_tree(),
+            acceptance=acceptance, max_attempts=3,
+        )
+        block = ActionBlock("A1", [Compute(2)])
+        result = two_party(action, block, objects=[obj]).run()
+        assert result.status("A1") is ActionStatus.COMPLETED
+        assert len(attempts_seen) == 2  # evaluated once per attempt
+
+
+class TestExhaustion:
+    def test_exhaustion_signals_failure_exception(self):
+        action = CAActionDef(
+            "A1", ("O1", "O2"), plain_tree(),
+            acceptance=lambda: False, max_attempts=2,
+        )
+        block = ActionBlock("A1", [Compute(1)])
+        result = two_party(action, block).run()
+        assert result.status("A1") is ActionStatus.FAILED
+        assert result.manager.instance("A1").signalled is ActionFailureException
+        for runner in result.runners.values():
+            assert runner.failure is ActionFailureException
+        assert result.all_finished()
+
+    def test_exhaustion_rolls_back_transaction(self):
+        obj = AtomicObject("o", {"v": 0})
+        action = CAActionDef(
+            "A1", ("O1", "O2"), plain_tree(), transactional=True,
+            acceptance=lambda: False, max_attempts=2,
+        )
+        block = ActionBlock("A1", [AtomicWrite(obj, "v", 42)])
+        result = two_party(action, block, objects=[obj]).run()
+        assert result.status("A1") is ActionStatus.FAILED
+        assert obj.peek("v") == 0
+        assert obj.version == 0
+
+
+class TestCompositionWithForwardRecovery:
+    def test_exception_then_acceptance_retry(self):
+        """Attempt 1 raises, the handler recovers (forward), but the
+        acceptance test still fails — attempt 2 runs clean and passes:
+        both recovery styles in one action, as Figure 2 envisages."""
+        exc = declare_exception("BwExc")
+        tree = ResolutionTree(UniversalException, {exc: UniversalException})
+        obj = AtomicObject("o", {"v": 0})
+        action = CAActionDef(
+            "A1", ("O1", "O2"), tree, transactional=True,
+            acceptance=lambda: obj.peek("v") == 1, max_attempts=2,
+        )
+        handlers = HandlerSet.completing_all(tree)
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [
+                    ActionBlock(
+                        "A1",
+                        steps=[Compute(2), Raise(exc)],
+                        alternates=[[AtomicWrite(obj, "v", 1)]],
+                    )
+                ],
+                {"A1": handlers},
+            ),
+            ParticipantSpec(
+                "O2",
+                [ActionBlock("A1", [Compute(6)])],
+                {"A1": handlers},
+            ),
+        ]
+        result = Scenario([action], specs, atomic_objects=[obj]).run()
+        assert result.status("A1") is ActionStatus.COMPLETED
+        assert obj.peek("v") == 1
+        # The handler ran in attempt 1 (forward recovery) ...
+        handlers_run = result.handlers_started("A1")
+        assert set(handlers_run.values()) == {"BwExc"}
+        # ... and the acceptance retry still happened afterwards.
+        assert result.manager.attempt_of("A1") == 2
+
+    def test_second_attempt_may_raise_again(self):
+        exc = declare_exception("BwExc2")
+        tree = ResolutionTree(UniversalException, {exc: UniversalException})
+        obj = AtomicObject("o", {"v": 0})
+        action = CAActionDef(
+            "A1", ("O1", "O2"), tree, transactional=True,
+            acceptance=lambda: obj.peek("v") == 1, max_attempts=3,
+        )
+        handlers = HandlerSet.completing_all(tree)
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [
+                    ActionBlock(
+                        "A1",
+                        steps=[Compute(2)],
+                        alternates=[
+                            [Compute(1), Raise(exc)],       # attempt 2 raises
+                            [AtomicWrite(obj, "v", 1)],      # attempt 3 passes
+                        ],
+                    )
+                ],
+                {"A1": handlers},
+            ),
+            ParticipantSpec(
+                "O2", [ActionBlock("A1", [Compute(5)])], {"A1": handlers}
+            ),
+        ]
+        result = Scenario([action], specs, atomic_objects=[obj]).run()
+        assert result.status("A1") is ActionStatus.COMPLETED
+        assert result.manager.attempt_of("A1") == 3
+        assert result.all_finished()
+
+
+class TestNestedBlocksInRetries:
+    def test_transactional_nested_action_reruns_fresh(self):
+        """A retried block containing a nested *transactional* action gets
+        a fresh nested instance (and transaction) per attempt."""
+        obj = AtomicObject("o", {"inner": 0, "outer": 0})
+        tree = plain_tree()
+        actions = [
+            CAActionDef(
+                "A1", ("O1",), tree, transactional=True,
+                acceptance=lambda: obj.peek("inner") >= 2, max_attempts=3,
+            ),
+            CAActionDef("A2", ("O1",), tree, parent="A1", transactional=True),
+        ]
+        handlers = {
+            "A1": HandlerSet.completing_all(tree),
+            "A2": HandlerSet.completing_all(tree),
+        }
+        spec = ParticipantSpec(
+            "O1",
+            [
+                ActionBlock(
+                    "A1",
+                    steps=[
+                        AtomicWrite(obj, "outer", 1),
+                        ActionBlock("A2", [AtomicWrite(obj, "inner", 1)]),
+                    ],
+                    alternates=[
+                        [
+                            AtomicWrite(obj, "outer", 2),
+                            ActionBlock("A2", [AtomicWrite(obj, "inner", 2)]),
+                        ]
+                    ],
+                )
+            ],
+            handlers,
+        )
+        result = Scenario(actions, [spec], atomic_objects=[obj]).run()
+        assert result.status("A1") is ActionStatus.COMPLETED
+        assert result.status("A2") is ActionStatus.COMPLETED
+        assert obj.snapshot() == {"inner": 2, "outer": 2}
+        assert result.manager.attempt_of("A1") == 2
+
+    def test_descendant_state_purged_between_attempts(self):
+        """The failed attempt's nested writes never leak into the passing
+        attempt's committed state."""
+        obj = AtomicObject("o", {"v": 0, "junk": 0})
+        tree = plain_tree()
+        actions = [
+            CAActionDef(
+                "A1", ("O1",), tree, transactional=True,
+                acceptance=lambda: obj.peek("v") == 1, max_attempts=2,
+            ),
+            CAActionDef("A2", ("O1",), tree, parent="A1", transactional=True),
+        ]
+        handlers = {
+            "A1": HandlerSet.completing_all(tree),
+            "A2": HandlerSet.completing_all(tree),
+        }
+        spec = ParticipantSpec(
+            "O1",
+            [
+                ActionBlock(
+                    "A1",
+                    steps=[ActionBlock("A2", [AtomicWrite(obj, "junk", 9)])],
+                    alternates=[[ActionBlock("A2", [AtomicWrite(obj, "v", 1)])]],
+                )
+            ],
+            handlers,
+        )
+        result = Scenario(actions, [spec], atomic_objects=[obj]).run()
+        assert result.status("A1") is ActionStatus.COMPLETED
+        assert obj.snapshot() == {"v": 1, "junk": 0}
+
+
+class TestValidation:
+    def test_max_attempts_positive(self):
+        with pytest.raises(ValueError):
+            CAActionDef("A1", ("O1",), plain_tree(), max_attempts=0)
+
+    def test_no_acceptance_means_single_attempt(self):
+        action = CAActionDef("A1", ("O1", "O2"), plain_tree())
+        block = ActionBlock("A1", [Compute(1)])
+        result = two_party(action, block).run()
+        assert result.manager.attempt_of("A1") == 1
+        assert result.status("A1") is ActionStatus.COMPLETED

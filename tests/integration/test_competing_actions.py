@@ -1,0 +1,196 @@
+"""Integration tests: competitive concurrency between CA actions.
+
+The paper's second kind of concurrency (Section 3): "two or more
+separately designed, concurrent objects can compete for the same system
+resources (i.e. objects)".  Competing CA actions serialize on the atomic
+objects' locks; when competition degenerates into deadlock, the detection
+surfaces as an exception *raised within the losing action*, so recovery
+runs through the same coordinated resolution as any other fault.
+"""
+
+import pytest
+
+from repro.core.action import CAActionDef
+from repro.core.manager import ActionStatus
+from repro.exceptions import (
+    ActionFailureException,
+    HandlerSet,
+    ResolutionTree,
+    UniversalException,
+    declare_exception,
+)
+from repro.exceptions.handlers import Handler
+from repro.transactions import AtomicObject, DeadlockError
+from repro.workloads import (
+    ActionBlock,
+    AtomicWrite,
+    Compute,
+    ParticipantSpec,
+    Scenario,
+)
+
+DeadlockDetected = declare_exception("DeadlockDetected")
+
+
+def competing_scenario(second_waits=True, handler=None):
+    """Two single-participant actions locking obj1/obj2 in opposite order."""
+    obj1 = AtomicObject("obj1", {"v": 0})
+    obj2 = AtomicObject("obj2", {"v": 0})
+    tree = ResolutionTree(
+        UniversalException, {DeadlockDetected: UniversalException}
+    )
+    handlers_x = HandlerSet.completing_all(tree)
+    handlers_y = HandlerSet.completing_all(tree)
+    if handler is not None:
+        handlers_y = handlers_y.with_override(DeadlockDetected, handler)
+    actions = [
+        CAActionDef("X", ("xer",), tree, transactional=True),
+        CAActionDef("Y", ("yer",), tree, transactional=True),
+    ]
+    specs = [
+        ParticipantSpec(
+            "xer",
+            [
+                ActionBlock(
+                    "X",
+                    [
+                        AtomicWrite(obj1, "v", 1, wait=True,
+                                    on_deadlock=DeadlockDetected),
+                        Compute(5.0),
+                        AtomicWrite(obj2, "v", 1, wait=True,
+                                    on_deadlock=DeadlockDetected),
+                        Compute(1.0),
+                    ],
+                )
+            ],
+            {"X": handlers_x},
+        ),
+        ParticipantSpec(
+            "yer",
+            [
+                ActionBlock(
+                    "Y",
+                    [
+                        Compute(1.0),
+                        AtomicWrite(obj2, "v", 2, wait=True,
+                                    on_deadlock=DeadlockDetected),
+                        Compute(5.0),
+                        AtomicWrite(obj1, "v", 2, wait=second_waits,
+                                    on_deadlock=DeadlockDetected),
+                        Compute(1.0),
+                    ],
+                )
+            ],
+            {"Y": handlers_y},
+        ),
+    ]
+    return Scenario(actions, specs, atomic_objects=[obj1, obj2]), obj1, obj2
+
+
+class TestLockContention:
+    def test_actions_serialize_without_deadlock(self):
+        """Same object, no cyclic wait: the later action blocks and then
+        proceeds after the first commits."""
+        obj = AtomicObject("shared", {"v": 0})
+        tree = ResolutionTree(UniversalException)
+        actions = [
+            CAActionDef("X", ("xer",), tree, transactional=True),
+            CAActionDef("Y", ("yer",), tree, transactional=True),
+        ]
+        specs = [
+            ParticipantSpec(
+                "xer",
+                [ActionBlock("X", [AtomicWrite(obj, "v", 1, wait=True),
+                                   Compute(10.0)])],
+                {"X": HandlerSet.completing_all(tree)},
+            ),
+            ParticipantSpec(
+                "yer",
+                [ActionBlock("Y", [Compute(1.0),
+                                   AtomicWrite(obj, "v", 2, wait=True),
+                                   Compute(1.0)])],
+                {"Y": HandlerSet.completing_all(tree)},
+            ),
+        ]
+        result = Scenario(actions, specs, atomic_objects=[obj]).run()
+        assert result.status("X") is ActionStatus.COMPLETED
+        assert result.status("Y") is ActionStatus.COMPLETED
+        # Y's write waited for X's commit, so it wrote last.
+        assert obj.peek("v") == 2
+        # Y's grant came only at X's commit (t=10), so Y finished at 11 —
+        # had the lock not blocked, Y would have been done by t=2.
+        assert result.manager.instance("Y").finished_at == pytest.approx(11.0)
+        assert result.manager.instance("X").finished_at == pytest.approx(10.0)
+
+    def test_deadlock_becomes_action_exception(self):
+        scenario, obj1, obj2 = competing_scenario()
+        result = scenario.run()
+        # The deadlocked action (Y requested the closing edge) raised
+        # DeadlockDetected, handled it (default: completing handler) and
+        # completed; its handler did not repair the write, so its txn
+        # committed whatever stood — X meanwhile completed its writes.
+        assert result.status("X") is ActionStatus.COMPLETED
+        assert result.status("Y") is ActionStatus.COMPLETED
+        deadlocks = result.runtime.trace.by_category("lock.deadlock")
+        assert len(deadlocks) == 1
+        assert deadlocks[0].subject == "yer"
+        handlers = result.handlers_started("Y")
+        assert handlers == {"yer": "DeadlockDetected"}
+        # X's writes both landed.
+        assert obj1.peek("v") == 1 and obj2.peek("v") == 1
+
+    def test_deadlock_victim_can_release_by_failing(self):
+        """The victim's handler signals failure: its transaction aborts,
+        releasing the locks the other action was waiting on."""
+        scenario, obj1, obj2 = competing_scenario(
+            handler=Handler.signalling(ActionFailureException)
+        )
+        result = scenario.run()
+        assert result.status("Y") is ActionStatus.FAILED
+        assert result.status("X") is ActionStatus.COMPLETED
+        # X obtained both locks after Y's abort and committed both writes.
+        assert obj1.peek("v") == 1 and obj2.peek("v") == 1
+        # Y's partial write to obj2 was rolled back before X's write, and
+        # Y's failure surfaced to its environment.
+        assert result.runners["yer"].failure is ActionFailureException
+
+    def test_deadlock_without_on_deadlock_is_hard_error(self):
+        scenario, obj1, obj2 = competing_scenario()
+        # Strip the on_deadlock from Y's closing write.
+        block = scenario.specs[1].behaviour[0]
+        steps = list(block.steps)
+        steps[3] = AtomicWrite(obj1, "v", 2, wait=True)
+        scenario.specs[1].behaviour = [ActionBlock("Y", steps)]
+        with pytest.raises(DeadlockError):
+            scenario.run()
+
+
+class TestIsolationBetweenActions:
+    def test_competitors_never_see_uncommitted_state(self):
+        obj = AtomicObject("acct", {"v": 0})
+        tree = ResolutionTree(UniversalException)
+        seen = []
+
+        actions = [
+            CAActionDef("X", ("xer",), tree, transactional=True),
+            CAActionDef("Y", ("yer",), tree, transactional=True),
+        ]
+        from repro.workloads import AtomicRead
+
+        specs = [
+            ParticipantSpec(
+                "xer",
+                [ActionBlock("X", [AtomicWrite(obj, "v", 99, wait=True),
+                                   Compute(10.0)])],
+                {"X": HandlerSet.completing_all(tree)},
+            ),
+            ParticipantSpec(
+                "yer",
+                [ActionBlock("Y", [Compute(2.0),
+                                   AtomicRead(obj, "v", wait=True)])],
+                {"Y": HandlerSet.completing_all(tree)},
+            ),
+        ]
+        result = Scenario(actions, specs, atomic_objects=[obj]).run()
+        # Y's read waited for X's commit: it saw 99, never an intermediate.
+        assert result.runners["yer"].reads == [99]

@@ -1,0 +1,316 @@
+"""Integration tests: the resolution algorithm in flat (unnested) actions."""
+
+import pytest
+
+from repro.core.action import CAActionDef
+from repro.core.manager import ActionStatus
+from repro.core.participant import ProtocolViolation
+from repro.exceptions import (
+    ActionFailureException,
+    HandlerSet,
+    ResolutionTree,
+    UniversalException,
+    declare_exception,
+)
+from repro.exceptions.handlers import Handler
+from repro.workloads import ActionBlock, Compute, ParticipantSpec, Raise, Scenario
+from repro.workloads.generator import (
+    all_raise_case,
+    example1_scenario,
+    no_exception_case,
+    single_exception_case,
+)
+
+
+class Base(UniversalException):
+    pass
+
+
+class Minor(Base):
+    pass
+
+
+class Major(Base):
+    pass
+
+
+def make_tree():
+    return ResolutionTree(
+        UniversalException,
+        {Base: UniversalException, Minor: Base, Major: Base},
+    )
+
+
+def flat_scenario(behaviours, tree=None, handler_overrides=None, **kwargs):
+    """N participants in one action A1, with per-name behaviours."""
+    tree = tree if tree is not None else make_tree()
+    names = sorted(behaviours)
+    action = CAActionDef("A1", tuple(names), tree)
+    specs = []
+    for name in names:
+        handlers = HandlerSet.completing_all(tree)
+        for exc, handler in (handler_overrides or {}).get(name, {}).items():
+            handlers = handlers.with_override(exc, handler)
+        specs.append(
+            ParticipantSpec(name, behaviours[name], {"A1": handlers})
+        )
+    return Scenario([action], specs, **kwargs)
+
+
+class TestSingleException:
+    def test_counts_and_outcome(self):
+        result = single_exception_case(4).run()
+        counts = result.messages_for_action("A1")
+        assert counts["EXCEPTION"] == 3
+        assert counts["ACK"] == 3
+        assert counts["COMMIT"] == 3
+        assert result.resolution_message_total() == 9
+        assert result.status("A1") is ActionStatus.COMPLETED
+        assert result.all_finished()
+
+    def test_sole_participant_needs_no_messages(self):
+        result = single_exception_case(1).run()
+        assert result.resolution_message_total() == 0
+        assert result.handlers_started("A1") == {"O0000": "GeneralExc_0"}
+        assert result.status("A1") is ActionStatus.COMPLETED
+
+    def test_two_participants(self):
+        result = single_exception_case(2).run()
+        assert result.resolution_message_total() == 3
+        assert len(set(result.handlers_started("A1").values())) == 1
+
+    def test_raiser_is_resolver(self):
+        result = single_exception_case(5).run()
+        commits = result.commit_entries("A1")
+        assert len(commits) == 1
+        assert commits[0].subject == "O0000"  # the only raiser resolves
+
+    def test_all_participants_run_same_handler(self):
+        result = single_exception_case(6).run()
+        handlers = result.handlers_started("A1")
+        assert len(handlers) == 6
+        assert set(handlers.values()) == {"GeneralExc_0"}
+
+    def test_handled_exception_recorded(self):
+        result = single_exception_case(3).run()
+        assert result.handled_exception("A1").name() == "GeneralExc_0"
+
+
+class TestConcurrentExceptions:
+    def test_biggest_raiser_resolves(self):
+        result = all_raise_case(5).run()
+        commits = result.commit_entries("A1")
+        assert len(commits) == 1
+        assert commits[0].subject == "O0004"
+
+    def test_sibling_exceptions_resolve_to_common_ancestor(self):
+        scenario = flat_scenario(
+            {
+                "O1": [ActionBlock("A1", [Compute(5), Raise(Minor)])],
+                "O2": [ActionBlock("A1", [Compute(5), Raise(Major)])],
+                "O3": [ActionBlock("A1", [Compute(50)])],
+            }
+        )
+        result = scenario.run()
+        assert set(result.handlers_started("A1").values()) == {"Base"}
+
+    def test_covering_exception_dominates(self):
+        scenario = flat_scenario(
+            {
+                "O1": [ActionBlock("A1", [Compute(5), Raise(Minor)])],
+                "O2": [ActionBlock("A1", [Compute(5), Raise(Base)])],
+            }
+        )
+        result = scenario.run()
+        assert set(result.handlers_started("A1").values()) == {"Base"}
+
+    def test_identical_exceptions(self):
+        scenario = flat_scenario(
+            {
+                "O1": [ActionBlock("A1", [Compute(5), Raise(Minor)])],
+                "O2": [ActionBlock("A1", [Compute(5), Raise(Minor)])],
+            }
+        )
+        result = scenario.run()
+        assert set(result.handlers_started("A1").values()) == {"Minor"}
+
+    def test_staggered_raises_still_converge(self):
+        scenario = flat_scenario(
+            {
+                "O1": [ActionBlock("A1", [Compute(5), Raise(Minor)])],
+                "O2": [ActionBlock("A1", [Compute(9), Raise(Major)])],
+                "O3": [ActionBlock("A1", [Compute(50)])],
+            }
+        )
+        result = scenario.run()
+        # O2's raise happens while O1's resolution is already under way;
+        # both must still enter the same commit.
+        handlers = result.handlers_started("A1")
+        assert len(handlers) == 3
+        assert len(set(handlers.values())) == 1
+
+    def test_commit_lists_all_raisers(self):
+        result = all_raise_case(4).run()
+        (commit,) = result.commit_entries("A1")
+        assert commit.details["raisers"] == "O0000,O0001,O0002,O0003"
+
+
+class TestExample1:
+    """The paper's Section 4.3 Example 1, step for step."""
+
+    def test_message_totals(self):
+        result = example1_scenario().run()
+        counts = result.messages_for_action("A1")
+        assert counts["EXCEPTION"] == 4   # two raisers x two recipients
+        assert counts["ACK"] == 4
+        assert counts["COMMIT"] == 2
+        assert result.resolution_message_total() == 10
+
+    def test_o2_is_resolver(self):
+        result = example1_scenario().run()
+        (commit,) = result.commit_entries("A1")
+        assert commit.subject == "O2"
+
+    def test_everyone_handles_resolved_exception(self):
+        result = example1_scenario().run()
+        handlers = result.handlers_started("A1")
+        assert set(handlers) == {"O1", "O2", "O3"}
+        assert len(set(handlers.values())) == 1
+
+    def test_o3_never_raises(self):
+        result = example1_scenario().run()
+        raises = result.runtime.trace.by_category("raise")
+        assert sorted(entry.subject for entry in raises) == ["O1", "O2"]
+
+
+class TestNoException:
+    def test_zero_resolution_overhead(self):
+        result = no_exception_case(6).run()
+        assert result.resolution_message_total() == 0
+        assert result.status("A1") is ActionStatus.COMPLETED
+        assert result.all_finished()
+
+    def test_zero_overhead_with_nested(self):
+        result = no_exception_case(6, q=3).run()
+        assert result.resolution_message_total() == 0
+        assert result.all_finished()
+
+    def test_no_handlers_run(self):
+        result = no_exception_case(4).run()
+        assert result.handlers_started("A1") == {}
+
+
+class TestFailureSignalling:
+    def test_top_level_failure_reaches_environment(self):
+        overrides = {
+            name: {UniversalException: Handler.signalling(ActionFailureException)}
+            for name in ("O1", "O2")
+        }
+        # Minor+Major resolve to Base... use Base override instead.
+        overrides = {
+            name: {Base: Handler.signalling(ActionFailureException)}
+            for name in ("O1", "O2")
+        }
+        scenario = flat_scenario(
+            {
+                "O1": [ActionBlock("A1", [Compute(5), Raise(Minor)])],
+                "O2": [ActionBlock("A1", [Compute(5), Raise(Major)])],
+            },
+            handler_overrides=overrides,
+        )
+        result = scenario.run()
+        assert result.status("A1") is ActionStatus.FAILED
+        assert result.manager.instance("A1").signalled is ActionFailureException
+        for runner in result.runners.values():
+            assert runner.failure is ActionFailureException
+        assert result.all_finished()
+
+    def test_handler_durations_delay_completion(self):
+        slow = {"O1": {Minor: Handler.completing(duration=25.0)}}
+        scenario = flat_scenario(
+            {
+                "O1": [ActionBlock("A1", [Compute(5), Raise(Minor)])],
+                "O2": [ActionBlock("A1", [Compute(50)])],
+            },
+            handler_overrides=slow,
+        )
+        result = scenario.run()
+        o1_done = [x.time for x in result.participants["O1"].handler_log]
+        assert o1_done and o1_done[0] >= 30.0  # raise at 5 + handler 25
+
+
+class TestBelatedTopLevelEntry:
+    def test_resolution_waits_for_late_entrant(self):
+        scenario = flat_scenario(
+            {
+                "O1": [ActionBlock("A1", [Compute(2), Raise(Minor)])],
+                "O2": [ActionBlock("A1", [Compute(50)])],
+            }
+        )
+        # Delay O2's entry into the whole system well past the raise.
+        scenario.specs[1].start_delay = 30.0
+        result = scenario.run()
+        handlers = result.handlers_started("A1")
+        assert set(handlers) == {"O1", "O2"}
+        (commit,) = result.commit_entries("A1")
+        assert commit.time >= 30.0  # could not commit before O2 existed
+
+    def test_buffered_messages_processed_on_entry(self):
+        scenario = flat_scenario(
+            {
+                "O1": [ActionBlock("A1", [Compute(2), Raise(Minor)])],
+                "O2": [ActionBlock("A1", [Compute(10)])],
+            }
+        )
+        scenario.specs[1].start_delay = 20.0
+        result = scenario.run()
+        buffered = result.runtime.trace.by_category("msg.buffered")
+        assert buffered  # O1's Exception arrived before O2 entered A1
+        assert result.all_finished()
+
+
+class TestMisuse:
+    def test_double_raise_rejected(self):
+        scenario = flat_scenario(
+            {"O1": [ActionBlock("A1", [Raise(Minor), Raise(Major)])]}
+        )
+        # The raise interrupts the behaviour, so the second Raise is never
+        # reached — instead drive the participant directly.
+        runtime, manager, participants, runners = scenario.build()
+        runtime.run()
+        participant = participants["O1"]
+        assert participant.handler_log  # first raise handled (solo action)
+
+    def test_raise_outside_action_rejected(self):
+        scenario = flat_scenario({"O1": [ActionBlock("A1", [Compute(1)])]})
+        runtime, manager, participants, _ = scenario.build()
+        with pytest.raises(ProtocolViolation, match="outside any action"):
+            participants["O1"].raise_exception(Minor)
+
+    def test_undeclared_exception_rejected(self):
+        other = declare_exception("NotInTree")
+        scenario = flat_scenario({"O1": [ActionBlock("A1", [Compute(9)])]})
+        runtime, manager, participants, _ = scenario.build()
+        runtime.run(until=5.0)
+        with pytest.raises(ProtocolViolation, match="not declared"):
+            participants["O1"].raise_exception(other)
+
+    def test_enter_nested_without_parent_rejected(self):
+        tree = make_tree()
+        actions = [
+            CAActionDef("A1", ("O1",), tree),
+            CAActionDef("A2", ("O1",), tree, parent="A1"),
+        ]
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [ActionBlock("A2", [])],
+                {
+                    "A1": HandlerSet.completing_all(tree),
+                    "A2": HandlerSet.completing_all(tree),
+                },
+            )
+        ]
+        scenario = Scenario(actions, specs)
+        with pytest.raises(ProtocolViolation, match="parent"):
+            scenario.run()

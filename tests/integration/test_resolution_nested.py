@@ -1,0 +1,447 @@
+"""Integration tests: resolution across nested CA actions.
+
+These exercise the hard parts of the paper: the nested trigger
+(HaveNested / abortion / NestedCompleted), belated participants,
+elimination of inner resolutions by outer ones, abortion ordering, and the
+admission rule for abortion-handler signals.
+"""
+
+import pytest
+
+from repro.core.abortion import AbortionHandler
+from repro.core.action import CAActionDef, NestedPolicy
+from repro.core.manager import ActionStatus
+from repro.exceptions import (
+    HandlerSet,
+    ResolutionTree,
+    UniversalException,
+    declare_exception,
+)
+from repro.exceptions.handlers import Handler
+from repro.net.latency import ConstantLatency, UniformLatency
+from repro.workloads import ActionBlock, Compute, ParticipantSpec, Raise, Scenario
+from repro.workloads.generator import (
+    E1,
+    E2,
+    E3,
+    example2_scenario,
+    figure3_scenario,
+    general_case,
+)
+
+
+class TestExample2:
+    """The paper's Section 4.3 Example 2 / Figure 4, assertion by assertion."""
+
+    def test_a1_message_breakdown_matches_paper(self):
+        result = example2_scenario().run()
+        counts = result.messages_for_action("A1")
+        # N=4, P=1 (O1), Q=3 (O2, O3, O4 all nested): (N-1)(2P+3Q+1) = 36.
+        assert counts["EXCEPTION"] == 3
+        assert counts["HAVE_NESTED"] == 9
+        assert counts["NESTED_COMPLETED"] == 9
+        assert counts["ACK"] == 12  # 3 for the Exception + 9 for NestedCompleted
+        assert counts["COMMIT"] == 3
+        assert sum(counts.values()) == 36
+
+    def test_o2s_inner_exception_message_is_cleaned_up(self):
+        result = example2_scenario().run()
+        # O2 sent Exception(A3) to the belated O3; it must never be
+        # processed (O3 never entered A3).
+        a3 = result.messages_for_action("A3")
+        assert a3["EXCEPTION"] == 1
+        assert a3["ACK"] == 0
+        assert a3["COMMIT"] == 0
+        # And O3 never ran a handler for E2.
+        assert all(
+            x.exception != "E2" for x in result.participants["O3"].handler_log
+        )
+
+    def test_o2_resolves_e1_and_e3(self):
+        result = example2_scenario().run()
+        (commit,) = result.commit_entries("A1")
+        assert commit.subject == "O2"  # name(O2) > name(O1)
+        assert commit.details["raisers"] == "O1,O2"
+
+    def test_nested_actions_aborted(self):
+        result = example2_scenario().run()
+        assert result.status("A2") is ActionStatus.ABORTED
+        assert result.status("A3") is ActionStatus.ABORTED
+        assert result.status("A1") is ActionStatus.COMPLETED
+
+    def test_all_four_run_same_handler(self):
+        result = example2_scenario().run()
+        handlers = result.handlers_started("A1")
+        assert set(handlers) == {"O1", "O2", "O3", "O4"}
+        assert len(set(handlers.values())) == 1
+
+    def test_e3_signal_came_from_abortion_of_a2(self):
+        result = example2_scenario().run()
+        aborts = [
+            e
+            for e in result.runtime.trace.by_category("abort.done")
+            if e.subject == "O2"
+        ]
+        by_action = {e.details["action"]: e.details["signal"] for e in aborts}
+        assert by_action == {"A3": None, "A2": "E3"}
+
+    def test_robust_under_random_latency(self):
+        for seed in range(5):
+            result = example2_scenario(
+                latency=UniformLatency(0.2, 4.0), seed=seed
+            ).run()
+            assert result.all_finished()
+            assert len(set(result.handlers_started("A1").values())) == 1
+            assert sum(result.messages_for_action("A1").values()) == 36
+
+
+class TestFigure3:
+    """The Section 3.3 / Figure 3 problem list."""
+
+    def test_a3_aborted_before_a2_in_every_participant(self):
+        result = figure3_scenario().run()
+        for name in ("O2", "O3"):
+            done = [
+                e.details["action"]
+                for e in result.runtime.trace.by_category("abort.done")
+                if e.subject == name
+            ]
+            assert done == ["A3", "A2"]  # problem 1: innermost first
+
+    def test_belated_o1_runs_no_abortion_handler(self):
+        result = figure3_scenario().run()
+        o1_aborts = [
+            e
+            for e in result.runtime.trace.by_category("abort")
+            if e.subject == "O1"
+        ]
+        assert o1_aborts == []  # problem 3: nobody waits for O1
+
+    def test_no_deadlock_and_common_handler(self):
+        result = figure3_scenario().run()
+        assert result.all_finished()
+        handlers = result.handlers_started("A1")
+        assert set(handlers) == {"O0", "O1", "O2", "O3"}
+        assert len(set(handlers.values())) == 1
+
+    def test_both_o2_and_o3_abort_a2(self):
+        result = figure3_scenario().run()
+        subjects = {
+            e.subject
+            for e in result.runtime.trace.by_category("abort.done")
+            if e.details["action"] == "A2"
+        }
+        assert subjects == {"O2", "O3"}  # problem 2: shared responsibility
+
+    def test_abortion_duration_delays_commit(self):
+        fast = figure3_scenario(abort_duration=0.0).run()
+        slow = figure3_scenario(abort_duration=10.0).run()
+        (fast_commit,) = fast.commit_entries("A1")
+        (slow_commit,) = slow.commit_entries("A1")
+        assert slow_commit.time > fast_commit.time
+
+
+def _chain_scenario(signals, abort_duration=1.0):
+    """O1 raises in A1; O2 sits in A1 ⊃ A2 ⊃ A3 with abortion handlers
+    signalling per ``signals`` = {action: exception or None}."""
+    sig_a2 = signals.get("A2")
+    sig_a3 = signals.get("A3")
+    exc = declare_exception("ChainExc")
+    candidates = {exc}
+    for s in (sig_a2, sig_a3):
+        if s is not None:
+            candidates.add(s)
+    tree = ResolutionTree(
+        UniversalException, {c: UniversalException for c in candidates}
+    )
+    inner_tree = ResolutionTree(UniversalException)
+    actions = [
+        CAActionDef("A1", ("O1", "O2"), tree),
+        CAActionDef("A2", ("O2",), inner_tree, parent="A1"),
+        CAActionDef("A3", ("O2",), inner_tree, parent="A2"),
+    ]
+    abortion = {}
+    for action, sig in (("A2", sig_a2), ("A3", sig_a3)):
+        abortion[action] = (
+            AbortionHandler.signalling(sig, abort_duration)
+            if sig is not None
+            else AbortionHandler.silent(abort_duration)
+        )
+    specs = [
+        ParticipantSpec(
+            "O1",
+            [ActionBlock("A1", [Compute(10), Raise(exc)])],
+            {"A1": HandlerSet.completing_all(tree)},
+        ),
+        ParticipantSpec(
+            "O2",
+            [
+                ActionBlock(
+                    "A1",
+                    [ActionBlock("A2", [ActionBlock("A3", [Compute(100)])])],
+                )
+            ],
+            {
+                "A1": HandlerSet.completing_all(tree),
+                "A2": HandlerSet.completing_all(inner_tree),
+                "A3": HandlerSet.completing_all(inner_tree),
+            },
+            abortion_handlers=abortion,
+        ),
+    ]
+    return Scenario(actions, specs)
+
+
+class TestAbortionSignalAdmission:
+    """Section 4.1: only the signal of the action directly nested in A is
+    admitted; deeper signals are ignored."""
+
+    def test_direct_child_signal_admitted(self):
+        sig = declare_exception("DirectSig")
+        result = _chain_scenario({"A2": sig, "A3": None}).run()
+        (commit,) = result.commit_entries("A1")
+        assert "O2" in commit.details["raisers"]
+        assert set(result.handlers_started("A1").values()) == {
+            "UniversalException"
+        }  # ChainExc and DirectSig are siblings -> root
+
+    def test_deep_signal_ignored(self):
+        deep = declare_exception("DeepSig")
+        result = _chain_scenario({"A2": None, "A3": deep}).run()
+        (commit,) = result.commit_entries("A1")
+        assert commit.details["raisers"] == "O1"  # O2 contributed nothing
+        assert set(result.handlers_started("A1").values()) == {"ChainExc"}
+
+    def test_deep_signal_overridden_by_direct(self):
+        deep = declare_exception("DeepSig2")
+        direct = declare_exception("DirectSig2")
+        result = _chain_scenario({"A2": direct, "A3": deep}).run()
+        o2 = result.participants["O2"]
+        nc = [
+            e
+            for e in result.runtime.trace.by_category("abort.done")
+            if e.subject == "O2" and e.details["action"] == "A2"
+        ]
+        assert nc[0].details["signal"] == "DirectSig2"
+
+    def test_abortion_order_depth_three(self):
+        result = _chain_scenario({"A2": None, "A3": None}).run()
+        done = [
+            e.details["action"]
+            for e in result.runtime.trace.by_category("abort.done")
+            if e.subject == "O2"
+        ]
+        assert done == ["A3", "A2"]
+
+
+class TestInnerResolutionElimination:
+    """Section 3.3 problem 4: an outer resolution cancels an inner one."""
+
+    def _scenario(self, outer_raise_at):
+        inner_exc = declare_exception("InnerExc")
+        outer_exc = declare_exception("OuterExc")
+        tree_outer = ResolutionTree(
+            UniversalException, {outer_exc: UniversalException}
+        )
+        tree_inner = ResolutionTree(
+            UniversalException, {inner_exc: UniversalException}
+        )
+        actions = [
+            CAActionDef("A1", ("O1", "O2", "O3"), tree_outer),
+            CAActionDef("A2", ("O2", "O3"), tree_inner, parent="A1"),
+        ]
+        sets_outer = lambda: {"A1": HandlerSet.completing_all(tree_outer)}  # noqa: E731
+        sets_both = lambda: {  # noqa: E731
+            "A1": HandlerSet.completing_all(tree_outer),
+            "A2": HandlerSet.completing_all(tree_inner),
+        }
+        # The inner handler is slow, so the outer exception lands while the
+        # inner resolution/handler is still in progress.
+        slow_inner = {
+            "A2": HandlerSet.completing_all(tree_inner).with_override(
+                inner_exc, Handler.completing(duration=30.0)
+            )
+        }
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [ActionBlock("A1", [Compute(outer_raise_at), Raise(outer_exc)])],
+                sets_outer(),
+            ),
+            ParticipantSpec(
+                "O2",
+                [
+                    ActionBlock(
+                        "A1",
+                        [ActionBlock("A2", [Compute(5), Raise(inner_exc)])],
+                    )
+                ],
+                {**sets_both(), **slow_inner},
+                abortion_handlers={"A2": AbortionHandler.silent()},
+            ),
+            ParticipantSpec(
+                "O3",
+                [ActionBlock("A1", [ActionBlock("A2", [Compute(100)])])],
+                {**sets_both(), **slow_inner},
+                abortion_handlers={"A2": AbortionHandler.silent()},
+            ),
+        ]
+        return Scenario(actions, specs), inner_exc, outer_exc
+
+    def test_inner_resolution_eliminated_mid_protocol(self):
+        scenario, inner_exc, outer_exc = self._scenario(outer_raise_at=6.0)
+        result = scenario.run()
+        assert result.status("A2") is ActionStatus.ABORTED
+        handlers = result.handlers_started("A1")
+        assert set(handlers.values()) == {"OuterExc"}
+        escalations = result.runtime.trace.by_category("resolution.escalate")
+        assert escalations  # at least one object switched inner -> outer
+
+    def test_inner_handler_interrupted_is_an_error_if_started(self):
+        # If the inner handler *already started*, escalation is rejected by
+        # this model (documented limitation) — so pick timing before start.
+        scenario, inner_exc, outer_exc = self._scenario(outer_raise_at=5.5)
+        result = scenario.run()
+        assert result.all_finished()
+
+    def test_inner_completes_when_outer_raises_late(self):
+        scenario, inner_exc, outer_exc = self._scenario(outer_raise_at=60.0)
+        result = scenario.run()
+        # Inner resolution finished long before the outer exception.
+        assert result.status("A2") is ActionStatus.COMPLETED
+        inner_handlers = {
+            name: [x.exception for x in p.handler_log if x.action == "A2"]
+            for name, p in result.participants.items()
+        }
+        assert inner_handlers["O2"] == ["InnerExc"]
+        assert inner_handlers["O3"] == ["InnerExc"]
+        assert set(result.handlers_started("A1").values()) == {"OuterExc"}
+
+
+class TestNestedFailureSignalling:
+    """A nested action whose handlers signal failure raises the signalled
+    exception in the containing action (Section 3.1)."""
+
+    def test_signal_propagates_to_parent_resolution(self):
+        inner_exc = declare_exception("InnerFail")
+        failure_sig = declare_exception("NestedFailureSig")
+        tree_outer = ResolutionTree(
+            UniversalException, {failure_sig: UniversalException}
+        )
+        tree_inner = ResolutionTree(
+            UniversalException, {inner_exc: UniversalException}
+        )
+        actions = [
+            CAActionDef("A1", ("O1", "O2", "O3"), tree_outer),
+            CAActionDef("A2", ("O2", "O3"), tree_inner, parent="A1"),
+        ]
+        inner_sets = HandlerSet.completing_all(tree_inner).with_override(
+            inner_exc, Handler.signalling(failure_sig)
+        )
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [ActionBlock("A1", [Compute(100)])],
+                {"A1": HandlerSet.completing_all(tree_outer)},
+            ),
+            ParticipantSpec(
+                "O2",
+                [
+                    ActionBlock(
+                        "A1", [ActionBlock("A2", [Compute(5), Raise(inner_exc)])]
+                    )
+                ],
+                {"A1": HandlerSet.completing_all(tree_outer), "A2": inner_sets},
+            ),
+            ParticipantSpec(
+                "O3",
+                [ActionBlock("A1", [ActionBlock("A2", [Compute(100)])])],
+                {"A1": HandlerSet.completing_all(tree_outer), "A2": inner_sets},
+            ),
+        ]
+        result = Scenario(actions, specs).run()
+        assert result.status("A2") is ActionStatus.FAILED
+        assert result.manager.instance("A2").signalled is failure_sig
+        # The failure became a (multi-raiser) resolution in A1.
+        handlers = result.handlers_started("A1")
+        assert set(handlers) == {"O1", "O2", "O3"}
+        assert set(handlers.values()) == {"NestedFailureSig"}
+        assert result.status("A1") is ActionStatus.COMPLETED
+        assert result.all_finished()
+
+
+class TestWaitForNestedPolicy:
+    """Figure 1(a): the containing action waits for nested completion."""
+
+    def test_message_count_is_flat_case(self):
+        result = general_case(
+            5, p=1, q=3, policy=NestedPolicy.WAIT_FOR_NESTED, nested_work=30.0
+        ).run()
+        assert result.resolution_message_total() == 3 * 4  # 3(N-1)
+        counts = result.messages_by_kind()
+        assert counts["HAVE_NESTED"] == 0
+        assert counts["NESTED_COMPLETED"] == 0
+
+    def test_nested_actions_complete_normally(self):
+        result = general_case(
+            4, p=1, q=2, policy=NestedPolicy.WAIT_FOR_NESTED, nested_work=25.0
+        ).run()
+        for action in result.manager.instances():
+            if action != "A1":
+                assert result.status(action) is ActionStatus.COMPLETED
+        assert result.status("A1") is ActionStatus.COMPLETED
+
+    def test_wait_policy_is_slower_than_abort(self):
+        wait = general_case(
+            5, p=1, q=3, policy=NestedPolicy.WAIT_FOR_NESTED, nested_work=40.0
+        ).run()
+        abort = general_case(
+            5, p=1, q=3, policy=NestedPolicy.ABORT_NESTED, nested_work=40.0
+        ).run()
+        assert wait.duration > abort.duration
+
+    def test_deferred_messages_traced(self):
+        result = general_case(
+            4, p=1, q=2, policy=NestedPolicy.WAIT_FOR_NESTED, nested_work=30.0
+        ).run()
+        assert result.runtime.trace.by_category("msg.deferred")
+
+
+class TestSiblingNestedActions:
+    def test_both_siblings_aborted(self):
+        exc = declare_exception("SiblingExc")
+        tree = ResolutionTree(UniversalException, {exc: UniversalException})
+        inner = ResolutionTree(UniversalException)
+        actions = [
+            CAActionDef("A1", ("O1", "O2", "O3"), tree),
+            CAActionDef("B1", ("O2",), inner, parent="A1"),
+            CAActionDef("B2", ("O3",), inner, parent="A1"),
+        ]
+        sets = lambda *names: {  # noqa: E731
+            n: HandlerSet.completing_all(tree if n == "A1" else inner)
+            for n in names
+        }
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [ActionBlock("A1", [Compute(10), Raise(exc)])],
+                sets("A1"),
+            ),
+            ParticipantSpec(
+                "O2",
+                [ActionBlock("A1", [ActionBlock("B1", [Compute(100)])])],
+                sets("A1", "B1"),
+                abortion_handlers={"B1": AbortionHandler.silent()},
+            ),
+            ParticipantSpec(
+                "O3",
+                [ActionBlock("A1", [ActionBlock("B2", [Compute(100)])])],
+                sets("A1", "B2"),
+                abortion_handlers={"B2": AbortionHandler.silent()},
+            ),
+        ]
+        result = Scenario(actions, specs).run()
+        assert result.status("B1") is ActionStatus.ABORTED
+        assert result.status("B2") is ActionStatus.ABORTED
+        assert result.status("A1") is ActionStatus.COMPLETED
+        assert len(set(result.handlers_started("A1").values())) == 1

@@ -1,0 +1,110 @@
+"""Scale and stress checks: the system at sizes beyond the bench sweeps."""
+
+import pytest
+
+from repro.analysis import general_messages
+from repro.core.manager import ActionStatus
+from repro.net.latency import UniformLatency
+from repro.workloads.fuzz import build_random_scenario, check_invariants
+from repro.workloads.generator import all_raise_case, general_case
+
+
+class TestLargeFlatActions:
+    def test_sixty_four_participants_exact_count(self):
+        result = general_case(64, p=8, q=16).run(max_events=2_000_000)
+        assert result.resolution_message_total() == general_messages(64, 8, 16)
+        handlers = result.handlers_started("A1")
+        assert len(handlers) == 64
+        assert len(set(handlers.values())) == 1
+
+    def test_all_raise_at_forty(self):
+        result = all_raise_case(40).run(max_events=2_000_000)
+        assert result.resolution_message_total() == 39 * 81
+        assert len(result.commit_entries("A1")) == 1
+
+    def test_large_run_under_random_latency(self):
+        result = general_case(
+            32, p=4, q=8, latency=UniformLatency(0.1, 6.0), seed=9
+        ).run(max_events=2_000_000)
+        assert result.resolution_message_total() == general_messages(32, 4, 8)
+        assert result.all_finished()
+
+
+class TestDeepNesting:
+    def test_depth_twelve_abortion_chain(self):
+        from repro.core.abortion import AbortionHandler
+        from repro.core.action import CAActionDef
+        from repro.exceptions import (
+            HandlerSet,
+            ResolutionTree,
+            UniversalException,
+            declare_exception,
+        )
+        from repro.workloads import (
+            ActionBlock,
+            Compute,
+            ParticipantSpec,
+            Raise,
+            Scenario,
+        )
+
+        depth = 12
+        exc = declare_exception("DeepScaleExc")
+        outer_tree = ResolutionTree(UniversalException, {exc: UniversalException})
+        inner_tree = ResolutionTree(UniversalException)
+        actions = [CAActionDef("A1", ("O1", "O2"), outer_tree)]
+        chain = [f"L{i}" for i in range(1, depth + 1)]
+        handler_sets = {"A1": HandlerSet.completing_all(outer_tree)}
+        abortion = {}
+        for i, name in enumerate(chain):
+            actions.append(
+                CAActionDef(
+                    name, ("O2",), inner_tree,
+                    parent="A1" if i == 0 else chain[i - 1],
+                )
+            )
+            handler_sets[name] = HandlerSet.completing_all(inner_tree)
+            abortion[name] = AbortionHandler.silent(duration=0.5)
+        behaviour = [Compute(500.0)]
+        for name in reversed(chain):
+            behaviour = [ActionBlock(name, behaviour)]
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [ActionBlock("A1", [Compute(10), Raise(exc)])],
+                {"A1": HandlerSet.completing_all(outer_tree)},
+            ),
+            ParticipantSpec(
+                "O2", [ActionBlock("A1", behaviour)], handler_sets, abortion
+            ),
+        ]
+        result = Scenario(actions, specs).run(max_events=500_000)
+        assert result.all_finished()
+        # Every level aborted, innermost first.
+        done = [
+            e.details["action"]
+            for e in result.runtime.trace.by_category("abort.done")
+            if e.subject == "O2"
+        ]
+        assert done == list(reversed(chain))
+        for name in chain:
+            assert result.status(name) is ActionStatus.ABORTED
+
+
+class TestWideFuzz:
+    @pytest.mark.parametrize("seed", [1001, 2002, 3003])
+    def test_ten_participants_depth_four(self, seed):
+        scenario, plan = build_random_scenario(
+            seed, n_participants=10, max_depth=4
+        )
+        result = scenario.run(max_events=1_000_000)
+        assert check_invariants(result, plan) == []
+
+
+class TestEventBudgetSanity:
+    def test_large_run_event_volume_is_linear_in_messages(self):
+        result = general_case(48, p=6, q=12).run(max_events=2_000_000)
+        messages = result.resolution_message_total()
+        # Every message costs O(1) events; the budget is not being eaten
+        # by hidden polling loops.
+        assert result.runtime.sim.events_executed < 40 * messages

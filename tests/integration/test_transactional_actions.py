@@ -1,0 +1,278 @@
+"""Integration tests: CA actions over external atomic objects (Figure 2).
+
+Figure 2(a): forward recovery — handlers may repair the atomic objects and
+*commit* them into new valid states ("an exception within the CA action
+does not necessarily cause restoration of all the atomic objects to their
+prior states").
+
+Figure 2(b): when recovery fails (or a nested action is aborted), the
+associated transaction is aborted and the atomic objects roll back.
+"""
+
+import pytest
+
+from repro.core.abortion import AbortionHandler
+from repro.core.action import CAActionDef
+from repro.core.manager import ActionStatus
+from repro.exceptions import (
+    HandlerSet,
+    ResolutionTree,
+    UniversalException,
+    declare_exception,
+)
+from repro.exceptions.handlers import Handler, HandlerOutcome, HandlerResult
+from repro.transactions import AtomicObject, TxnState
+from repro.workloads import (
+    ActionBlock,
+    AtomicRead,
+    AtomicWrite,
+    Compute,
+    ParticipantSpec,
+    Raise,
+    Scenario,
+)
+
+
+class Overdraft(UniversalException):
+    pass
+
+
+def account(balance=100):
+    return AtomicObject(
+        "acct", {"balance": balance}, invariant=lambda s: s["balance"] >= 0
+    )
+
+
+def tree():
+    return ResolutionTree(UniversalException, {Overdraft: UniversalException})
+
+
+class TestNormalCompletion:
+    def test_writes_commit_at_action_end(self):
+        acct = account()
+        actions = [
+            CAActionDef("A1", ("O1", "O2"), tree(), transactional=True)
+        ]
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [ActionBlock("A1", [Compute(1), AtomicWrite(acct, "balance", 80)])],
+                {"A1": HandlerSet.completing_all(tree())},
+            ),
+            ParticipantSpec(
+                "O2",
+                [ActionBlock("A1", [Compute(5)])],
+                {"A1": HandlerSet.completing_all(tree())},
+            ),
+        ]
+        result = Scenario(actions, specs, atomic_objects=[acct]).run()
+        assert result.status("A1") is ActionStatus.COMPLETED
+        assert acct.get("balance") == 80
+        assert acct.version == 1
+
+    def test_reads_see_action_writes(self):
+        acct = account()
+        actions = [CAActionDef("A1", ("O1",), tree(), transactional=True)]
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [
+                    ActionBlock(
+                        "A1",
+                        [
+                            AtomicWrite(acct, "balance", 42),
+                            AtomicRead(acct, "balance"),
+                        ],
+                    )
+                ],
+                {"A1": HandlerSet.completing_all(tree())},
+            )
+        ]
+        result = Scenario(actions, specs, atomic_objects=[acct]).run()
+        assert result.runners["O1"].reads == [42]
+
+
+class TestForwardRecovery:
+    """Figure 2(a): handlers put atomic objects into *new* valid states."""
+
+    def test_handler_repairs_and_commits(self):
+        acct = account(100)
+
+        def repair(participant, exception):
+            txn = participant.action_manager.txn_for("A1")
+            txn.write(acct, "balance", 10)  # corrective, not a rollback
+            return HandlerResult(HandlerOutcome.COMPLETED)
+
+        handlers = HandlerSet.completing_all(tree()).with_override(
+            Overdraft, Handler(body=repair, duration=2.0)
+        )
+        actions = [CAActionDef("A1", ("O1", "O2"), tree(), transactional=True)]
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [
+                    ActionBlock(
+                        "A1",
+                        [
+                            Compute(1),
+                            AtomicWrite(acct, "balance", 500),  # erroneous work
+                            Compute(1),
+                            Raise(Overdraft),
+                        ],
+                    )
+                ],
+                {"A1": handlers},
+            ),
+            ParticipantSpec(
+                "O2",
+                [ActionBlock("A1", [Compute(50)])],
+                {"A1": HandlerSet.completing_all(tree())},
+            ),
+        ]
+        result = Scenario(actions, specs, atomic_objects=[acct]).run()
+        assert result.status("A1") is ActionStatus.COMPLETED
+        assert result.handled_exception("A1") is Overdraft
+        # Forward recovery: the new (repaired) state was committed — the
+        # object was NOT restored to its prior state.
+        assert acct.get("balance") == 10
+        assert acct.version == 1
+
+
+class TestBackwardOutcomes:
+    """Figure 2(b): failed recovery aborts the associated transaction."""
+
+    def test_failure_signal_rolls_back(self):
+        acct = account(100)
+        failure = declare_exception("GiveUp")
+        local_tree = ResolutionTree(
+            UniversalException,
+            {Overdraft: UniversalException, failure: UniversalException},
+        )
+        handlers = HandlerSet.completing_all(local_tree).with_override(
+            Overdraft, Handler.signalling(failure)
+        )
+        actions = [
+            CAActionDef("A1", ("O1", "O2"), local_tree, transactional=True)
+        ]
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [
+                    ActionBlock(
+                        "A1",
+                        [
+                            AtomicWrite(acct, "balance", 55),
+                            Compute(2),
+                            Raise(Overdraft),
+                        ],
+                    )
+                ],
+                {"A1": handlers},
+            ),
+            ParticipantSpec(
+                "O2",
+                [ActionBlock("A1", [Compute(50)])],
+                {"A1": handlers},
+            ),
+        ]
+        result = Scenario(actions, specs, atomic_objects=[acct]).run()
+        assert result.status("A1") is ActionStatus.FAILED
+        assert acct.get("balance") == 100  # rolled back
+        assert acct.version == 0
+
+    def test_nested_abortion_rolls_back_only_nested_writes(self):
+        acct = AtomicObject("acct", {"outer": 0, "inner": 0})
+        exc = declare_exception("OuterBoom")
+        outer_tree = ResolutionTree(
+            UniversalException, {exc: UniversalException}
+        )
+        inner_tree = ResolutionTree(UniversalException)
+        actions = [
+            CAActionDef("A1", ("O1", "O2"), outer_tree, transactional=True),
+            CAActionDef(
+                "A2", ("O2",), inner_tree, parent="A1", transactional=True
+            ),
+        ]
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [ActionBlock("A1", [Compute(10), Raise(exc)])],
+                {"A1": HandlerSet.completing_all(outer_tree)},
+            ),
+            ParticipantSpec(
+                "O2",
+                [
+                    ActionBlock(
+                        "A1",
+                        [
+                            AtomicWrite(acct, "outer", 1),
+                            ActionBlock(
+                                "A2",
+                                [AtomicWrite(acct, "inner", 1), Compute(100)],
+                            ),
+                        ],
+                    )
+                ],
+                {
+                    "A1": HandlerSet.completing_all(outer_tree),
+                    "A2": HandlerSet.completing_all(inner_tree),
+                },
+                abortion_handlers={"A2": AbortionHandler.silent()},
+            ),
+        ]
+        result = Scenario(actions, specs, atomic_objects=[acct]).run()
+        assert result.status("A2") is ActionStatus.ABORTED
+        assert result.status("A1") is ActionStatus.COMPLETED
+        # The nested write was undone by the abortion; the outer write
+        # survived and committed with A1.
+        assert acct.get("inner") == 0
+        assert acct.get("outer") == 1
+
+    def test_integrity_invariant_enforced_at_commit(self):
+        acct = account(100)
+        actions = [CAActionDef("A1", ("O1",), tree(), transactional=True)]
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [ActionBlock("A1", [AtomicWrite(acct, "balance", -5)])],
+                {"A1": HandlerSet.completing_all(tree())},
+            )
+        ]
+        scenario = Scenario(actions, specs, atomic_objects=[acct])
+        with pytest.raises(Exception, match="invariant"):
+            scenario.run()
+
+
+class TestTransactionLifecycleBookkeeping:
+    def test_txn_states_after_run(self):
+        acct = account()
+        exc = declare_exception("TxnBoom")
+        local_tree = ResolutionTree(UniversalException, {exc: UniversalException})
+        actions = [
+            CAActionDef("A1", ("O1", "O2"), local_tree, transactional=True),
+            CAActionDef(
+                "A2", ("O2",), ResolutionTree(UniversalException),
+                parent="A1", transactional=True,
+            ),
+        ]
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [ActionBlock("A1", [Compute(10), Raise(exc)])],
+                {"A1": HandlerSet.completing_all(local_tree)},
+            ),
+            ParticipantSpec(
+                "O2",
+                [ActionBlock("A1", [ActionBlock("A2", [Compute(100)])])],
+                {
+                    "A1": HandlerSet.completing_all(local_tree),
+                    "A2": HandlerSet.completing_all(
+                        ResolutionTree(UniversalException)
+                    ),
+                },
+                abortion_handlers={"A2": AbortionHandler.silent()},
+            ),
+        ]
+        result = Scenario(actions, specs, atomic_objects=[acct]).run()
+        assert result.manager.txn_for("A2").state is TxnState.ABORTED
+        assert result.manager.txn_for("A1").state is TxnState.COMMITTED

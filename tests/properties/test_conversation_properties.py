@@ -1,0 +1,150 @@
+"""Property-based tests: conversation-scheme invariants.
+
+The conversation contract (paper Section 2.2): failure anywhere is
+failure everywhere (joint rollback), success requires every acceptance
+test to pass on the same attempt, and state after acceptance reflects the
+passing attempt's alternates only.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conversation import (
+    AcceptanceTest,
+    Alternate,
+    Conversation,
+    ConversationProcess,
+)
+from repro.simkernel import Simulator
+from repro.transactions import AtomicObject
+
+
+@st.composite
+def conversation_plan(draw):
+    """Random processes with per-attempt pass/fail scripts."""
+    n_processes = draw(st.integers(min_value=1, max_value=4))
+    n_attempts = draw(st.integers(min_value=1, max_value=4))
+    # passes[p][k]: process p's acceptance verdict on attempt k.
+    passes = [
+        [draw(st.booleans()) for _ in range(n_attempts)]
+        for _ in range(n_processes)
+    ]
+    durations = [
+        [draw(st.floats(min_value=0.1, max_value=5.0)) for _ in range(n_attempts)]
+        for _ in range(n_processes)
+    ]
+    entries = [
+        draw(st.floats(min_value=0.0, max_value=4.0)) for _ in range(n_processes)
+    ]
+    return passes, durations, entries
+
+
+class TestConversationContract:
+    @given(conversation_plan())
+    @settings(max_examples=60, deadline=None)
+    def test_accepts_exactly_at_first_all_pass_attempt(self, plan):
+        passes, durations, entries = plan
+        n_attempts = len(passes[0])
+        sim = Simulator()
+        processes = []
+        for index, (script, times, entry) in enumerate(
+            zip(passes, durations, entries)
+        ):
+            def make_alt(process_index, attempt):
+                def body(state, shared):
+                    state["attempt"] = attempt
+                return Alternate(body, duration=durations[process_index][attempt])
+
+            alternates = [make_alt(index, k) for k in range(n_attempts)]
+
+            def make_acceptance(script):
+                return AcceptanceTest(
+                    lambda state, s=script: s[state.get("attempt", 0)]
+                )
+
+            processes.append(
+                ConversationProcess(
+                    f"p{index}",
+                    alternates,
+                    make_acceptance(script),
+                    entry_delay=entry,
+                )
+            )
+        conversation = Conversation(sim, processes)
+        conversation.start()
+        sim.run(max_events=100_000)
+
+        all_pass_attempts = [
+            k
+            for k in range(n_attempts)
+            if all(script[k] for script in passes)
+        ]
+        if all_pass_attempts:
+            first = all_pass_attempts[0]
+            assert conversation.accepted
+            assert conversation.attempt == first
+            # Every process's state reflects exactly the passing attempt.
+            for process in processes:
+                assert process.state["attempt"] == first
+        else:
+            assert conversation.failed
+            assert not conversation.accepted
+
+    @given(conversation_plan())
+    @settings(max_examples=40, deadline=None)
+    def test_failure_rolls_shared_state_back(self, plan):
+        passes, durations, entries = plan
+        n_attempts = len(passes[0])
+        # Force total failure: nobody ever passes.
+        passes = [[False] * n_attempts for _ in passes]
+        sim = Simulator()
+        shared = {"ledger": AtomicObject("ledger", {"x": 0})}
+        processes = []
+        for index in range(len(passes)):
+            alternates = [
+                Alternate(
+                    lambda state, sh, k=k, i=index: sh["ledger"].put(
+                        "x", 100 * i + k
+                    ),
+                    duration=1.0,
+                )
+                for k in range(n_attempts)
+            ]
+            processes.append(
+                ConversationProcess(
+                    f"p{index}",
+                    alternates,
+                    AcceptanceTest(lambda s: False),
+                    entry_delay=entries[index],
+                )
+            )
+        conversation = Conversation(sim, processes, shared)
+        conversation.start()
+        sim.run(max_events=100_000)
+        assert conversation.failed
+        assert shared["ledger"].snapshot() == {"x": 0}
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.lists(st.floats(min_value=0.0, max_value=20.0), min_size=1, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exit_is_synchronized(self, n_attempts_unused, entry_delays):
+        """Acceptance is evaluated only once the LAST process reaches the
+        test line, however asynchronous the entries."""
+        sim = Simulator()
+        processes = [
+            ConversationProcess(
+                f"p{i}",
+                [Alternate(lambda s, o: None, duration=1.0)],
+                AcceptanceTest.always(),
+                entry_delay=delay,
+            )
+            for i, delay in enumerate(entry_delays)
+        ]
+        conversation = Conversation(sim, processes)
+        conversation.start()
+        sim.run(max_events=100_000)
+        assert conversation.accepted
+        evaluations = conversation.trace.by_category("conv.evaluate")
+        assert evaluations[0].time == max(entry_delays) + 1.0

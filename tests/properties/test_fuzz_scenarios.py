@@ -1,0 +1,93 @@
+"""Property-based fuzzing of whole nested-scenario worlds.
+
+Random action trees, random raisers at random levels, random abortion
+signals, random timings — the paper's two guarantees (termination and
+per-action handler agreement) must survive all of it.  This suite found
+two real protocol races during development (the exit barrier firing during
+an outer abortion, and belated entry into an aborted action), so it earns
+its keep.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.fuzz import build_random_scenario, check_invariants
+
+
+class TestFuzzedNestedScenarios:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        n=st.integers(min_value=2, max_value=7),
+        depth=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold(self, seed, n, depth):
+        scenario, plan = build_random_scenario(
+            seed, n_participants=n, max_depth=depth
+        )
+        result = scenario.run(max_events=600_000)
+        problems = check_invariants(result, plan)
+        assert not problems, f"{plan.describe()}: {problems}"
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        raise_probability=st.floats(min_value=0.1, max_value=1.0),
+        signal_probability=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_across_raise_densities(
+        self, seed, raise_probability, signal_probability
+    ):
+        scenario, plan = build_random_scenario(
+            seed,
+            n_participants=5,
+            max_depth=3,
+            raise_probability=raise_probability,
+            signal_probability=signal_probability,
+        )
+        result = scenario.run(max_events=600_000)
+        problems = check_invariants(result, plan)
+        assert not problems, f"{plan.describe()}: {problems}"
+
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_latency_worlds(self, seed):
+        scenario, plan = build_random_scenario(
+            seed, n_participants=4, max_depth=3, random_latency=False
+        )
+        result = scenario.run(max_events=600_000)
+        problems = check_invariants(result, plan)
+        assert not problems, f"{plan.describe()}: {problems}"
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        failing_attempts=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_backward_recovery_composition(self, seed, failing_attempts):
+        """Figure 2(b) retries of the root action composed with random
+        exceptions, abortion signals and nesting — per-incarnation handler
+        agreement and termination must survive."""
+        scenario, plan = build_random_scenario(
+            seed,
+            n_participants=4,
+            max_depth=3,
+            failing_attempts=failing_attempts,
+        )
+        result = scenario.run(max_events=800_000)
+        problems = check_invariants(result, plan)
+        assert not problems, f"{plan.describe()}: {problems}"
+        root = plan.actions[0].name
+        assert result.manager.attempt_of(root) == failing_attempts + 1
+
+    def test_generator_is_deterministic(self):
+        _, plan_a = build_random_scenario(777, n_participants=5, max_depth=3)
+        _, plan_b = build_random_scenario(777, n_participants=5, max_depth=3)
+        assert plan_a.describe() == plan_b.describe()
+
+    def test_every_scenario_has_a_raiser(self):
+        for seed in range(30):
+            _, plan = build_random_scenario(
+                seed, n_participants=3, raise_probability=0.0
+            )
+            assert plan.raisers  # the generator forces at least one

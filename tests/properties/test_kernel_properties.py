@@ -1,0 +1,99 @@
+"""Property-based tests: simulation kernel and network ordering invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.channel import Channel
+from repro.net.latency import UniformLatency
+from repro.net.message import Message
+from repro.simkernel import EventQueue, Simulator
+
+
+class TestEventQueueProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                st.integers(min_value=-2, max_value=2),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pop_order_is_total_and_stable(self, entries):
+        queue = EventQueue()
+        for i, (time, priority) in enumerate(entries):
+            queue.push(time, lambda: None, priority=priority, label=str(i))
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.append((event.time, event.priority, event.seq))
+        assert popped == sorted(popped)
+        assert len(popped) == len(entries)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                 min_size=1, max_size=100),
+        st.sets(st.integers(min_value=0, max_value=99)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cancellation_removes_exactly_the_cancelled(self, times, cancel):
+        queue = EventQueue()
+        events = [queue.push(t, lambda: None, label=str(i))
+                  for i, t in enumerate(times)]
+        for index in cancel:
+            if index < len(events):
+                events[index].cancel()
+        alive = {i for i in range(len(times))} - {
+            i for i in cancel if i < len(times)
+        }
+        popped = set()
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.add(int(event.label))
+        assert popped == alive
+
+
+class TestSimulatorProperties:
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False),
+                 min_size=1, max_size=100)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_execution_times_monotone(self, delays):
+        sim = Simulator()
+        seen = []
+        for delay in delays:
+            sim.schedule(delay, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)
+
+
+class TestChannelFifoProperty:
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.lists(st.floats(min_value=0, max_value=5, allow_nan=False),
+                 min_size=2, max_size=150),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_for_any_send_schedule(self, seed, gaps):
+        """Whatever the send times and latency draws, per-channel delivery
+        order equals send order."""
+        channel = Channel(
+            "a", "b", UniformLatency(0.0, 10.0), rng=random.Random(seed)
+        )
+        now = 0.0
+        deliveries = []
+        for gap in gaps:
+            now += gap
+            message = Message(src="a", dst="b", kind="K")
+            deliveries.append(channel.stamp(message, now))
+        assert deliveries == sorted(deliveries)

@@ -1,0 +1,145 @@
+"""Property-based tests: end-to-end invariants of the resolution protocol.
+
+These run whole randomized scenarios through the simulator and check the
+paper's guarantees hold for *every* generated workload and timing:
+
+* termination (all behaviours finish);
+* agreement (every participant of an action handles the same exception);
+* exactly ``resolver_group_size`` commits per resolution;
+* the Section 4.4 message-count formula, independent of latency.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import general_messages
+from repro.net.latency import ConstantLatency, ExponentialLatency, UniformLatency
+from repro.workloads.generator import example2_scenario, figure3_scenario, general_case
+
+latencies = st.sampled_from(
+    [
+        ConstantLatency(1.0),
+        ConstantLatency(0.1),
+        UniformLatency(0.1, 5.0),
+        ExponentialLatency(2.0, 0.1),
+    ]
+)
+
+
+@st.composite
+def workload(draw):
+    n = draw(st.integers(min_value=1, max_value=9))
+    p = draw(st.integers(min_value=1, max_value=n))
+    q = draw(st.integers(min_value=0, max_value=n - p))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    latency = draw(latencies)
+    return n, p, q, seed, latency
+
+
+class TestFlatAndNestedWorkloads:
+    @given(workload())
+    @settings(max_examples=40, deadline=None)
+    def test_formula_termination_agreement(self, params):
+        n, p, q, seed, latency = params
+        result = general_case(n, p, q, latency=latency, seed=seed).run()
+        # Termination.
+        assert result.all_finished()
+        # Exact message-count formula (Section 4.4).
+        assert result.resolution_message_total() == general_messages(n, p, q)
+        # Agreement: everyone runs the same handler.
+        handlers = result.handlers_started("A1")
+        assert len(handlers) == n
+        assert len(set(handlers.values())) == 1
+        # Exactly one commit (trace-level check; for n == 1 the solo raiser
+        # commits locally too).
+        assert len(result.commit_entries("A1")) == 1
+
+    @given(workload(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_resolver_group_invariants(self, params, k):
+        n, p, q, seed, latency = params
+        result = general_case(
+            n, p, q, latency=latency, seed=seed, resolver_group_size=k
+        ).run()
+        assert result.all_finished()
+        handlers = result.handlers_started("A1")
+        assert len(set(handlers.values())) == 1
+        commits = result.commit_entries("A1")
+        assert len(commits) == min(k, p)
+        assert len({c.details["exception"] for c in commits}) == 1
+
+    @given(
+        st.integers(min_value=0, max_value=2**16),
+        latencies,
+        st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_example2_invariants_any_timing(self, seed, latency, abort_duration):
+        result = example2_scenario(
+            seed=seed, latency=latency, abort_duration=abort_duration
+        ).run()
+        assert result.all_finished()
+        assert sum(result.messages_for_action("A1").values()) == 36
+        handlers = result.handlers_started("A1")
+        assert set(handlers) == {"O1", "O2", "O3", "O4"}
+        assert len(set(handlers.values())) == 1
+
+    @given(st.integers(min_value=0, max_value=2**16), latencies)
+    @settings(max_examples=20, deadline=None)
+    def test_figure3_abortion_order_any_timing(self, seed, latency):
+        result = figure3_scenario(seed=seed, latency=latency).run()
+        assert result.all_finished()
+        for name in ("O2", "O3"):
+            done = [
+                e.details["action"]
+                for e in result.runtime.trace.by_category("abort.done")
+                if e.subject == name
+            ]
+            assert done == ["A3", "A2"]
+
+
+class TestRaiseTimingRobustness:
+    @given(
+        st.integers(min_value=2, max_value=7),
+        st.floats(min_value=0.0, max_value=3.0),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_staggered_raises_still_converge(self, n, stagger, seed):
+        """Raisers that fire within the information-propagation window all
+        join one resolution; termination and agreement must hold whatever
+        the stagger (raisers that learn of another exception first simply
+        become suspended instead of raising)."""
+        from repro.core.action import CAActionDef
+        from repro.exceptions import (
+            HandlerSet,
+            ResolutionTree,
+            UniversalException,
+            declare_exception,
+        )
+        from repro.workloads import ActionBlock, Compute, ParticipantSpec, Raise, Scenario
+
+        leaves = [declare_exception(f"Stag_{i}") for i in range(n)]
+        tree = ResolutionTree(
+            UniversalException, {leaf: UniversalException for leaf in leaves}
+        )
+        names = [f"O{i}" for i in range(n)]
+        action = CAActionDef("A1", tuple(names), tree)
+        specs = []
+        for i, name in enumerate(names):
+            behaviour = [
+                ActionBlock("A1", [Compute(5.0 + i * stagger), Raise(leaves[i])])
+            ]
+            specs.append(
+                ParticipantSpec(
+                    name, behaviour, {"A1": HandlerSet.completing_all(tree)}
+                )
+            )
+        result = Scenario(
+            [action], specs, latency=UniformLatency(0.5, 2.0), seed=seed
+        ).run()
+        assert result.all_finished()
+        handlers = result.handlers_started("A1")
+        assert len(handlers) == n
+        assert len(set(handlers.values())) == 1
+        assert len(result.commit_entries("A1")) == 1

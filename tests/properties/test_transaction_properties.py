@@ -1,0 +1,188 @@
+"""Property-based tests: transactional substrate invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transactions import (
+    AtomicObject,
+    LockManager,
+    LockMode,
+    TransactionManager,
+    TxnState,
+)
+from repro.transactions.errors import LockConflictError
+
+
+@st.composite
+def write_script(draw):
+    """A list of (object index, key, value) writes."""
+    return draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=0, max_value=4),
+                st.integers(),
+            ),
+            max_size=30,
+        )
+    )
+
+
+def make_objects():
+    return [AtomicObject(f"obj{i}", {k: 0 for k in range(5)}) for i in range(3)]
+
+
+class TestAbortRestoresExactly:
+    @given(write_script())
+    @settings(max_examples=60, deadline=None)
+    def test_abort_is_identity(self, script):
+        objects = make_objects()
+        before = [obj.snapshot() for obj in objects]
+        tm = TransactionManager()
+        txn = tm.begin()
+        for obj_index, key, value in script:
+            txn.write(objects[obj_index], key, value)
+        txn.abort()
+        assert [obj.snapshot() for obj in objects] == before
+        assert all(obj.version == 0 for obj in objects)
+
+    @given(write_script())
+    @settings(max_examples=60, deadline=None)
+    def test_commit_equals_sequential_replay(self, script):
+        objects = make_objects()
+        replay = [obj.snapshot() for obj in objects]
+        for obj_index, key, value in script:
+            replay[obj_index][key] = value
+        tm = TransactionManager()
+        txn = tm.begin()
+        for obj_index, key, value in script:
+            txn.write(objects[obj_index], key, value)
+        txn.commit()
+        assert [obj.snapshot() for obj in objects] == replay
+
+
+@st.composite
+def nested_plan(draw):
+    """A random tree of transactions with writes and commit/abort fates.
+
+    Encoded as a sequence of operations executed depth-first on a stack:
+    'begin' opens a child of the top, 'write' writes through the top,
+    'commit'/'abort' closes the top.
+    """
+    ops = []
+    depth = 1
+    remaining = draw(st.integers(min_value=0, max_value=25))
+    for _ in range(remaining):
+        choice = draw(
+            st.sampled_from(
+                ["write", "write", "begin", "close"] if depth < 4
+                else ["write", "close"]
+            )
+        )
+        if choice == "begin":
+            ops.append(("begin",))
+            depth += 1
+        elif choice == "close" and depth > 1:
+            ops.append(("close", draw(st.booleans())))
+            depth -= 1
+        else:
+            ops.append(
+                (
+                    "write",
+                    draw(st.integers(min_value=0, max_value=4)),
+                    draw(st.integers()),
+                )
+            )
+    while depth > 1:
+        ops.append(("close", draw(st.booleans())))
+        depth -= 1
+    ops.append(("close", draw(st.booleans())))
+    return ops
+
+
+class TestNestedSemantics:
+    @given(nested_plan())
+    @settings(max_examples=80, deadline=None)
+    def test_effects_survive_iff_all_enclosing_commit(self, ops):
+        """Model check: a write survives exactly when its transaction and
+        every enclosing transaction commit."""
+        obj = AtomicObject("obj", {k: 0 for k in range(5)})
+        tm = TransactionManager()
+        root = tm.begin()
+        stack = [root]
+        # Shadow model: per live txn, its pending writes (as dicts) are
+        # merged into the parent on commit, dropped on abort.
+        shadow = [{}]
+        for op in ops:
+            if op[0] == "begin":
+                stack.append(stack[-1].start_nested())
+                shadow.append({})
+            elif op[0] == "write":
+                _, key, value = op
+                stack[-1].write(obj, key, value)
+                shadow[-1][key] = value
+            else:
+                commit = op[1]
+                txn = stack.pop()
+                pending = shadow.pop()
+                if not stack:  # root close
+                    if commit:
+                        txn.commit()
+                        final = {k: 0 for k in range(5)}
+                        final.update(pending)
+                        assert obj.snapshot() == final
+                    else:
+                        txn.abort()
+                        assert obj.snapshot() == {k: 0 for k in range(5)}
+                    return
+                if commit:
+                    txn.commit()
+                    shadow[-1].update(pending)
+                else:
+                    txn.abort()
+
+
+class TestLockManagerProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=4),   # txn
+                st.integers(min_value=0, max_value=2),   # resource
+                st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE]),
+                st.booleans(),                            # release_all after
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exclusion_invariant(self, steps):
+        """After any sequence of try-acquires and releases: a resource with
+        an EXCLUSIVE holder has exactly one holder."""
+        lm = LockManager()
+        for txn, resource, mode, release in steps:
+            try:
+                lm.acquire(txn, resource, mode)
+            except LockConflictError:
+                pass
+            if release:
+                lm.release_all(txn)
+            # Invariant check over the internal table.
+            for res, lock in lm._table.items():
+                modes = list(lock.holders.values())
+                if LockMode.EXCLUSIVE in modes:
+                    assert len(modes) == 1, (res, lock.holders)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=10)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_release_all_is_complete(self, txns):
+        lm = LockManager()
+        for i, txn in enumerate(txns):
+            try:
+                lm.acquire(txn, i % 3, LockMode.EXCLUSIVE)
+            except LockConflictError:
+                pass
+        for txn in set(txns):
+            lm.release_all(txn)
+            assert lm.held_resources(txn) == []

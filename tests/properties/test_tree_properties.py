@@ -1,0 +1,130 @@
+"""Property-based tests: the resolution tree's algebra.
+
+The exception tree is the semantic core of resolution — these properties
+pin down that ``resolve`` behaves as a least-upper-bound operator on the
+tree order, for arbitrary randomly generated trees.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ResolutionTree, UniversalException, declare_exception
+
+
+@st.composite
+def random_tree(draw):
+    """A random tree of 1..25 exceptions rooted at UniversalException."""
+    size = draw(st.integers(min_value=1, max_value=25))
+    nodes = [UniversalException]
+    parents = {}
+    for i in range(size):
+        parent = draw(st.sampled_from(nodes))
+        child = declare_exception(f"PropExc_{i}_{id(parent) % 997}", parent=parent)
+        parents[child] = parent
+        nodes.append(child)
+    return ResolutionTree(UniversalException, parents)
+
+
+@st.composite
+def tree_and_subset(draw, min_size=1, max_size=6):
+    tree = draw(random_tree())
+    members = sorted(tree.members, key=lambda c: c.__name__)
+    subset = draw(
+        st.lists(
+            st.sampled_from(members), min_size=min_size, max_size=max_size
+        )
+    )
+    return tree, subset
+
+
+class TestResolveIsLeastUpperBound:
+    @given(tree_and_subset())
+    @settings(max_examples=60, deadline=None)
+    def test_resolution_covers_every_input(self, data):
+        tree, raised = data
+        resolved = tree.resolve(raised)
+        for exc in raised:
+            assert tree.covers(resolved, exc)
+
+    @given(tree_and_subset())
+    @settings(max_examples=60, deadline=None)
+    def test_resolution_is_minimal(self, data):
+        """No strictly lower exception covers all raised ones."""
+        tree, raised = data
+        resolved = tree.resolve(raised)
+        for candidate in tree.members:
+            if candidate is resolved:
+                continue
+            if tree.covers(resolved, candidate) and all(
+                tree.covers(candidate, exc) for exc in raised
+            ):
+                raise AssertionError(
+                    f"{candidate.__name__} is lower than "
+                    f"{resolved.__name__} yet covers everything"
+                )
+
+    @given(tree_and_subset(min_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_order_independence(self, data):
+        tree, raised = data
+        assert tree.resolve(raised) is tree.resolve(list(reversed(raised)))
+
+    @given(tree_and_subset())
+    @settings(max_examples=60, deadline=None)
+    def test_idempotence(self, data):
+        tree, raised = data
+        resolved = tree.resolve(raised)
+        assert tree.resolve([resolved, *raised]) is resolved
+
+    @given(tree_and_subset(min_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_associativity_via_pairwise_folding(self, data):
+        """Folding resolve over pairs equals resolving the whole set."""
+        tree, raised = data
+        folded = raised[0]
+        for exc in raised[1:]:
+            folded = tree.resolve([folded, exc])
+        assert folded is tree.resolve(raised)
+
+    @given(random_tree())
+    @settings(max_examples=40, deadline=None)
+    def test_root_covers_all(self, tree):
+        for exc in tree.members:
+            assert tree.covers(tree.root, exc)
+
+    @given(tree_and_subset())
+    @settings(max_examples=60, deadline=None)
+    def test_depth_antitone_along_cover(self, data):
+        tree, raised = data
+        resolved = tree.resolve(raised)
+        for exc in raised:
+            assert tree.depth(resolved) <= tree.depth(exc)
+
+
+class TestCoverWithin:
+    @given(tree_and_subset())
+    @settings(max_examples=60, deadline=None)
+    def test_cover_within_is_covering_member(self, data):
+        tree, picked = data
+        subset = set(picked) | {tree.root}
+        for exc in tree.members:
+            cover = tree.cover_within(subset, exc)
+            assert cover in subset
+            assert tree.covers(cover, exc)
+
+    @given(tree_and_subset())
+    @settings(max_examples=60, deadline=None)
+    def test_cover_within_is_nearest(self, data):
+        tree, picked = data
+        subset = set(picked) | {tree.root}
+        for exc in tree.members:
+            cover = tree.cover_within(subset, exc)
+            # No subset member strictly between exc and its cover.
+            for other in subset:
+                if other is cover:
+                    continue
+                if tree.covers(other, exc) and tree.covers(cover, other):
+                    raise AssertionError(
+                        f"{other.__name__} is nearer to {exc.__name__} "
+                        f"than {cover.__name__}"
+                    )

@@ -1,0 +1,304 @@
+"""White-box tests of the resolution engine's state machine.
+
+These drive :class:`ResolutionEngine` with hand-crafted messages to pin
+down transitions and edge cases that whole-scenario tests reach only
+probabilistically: state sequencing, straggler handling, duplicate and
+conflicting commits, context replacement.
+"""
+
+import pytest
+
+from repro.core.action import ActionRegistry, CAActionDef
+from repro.core.algorithm import ResolutionProtocolError
+from repro.core.manager import CAActionManager
+from repro.core.messages import (
+    KIND_ACK,
+    KIND_COMMIT,
+    KIND_EXCEPTION,
+    KIND_HAVE_NESTED,
+    KIND_NESTED_COMPLETED,
+    AckMsg,
+    CommitMsg,
+    ExceptionMsg,
+    HaveNestedMsg,
+    NestedCompletedMsg,
+)
+from repro.core.participant import (
+    ActionUnavailableError,
+    CAParticipant,
+    ProtocolViolation,
+)
+from repro.core.state import PState
+from repro.exceptions import (
+    HandlerSet,
+    ResolutionTree,
+    UniversalException,
+    declare_exception,
+)
+from repro.net.message import Message
+from repro.objects.runtime import Runtime
+
+ExcA = declare_exception("EngineExcA")
+ExcB = declare_exception("EngineExcB")
+
+
+def make_world(names=("O1", "O2", "O3"), nested=False):
+    tree = ResolutionTree(
+        UniversalException,
+        {ExcA: UniversalException, ExcB: UniversalException},
+    )
+    registry = ActionRegistry()
+    registry.declare(CAActionDef("A1", tuple(names), tree))
+    if nested:
+        registry.declare(
+            CAActionDef("A2", (names[0],), ResolutionTree(UniversalException),
+                        parent="A1")
+        )
+    manager = CAActionManager(registry)
+    runtime = Runtime()
+    participants = {}
+    for name in names:
+        handler_sets = {"A1": HandlerSet.completing_all(tree)}
+        if nested:
+            handler_sets["A2"] = HandlerSet.completing_all(
+                ResolutionTree(UniversalException)
+            )
+        participant = CAParticipant(name, registry, manager, handler_sets)
+        runtime.register(participant)
+        participants[name] = participant
+    return runtime, manager, participants
+
+
+def deliver(participant, src, kind, payload):
+    participant.receive(Message(src=src, dst=participant.name, kind=kind,
+                                payload=payload))
+
+
+class TestStateTransitions:
+    def test_normal_until_involved(self):
+        _, _, ps = make_world()
+        p = ps["O1"]
+        p.enter_action("A1")
+        assert p.engine.state() is PState.NORMAL
+
+    def test_raiser_goes_exceptional_then_ready(self):
+        runtime, _, ps = make_world(names=("O1", "O2"))
+        for p in ps.values():
+            p.enter_action("A1")
+        ps["O1"].raise_exception(ExcA)
+        assert ps["O1"].engine.state() is PState.EXCEPTIONAL
+        deliver(ps["O1"], "O2", KIND_ACK, AckMsg("A1", "O2", KIND_EXCEPTION))
+        # All ACKs in, nothing nested: READY — and as the only raiser O1
+        # resolves immediately, scheduling its own handler.
+        ctx = ps["O1"].engine.ctx
+        assert ctx.state is PState.READY
+        assert ctx.commit is not None
+        assert ctx.commit.sender == "O1"
+
+    def test_informed_object_suspends(self):
+        _, _, ps = make_world()
+        p = ps["O3"]
+        p.enter_action("A1")
+        deliver(p, "O1", KIND_EXCEPTION, ExceptionMsg("A1", "O1", ExcA))
+        assert p.engine.state() is PState.SUSPENDED
+        assert p.engine.ctx.le == {"O1": ExcA}
+
+    def test_suspended_never_ready(self):
+        _, _, ps = make_world()
+        p = ps["O3"]
+        p.enter_action("A1")
+        deliver(p, "O1", KIND_EXCEPTION, ExceptionMsg("A1", "O1", ExcA))
+        deliver(p, "O2", KIND_EXCEPTION, ExceptionMsg("A1", "O2", ExcB))
+        assert p.engine.state() is PState.SUSPENDED
+
+
+class TestReadyConditions:
+    def test_outstanding_ack_blocks_ready(self):
+        _, _, ps = make_world()
+        p = ps["O1"]
+        p.enter_action("A1")
+        p.raise_exception(ExcA)
+        deliver(p, "O2", KIND_ACK, AckMsg("A1", "O2", KIND_EXCEPTION))
+        assert p.engine.state() is PState.EXCEPTIONAL  # O3's ACK missing
+
+    def test_outstanding_nested_completed_blocks_ready(self):
+        _, _, ps = make_world()
+        p = ps["O1"]
+        p.enter_action("A1")
+        p.raise_exception(ExcA)
+        deliver(p, "O2", KIND_HAVE_NESTED, HaveNestedMsg("A1", "O2"))
+        deliver(p, "O2", KIND_ACK, AckMsg("A1", "O2", KIND_EXCEPTION))
+        deliver(p, "O3", KIND_ACK, AckMsg("A1", "O3", KIND_EXCEPTION))
+        assert p.engine.state() is PState.EXCEPTIONAL  # O2 owes NestedCompleted
+        deliver(
+            p, "O2", KIND_NESTED_COMPLETED, NestedCompletedMsg("A1", "O2", None)
+        )
+        assert p.engine.ctx.state is PState.READY
+
+    def test_nested_completed_with_signal_joins_raiser_set(self):
+        _, _, ps = make_world()
+        p = ps["O1"]
+        p.enter_action("A1")
+        p.raise_exception(ExcA)
+        deliver(p, "O2", KIND_HAVE_NESTED, HaveNestedMsg("A1", "O2"))
+        deliver(
+            p, "O2", KIND_NESTED_COMPLETED, NestedCompletedMsg("A1", "O2", ExcB)
+        )
+        assert p.engine.ctx.le == {"O1": ExcA, "O2": ExcB}
+
+
+class TestResolverElection:
+    def test_not_biggest_waits_for_commit(self):
+        _, _, ps = make_world(names=("O1", "O2"))
+        p = ps["O1"]
+        p.enter_action("A1")
+        p.raise_exception(ExcA)
+        deliver(p, "O2", KIND_EXCEPTION, ExceptionMsg("A1", "O2", ExcB))
+        deliver(p, "O2", KIND_ACK, AckMsg("A1", "O2", KIND_EXCEPTION))
+        ctx = p.engine.ctx
+        assert ctx.state is PState.READY
+        assert not ctx.sent_commit  # O2 > O1: O1 must not commit
+        assert ctx.commit is None
+
+    def test_biggest_resolves_and_lists_raisers(self):
+        _, _, ps = make_world(names=("O1", "O2"))
+        p = ps["O2"]
+        p.enter_action("A1")
+        p.raise_exception(ExcB)
+        deliver(p, "O1", KIND_EXCEPTION, ExceptionMsg("A1", "O1", ExcA))
+        deliver(p, "O1", KIND_ACK, AckMsg("A1", "O1", KIND_EXCEPTION))
+        ctx = p.engine.ctx
+        assert ctx.sent_commit
+        assert ctx.commit.raisers == ("O1", "O2")
+        assert ctx.commit.exception is UniversalException
+
+
+class TestCommitHandling:
+    def _suspended(self, ps):
+        p = ps["O3"]
+        p.enter_action("A1")
+        deliver(p, "O1", KIND_EXCEPTION, ExceptionMsg("A1", "O1", ExcA))
+        return p
+
+    def test_commit_with_unseen_raiser_defers_handler(self):
+        runtime, _, ps = make_world()
+        p = self._suspended(ps)
+        commit = CommitMsg("A1", "O2", UniversalException, raisers=("O1", "O2"))
+        deliver(p, "O2", KIND_COMMIT, commit)
+        assert not p.engine.ctx.handler_scheduled  # O2's Exception missing
+        deliver(p, "O2", KIND_EXCEPTION, ExceptionMsg("A1", "O2", ExcB))
+        assert p.engine.ctx.handler_scheduled
+
+    def test_agreeing_duplicate_commit_tolerated(self):
+        runtime, _, ps = make_world()
+        p = self._suspended(ps)
+        commit = CommitMsg("A1", "O2", ExcA, raisers=("O1",))
+        deliver(p, "O2", KIND_COMMIT, commit)
+        deliver(p, "O1", KIND_COMMIT, CommitMsg("A1", "O1", ExcA, ("O1",)))
+        assert p.engine.ctx.handler_scheduled
+
+    def test_conflicting_commit_rejected(self):
+        runtime, _, ps = make_world()
+        p = self._suspended(ps)
+        deliver(p, "O2", KIND_COMMIT, CommitMsg("A1", "O2", ExcA, ("O1",)))
+        with pytest.raises(ResolutionProtocolError, match="conflicting"):
+            deliver(p, "O1", KIND_COMMIT, CommitMsg("A1", "O1", ExcB, ("O1",)))
+
+    def test_post_handler_stragglers_are_drained(self):
+        runtime, _, ps = make_world()
+        p = self._suspended(ps)
+        deliver(p, "O2", KIND_COMMIT, CommitMsg("A1", "O2", ExcA, ("O1",)))
+        runtime.run()  # handler executes
+        assert p.engine.ctx is None
+        # Stragglers of every tolerated kind are absorbed silently.
+        deliver(p, "O2", KIND_HAVE_NESTED, HaveNestedMsg("A1", "O2"))
+        deliver(
+            p, "O2", KIND_NESTED_COMPLETED, NestedCompletedMsg("A1", "O2", None)
+        )
+        deliver(p, "O2", KIND_ACK, AckMsg("A1", "O2", KIND_NESTED_COMPLETED))
+        deliver(p, "O2", KIND_COMMIT, CommitMsg("A1", "O2", ExcA, ("O1",)))
+        stragglers = runtime.trace.by_category("msg.straggler")
+        assert len(stragglers) >= 3
+
+    def test_post_handler_exception_is_protocol_error(self):
+        runtime, _, ps = make_world()
+        p = self._suspended(ps)
+        deliver(p, "O2", KIND_COMMIT, CommitMsg("A1", "O2", ExcA, ("O1",)))
+        runtime.run()
+        with pytest.raises(ResolutionProtocolError, match="already-resolved"):
+            deliver(p, "O2", KIND_EXCEPTION, ExceptionMsg("A1", "O2", ExcB))
+
+    def test_conflicting_late_commit_rejected(self):
+        runtime, _, ps = make_world()
+        p = self._suspended(ps)
+        deliver(p, "O2", KIND_COMMIT, CommitMsg("A1", "O2", ExcA, ("O1",)))
+        runtime.run()
+        with pytest.raises(ResolutionProtocolError, match="conflicting late"):
+            deliver(p, "O1", KIND_COMMIT, CommitMsg("A1", "O1", ExcB, ("O1",)))
+
+
+class TestMisuseAndBookkeeping:
+    def test_raise_after_resolution_rejected(self):
+        runtime, _, ps = make_world()
+        p = ps["O3"]
+        p.enter_action("A1")
+        deliver(p, "O1", KIND_EXCEPTION, ExceptionMsg("A1", "O1", ExcA))
+        deliver(p, "O2", KIND_COMMIT, CommitMsg("A1", "O2", ExcA, ("O1",)))
+        runtime.run()
+        with pytest.raises(ResolutionProtocolError, match="raise after"):
+            p.engine.local_raise("A1", ExcB)
+
+    def test_duplicate_have_nested_deduped(self):
+        _, _, ps = make_world()
+        p = ps["O1"]
+        p.enter_action("A1")
+        p.raise_exception(ExcA)
+        deliver(p, "O2", KIND_HAVE_NESTED, HaveNestedMsg("A1", "O2"))
+        deliver(p, "O2", KIND_HAVE_NESTED, HaveNestedMsg("A1", "O2"))
+        assert p.engine.ctx.lo == {"O2"}
+
+    def test_ack_with_unknown_ref_ignored(self):
+        _, _, ps = make_world()
+        p = ps["O1"]
+        p.enter_action("A1")
+        p.raise_exception(ExcA)
+        deliver(p, "O2", KIND_ACK, AckMsg("A1", "O2", KIND_NESTED_COMPLETED))
+        assert p.engine.ctx.ack_awaited[KIND_EXCEPTION] == {"O2", "O3"}
+
+    def test_forget_action_clears_context(self):
+        _, _, ps = make_world()
+        p = ps["O3"]
+        p.enter_action("A1")
+        deliver(p, "O1", KIND_EXCEPTION, ExceptionMsg("A1", "O1", ExcA))
+        p.engine.forget_action("A1")
+        assert p.engine.ctx is None
+        assert p.engine.state() is PState.NORMAL
+
+    def test_message_for_unentered_action_buffers(self):
+        _, _, ps = make_world()
+        p = ps["O3"]  # has not entered A1
+        deliver(p, "O1", KIND_EXCEPTION, ExceptionMsg("A1", "O1", ExcA))
+        assert p.engine.ctx is None
+        assert len(p.pending["A1"]) == 1
+
+    def test_entering_aborted_action_refused(self):
+        _, manager, ps = make_world(nested=True)
+        p = ps["O1"]
+        p.enter_action("A1")
+        manager.note_entered("A2", "O1", 0.0)
+        manager.note_aborted("A2", 1.0)
+        with pytest.raises(ActionUnavailableError):
+            p.enter_action("A2")
+
+    def test_leave_during_resolution_rejected(self):
+        _, _, ps = make_world()
+        p = ps["O3"]
+        p.enter_action("A1")
+        deliver(p, "O1", KIND_EXCEPTION, ExceptionMsg("A1", "O1", ExcA))
+        with pytest.raises(ProtocolViolation, match="during resolution"):
+            p.request_leave("A1")
+
+    def test_handler_cancel_is_idempotent(self):
+        _, _, ps = make_world()
+        p = ps["O1"]
+        p.cancel_handler("A1")  # nothing scheduled: no-op

@@ -1,0 +1,97 @@
+"""Unit tests for the analytical model and fitting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    case1_messages,
+    case2_messages,
+    case3_messages,
+    fit_power_law,
+    general_messages,
+    growth_order,
+    multicast_operations,
+    resolver_group_messages,
+)
+from repro.analysis.formulas import consistency_checks
+
+
+class TestFormulas:
+    def test_case1(self):
+        assert case1_messages(1) == 0
+        assert case1_messages(2) == 3
+        assert case1_messages(5) == 12
+
+    def test_case2(self):
+        assert case2_messages(2) == 6
+        assert case2_messages(5) == 60
+
+    def test_case3(self):
+        assert case3_messages(1) == 0
+        assert case3_messages(3) == 14
+        assert case3_messages(5) == 44
+
+    def test_general(self):
+        assert general_messages(4, 1, 3) == 36  # Example 2's count
+        assert general_messages(3, 2, 0) == 10  # Example 1's count
+        assert general_messages(5, 0, 2) == 0   # nothing raised
+
+    def test_cases_are_special_cases_of_general(self):
+        assert consistency_checks() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            general_messages(0, 0, 0)
+        with pytest.raises(ValueError):
+            general_messages(3, 4, 0)
+        with pytest.raises(ValueError):
+            general_messages(3, 1, 3)
+
+    def test_resolver_group(self):
+        assert resolver_group_messages(5, 2, 1, 1) == general_messages(5, 2, 1)
+        assert resolver_group_messages(5, 2, 1, 2) == 4 * (4 + 3 + 2)
+        assert resolver_group_messages(5, 2, 1, 9) == 4 * (4 + 3 + 2)  # k capped at P
+        with pytest.raises(ValueError):
+            resolver_group_messages(5, 2, 1, 0)
+
+    def test_multicast_operations(self):
+        assert multicast_operations(5, 1, 3) == 9
+        assert multicast_operations(5, 0, 0) == 0
+
+
+class TestPowerLawFit:
+    def test_exact_square_law(self):
+        fit = fit_power_law([(n, 5 * n**2) for n in (2, 4, 8, 16)])
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.coefficient == pytest.approx(5.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_cube_law(self):
+        fit = fit_power_law([(n, 0.5 * n**3) for n in (2, 4, 8)])
+        assert fit.exponent == pytest.approx(3.0)
+
+    def test_predict(self):
+        fit = fit_power_law([(n, 2 * n**2) for n in (2, 4, 8)])
+        assert fit.predict(10) == pytest.approx(200.0)
+
+    def test_noisy_data_r_squared_below_one(self):
+        points = [(2, 9), (4, 34), (8, 125), (16, 540)]
+        fit = fit_power_law(points)
+        assert 1.8 < fit.exponent < 2.2
+        assert 0.9 < fit.r_squared <= 1.0
+
+    def test_growth_order_shorthand(self):
+        assert growth_order([(2, 4), (4, 16)]) == pytest.approx(2.0)
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(ValueError):
+            fit_power_law([(2, 4)])
+        with pytest.raises(ValueError):
+            fit_power_law([(2, 4), (2, 5)])
+        with pytest.raises(ValueError):
+            fit_power_law([(0, 4), (-1, 5)])
+
+    def test_filters_nonpositive_points(self):
+        fit = fit_power_law([(0, 1), (2, 4), (4, 16)])
+        assert fit.exponent == pytest.approx(2.0)

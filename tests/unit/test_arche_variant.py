@@ -1,0 +1,168 @@
+"""Tests for the Arche-style NVP resolution variant (Section 4.4 comparison)."""
+
+import pytest
+
+from repro.core.arche_variant import (
+    ArcheCaller,
+    VersionObject,
+    run_nvp_call,
+)
+from repro.exceptions import ResolutionTree, UniversalException, declare_exception
+from repro.objects.runtime import Runtime
+
+Overflow = declare_exception("ArcheOverflow")
+Underflow = declare_exception("ArcheUnderflow")
+NoMajority = declare_exception("ArcheNoMajority")
+
+
+def tree_resolution(raised):
+    """A resolution function built on our exception tree (what an Arche
+    programmer would hand-roll).  Exceptions outside the declared tree —
+    e.g. infrastructure errors — fall back to the root."""
+    tree = ResolutionTree(
+        UniversalException,
+        {
+            Overflow: UniversalException,
+            Underflow: UniversalException,
+            NoMajority: UniversalException,
+        },
+    )
+    if not raised:
+        return NoMajority
+    known = [exc for exc in raised if exc in tree]
+    if len(known) != len(raised):
+        return UniversalException
+    return tree.resolve(known)
+
+
+class TestNvpVoting:
+    def test_unanimous_versions_vote_result(self):
+        outcome = run_nvp_call(
+            [lambda: 42, lambda: 42, lambda: 42], tree_resolution
+        )
+        assert outcome.voted_result == 42
+        assert not outcome.exceptional
+
+    def test_majority_wins_over_one_divergent_version(self):
+        outcome = run_nvp_call(
+            [lambda: 42, lambda: 42, lambda: 13], tree_resolution
+        )
+        assert outcome.voted_result == 42
+
+    def test_no_majority_is_failure(self):
+        outcome = run_nvp_call(
+            [lambda: 1, lambda: 2, lambda: 3], tree_resolution
+        )
+        assert outcome.voted_result is None
+        assert outcome.concerted is NoMajority
+
+
+class TestConcertedExceptions:
+    def _raiser(self, exc):
+        def body():
+            raise exc()
+
+        return body
+
+    def test_single_version_exception_is_concerted(self):
+        outcome = run_nvp_call(
+            [lambda: 42, self._raiser(Overflow), lambda: 42], tree_resolution
+        )
+        assert outcome.exceptional
+        assert outcome.concerted is Overflow
+        assert set(outcome.exceptions) == {"V1"}
+
+    def test_multiple_exceptions_resolved_by_function(self):
+        outcome = run_nvp_call(
+            [self._raiser(Overflow), self._raiser(Underflow), lambda: 42],
+            tree_resolution,
+        )
+        # Sibling exceptions -> the user function climbs to the root.
+        assert outcome.concerted is UniversalException
+
+    def test_exceptions_trump_results(self):
+        """Arche semantics: any unhandled version exception makes the call
+        exceptional even when a result majority exists."""
+        outcome = run_nvp_call(
+            [lambda: 42, lambda: 42, self._raiser(Overflow)], tree_resolution
+        )
+        assert outcome.exceptional
+        assert outcome.concerted is Overflow
+
+
+class TestExpressiveGap:
+    """The paper's critique, executable: the concerted exception is handled
+    by the *caller* alone; the versions never run coordinated handlers."""
+
+    def test_versions_run_no_handlers(self):
+        runtime = Runtime()
+        raised = []
+
+        def bad():
+            raise Overflow()
+
+        versions = ("V0", "V1")
+        runtime.register(VersionObject("V0", {"op": bad}))
+        runtime.register(VersionObject("V1", {"op": lambda: 1}))
+        caller = ArcheCaller("caller", versions, tree_resolution)
+        runtime.register(caller)
+        outcomes = []
+        runtime.sim.schedule(
+            0.0, lambda: caller.multi_call("op", on_outcome=outcomes.append)
+        )
+        runtime.run()
+        (outcome,) = outcomes
+        assert outcome.concerted is Overflow
+        # All recovery knowledge sits in the caller; version V1 (which
+        # succeeded) is never told anything went wrong — unlike a CA
+        # action, where every participant runs the covering handler.
+        arche_msgs = [
+            e
+            for e in runtime.trace.by_category("msg.send")
+            if e.details["kind"].startswith("ARCHE") and e.details["dst"] == "V1"
+        ]
+        assert len(arche_msgs) == 1  # only the original call, no recovery
+
+    def test_same_type_constraint(self):
+        """A version group replicates ONE operation signature; there is no
+        way to express Example 2's four differently-typed cooperating
+        objects (this is a structural fact of the API: one operations
+        table shared per multi-call)."""
+        runtime = Runtime()
+        runtime.register(VersionObject("V0", {"op": lambda: 1}))
+        caller = ArcheCaller("caller", ("V0",), tree_resolution)
+        runtime.register(caller)
+        outcomes = []
+        runtime.sim.schedule(
+            0.0,
+            lambda: caller.multi_call("unknown_op", on_outcome=outcomes.append),
+        )
+        runtime.run()
+        (outcome,) = outcomes
+        # Unknown operation surfaces as an exception, not cooperation.
+        assert outcome.exceptions
+
+
+class TestPlumbing:
+    def test_args_passed_through(self):
+        outcome = run_nvp_call(
+            [lambda x: x * 2, lambda x: x * 2, lambda x: x * 2],
+            tree_resolution,
+            operation_args=(21,),
+        )
+        assert outcome.voted_result == 42
+
+    def test_late_replies_for_unknown_calls_ignored(self):
+        runtime = Runtime()
+        caller = ArcheCaller("caller", ("V0",), tree_resolution)
+        runtime.register(caller)
+        from repro.core.arche_variant import KIND_ARCHE_REPLY, _CallReply
+        from repro.net.message import Message
+
+        caller.receive(
+            Message(
+                src="V0", dst="caller", kind=KIND_ARCHE_REPLY,
+                payload=_CallReply(999, "V0", result=1),
+            )
+        )
+        assert caller.outcomes == []

@@ -1,0 +1,150 @@
+"""Unit tests for flexible handler attachment (Section 2.3 taxonomy)."""
+
+import pytest
+
+from repro.exceptions import (
+    HandlerSet,
+    ResolutionTree,
+    UniversalException,
+    declare_exception,
+)
+from repro.exceptions.attachment import AttachmentLevel, LayeredHandlers
+from repro.exceptions.handlers import Handler
+
+ExcX = declare_exception("AttachExcX")
+ExcY = declare_exception("AttachExcY")
+
+
+def tree():
+    return ResolutionTree(
+        UniversalException,
+        {ExcX: UniversalException, ExcY: UniversalException},
+    )
+
+
+class TestPrecedence:
+    def test_class_level_is_fallback(self):
+        layers = LayeredHandlers()
+        h_class = Handler.completing()
+        layers.attach_class(ExcX, h_class)
+        handler, level = layers.lookup(ExcX)
+        assert handler is h_class
+        assert level is AttachmentLevel.CLASS
+
+    def test_object_overrides_class(self):
+        layers = LayeredHandlers()
+        layers.attach_class(ExcX, Handler.completing())
+        h_obj = Handler.completing(duration=1.0)
+        layers.attach_object(ExcX, h_obj)
+        handler, level = layers.lookup(ExcX)
+        assert handler is h_obj
+        assert level is AttachmentLevel.OBJECT
+
+    def test_method_overrides_object(self):
+        layers = LayeredHandlers()
+        layers.attach_object(ExcX, Handler.completing())
+        h_method = Handler.completing(duration=2.0)
+        layers.attach_method("transfer", ExcX, h_method)
+        handler, level = layers.lookup(ExcX, method="transfer")
+        assert handler is h_method
+        assert level is AttachmentLevel.METHOD
+        # Outside that method, the object handler applies.
+        _, level = layers.lookup(ExcX, method="other")
+        assert level is AttachmentLevel.OBJECT
+
+    def test_statement_overrides_everything(self):
+        layers = LayeredHandlers()
+        layers.attach_class(ExcX, Handler.completing())
+        layers.attach_method("m", ExcX, Handler.completing())
+        h_stmt = Handler.completing(duration=3.0)
+        with layers.statement_scope({ExcX: h_stmt}):
+            handler, level = layers.lookup(ExcX, method="m")
+            assert handler is h_stmt
+            assert level is AttachmentLevel.STATEMENT
+        _, level = layers.lookup(ExcX, method="m")
+        assert level is AttachmentLevel.METHOD
+
+    def test_nested_statement_scopes_innermost_first(self):
+        layers = LayeredHandlers()
+        outer = Handler.completing(duration=1.0)
+        inner = Handler.completing(duration=2.0)
+        with layers.statement_scope({ExcX: outer}):
+            with layers.statement_scope({ExcX: inner}):
+                handler, _ = layers.lookup(ExcX)
+                assert handler is inner
+            handler, _ = layers.lookup(ExcX)
+            assert handler is outer
+
+    def test_scope_pops_on_exception(self):
+        layers = LayeredHandlers()
+        layers.attach_class(ExcX, Handler.completing())
+        with pytest.raises(RuntimeError):
+            with layers.statement_scope({ExcX: Handler.completing()}):
+                raise RuntimeError("body failed")
+        _, level = layers.lookup(ExcX)
+        assert level is AttachmentLevel.CLASS
+
+    def test_missing_handler_raises(self):
+        layers = LayeredHandlers()
+        with pytest.raises(KeyError):
+            layers.lookup(ExcX)
+        assert not layers.handles(ExcX)
+
+
+class TestFlattening:
+    def test_flatten_builds_complete_set(self):
+        layers = LayeredHandlers()
+        layers.attach_class(UniversalException, Handler.completing())
+        layers.attach_class(ExcX, Handler.completing())
+        layers.attach_object(ExcY, Handler.completing(duration=1.0))
+        handler_set = layers.flatten_for_action(tree())
+        handler_set.validate_complete(tree())
+        assert isinstance(handler_set, HandlerSet)
+
+    def test_flatten_respects_method_context(self):
+        layers = LayeredHandlers()
+        layers.attach_class(UniversalException, Handler.completing())
+        layers.attach_class(ExcX, Handler.completing())
+        layers.attach_class(ExcY, Handler.completing())
+        special = Handler.completing(duration=9.0)
+        layers.attach_method("audit", ExcX, special)
+        flat = layers.flatten_for_action(tree(), method="audit")
+        assert flat.lookup(ExcX) is special
+
+    def test_flatten_with_default_fills_gaps(self):
+        layers = LayeredHandlers()
+        default = Handler.completing()
+        flat = layers.flatten_for_action(tree(), default=default)
+        assert flat.lookup(ExcX) is default
+        flat.validate_complete(tree())
+
+    def test_flatten_without_default_requires_coverage(self):
+        layers = LayeredHandlers()
+        layers.attach_class(ExcX, Handler.completing())
+        with pytest.raises(KeyError):
+            layers.flatten_for_action(tree())
+
+    def test_flattened_set_drives_a_real_action(self):
+        """End to end: layered attachment -> HandlerSet -> resolution."""
+        from repro.core.action import CAActionDef
+        from repro.workloads import ActionBlock, Compute, ParticipantSpec, Raise, Scenario
+
+        the_tree = tree()
+        layers = LayeredHandlers()
+        layers.attach_class(UniversalException, Handler.completing())
+        layers.attach_object(ExcX, Handler.completing(duration=1.0))
+        layers.attach_object(ExcY, Handler.completing())
+        handler_set = layers.flatten_for_action(the_tree)
+        action = CAActionDef("A1", ("O1", "O2"), the_tree)
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [ActionBlock("A1", [Compute(5), Raise(ExcX)])],
+                {"A1": handler_set},
+            ),
+            ParticipantSpec(
+                "O2", [ActionBlock("A1", [Compute(20)])], {"A1": handler_set}
+            ),
+        ]
+        result = Scenario([action], specs).run()
+        assert set(result.handlers_started("A1").values()) == {"AttachExcX"}

@@ -1,0 +1,206 @@
+"""Unit tests for the behaviour runner's step engine and unwinding."""
+
+import pytest
+
+from repro.core.abortion import AbortionHandler
+from repro.core.action import CAActionDef
+from repro.exceptions import (
+    HandlerSet,
+    ResolutionTree,
+    UniversalException,
+    declare_exception,
+)
+from repro.transactions import AtomicObject
+from repro.workloads import (
+    ActionBlock,
+    AtomicRead,
+    AtomicWrite,
+    Compute,
+    ParticipantSpec,
+    Raise,
+    Scenario,
+)
+from repro.workloads.behaviour import BehaviourError
+
+Exc = declare_exception("RunnerExc")
+
+
+def solo(behaviour, transactional=False, objects=(), tree=None, **action_kwargs):
+    tree = tree or ResolutionTree(UniversalException, {Exc: UniversalException})
+    action = CAActionDef(
+        "A1", ("O1",), tree, transactional=transactional, **action_kwargs
+    )
+    spec = ParticipantSpec(
+        "O1", behaviour, {"A1": HandlerSet.completing_all(tree)}
+    )
+    return Scenario([action], [spec], atomic_objects=objects)
+
+
+class TestStepSequencing:
+    def test_compute_consumes_virtual_time(self):
+        result = solo([ActionBlock("A1", [Compute(3), Compute(4)])]).run()
+        assert result.duration == 7.0
+        assert result.all_finished()
+
+    def test_empty_behaviour_finishes_immediately(self):
+        scenario = solo([])
+        result = scenario.run()
+        assert result.all_finished()
+        assert result.duration == 0.0
+
+    def test_empty_action_block(self):
+        result = solo([ActionBlock("A1", [])]).run()
+        assert result.all_finished()
+
+    def test_sequential_top_level_actions(self):
+        tree = ResolutionTree(UniversalException)
+        actions = [
+            CAActionDef("A1", ("O1",), tree),
+            CAActionDef("B1", ("O1",), tree),
+        ]
+        spec = ParticipantSpec(
+            "O1",
+            [ActionBlock("A1", [Compute(2)]), ActionBlock("B1", [Compute(3)])],
+            {
+                "A1": HandlerSet.completing_all(tree),
+                "B1": HandlerSet.completing_all(tree),
+            },
+        )
+        result = Scenario(actions, [spec]).run()
+        assert result.all_finished()
+        assert result.status("A1").value == "completed"
+        assert result.status("B1").value == "completed"
+
+
+class TestAtomicSteps:
+    def test_reads_recorded_in_order(self):
+        obj = AtomicObject("o", {"a": 1, "b": 2})
+        result = solo(
+            [
+                ActionBlock(
+                    "A1",
+                    [
+                        AtomicRead(obj, "a"),
+                        AtomicWrite(obj, "a", 10),
+                        AtomicRead(obj, "a"),
+                        AtomicRead(obj, "b"),
+                    ],
+                )
+            ],
+            transactional=True,
+            objects=[obj],
+        ).run()
+        assert result.runners["O1"].reads == [1, 10, 2]
+
+    def test_atomic_step_outside_action_rejected(self):
+        obj = AtomicObject("o", {"a": 1})
+        scenario = solo([AtomicRead(obj, "a")])
+        with pytest.raises(BehaviourError, match="outside any action"):
+            scenario.run()
+
+    def test_atomic_step_in_nontransactional_action_rejected(self):
+        obj = AtomicObject("o", {"a": 1})
+        scenario = solo([ActionBlock("A1", [AtomicRead(obj, "a")])])
+        with pytest.raises(BehaviourError, match="not transactional"):
+            scenario.run()
+
+
+class TestUnwinding:
+    def test_steps_after_raise_skipped(self):
+        marker = AtomicObject("m", {"ran": False})
+        result = solo(
+            [
+                ActionBlock(
+                    "A1",
+                    [Compute(1), Raise(Exc), AtomicWrite(marker, "ran", True)],
+                )
+            ],
+            transactional=True,
+            objects=[marker],
+        ).run()
+        assert result.all_finished()
+        assert marker.peek("ran") is False  # handler took over, step skipped
+
+    def test_steps_after_completed_nested_block_continue(self):
+        tree = ResolutionTree(UniversalException, {Exc: UniversalException})
+        inner = ResolutionTree(UniversalException)
+        actions = [
+            CAActionDef("A1", ("O1",), tree),
+            CAActionDef("A2", ("O1",), inner, parent="A1"),
+        ]
+        obj = AtomicObject("o", {"after": 0})
+        spec = ParticipantSpec(
+            "O1",
+            [
+                ActionBlock(
+                    "A1",
+                    [
+                        ActionBlock("A2", [Compute(2)]),
+                        Compute(1),
+                    ],
+                )
+            ],
+            {
+                "A1": HandlerSet.completing_all(tree),
+                "A2": HandlerSet.completing_all(inner),
+            },
+        )
+        result = Scenario(actions, [spec]).run()
+        assert result.all_finished()
+        assert result.duration == 3.0
+
+    def test_aborted_inner_frames_unwound_by_outer_exit(self):
+        tree = ResolutionTree(UniversalException, {Exc: UniversalException})
+        inner = ResolutionTree(UniversalException)
+        actions = [
+            CAActionDef("A1", ("O1", "O2"), tree),
+            CAActionDef("A2", ("O2",), inner, parent="A1"),
+        ]
+        specs = [
+            ParticipantSpec(
+                "O1",
+                [ActionBlock("A1", [Compute(5), Raise(Exc)])],
+                {"A1": HandlerSet.completing_all(tree)},
+            ),
+            ParticipantSpec(
+                "O2",
+                [ActionBlock("A1", [ActionBlock("A2", [Compute(100)])])],
+                {
+                    "A1": HandlerSet.completing_all(tree),
+                    "A2": HandlerSet.completing_all(inner),
+                },
+                abortion_handlers={"A2": AbortionHandler.silent()},
+            ),
+        ]
+        result = Scenario(actions, specs).run()
+        assert result.all_finished()
+        runner = result.runners["O2"]
+        assert runner.finished and runner.failure is None
+
+
+class TestRetryIntegration:
+    def test_frame_reset_on_retry(self):
+        calls = []
+        obj = AtomicObject("o", {"v": 0})
+
+        def acceptance():
+            calls.append(obj.peek("v"))
+            return obj.peek("v") >= 2
+
+        scenario = solo(
+            [
+                ActionBlock(
+                    "A1",
+                    steps=[AtomicWrite(obj, "v", 1)],
+                    alternates=[[AtomicWrite(obj, "v", 2)]],
+                )
+            ],
+            transactional=True,
+            objects=[obj],
+            acceptance=acceptance,
+            max_attempts=2,
+        )
+        result = scenario.run()
+        assert result.all_finished()
+        assert obj.peek("v") == 2
+        assert calls == [1, 2]

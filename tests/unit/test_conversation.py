@@ -1,0 +1,307 @@
+"""Unit tests for conversations and recovery blocks."""
+
+import pytest
+
+from repro.conversation import (
+    AcceptanceTest,
+    Alternate,
+    Conversation,
+    ConversationProcess,
+    RecoveryBlock,
+    RecoveryBlockFailure,
+    RecoveryPoint,
+)
+from repro.simkernel import Simulator
+from repro.transactions import AtomicObject
+
+
+class TestRecoveryPoint:
+    def test_capture_and_restore_state(self):
+        state = {"x": 1, "nested": {"y": [1, 2]}}
+        point = RecoveryPoint.capture(0.0, state)
+        state["x"] = 99
+        state["nested"]["y"].append(3)
+        point.restore(state)
+        assert state == {"x": 1, "nested": {"y": [1, 2]}}
+
+    def test_deep_copy_isolation(self):
+        state = {"nested": {"y": [1]}}
+        point = RecoveryPoint.capture(0.0, state)
+        state["nested"]["y"].append(2)
+        assert point.process_state["nested"]["y"] == [1]
+
+    def test_restores_atomic_objects(self):
+        obj = AtomicObject("o", {"k": 1})
+        state = {}
+        point = RecoveryPoint.capture(0.0, state, {"o": obj})
+        obj.put("k", 2)
+        point.restore(state, {"o": obj})
+        assert obj.get("k") == 1
+
+
+class TestAcceptanceTest:
+    def test_basic(self):
+        test = AcceptanceTest(lambda s: s.get("ok", False))
+        assert test.passes({"ok": True})
+        assert not test.passes({"ok": False})
+        assert not test.passes({})
+
+    def test_raising_predicate_is_failure(self):
+        test = AcceptanceTest(lambda s: s["missing"] > 0)
+        assert not test.passes({})
+
+    def test_always(self):
+        assert AcceptanceTest.always().passes({})
+
+    def test_requires(self):
+        test = AcceptanceTest.requires("balance", lambda v: v >= 0)
+        assert test.passes({"balance": 5})
+        assert not test.passes({"balance": -1})
+        assert not test.passes({})
+
+
+class TestRecoveryBlock:
+    def test_primary_passes(self):
+        block = RecoveryBlock(
+            AcceptanceTest.requires("v", lambda v: v > 0),
+            [Alternate(lambda s, o: s.__setitem__("v", 1))],
+        )
+        state = block.execute({})
+        assert state["v"] == 1
+        assert block.succeeded_with == 0
+
+    def test_falls_back_to_alternate(self):
+        block = RecoveryBlock(
+            AcceptanceTest.requires("v", lambda v: v > 0),
+            [
+                Alternate(lambda s, o: s.__setitem__("v", -1)),  # fails test
+                Alternate(lambda s, o: s.__setitem__("v", 7)),
+            ],
+        )
+        state = block.execute({})
+        assert state["v"] == 7
+        assert block.succeeded_with == 1
+
+    def test_state_rolled_back_between_alternates(self):
+        seen = []
+
+        def primary(s, o):
+            s["junk"] = "leftover"
+            s["v"] = -1
+
+        def alternate(s, o):
+            seen.append(dict(s))
+            s["v"] = 1
+
+        block = RecoveryBlock(
+            AcceptanceTest.requires("v", lambda v: v > 0),
+            [Alternate(primary), Alternate(alternate)],
+        )
+        block.execute({"initial": True})
+        assert seen == [{"initial": True}]  # no junk leaked into alternate
+
+    def test_crashing_alternate_rolls_back(self):
+        def bad(s, o):
+            s["v"] = 5
+            raise RuntimeError("boom")
+
+        block = RecoveryBlock(
+            AcceptanceTest.requires("v", lambda v: v > 0),
+            [Alternate(bad), Alternate(lambda s, o: s.__setitem__("v", 2))],
+        )
+        state = block.execute({})
+        assert state["v"] == 2
+
+    def test_exhaustion_restores_and_raises(self):
+        block = RecoveryBlock(
+            AcceptanceTest(lambda s: False),
+            [Alternate(lambda s, o: s.__setitem__("v", 1))],
+        )
+        state = {"orig": True}
+        with pytest.raises(RecoveryBlockFailure):
+            block.execute(state)
+        assert state == {"orig": True}
+
+    def test_restores_shared_objects_on_failure(self):
+        obj = AtomicObject("o", {"k": 0})
+        block = RecoveryBlock(
+            AcceptanceTest(lambda s: False),
+            [Alternate(lambda s, shared: shared["o"].put("k", 9))],
+            shared={"o": obj},
+        )
+        with pytest.raises(RecoveryBlockFailure):
+            block.execute({})
+        assert obj.get("k") == 0
+
+    def test_empty_alternates_rejected(self):
+        with pytest.raises(ValueError):
+            RecoveryBlock(AcceptanceTest.always(), [])
+
+
+class TestConversation:
+    def _run(self, processes, shared=None):
+        sim = Simulator()
+        conv = Conversation(sim, processes, shared)
+        conv.start()
+        sim.run()
+        return conv
+
+    def test_all_pass_first_attempt(self):
+        conv = self._run(
+            [
+                ConversationProcess(
+                    "p1",
+                    [Alternate(lambda s, o: s.__setitem__("v", 1), duration=2.0)],
+                    AcceptanceTest.requires("v", lambda v: v == 1),
+                ),
+                ConversationProcess(
+                    "p2",
+                    [Alternate(lambda s, o: s.__setitem__("v", 2), duration=5.0)],
+                    AcceptanceTest.requires("v", lambda v: v == 2),
+                ),
+            ]
+        )
+        assert conv.accepted
+        assert not conv.failed
+        assert conv.attempt == 0
+
+    def test_one_failure_rolls_back_everyone(self):
+        p1_states = []
+
+        def p1_alt2(s, o):
+            p1_states.append(dict(s))
+            s["v"] = 1
+
+        conv = self._run(
+            [
+                ConversationProcess(
+                    "p1",
+                    [
+                        Alternate(lambda s, o: s.__setitem__("v", 1)),
+                        Alternate(p1_alt2),
+                    ],
+                    AcceptanceTest.requires("v", lambda v: v == 1),
+                ),
+                ConversationProcess(
+                    "p2",
+                    [
+                        Alternate(lambda s, o: s.__setitem__("v", -2)),  # bad
+                        Alternate(lambda s, o: s.__setitem__("v", 2)),
+                    ],
+                    AcceptanceTest.requires("v", lambda v: v > 0),
+                ),
+            ]
+        )
+        assert conv.accepted
+        assert conv.attempt == 1
+        # p1 passed its test on attempt 0, yet still rolled back and reran.
+        assert p1_states == [{}]
+
+    def test_exhaustion_fails_conversation(self):
+        conv = self._run(
+            [
+                ConversationProcess(
+                    "p1",
+                    [Alternate(lambda s, o: None), Alternate(lambda s, o: None)],
+                    AcceptanceTest(lambda s: False),
+                )
+            ]
+        )
+        assert conv.failed
+        assert not conv.accepted
+
+    def test_shared_objects_rolled_back(self):
+        obj = AtomicObject("acct", {"balance": 100})
+
+        def overdraw(s, shared):
+            shared["acct"].put("balance", -50)
+
+        def careful(s, shared):
+            shared["acct"].put("balance", 80)
+
+        conv = self._run(
+            [
+                ConversationProcess(
+                    "p1",
+                    [Alternate(overdraw), Alternate(careful)],
+                    AcceptanceTest(lambda s: True),
+                ),
+                ConversationProcess(
+                    "p2",
+                    [Alternate(lambda s, o: None)] * 2,
+                    AcceptanceTest(
+                        lambda s: obj.peek("balance", 0) >= 0
+                    ),
+                ),
+            ],
+            shared={"acct": obj},
+        )
+        assert conv.accepted
+        assert obj.get("balance") == 80
+
+    def test_asynchronous_entry_synchronous_exit(self):
+        sim = Simulator()
+        conv = Conversation(
+            sim,
+            [
+                ConversationProcess(
+                    "early",
+                    [Alternate(lambda s, o: None, duration=1.0)],
+                    AcceptanceTest.always(),
+                    entry_delay=0.0,
+                ),
+                ConversationProcess(
+                    "late",
+                    [Alternate(lambda s, o: None, duration=1.0)],
+                    AcceptanceTest.always(),
+                    entry_delay=10.0,
+                ),
+            ],
+        )
+        conv.start()
+        sim.run()
+        assert conv.accepted
+        # Acceptance could only be evaluated once the late process reached
+        # the test line: at 10 (entry) + 1 (alternate) = 11.
+        evaluate = conv.trace.by_category("conv.evaluate")
+        assert evaluate[0].time == 11.0
+
+    def test_crashing_alternate_triggers_rollback(self):
+        def bad(s, o):
+            raise RuntimeError("broken alternate")
+
+        conv = self._run(
+            [
+                ConversationProcess(
+                    "p1",
+                    [Alternate(bad), Alternate(lambda s, o: s.__setitem__("ok", 1))],
+                    AcceptanceTest.requires("ok", lambda v: v == 1),
+                )
+            ]
+        )
+        assert conv.accepted
+        assert conv.attempt == 1
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Conversation(sim, [])
+        with pytest.raises(ValueError):
+            ConversationProcess("p", [], AcceptanceTest.always())
+        proc = ConversationProcess(
+            "p", [Alternate(lambda s, o: None)], AcceptanceTest.always()
+        )
+        with pytest.raises(ValueError):
+            Conversation(sim, [proc, proc])
+
+    def test_test_log_records_every_evaluation(self):
+        conv = self._run(
+            [
+                ConversationProcess(
+                    "p1",
+                    [Alternate(lambda s, o: None), Alternate(lambda s, o: s.__setitem__("ok", 1))],
+                    AcceptanceTest.requires("ok", lambda v: v == 1),
+                )
+            ]
+        )
+        assert conv.test_log == [(0, "p1", False), (1, "p1", True)]

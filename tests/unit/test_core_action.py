@@ -1,0 +1,89 @@
+"""Unit tests for CA action declarations and the registry."""
+
+import pytest
+
+from repro.core.action import ActionRegistry, CAActionDef, NestedPolicy
+from repro.exceptions import ResolutionTree, UniversalException
+
+
+def tree():
+    return ResolutionTree(UniversalException)
+
+
+class TestCAActionDef:
+    def test_basic(self):
+        action = CAActionDef("A1", ("O1", "O2"), tree())
+        assert action.others("O1") == ("O2",)
+        assert action.others("O2") == ("O1",)
+        assert action.policy is NestedPolicy.ABORT_NESTED
+        assert not action.transactional
+
+    def test_others_of_nonmember(self):
+        action = CAActionDef("A1", ("O1", "O2"), tree())
+        assert action.others("O9") == ("O1", "O2")
+
+    def test_empty_participants_rejected(self):
+        with pytest.raises(ValueError):
+            CAActionDef("A1", (), tree())
+
+    def test_duplicate_participants_rejected(self):
+        with pytest.raises(ValueError):
+            CAActionDef("A1", ("O1", "O1"), tree())
+
+
+class TestActionRegistry:
+    def _nested(self):
+        reg = ActionRegistry()
+        reg.declare(CAActionDef("A1", ("O1", "O2", "O3"), tree()))
+        reg.declare(CAActionDef("A2", ("O2", "O3"), tree(), parent="A1"))
+        reg.declare(CAActionDef("A3", ("O2",), tree(), parent="A2"))
+        return reg
+
+    def test_declare_and_get(self):
+        reg = self._nested()
+        assert reg.get("A1").name == "A1"
+        assert "A2" in reg
+        assert reg.names() == ["A1", "A2", "A3"]
+
+    def test_duplicate_rejected(self):
+        reg = self._nested()
+        with pytest.raises(ValueError):
+            reg.declare(CAActionDef("A1", ("O1",), tree()))
+
+    def test_unknown_parent_rejected(self):
+        reg = ActionRegistry()
+        with pytest.raises(ValueError):
+            reg.declare(CAActionDef("A2", ("O1",), tree(), parent="missing"))
+
+    def test_participants_must_be_subset_of_parent(self):
+        reg = ActionRegistry()
+        reg.declare(CAActionDef("A1", ("O1", "O2"), tree()))
+        with pytest.raises(ValueError, match="not participants"):
+            reg.declare(CAActionDef("A2", ("O2", "O9"), tree(), parent="A1"))
+
+    def test_unknown_action(self):
+        reg = ActionRegistry()
+        with pytest.raises(KeyError):
+            reg.get("nope")
+
+    def test_ancestors(self):
+        reg = self._nested()
+        assert reg.ancestors("A3") == ["A2", "A1"]
+        assert reg.ancestors("A1") == []
+
+    def test_contains(self):
+        reg = self._nested()
+        assert reg.contains("A1", "A3")
+        assert reg.contains("A2", "A3")
+        assert not reg.contains("A3", "A1")
+        assert not reg.contains("A1", "A1")
+
+    def test_descendants(self):
+        reg = self._nested()
+        assert sorted(reg.descendants("A1")) == ["A2", "A3"]
+        assert reg.descendants("A3") == []
+
+    def test_depth(self):
+        reg = self._nested()
+        assert reg.depth("A1") == 0
+        assert reg.depth("A3") == 2

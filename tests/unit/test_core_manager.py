@@ -1,0 +1,138 @@
+"""Unit tests for the centralized CA action manager."""
+
+import pytest
+
+from repro.core.action import ActionRegistry, CAActionDef
+from repro.core.manager import ActionStatus, CAActionManager
+from repro.exceptions import ResolutionTree, UniversalException, declare_exception
+from repro.transactions import AtomicObject, TxnState
+
+
+def make_manager(transactional=False):
+    reg = ActionRegistry()
+    tree = ResolutionTree(UniversalException)
+    reg.declare(
+        CAActionDef("A1", ("O1", "O2"), tree, transactional=transactional)
+    )
+    reg.declare(
+        CAActionDef(
+            "A2", ("O2",), tree, parent="A1", transactional=transactional
+        )
+    )
+    return CAActionManager(reg)
+
+
+class TestLifecycle:
+    def test_entry_tracks_participants(self):
+        mgr = make_manager()
+        inst = mgr.note_entered("A1", "O1", now=1.0)
+        assert inst.status is ActionStatus.RUNNING
+        assert inst.entered == {"O1"}
+        assert inst.belated() == {"O2"}
+        assert inst.started_at == 1.0
+        mgr.note_entered("A1", "O2", now=2.0)
+        assert inst.belated() == set()
+
+    def test_undeclared_participant_rejected(self):
+        mgr = make_manager()
+        with pytest.raises(ValueError):
+            mgr.note_entered("A1", "O9", now=0.0)
+
+    def test_enter_after_abort_rejected(self):
+        mgr = make_manager()
+        mgr.note_entered("A1", "O1", now=0.0)
+        mgr.note_aborted("A1", now=1.0)
+        with pytest.raises(RuntimeError):
+            mgr.note_entered("A1", "O2", now=2.0)
+
+    def test_completed_is_idempotent(self):
+        mgr = make_manager()
+        mgr.note_entered("A1", "O1", now=0.0)
+        exc = declare_exception("Handled")
+        mgr.note_completed("A1", now=5.0, handled=exc)
+        mgr.note_completed("A1", now=6.0, handled=None)
+        inst = mgr.instance("A1")
+        assert inst.status is ActionStatus.COMPLETED
+        assert inst.handled_exception is exc
+        assert inst.finished_at == 5.0
+
+    def test_failed_records_signal(self):
+        mgr = make_manager()
+        exc = declare_exception("Sig")
+        mgr.note_entered("A1", "O1", now=0.0)
+        mgr.note_failed("A1", now=3.0, signal=exc)
+        inst = mgr.instance("A1")
+        assert inst.status is ActionStatus.FAILED
+        assert inst.signalled is exc
+        # FAILED does not mark traffic stale — peers may still be waiting
+        # for the Commit that leads them to the failure (see is_cancelled).
+        assert not mgr.is_cancelled("A1")
+
+    def test_aborted_is_cancelled(self):
+        mgr = make_manager()
+        mgr.note_entered("A1", "O1", now=0.0)
+        mgr.note_aborted("A1", now=1.0)
+        assert mgr.is_cancelled("A1")
+        assert not mgr.is_cancelled("A2")
+
+    def test_instances_view(self):
+        mgr = make_manager()
+        mgr.note_entered("A1", "O1", now=0.0)
+        assert set(mgr.instances()) == {"A1"}
+
+
+class TestTransactions:
+    def test_transactional_action_opens_txn(self):
+        mgr = make_manager(transactional=True)
+        inst = mgr.note_entered("A1", "O1", now=0.0)
+        assert inst.txn is not None
+        assert inst.txn.state is TxnState.ACTIVE
+        # Second entry does not open a second transaction.
+        inst2 = mgr.note_entered("A1", "O2", now=1.0)
+        assert inst2.txn is inst.txn
+
+    def test_nested_action_txn_is_child(self):
+        mgr = make_manager(transactional=True)
+        mgr.note_entered("A1", "O1", now=0.0)
+        inner = mgr.note_entered("A2", "O2", now=1.0)
+        assert inner.txn.parent is mgr.txn_for("A1")
+
+    def test_completion_commits(self):
+        mgr = make_manager(transactional=True)
+        obj = AtomicObject("obj", {"x": 0})
+        mgr.note_entered("A1", "O1", now=0.0)
+        mgr.txn_for("A1").write(obj, "x", 5)
+        mgr.note_completed("A1", now=2.0)
+        assert mgr.txn_for("A1").state is TxnState.COMMITTED
+        assert obj.get("x") == 5
+        assert obj.version == 1
+
+    def test_abortion_rolls_back(self):
+        mgr = make_manager(transactional=True)
+        obj = AtomicObject("obj", {"x": 0})
+        mgr.note_entered("A1", "O1", now=0.0)
+        mgr.txn_for("A1").write(obj, "x", 5)
+        mgr.note_aborted("A1", now=2.0)
+        assert mgr.txn_for("A1").state is TxnState.ABORTED
+        assert obj.get("x") == 0
+
+    def test_failure_rolls_back(self):
+        mgr = make_manager(transactional=True)
+        obj = AtomicObject("obj", {"x": 0})
+        mgr.note_entered("A1", "O1", now=0.0)
+        mgr.txn_for("A1").write(obj, "x", 5)
+        mgr.note_failed("A1", now=2.0, signal=declare_exception("SigTx"))
+        assert obj.get("x") == 0
+
+    def test_nested_abort_preserves_parent(self):
+        mgr = make_manager(transactional=True)
+        obj = AtomicObject("obj", {"x": 0, "y": 0})
+        mgr.note_entered("A1", "O1", now=0.0)
+        mgr.txn_for("A1").write(obj, "x", 1)
+        mgr.note_entered("A2", "O2", now=1.0)
+        mgr.txn_for("A2").write(obj, "y", 2)
+        mgr.note_aborted("A2", now=2.0)
+        assert obj.get("y") == 0
+        assert obj.get("x") == 1
+        mgr.note_completed("A1", now=3.0)
+        assert obj.snapshot() == {"x": 1, "y": 0}

@@ -1,0 +1,139 @@
+"""Tests for the heartbeat failure detector and crash-tolerant resolution."""
+
+import pytest
+
+from repro.core.crash_tolerant import run_crash_tolerant
+from repro.net.detector import Heartbeater
+from repro.objects import DistributedObject, Runtime
+
+
+class TestHeartbeater:
+    def _world(self, names=("a", "b", "c"), **kwargs):
+        rt = Runtime()
+        objs = {}
+        hbs = {}
+        for name in names:
+            obj = DistributedObject(name)
+            rt.register(obj)
+            objs[name] = obj
+            hbs[name] = Heartbeater(obj, names, **kwargs)
+        return rt, objs, hbs
+
+    def test_no_suspicion_among_healthy_peers(self):
+        rt, objs, hbs = self._world(interval=1.0, timeout=4.0)
+        for hb in hbs.values():
+            hb.start()
+        rt.run(until=50.0)
+        assert all(not hb.suspected for hb in hbs.values())
+
+    def test_crashed_peer_suspected(self):
+        rt, objs, hbs = self._world(interval=1.0, timeout=4.0)
+        suspects = []
+        hbs["a"].on_suspect = suspects.append
+        for hb in hbs.values():
+            hb.start()
+        rt.sim.schedule(10.0, lambda: rt.crash_node("node:c"))
+        rt.run(until=30.0)
+        assert hbs["a"].is_suspected("c")
+        assert hbs["b"].is_suspected("c")
+        assert suspects == ["c"]
+        assert hbs["a"].alive_peers() == ["b"]
+
+    def test_timeout_must_exceed_interval(self):
+        rt = Runtime()
+        obj = DistributedObject("x")
+        rt.register(obj)
+        with pytest.raises(ValueError):
+            Heartbeater(obj, ("x", "y"), interval=5.0, timeout=5.0)
+
+    def test_stop_ends_monitoring(self):
+        rt, objs, hbs = self._world(interval=1.0, timeout=4.0)
+        for hb in hbs.values():
+            hb.start()
+        rt.run(until=5.0)
+        for hb in hbs.values():
+            hb.stop()
+        rt.sim.schedule(1.0, lambda: rt.crash_node("node:c"))
+        rt.run(until=40.0)
+        assert not hbs["a"].suspected  # stopped before the crash window
+
+    def test_start_is_idempotent(self):
+        rt, objs, hbs = self._world(interval=1.0, timeout=4.0)
+        hbs["a"].start()
+        hbs["a"].start()
+        rt.run(until=3.0)
+        # One beat schedule, not two: at most ceil(3/1)+1 sends per peer.
+        assert rt.network.sent_by_kind["HEARTBEAT"] <= 2 * 5
+
+
+class TestCrashTolerantResolution:
+    def test_no_crash_agreement(self):
+        result = run_crash_tolerant(5, raisers=2)
+        assert result.all_survivors_handled()
+        assert len(result.handled_exceptions()) == 1
+
+    def test_bystander_crash_tolerated(self):
+        result = run_crash_tolerant(5, raisers=2, crash=("O0004",), crash_at=10.5)
+        assert result.all_survivors_handled()
+        assert len(result.handled_exceptions()) == 1
+
+    def test_resolver_crash_reelects(self):
+        """The biggest raiser dies after raising — the base algorithm's
+        deadlock case; here the next-biggest commits."""
+        result = run_crash_tolerant(5, raisers=5, crash=("O0004",), crash_at=10.2)
+        assert result.all_survivors_handled()
+        commits = result.runtime.trace.by_category("ct.commit")
+        live_commits = [e for e in commits if e.subject != "O0004"]
+        assert len(live_commits) == 1
+        assert live_commits[0].subject == "O0003"
+
+    def test_multiple_crashes(self):
+        result = run_crash_tolerant(
+            6, raisers=3, crash=("O0002", "O0005"), crash_at=10.3
+        )
+        assert result.all_survivors_handled()
+        assert len(result.handled_exceptions()) == 1
+
+    def test_crash_before_raise(self):
+        result = run_crash_tolerant(4, raisers=2, crash=("O0003",), crash_at=5.0)
+        assert result.all_survivors_handled()
+
+    def test_dead_raisers_exception_still_resolved(self):
+        """A raiser that crashes after broadcasting still contributes its
+        exception to the resolution (survivors saw it)."""
+        result = run_crash_tolerant(4, raisers=2, crash=("O0001",), crash_at=10.4)
+        assert result.all_survivors_handled()
+        # Both CT_0 and CT_1 were raised -> siblings resolve to the root.
+        assert result.handled_exceptions() == {"UniversalException"}
+
+    def test_sole_raiser_dies_survivor_takes_over(self):
+        """If every raiser dies after broadcasting, the biggest surviving
+        member resolves — the takeover rule."""
+        result = run_crash_tolerant(
+            4, raisers=1, crash=("O0000",), crash_at=10.2, run_until=400.0
+        )
+        assert result.all_survivors_handled()
+        takeovers = result.runtime.trace.by_category("ct.takeover")
+        assert len(takeovers) == 1
+        assert takeovers[0].subject == "O0003"  # biggest survivor
+
+    def test_victim_crashing_before_raising_means_no_recovery(self):
+        """Nothing was raised: survivors must NOT run handlers."""
+        result = run_crash_tolerant(
+            3, raisers=1, crash=("O0000",), crash_at=5.0, run_until=300.0
+        )
+        assert not result.all_survivors_handled()
+        assert result.handled_exceptions() == set()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_crash_tolerant(3, raisers=0)
+        with pytest.raises(ValueError):
+            run_crash_tolerant(3, crash=("NOPE",))
+
+    def test_crashed_object_takes_no_decisions(self):
+        result = run_crash_tolerant(5, raisers=5, crash=("O0004",), crash_at=10.2)
+        victim = result.participants["O0004"]
+        assert victim.handled is None
+        assert all(e.subject != "O0004"
+                   for e in result.runtime.trace.by_category("ct.handle"))

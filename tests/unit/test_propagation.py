@@ -1,0 +1,192 @@
+"""Tests for call-chain exception propagation (Section 2.3 semantics)."""
+
+import pytest
+
+from repro.exceptions import declare_exception
+from repro.objects.propagation import Delegate, PropagatingObject
+from repro.objects.runtime import Runtime
+
+Glitch = declare_exception("PropGlitch")
+Meltdown = declare_exception("PropMeltdown")
+
+
+def boom(exc):
+    def body(*args):
+        raise exc()
+
+    return body
+
+
+def build_chain(
+    c_handlers=None, b_handlers=None, a_handlers=None,
+    b_method_handlers=None, c_op=None,
+):
+    """client -> A.front -> B.middle -> C.back"""
+    rt = Runtime()
+    c = PropagatingObject(
+        "C", {"back": c_op if c_op is not None else boom(Glitch)},
+        object_handlers=c_handlers,
+    )
+    b = PropagatingObject(
+        "B",
+        {"middle": lambda: Delegate("C", "back")},
+        object_handlers=b_handlers,
+        method_handlers=b_method_handlers,
+    )
+    a = PropagatingObject(
+        "A",
+        {"front": lambda: Delegate("B", "middle")},
+        object_handlers=a_handlers,
+    )
+    client = PropagatingObject("client", {})
+    for obj in (a, b, c, client):
+        rt.register(obj)
+    return rt, client, a, b, c
+
+
+class TestPropagationPath:
+    def test_handled_at_raising_object(self):
+        rt, client, a, b, c = build_chain(c_handlers={Glitch: lambda e: "fixed@C"})
+        results = []
+        client.call("A", "front", on_result=results.append)
+        rt.run()
+        assert results == ["fixed@C"]
+        assert c.handled_log == [("back", "PropGlitch", "object")]
+        assert b.handled_log == [] and a.handled_log == []
+
+    def test_propagates_one_level_to_caller(self):
+        rt, client, a, b, c = build_chain(b_handlers={Glitch: lambda e: "fixed@B"})
+        results = []
+        client.call("A", "front", on_result=results.append)
+        rt.run()
+        assert results == ["fixed@B"]
+        assert b.handled_log == [("middle", "PropGlitch", "object")]
+
+    def test_propagates_two_levels(self):
+        rt, client, a, b, c = build_chain(a_handlers={Glitch: lambda e: "fixed@A"})
+        results = []
+        client.call("A", "front", on_result=results.append)
+        rt.run()
+        assert results == ["fixed@A"]
+        assert a.handled_log == [("front", "PropGlitch", "object")]
+
+    def test_escapes_to_client_failure_callback(self):
+        rt, client, a, b, c = build_chain()
+        failures = []
+        client.call("A", "front", on_failure=failures.append)
+        rt.run()
+        assert failures == [Glitch]
+
+    def test_escape_without_callback_is_loud(self):
+        rt, client, a, b, c = build_chain()
+        client.call("A", "front")
+        with pytest.raises(RuntimeError, match="escaped the call chain"):
+            rt.run()
+
+    def test_nearest_context_wins(self):
+        """B and A both have handlers; B (nearer the raise) handles."""
+        rt, client, a, b, c = build_chain(
+            b_handlers={Glitch: lambda e: "fixed@B"},
+            a_handlers={Glitch: lambda e: "fixed@A"},
+        )
+        results = []
+        client.call("A", "front", on_result=results.append)
+        rt.run()
+        assert results == ["fixed@B"]
+
+
+class TestAttachmentLevels:
+    def test_method_handler_beats_object_handler(self):
+        rt, client, a, b, c = build_chain(
+            b_handlers={Glitch: lambda e: "object"},
+            b_method_handlers={"middle": {Glitch: lambda e: "method"}},
+        )
+        results = []
+        client.call("A", "front", on_result=results.append)
+        rt.run()
+        assert results == ["method"]
+        assert b.handled_log == [("middle", "PropGlitch", "method")]
+
+    def test_class_handler_is_shared_fallback(self):
+        class Resilient(PropagatingObject):
+            class_handlers = {Glitch: lambda e: "class-default"}
+
+        rt = Runtime()
+        c = Resilient("C", {"back": boom(Glitch)})
+        client = PropagatingObject("client", {})
+        rt.register(c)
+        rt.register(client)
+        results = []
+        client.call("C", "back", on_result=results.append)
+        rt.run()
+        assert results == ["class-default"]
+        assert c.handled_log == [("back", "PropGlitch", "class")]
+
+    def test_different_exceptions_find_different_levels(self):
+        rt, client, a, b, c = build_chain(
+            c_op=boom(Meltdown),
+            b_handlers={Glitch: lambda e: "glitch@B"},
+            a_handlers={Meltdown: lambda e: "meltdown@A"},
+        )
+        results = []
+        client.call("A", "front", on_result=results.append)
+        rt.run()
+        assert results == ["meltdown@A"]
+
+
+class TestNormalOperation:
+    def test_plain_result_flows_back(self):
+        rt = Runtime()
+        c = PropagatingObject("C", {"back": lambda: 99})
+        client = PropagatingObject("client", {})
+        rt.register(c)
+        rt.register(client)
+        results = []
+        client.call("C", "back", on_result=results.append)
+        rt.run()
+        assert results == [99]
+
+    def test_delegate_post_transforms(self):
+        rt = Runtime()
+        c = PropagatingObject("C", {"back": lambda: 10})
+        b = PropagatingObject(
+            "B", {"middle": lambda: Delegate("C", "back", post=lambda v: v * 2)}
+        )
+        client = PropagatingObject("client", {})
+        for obj in (b, c, client):
+            rt.register(obj)
+        results = []
+        client.call("B", "middle", on_result=results.append)
+        rt.run()
+        assert results == [20]
+
+    def test_crashing_post_searches_this_level(self):
+        rt = Runtime()
+        c = PropagatingObject("C", {"back": lambda: 10})
+
+        def bad_post(value):
+            raise Glitch()
+
+        b = PropagatingObject(
+            "B",
+            {"middle": lambda: Delegate("C", "back", post=bad_post)},
+            object_handlers={Glitch: lambda e: "recovered@B"},
+        )
+        client = PropagatingObject("client", {})
+        for obj in (b, c, client):
+            rt.register(obj)
+        results = []
+        client.call("B", "middle", on_result=results.append)
+        rt.run()
+        assert results == ["recovered@B"]
+
+    def test_unknown_operation_propagates_lookup_error(self):
+        rt = Runtime()
+        c = PropagatingObject("C", {})
+        client = PropagatingObject("client", {})
+        rt.register(c)
+        rt.register(client)
+        failures = []
+        client.call("C", "nothing", on_failure=failures.append)
+        rt.run()
+        assert failures == [LookupError]

@@ -1,0 +1,157 @@
+"""Unit tests for the reliable (ARQ) transport layer."""
+
+import pytest
+
+from repro.net.failures import CrashWindow, FailurePlan, FailureInjector
+from repro.net.latency import ConstantLatency, UniformLatency
+from repro.net.reliable import (
+    KIND_TRANSPORT_ACK,
+    ReliableDeliveryError,
+    ReliableNetwork,
+)
+from repro.simkernel import RngRegistry, Simulator
+
+
+def make_reliable(plan=None, seed=0, latency=None, ack_timeout=5.0, max_retries=60):
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    injector = FailureInjector(plan, rng.stream("net.failures")) if plan else None
+    net = ReliableNetwork(
+        sim, latency=latency, rng=rng, injector=injector,
+        ack_timeout=ack_timeout, max_retries=max_retries,
+    )
+    return sim, net
+
+
+class TestLosslessPath:
+    def test_plain_delivery(self):
+        sim, net = make_reliable()
+        received = []
+        net.register("a", lambda m: None)
+        net.register("b", received.append)
+        net.send("a", "b", "K", payload="hello")
+        sim.run()
+        assert len(received) == 1
+        assert received[0].payload == "hello"
+        assert received[0].kind == "K"
+        assert net.retransmissions == 0
+
+    def test_logical_count_excludes_transport(self):
+        sim, net = make_reliable()
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: None)
+        for _ in range(3):
+            net.send("a", "b", "EXCEPTION")
+        sim.run()
+        assert net.sent_by_kind["EXCEPTION"] == 3
+        assert net.sent_by_kind[KIND_TRANSPORT_ACK] == 3
+        assert net.total_sent({"EXCEPTION"}) == 3
+
+    def test_in_order_delivery(self):
+        sim, net = make_reliable(latency=UniformLatency(0.1, 5.0))
+        order = []
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: order.append(m.payload))
+        for i in range(30):
+            net.send("a", "b", "K", payload=i)
+        sim.run()
+        assert order == list(range(30))
+
+
+class TestLossRecovery:
+    def test_delivers_despite_heavy_loss(self):
+        plan = FailurePlan(drop_probability=0.5)
+        sim, net = make_reliable(plan=plan, seed=11, ack_timeout=3.0)
+        received = []
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: received.append(m.payload))
+        for i in range(20):
+            net.send("a", "b", "K", payload=i)
+        sim.run(max_events=100_000)
+        assert received == list(range(20))
+        assert net.retransmissions > 0
+
+    def test_exactly_once_despite_duplicate_acks(self):
+        plan = FailurePlan(drop_probability=0.4)
+        sim, net = make_reliable(plan=plan, seed=5, ack_timeout=2.0)
+        received = []
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: received.append(m.payload))
+        for i in range(10):
+            net.send("a", "b", "K", payload=i)
+        sim.run(max_events=100_000)
+        assert received == list(range(10))  # no duplicates delivered
+
+    def test_corruption_dropped_and_recovered(self):
+        plan = FailurePlan(corrupt_probability=0.5)
+        sim, net = make_reliable(plan=plan, seed=2, ack_timeout=2.0)
+        received = []
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: received.append(m.payload))
+        for i in range(10):
+            net.send("a", "b", "K", payload=i)
+        sim.run(max_events=100_000)
+        assert received == list(range(10))
+        assert not any(m for m in received if isinstance(m, bytes))
+        checksum_drops = net.trace.by_category("msg.checksum_drop")
+        assert checksum_drops  # some frames were corrupted and discarded
+
+    def test_dead_destination_exhausts_retries(self):
+        plan = FailurePlan(crashes=[CrashWindow("b", 0.0)])
+        sim, net = make_reliable(plan=plan, ack_timeout=0.5, max_retries=4)
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: None)
+        net.send("a", "b", "K")
+        with pytest.raises(ReliableDeliveryError):
+            sim.run(max_events=10_000)
+
+    def test_retransmission_counting(self):
+        plan = FailurePlan(drop_probability=1.0)
+        sim, net = make_reliable(plan=plan, ack_timeout=1.0, max_retries=3)
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: None)
+        net.send("a", "b", "K")
+        with pytest.raises(ReliableDeliveryError):
+            sim.run(max_events=10_000)
+        assert net.retransmissions == 3
+        assert net.sent_by_kind["K"] == 1  # logical count untouched
+
+
+class TestResolutionOverLossyNetwork:
+    """End-to-end: the paper's algorithm keeps its exact logical message
+    counts and all guarantees over a 30%-lossy network."""
+
+    def test_counts_and_agreement(self):
+        from repro.workloads.generator import (
+            expected_general_messages,
+            general_case,
+        )
+
+        for seed in range(3):
+            scenario = general_case(5, 2, 2, seed=seed)
+            scenario.failure_plan = FailurePlan(
+                drop_probability=0.3, corrupt_probability=0.05
+            )
+            scenario.reliable = True
+            scenario.ack_timeout = 4.0
+            result = scenario.run(max_events=600_000)
+            assert result.all_finished()
+            assert result.resolution_message_total() == (
+                expected_general_messages(5, 2, 2)
+            )
+            handlers = result.handlers_started("A1")
+            assert len(handlers) == 5
+            assert len(set(handlers.values())) == 1
+            assert result.runtime.network.retransmissions > 0
+
+    def test_example2_over_lossy_network(self):
+        from repro.workloads.generator import example2_scenario
+
+        scenario = example2_scenario(seed=1)
+        scenario.failure_plan = FailurePlan(drop_probability=0.25)
+        scenario.reliable = True
+        scenario.ack_timeout = 4.0
+        result = scenario.run(max_events=600_000)
+        assert result.all_finished()
+        assert sum(result.messages_for_action("A1").values()) == 36
+        assert len(set(result.handlers_started("A1").values())) == 1

@@ -1,0 +1,45 @@
+"""Unit tests for the report generator's pieces."""
+
+from repro.analysis.report import ReportSection, generate_report
+
+
+class TestReportSection:
+    def test_renders_markdown_table(self):
+        section = ReportSection(
+            title="demo",
+            headers=["a", "b"],
+            rows=[(1, 2), (3, 4)],
+            verdict="fine",
+            notes="a note",
+        )
+        text = section.render()
+        assert "### demo" in text
+        assert "| a | b |" in text
+        assert "| 1 | 2 |" in text
+        assert "**Verdict: fine**" in text
+        assert "a note" in text
+
+    def test_notes_optional(self):
+        section = ReportSection("t", ["x"], [(1,)], "ok")
+        assert "None" not in section.render()
+
+
+class TestGenerateReport:
+    def test_small_sweep_report(self):
+        text = generate_report(sweep=[2, 4])
+        assert "Overall: all claims hold" in text
+        for marker in (
+            "E1 — one exception",
+            "E2 — one exception, all others nested",
+            "E3 — all N raise",
+            "E4 — general formula",
+            "E5 — vs the Campbell-Randell baseline",
+            "E7/E8 — the worked examples",
+            "E12/E14/E18 — algorithm variants",
+        ):
+            assert marker in text
+
+    def test_exact_sections_show_ok_rows(self):
+        text = generate_report(sweep=[2, 4])
+        assert "MISMATCH" not in text
+        assert text.count("exact match") >= 4

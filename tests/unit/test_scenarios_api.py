@@ -1,0 +1,82 @@
+"""Unit tests for the Scenario/ScenarioResult API surface."""
+
+import pytest
+
+from repro.core.action import CAActionDef
+from repro.core.messages import RESOLUTION_KINDS
+from repro.exceptions import HandlerSet, ResolutionTree, UniversalException
+from repro.workloads import ActionBlock, Compute, ParticipantSpec, Raise, Scenario
+from repro.workloads.generator import example1_scenario, single_exception_case
+
+
+def tree():
+    return ResolutionTree(UniversalException)
+
+
+class TestScenarioValidation:
+    def test_duplicate_participant_names_rejected(self):
+        action = CAActionDef("A1", ("O1",), tree())
+        spec = ParticipantSpec(
+            "O1", [ActionBlock("A1", [])], {"A1": HandlerSet.completing_all(tree())}
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            Scenario([action], [spec, spec])
+
+    def test_duplicate_action_names_rejected(self):
+        action = CAActionDef("A1", ("O1",), tree())
+        with pytest.raises(ValueError, match="duplicate action"):
+            Scenario([action, action], [])
+
+    def test_incomplete_handler_set_rejected_at_entry(self):
+        from repro.exceptions import declare_exception
+        from repro.exceptions.handlers import IncompleteHandlerSetError
+
+        exc = declare_exception("ApiExc")
+        rich_tree = ResolutionTree(UniversalException, {exc: UniversalException})
+        action = CAActionDef("A1", ("O1",), rich_tree)
+        spec = ParticipantSpec(
+            "O1",
+            [ActionBlock("A1", [])],
+            {"A1": HandlerSet({UniversalException: None})},  # type: ignore
+        )
+        scenario = Scenario([action], [spec])
+        with pytest.raises(IncompleteHandlerSetError):
+            scenario.run()
+
+    def test_build_allows_stepping_manually(self):
+        scenario = single_exception_case(3)
+        runtime, manager, participants, runners = scenario.build()
+        runtime.run(until=5.0)
+        assert all(not r.finished for r in runners.values())
+        runtime.run()
+        assert all(r.finished for r in runners.values())
+
+
+class TestScenarioResultHelpers:
+    def test_messages_by_kind_includes_sync(self):
+        result = single_exception_case(3).run()
+        counts = result.messages_by_kind()
+        assert counts["DONE"] > 0
+        assert result.resolution_message_total() == sum(
+            counts[k] for k in RESOLUTION_KINDS if k in counts
+        )
+
+    def test_messages_for_action_excludes_other_actions(self):
+        result = single_exception_case(3).run()
+        assert sum(result.messages_for_action("not-there").values()) == 0
+
+    def test_commit_entries_shape(self):
+        result = example1_scenario().run()
+        (entry,) = result.commit_entries("A1")
+        assert entry.details["action"] == "A1"
+        assert "exception" in entry.details
+
+    def test_duration_tracks_virtual_time(self):
+        result = single_exception_case(2).run()
+        assert result.duration == result.runtime.sim.now
+
+    def test_handled_exception_none_for_clean_run(self):
+        from repro.workloads.generator import no_exception_case
+
+        result = no_exception_case(2).run()
+        assert result.handled_exception("A1") is None
