@@ -22,19 +22,29 @@ def record_table(
     notes: str = "",
 ) -> str:
     """Format, print and persist one experiment's table."""
-    widths = [
-        max(len(str(header)), *(len(str(row[i])) for row in rows))
-        for i, header in enumerate(headers)
-    ]
     lines = [f"== {exp_id}: {title} =="]
-    lines.append(
-        "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
-    )
-    lines.append("  ".join("-" * w for w in widths))
-    for row in rows:
+    if rows:
+        # max() needs the header length as a plain argument: star-unpacking
+        # an empty generator alongside it raises TypeError on empty rows.
+        widths = [
+            max(len(str(header)), *(len(str(row[i])) for row in rows))
+            for i, header in enumerate(headers)
+        ]
         lines.append(
-            "  ".join(str(cell).rjust(w) for cell, w in zip(row, widths))
+            "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
         )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append(
+                "  ".join(str(cell).rjust(w) for cell, w in zip(row, widths))
+            )
+    else:
+        widths = [len(str(header)) for header in headers]
+        lines.append(
+            "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        lines.append("(no rows)")
     if notes:
         lines.append(notes)
     text = "\n".join(lines)

@@ -1,0 +1,249 @@
+"""Performance suite for the sweep engine and simulator fast path.
+
+Times the configurations that matter for the repo's wall-clock budget:
+
+* **serial vs parallel** sweeps over ``scaling_grid`` (the Θ(N²)-messages
+  regime the paper's complexity claim lives in),
+* **FULL vs COUNTS** tracing (exact counters without per-message entry
+  allocation),
+* **event-queue microbenchmarks** (tuple-heap push/pop, cancellation
+  compaction, O(1) ``len``).
+
+Every timed configuration must produce identical ``(measured, model)``
+message counts — a perf run that changes physics fails loudly (exit 1).
+
+Results land in ``BENCH_sweeps.json`` at the repo root, machine-readable,
+so future PRs have a perf trajectory to regress against::
+
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py --smoke   # <60 s
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py           # full grid
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow plain `python benchmarks/...`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(Path(__file__).resolve().parent) not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import record_table  # noqa: E402
+
+from repro.simkernel.events import EventQueue  # noqa: E402
+from repro.simkernel.trace import TraceLevel  # noqa: E402
+from repro.workloads.generator import general_case  # noqa: E402
+from repro.workloads.parallel import ParallelSweepRunner  # noqa: E402
+from repro.workloads.sweeps import scaling_grid, sweep_general  # noqa: E402
+
+# Dense grids give the pool real work to balance; scaling_grid is one
+# point per N, so the N range doubles as the point count.
+SMOKE_N = tuple(range(8, 33, 4))  # 7 points, smoke stays well under 60 s
+FULL_N = tuple(range(8, 97, 4))  # 23 points up to N=96
+DEFAULT_OUT = REPO_ROOT / "BENCH_sweeps.json"
+
+
+def _time(fn):
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def _count_pairs(result):
+    return [(p.measured, p.model) for p in result.points]
+
+
+def bench_sweeps(n_values, workers: int) -> dict:
+    """Time the four sweep configurations on the same grid and seed."""
+    grid = scaling_grid(n_values)
+    # Warm-up on a tiny grid so import/alloc one-offs don't skew config #1.
+    sweep_general(scaling_grid(n_values[:1]))
+
+    timings: dict[str, float] = {}
+    results = {}
+    timings["serial_full"], results["serial_full"] = _time(
+        lambda: sweep_general(grid, trace_level=TraceLevel.FULL)
+    )
+    timings["serial_counts"], results["serial_counts"] = _time(
+        lambda: sweep_general(grid, trace_level=TraceLevel.COUNTS)
+    )
+    timings["parallel_full"], results["parallel_full"] = _time(
+        lambda: ParallelSweepRunner(
+            max_workers=workers, trace_level=TraceLevel.FULL
+        ).sweep_general(grid)
+    )
+    timings["parallel_counts"], results["parallel_counts"] = _time(
+        lambda: ParallelSweepRunner(
+            max_workers=workers, trace_level=TraceLevel.COUNTS
+        ).sweep_general(grid)
+    )
+
+    reference = _count_pairs(results["serial_full"])
+    counts_identical = all(
+        _count_pairs(result) == reference for result in results.values()
+    )
+    parallel_bitwise_identical = (
+        results["parallel_full"].points == results["serial_full"].points
+    )
+    mismatches = len(results["serial_full"].mismatches())
+
+    def speedup(base: str, opt: str) -> float:
+        return round(timings[base] / timings[opt], 3) if timings[opt] > 0 else 0.0
+
+    return {
+        "n_values": list(n_values),
+        "grid_points": len(grid),
+        "workers": workers,
+        "timings_s": {k: round(v, 4) for k, v in timings.items()},
+        "speedups": {
+            "parallel_vs_serial_full": speedup("serial_full", "parallel_full"),
+            "parallel_vs_serial_counts": speedup("serial_counts", "parallel_counts"),
+            "counts_vs_full_serial": speedup("serial_full", "serial_counts"),
+            "optimized_vs_baseline": speedup("serial_full", "parallel_counts"),
+        },
+        "counts_identical": counts_identical,
+        "parallel_bitwise_identical": parallel_bitwise_identical,
+        "model_mismatches": mismatches,
+    }
+
+
+def bench_throughput(n: int) -> dict:
+    """Simulator events/second on one big scenario, FULL vs COUNTS."""
+    out = {}
+    for label, level in (("full", TraceLevel.FULL), ("counts", TraceLevel.COUNTS)):
+        scenario = general_case(n, p=max(1, n // 2), q=n // 4, trace_level=level)
+        seconds, result = _time(lambda s=scenario: s.run(max_events=5_000_000))
+        events = result.runtime.sim.events_executed
+        out[label] = {
+            "n": n,
+            "events": events,
+            "seconds": round(seconds, 4),
+            "events_per_sec": round(events / seconds) if seconds else 0,
+        }
+    return out
+
+
+def bench_event_queue(scale: int) -> dict:
+    """Microbenchmarks for the tuple-heap event queue."""
+    # push+pop throughput, deterministic pseudo-times without RNG cost.
+    queue = EventQueue()
+    noop = lambda: None  # noqa: E731
+    seconds, _ = _time(
+        lambda: [queue.push((i * 2654435761) % 1_000_003, noop) for i in range(scale)]
+    )
+    pop_seconds, _ = _time(lambda: [queue.pop() for _ in range(scale)])
+    push_pop_ops = round(2 * scale / (seconds + pop_seconds))
+
+    # cancel-heavy: 90% of timers cancelled (the reliable-delivery pattern);
+    # compaction must keep the physical heap near the live size.
+    queue = EventQueue()
+    events = [queue.push(float(i % 9973), noop) for i in range(scale)]
+    cancel_seconds, _ = _time(
+        lambda: [e.cancel() for i, e in enumerate(events) if i % 10]
+    )
+    peak_heap = queue.heap_size
+    live = len(queue)
+    drain_seconds, _ = _time(lambda: [queue.pop() for _ in range(live)])
+
+    # O(1) len under pending cancellations.
+    queue = EventQueue()
+    events = [queue.push(float(i), noop) for i in range(scale)]
+    for event in events[: scale // 2]:
+        event.cancel()
+    len_calls = scale
+    len_seconds, _ = _time(lambda: [len(queue) for _ in range(len_calls)])
+
+    return {
+        "scale": scale,
+        "push_pop_ops_per_sec": push_pop_ops,
+        "cancel_heavy": {
+            "cancelled": scale - scale // 10,
+            "cancel_seconds": round(cancel_seconds, 4),
+            "drain_seconds": round(drain_seconds, 4),
+            "heap_size_after_cancels": peak_heap,
+            "live_after_cancels": live,
+        },
+        "len_calls_per_sec": round(len_calls / len_seconds) if len_seconds else 0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small grid, suitable as a <60s CI smoke check",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="pool size for the parallel configurations (default: 4)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    n_values = SMOKE_N if args.smoke else FULL_N
+    queue_scale = 50_000 if args.smoke else 200_000
+
+    sweep = bench_sweeps(n_values, args.workers)
+    throughput = bench_throughput(max(n_values))
+    queue = bench_event_queue(queue_scale)
+
+    payload = {
+        "schema": 1,
+        "generated_unix": round(time.time(), 3),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {"smoke": args.smoke, "workers": args.workers},
+        "sweep": sweep,
+        "throughput": throughput,
+        "event_queue": queue,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    timing_rows = [
+        (config, f"{seconds:.3f}")
+        for config, seconds in sweep["timings_s"].items()
+    ]
+    record_table(
+        "E19",
+        "perf suite: sweep wall-clock by configuration",
+        ("configuration", "seconds"),
+        timing_rows,
+        notes=(
+            f"grid={sweep['grid_points']} points over N={sweep['n_values']}, "
+            f"workers={sweep['workers']}; "
+            f"parallel-vs-serial {sweep['speedups']['parallel_vs_serial_counts']}x, "
+            f"COUNTS-vs-FULL {sweep['speedups']['counts_vs_full_serial']}x, "
+            f"optimized-vs-baseline {sweep['speedups']['optimized_vs_baseline']}x; "
+            f"events/sec (COUNTS) {throughput['counts']['events_per_sec']}; "
+            f"counts identical: {sweep['counts_identical']}"
+        ),
+    )
+    print(f"\nwrote {args.out}")
+
+    if not sweep["counts_identical"] or not sweep["parallel_bitwise_identical"]:
+        print("FATAL: optimized configurations changed measured counts", file=sys.stderr)
+        return 1
+    if sweep["model_mismatches"]:
+        print(
+            f"FATAL: {sweep['model_mismatches']} points deviate from the "
+            "(N-1)(2P+3Q+1) model", file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -92,10 +92,19 @@ class CAActionDef:
                 f"action {self.name} needs at least one attempt, got "
                 f"{self.max_attempts}"
             )
+        # Broadcast-target memo; the engines ask for others(name) on every
+        # protocol message, which is O(N) per call and O(N²) per broadcast
+        # round without it.  (The dataclass is frozen, hence the setattr.)
+        object.__setattr__(self, "_others_memo", {})
 
     def others(self, name: str) -> tuple[str, ...]:
         """All participants except ``name`` — the broadcast targets."""
-        return tuple(p for p in self.participants if p != name)
+        memo: dict[str, tuple[str, ...]] = self._others_memo
+        cached = memo.get(name)
+        if cached is None:
+            cached = tuple(p for p in self.participants if p != name)
+            memo[name] = cached
+        return cached
 
 
 @dataclass

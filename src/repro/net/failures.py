@@ -81,10 +81,25 @@ class FailureInjector:
 
     def crashed(self, name: str, time: float) -> bool:
         """True if endpoint ``name`` is inside a crash window at ``time``."""
-        return any(w.name == name and w.covers(time) for w in self.plan.crashes)
+        crashes = self.plan.crashes
+        if not crashes:
+            return False
+        return any(w.name == name and w.covers(time) for w in crashes)
 
     def decide(self, src: str, dst: str, time: float) -> str:
         """Fate of a message sent ``src → dst`` at ``time``."""
+        plan = self.plan
+        if not (
+            plan.crashes
+            or plan.partitions
+            or plan.drop_probability
+            or plan.corrupt_probability
+        ):
+            # Fault-free plan: the common case in count sweeps.  No RNG is
+            # drawn on this path in the slow branch either (probability
+            # checks short-circuit before sampling), so skipping it keeps
+            # all random streams bit-identical.
+            return self.DELIVER
         if self.crashed(src, time) or self.crashed(dst, time):
             self.dropped += 1
             return self.DROP

@@ -16,6 +16,11 @@ from abc import ABC, abstractmethod
 class LatencyModel(ABC):
     """Strategy producing a per-message transmission delay."""
 
+    #: True when :meth:`sample` never consults the RNG.  The network skips
+    #: creating a per-channel random stream for such models — with the
+    #: default constant latency that is O(N²) stream seedings saved per run.
+    deterministic = False
+
     @abstractmethod
     def sample(self, rng: random.Random) -> float:
         """Return the delay for one message, in virtual time units."""
@@ -26,6 +31,8 @@ class LatencyModel(ABC):
 
 class ConstantLatency(LatencyModel):
     """Every message takes exactly ``delay`` time units."""
+
+    deterministic = True
 
     def __init__(self, delay: float = 1.0) -> None:
         if delay < 0:

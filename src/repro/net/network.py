@@ -9,6 +9,7 @@ message kind — the paper's unit of complexity.
 
 from __future__ import annotations
 
+import random
 from collections import Counter
 from typing import Callable
 
@@ -22,6 +23,10 @@ from repro.simkernel.scheduler import Simulator
 from repro.simkernel.trace import TraceRecorder
 
 Receiver = Callable[[Message], None]
+
+#: Shared stand-in stream for channels whose latency model is deterministic
+#: (it is never actually sampled).
+_NULL_RNG = random.Random(0)
 
 
 class UnknownEndpointError(KeyError):
@@ -80,9 +85,13 @@ class Network:
         channel = self._channels.get(key)
         if channel is None:
             model = self._latency_overrides.get(key, self.default_latency)
-            channel = Channel(
-                src, dst, model, self.rng.stream(f"net.latency.{src}->{dst}")
-            )
+            if model.deterministic:
+                # The model never draws: share one dummy stream instead of
+                # seeding a named stream per ordered pair (O(N²) of them).
+                stream = _NULL_RNG
+            else:
+                stream = self.rng.stream(f"net.latency.{src}->{dst}")
+            channel = Channel(src, dst, model, stream)
             self._channels[key] = channel
         return channel
 
@@ -103,13 +112,22 @@ class Network:
         fate = self.injector.decide(src, dst, now)
         channel = self._channel(src, dst)
         deliver_at = channel.stamp(message, now)
-        self.trace.record(
-            now, "msg.send", src, dst=dst, kind=kind, id=message.msg_id,
-            action=getattr(payload, "action", None),
-        )
+        trace = self.trace
+        if trace.wants_entries:
+            trace.record(
+                now, "msg.send", src, dst=dst, kind=kind, id=message.msg_id,
+                action=getattr(payload, "action", None),
+            )
+        else:
+            trace.tick("msg.send")
         if fate == FailureInjector.DROP:
             message.dropped = True
-            self.trace.record(now, "msg.drop", src, dst=dst, kind=kind, id=message.msg_id)
+            if trace.wants_entries:
+                trace.record(
+                    now, "msg.drop", src, dst=dst, kind=kind, id=message.msg_id
+                )
+            else:
+                trace.tick("msg.drop")
             return message
         if fate == FailureInjector.CORRUPT:
             message.corrupted = True
@@ -122,27 +140,37 @@ class Network:
         return message
 
     def _deliver(self, message: Message) -> None:
+        trace = self.trace
         receiver = self._receivers.get(message.dst)
         if receiver is None:
             # Endpoint disappeared (e.g. crashed and deregistered) while the
             # message was in flight: the message is silently lost, matching
             # the non-fail-stop fault model.
-            self.trace.record(
-                self.sim.now, "msg.lost", message.dst, kind=message.kind,
-                id=message.msg_id,
-            )
+            if trace.wants_entries:
+                trace.record(
+                    self.sim.now, "msg.lost", message.dst, kind=message.kind,
+                    id=message.msg_id,
+                )
+            else:
+                trace.tick("msg.lost")
             return
         if self.injector.crashed(message.dst, self.sim.now):
-            self.trace.record(
-                self.sim.now, "msg.lost", message.dst, kind=message.kind,
-                id=message.msg_id,
-            )
+            if trace.wants_entries:
+                trace.record(
+                    self.sim.now, "msg.lost", message.dst, kind=message.kind,
+                    id=message.msg_id,
+                )
+            else:
+                trace.tick("msg.lost")
             return
         self.delivered_by_kind[message.kind] += 1
-        self.trace.record(
-            self.sim.now, "msg.recv", message.dst, src=message.src,
-            kind=message.kind, id=message.msg_id,
-        )
+        if trace.wants_entries:
+            trace.record(
+                self.sim.now, "msg.recv", message.dst, src=message.src,
+                kind=message.kind, id=message.msg_id,
+            )
+        else:
+            trace.tick("msg.recv")
         receiver(message)
 
     # -- accounting ------------------------------------------------------------

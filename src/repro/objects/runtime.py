@@ -16,7 +16,7 @@ from repro.objects.base import DistributedObject
 from repro.objects.node import Node
 from repro.simkernel.rng import RngRegistry
 from repro.simkernel.scheduler import Simulator
-from repro.simkernel.trace import TraceRecorder
+from repro.simkernel.trace import TraceLevel, TraceRecorder
 
 
 class Runtime:
@@ -29,10 +29,11 @@ class Runtime:
         failure_plan: FailurePlan | None = None,
         reliable: bool = False,
         ack_timeout: float = 5.0,
+        trace_level: TraceLevel = TraceLevel.FULL,
     ) -> None:
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
-        self.trace = TraceRecorder()
+        self.trace = TraceRecorder(level=trace_level)
         injector = FailureInjector(failure_plan, self.rng.stream("net.failures"))
         if reliable:
             from repro.net.reliable import ReliableNetwork

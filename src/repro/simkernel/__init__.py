@@ -15,7 +15,7 @@ from repro.simkernel.events import Event, EventQueue
 from repro.simkernel.process import Delay, SimProcess, Stop
 from repro.simkernel.rng import RngRegistry
 from repro.simkernel.scheduler import ScheduledHandle, Simulator
-from repro.simkernel.trace import TraceEntry, TraceRecorder
+from repro.simkernel.trace import TraceEntry, TraceLevel, TraceRecorder
 
 __all__ = [
     "Delay",
@@ -27,6 +27,7 @@ __all__ = [
     "Simulator",
     "Stop",
     "TraceEntry",
+    "TraceLevel",
     "TraceRecorder",
     "VirtualClock",
 ]

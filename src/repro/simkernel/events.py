@@ -4,12 +4,24 @@ Events are ordered by ``(time, priority, seq)``.  The sequence number is
 assigned by the queue at insertion and guarantees a *deterministic* total
 order even when many events share a timestamp — essential for reproducible
 distributed-system runs.
+
+Performance notes (the simulator's innermost loop lives here):
+
+* Heap entries are plain ``(time, priority, seq, event)`` tuples, so heap
+  sifting compares native tuples instead of calling a Python-level
+  ``Event.__lt__`` — the single hottest comparison in large sweeps.
+* ``Event`` is a ``__slots__`` class; no per-event ``__dict__``.
+* The queue tracks live (non-cancelled) events with a counter, making
+  ``__len__``/``__bool__`` O(1) instead of an O(heap) scan.
+* Cancelled entries normally wait in the heap until popped; when they
+  outnumber live ones past a threshold the heap is compacted in place,
+  bounding memory in long runs with heavy timer cancellation (e.g. the
+  reliable-delivery ACK timers of latency sweeps).
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 #: Default event priority.  Lower priorities run first at equal times.
@@ -20,7 +32,6 @@ PRIORITY_NORMAL = 0
 PRIORITY_DELIVERY = -1
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled occurrence in virtual time.
 
@@ -33,30 +44,79 @@ class Event:
         cancelled: a cancelled event stays in the heap but is skipped.
     """
 
-    time: float
-    priority: int
-    seq: int
-    action: Callable[[], Any] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "action", "label", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        action: Callable[[], Any],
+        label: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = cancelled
+        self._queue: "EventQueue | None" = None
 
     def cancel(self) -> None:
         """Mark this event so the simulator will skip it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._note_cancel()
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.sort_key() == other.sort_key()
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return (
+            f"Event(t={self.time}, prio={self.priority}, seq={self.seq}, "
+            f"label={self.label!r}{state})"
+        )
 
 
 class EventQueue:
     """A priority queue of :class:`Event` with deterministic ordering."""
 
+    #: Compact only once at least this many cancelled entries are buried in
+    #: the heap (avoids churn on small queues where an O(n) sweep per cancel
+    #: would dominate).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        # Heap entries are (time, priority, seq, event): tuple comparison
+        # never reaches the event because seq is unique.
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
+        self._live = 0
+        self._cancelled_in_heap = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return any(not event.cancelled for event in self._heap)
+        return self._live > 0
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, including not-yet-removed cancelled entries."""
+        return len(self._heap)
 
     def push(
         self,
@@ -66,25 +126,60 @@ class EventQueue:
         label: str = "",
     ) -> Event:
         """Insert an event and return it (so callers may cancel it)."""
-        event = Event(
-            time=time, priority=priority, seq=self._seq, action=action, label=label
-        )
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, action, label)
+        event._queue = self
+        heapq.heappush(self._heap, (time, priority, seq, event))
+        self._live += 1
         return event
 
     def pop(self) -> Event | None:
         """Remove and return the next live event, or ``None`` if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
+            if event.cancelled:
+                self._cancelled_in_heap -= 1
+                continue
+            # Detach so a late cancel() of an already-executed event cannot
+            # corrupt the live counter.
+            event._queue = None
+            self._live -= 1
+            return event
         return None
 
     def peek_time(self) -> float | None:
         """Time of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
+
+    # -- cancellation bookkeeping ---------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel` for an event still in the heap."""
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        O(live) — called automatically once cancelled entries make up more
+        than half of a sufficiently large heap, so the amortized cost per
+        cancellation is O(1).
+        """
+        if not self._cancelled_in_heap:
+            return
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0

@@ -4,12 +4,36 @@ Protocol engines and substrates record what happened as typed entries
 ``(time, category, subject, details)``.  Integration tests for the paper's
 worked examples (Sections 4.3 and 3.3) assert on these traces, and the
 benchmark harness prints them for EXPERIMENTS.md.
+
+Recording granularity is controlled by :class:`TraceLevel`:
+
+* ``FULL`` — every occurrence becomes a :class:`TraceEntry` (the default;
+  what the worked-example integration tests rely on).
+* ``COUNTS`` — no entries are allocated, but exact per-category counters
+  are still maintained, so every message-count claim of the paper
+  (Section 4.4's ``(N-1)(2P+3Q+1)`` and friends) remains verifiable at a
+  fraction of the cost.  This is the fast path for large sweeps.
+* ``OFF`` — nothing is recorded at all.
+
+Per-category counters are maintained at every level except ``OFF``, so
+``count("msg.send")`` agrees between ``FULL`` and ``COUNTS`` runs of the
+same seeded scenario.
 """
 
 from __future__ import annotations
 
+import enum
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Iterator
+
+
+class TraceLevel(enum.IntEnum):
+    """How much a :class:`TraceRecorder` keeps."""
+
+    OFF = 0
+    COUNTS = 1
+    FULL = 2
 
 
 @dataclass(frozen=True)
@@ -36,25 +60,96 @@ class TraceEntry:
 class TraceRecorder:
     """Append-only log of :class:`TraceEntry` with simple query helpers."""
 
-    def __init__(self) -> None:
+    def __init__(self, level: TraceLevel = TraceLevel.FULL) -> None:
         self.entries: list[TraceEntry] = []
-        self.enabled = True
+        #: Exact number of record() calls per category (any level but OFF).
+        self.counts: Counter[str] = Counter()
+        # Incremental per-query cache for by_category(): category ->
+        # (matching entries, number of self.entries scanned so far).  The
+        # log is append-only, so a cached result only ever needs extending.
+        self._category_cache: dict[str, tuple[list[TraceEntry], int]] = {}
+        self._full = False
+        self._counting = False
+        self.level = level
+
+    # -- level management ------------------------------------------------------
+
+    @property
+    def level(self) -> TraceLevel:
+        return self._level
+
+    @level.setter
+    def level(self, value: TraceLevel) -> None:
+        self._level = TraceLevel(value)
+        self._full = self._level is TraceLevel.FULL
+        self._counting = self._level is not TraceLevel.OFF
+
+    @property
+    def enabled(self) -> bool:
+        """Backwards-compatible on/off switch (pre-:class:`TraceLevel` API)."""
+        return self._level is not TraceLevel.OFF
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self.level = TraceLevel.FULL if value else TraceLevel.OFF
+
+    # -- recording -------------------------------------------------------------
 
     def record(
         self, time: float, category: str, subject: str, **details: Any
     ) -> None:
-        if not self.enabled:
-            return
-        self.entries.append(TraceEntry(time, category, subject, details))
+        if self._full:
+            self.entries.append(TraceEntry(time, category, subject, details))
+            self.counts[category] += 1
+        elif self._counting:
+            self.counts[category] += 1
+
+    def tick(self, category: str) -> None:
+        """Count an occurrence without entry payload (hot-path helper).
+
+        Equivalent to :meth:`record` for counting purposes but skips detail
+        construction entirely; callers on hot paths use it when
+        ``wants_entries`` is false.
+        """
+        if self._counting:
+            self.counts[category] += 1
+
+    @property
+    def wants_entries(self) -> bool:
+        """True when callers should build full entry details (FULL level)."""
+        return self._full
+
+    # -- queries ---------------------------------------------------------------
+
+    def count(self, category: str) -> int:
+        """Exact occurrences of ``category`` (prefix-matched like
+        :meth:`by_category`), maintained at ``FULL`` and ``COUNTS`` levels."""
+        prefix = category + "."
+        return sum(
+            n
+            for cat, n in self.counts.items()
+            if cat == category or cat.startswith(prefix)
+        )
 
     def by_category(self, category: str) -> list[TraceEntry]:
-        """All entries whose category equals or starts with ``category``."""
-        prefix = category + "."
-        return [
-            entry
-            for entry in self.entries
-            if entry.category == category or entry.category.startswith(prefix)
-        ]
+        """All entries whose category equals or starts with ``category``.
+
+        Results are cached incrementally: repeated queries on a growing
+        trace only scan entries appended since the previous call, instead
+        of rescanning the whole log (integration tests query multi-
+        thousand-entry traces repeatedly).
+        """
+        matches, scanned = self._category_cache.get(category, ([], 0))
+        entries = self.entries
+        if scanned < len(entries):
+            prefix = category + "."
+            matches = matches + [
+                entry
+                for entry in entries[scanned:]
+                if entry.category == category or entry.category.startswith(prefix)
+            ]
+            self._category_cache[category] = (matches, len(entries))
+        return list(matches)
 
     def by_subject(self, subject: str) -> list[TraceEntry]:
         return [entry for entry in self.entries if entry.subject == subject]

@@ -18,6 +18,11 @@ from repro.workloads.behaviour import (
     Raise,
     Step,
 )
+from repro.workloads.parallel import (
+    ParallelSweepRunner,
+    SweepWorkerError,
+    parallel_sweep_general,
+)
 from repro.workloads.scenarios import ParticipantSpec, Scenario, ScenarioResult
 
 __all__ = [
@@ -26,9 +31,12 @@ __all__ = [
     "AtomicWrite",
     "BehaviourRunner",
     "Compute",
+    "ParallelSweepRunner",
     "ParticipantSpec",
     "Raise",
     "Scenario",
     "ScenarioResult",
     "Step",
+    "SweepWorkerError",
+    "parallel_sweep_general",
 ]

@@ -29,6 +29,7 @@ from repro.exceptions.handlers import HandlerSet
 from repro.exceptions.tree import ResolutionTree
 from repro.net.latency import LatencyModel
 from repro.objects.naming import canonical_name
+from repro.simkernel.trace import TraceLevel
 from repro.workloads.behaviour import ActionBlock, Compute, Raise
 from repro.workloads.scenarios import ParticipantSpec, Scenario
 
@@ -61,6 +62,7 @@ def general_case(
     abort_duration: float = 0.0,
     nested_work: float = WORK,
     resolver_group_size: int = 1,
+    trace_level: TraceLevel = TraceLevel.FULL,
 ) -> Scenario:
     """The Section 4.4 workload: N participants of one action, of which P
     raise concurrently and Q sit inside nested actions.
@@ -117,7 +119,9 @@ def general_case(
                 abortion_handlers=abortion_handlers,
             )
         )
-    return Scenario(actions, specs, latency=latency, seed=seed)
+    return Scenario(
+        actions, specs, latency=latency, seed=seed, trace_level=trace_level
+    )
 
 
 def single_exception_case(n: int, **kwargs) -> Scenario:

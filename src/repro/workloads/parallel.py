@@ -1,0 +1,235 @@
+"""Process-parallel parameter sweeps.
+
+Sweep points are independent, seeded, deterministic simulations — the ideal
+shape for process-level parallelism (one Python process per core sidesteps
+the GIL entirely).  :class:`ParallelSweepRunner` fans a grid out across a
+``multiprocessing`` pool in chunks and reassembles the points in grid
+order, so the returned :class:`~repro.workloads.sweeps.SweepResult` is
+**bit-identical** to what the serial :func:`~repro.workloads.sweeps.sweep_general`
+produces for the same grid and seed: both paths run the exact same
+:func:`~repro.workloads.sweeps.measure_point` per (N, P, Q) with the same
+per-point seed.
+
+Determinism & caveats
+---------------------
+
+* Workers are spawned with the ``fork`` start method by default (no
+  pickling of scenario internals; child processes inherit the imported
+  modules).  On platforms without ``fork`` the runner silently falls back
+  to the serial path unless an explicit ``start_method`` is given.
+* ``max_workers=1`` (or a single-point grid) also runs serially — useful
+  as a control and on single-core boxes where pool overhead cannot pay
+  for itself.
+* Worker failures are wrapped in :class:`SweepWorkerError` carrying the
+  failing grid point and the worker's formatted traceback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.net.latency import LatencyModel
+from repro.simkernel.trace import TraceLevel
+from repro.workloads.sweeps import (
+    SweepPoint,
+    SweepResult,
+    measure_point,
+    sweep_general,
+)
+
+#: ``(done_points, total_points)`` callback invoked after each finished chunk.
+ProgressCallback = Callable[[int, int], None]
+
+
+class SweepWorkerError(RuntimeError):
+    """A sweep worker failed on one grid point.
+
+    Attributes:
+        point: the ``(n, p, q)`` tuple that failed.
+        worker_traceback: the traceback formatted inside the worker process.
+    """
+
+    def __init__(self, point: tuple[int, int, int], worker_traceback: str) -> None:
+        super().__init__(
+            f"sweep worker failed on point (n={point[0]}, p={point[1]}, "
+            f"q={point[2]})\n--- worker traceback ---\n{worker_traceback}"
+        )
+        self.point = point
+        self.worker_traceback = worker_traceback
+
+
+def _run_chunk(payload):
+    """Pool worker: measure one chunk of indexed grid points.
+
+    Returns ``("ok", [(index, SweepPoint), ...])`` or
+    ``("error", point, formatted_traceback)``.  Errors are returned as data
+    (not raised) so the parent can re-raise them with the failing point
+    attached instead of an opaque pool traceback.
+    """
+    indexed_points, latency, seed, trace_level, scenario_kwargs = payload
+    measured = []
+    for index, (n, p, q) in indexed_points:
+        try:
+            point = measure_point(
+                n, p, q, latency=latency, seed=seed,
+                trace_level=trace_level, **scenario_kwargs,
+            )
+        except Exception:  # noqa: BLE001 — reported verbatim to the parent
+            return ("error", (n, p, q), traceback.format_exc())
+        measured.append((index, point))
+    return ("ok", measured)
+
+
+def _default_workers() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover — non-Linux
+        return os.cpu_count() or 1
+
+
+class ParallelSweepRunner:
+    """Run (N, P, Q) sweeps across a process pool.
+
+    Args:
+        max_workers: pool size; defaults to the usable CPU count.  ``1``
+            forces the serial path.
+        chunk_size: grid points per dispatched task.  Defaults to an even
+            split targeting ~4 chunks per worker (small enough to balance
+            the load, large enough to amortize dispatch overhead).
+        start_method: explicit multiprocessing start method (``"fork"``,
+            ``"spawn"``, ``"forkserver"``).  Default: ``"fork"`` when the
+            platform offers it, otherwise fall back to serial execution.
+        trace_level: trace granularity for every point (``COUNTS`` is the
+            fast path; ``FULL`` matches the serial default).
+        progress: optional ``(done, total)`` callback, called in the parent
+            after each completed chunk.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+        trace_level: TraceLevel = TraceLevel.FULL,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.max_workers = max_workers if max_workers is not None else _default_workers()
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self.trace_level = TraceLevel(trace_level)
+        self.progress = progress
+
+    # -- public API ------------------------------------------------------------
+
+    def sweep_general(
+        self,
+        grid: Iterable[tuple[int, int, int]],
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+        **scenario_kwargs,
+    ) -> SweepResult:
+        """Parallel mirror of :func:`repro.workloads.sweeps.sweep_general`.
+
+        Same signature and same result, re-ordered back to grid order after
+        the fan-out; falls back to the serial implementation when a pool
+        would not help (or is unavailable).
+        """
+        grid = list(grid)
+        start_method = self._resolve_start_method()
+        if self.max_workers <= 1 or len(grid) <= 1 or start_method is None:
+            result = sweep_general(
+                grid, latency=latency, seed=seed,
+                trace_level=self.trace_level, **scenario_kwargs,
+            )
+            if self.progress is not None:
+                self.progress(len(grid), len(grid))
+            return result
+        return self._pooled_sweep(
+            grid, latency, seed, start_method, scenario_kwargs
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _resolve_start_method(self) -> Optional[str]:
+        available = multiprocessing.get_all_start_methods()
+        if self.start_method is not None:
+            if self.start_method not in available:
+                raise ValueError(
+                    f"start method {self.start_method!r} not available here "
+                    f"(have: {available})"
+                )
+            return self.start_method
+        # Fork keeps workers cheap and avoids pickling scenario callables;
+        # without it (e.g. some non-POSIX platforms) serial is the safe
+        # deterministic fallback.
+        return "fork" if "fork" in available else None
+
+    def _chunks(
+        self, grid: Sequence[tuple[int, int, int]]
+    ) -> list[list[tuple[int, tuple[int, int, int]]]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(grid) // (self.max_workers * 4)))
+        indexed = list(enumerate(grid))
+        return [indexed[i : i + size] for i in range(0, len(indexed), size)]
+
+    def _pooled_sweep(
+        self,
+        grid: list[tuple[int, int, int]],
+        latency: LatencyModel | None,
+        seed: int,
+        start_method: str,
+        scenario_kwargs: dict,
+    ) -> SweepResult:
+        chunks = self._chunks(grid)
+        payloads = [
+            (chunk, latency, seed, self.trace_level, scenario_kwargs)
+            for chunk in chunks
+        ]
+        workers = min(self.max_workers, len(chunks))
+        context = multiprocessing.get_context(start_method)
+        slots: list[Optional[SweepPoint]] = [None] * len(grid)
+        done = 0
+        with context.Pool(processes=workers) as pool:
+            for outcome in pool.imap_unordered(_run_chunk, payloads):
+                if outcome[0] == "error":
+                    _, point, worker_tb = outcome
+                    raise SweepWorkerError(point, worker_tb)
+                for index, sweep_point in outcome[1]:
+                    slots[index] = sweep_point
+                    done += 1
+                if self.progress is not None:
+                    self.progress(done, len(grid))
+        missing = [i for i, slot in enumerate(slots) if slot is None]
+        if missing:  # pragma: no cover — indicates a pool bug, not a workload
+            raise RuntimeError(f"pool returned no result for indices {missing}")
+        return SweepResult(list(slots))
+
+
+def parallel_sweep_general(
+    grid: Iterable[tuple[int, int, int]],
+    latency: LatencyModel | None = None,
+    seed: int = 0,
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    trace_level: TraceLevel = TraceLevel.FULL,
+    progress: Optional[ProgressCallback] = None,
+    **scenario_kwargs,
+) -> SweepResult:
+    """One-shot convenience wrapper around :class:`ParallelSweepRunner`."""
+    runner = ParallelSweepRunner(
+        max_workers=max_workers,
+        chunk_size=chunk_size,
+        trace_level=trace_level,
+        progress=progress,
+    )
+    return runner.sweep_general(
+        grid, latency=latency, seed=seed, **scenario_kwargs
+    )

@@ -22,6 +22,7 @@ from repro.exceptions.handlers import HandlerSet
 from repro.net.failures import FailurePlan
 from repro.net.latency import LatencyModel
 from repro.objects.runtime import Runtime
+from repro.simkernel.trace import TraceLevel
 from repro.transactions.atomic_object import AtomicObject
 from repro.workloads.behaviour import BehaviourRunner, Step
 
@@ -112,6 +113,7 @@ class Scenario:
         failure_plan: FailurePlan | None = None,
         reliable: bool = False,
         ack_timeout: float = 5.0,
+        trace_level: TraceLevel = TraceLevel.FULL,
     ) -> None:
         self.registry = ActionRegistry()
         for definition in actions:
@@ -126,12 +128,13 @@ class Scenario:
         self.failure_plan = failure_plan
         self.reliable = reliable
         self.ack_timeout = ack_timeout
+        self.trace_level = TraceLevel(trace_level)
 
     def build(self) -> tuple[Runtime, CAActionManager, dict, dict]:
         runtime = Runtime(
             seed=self.seed, latency=self.latency,
             failure_plan=self.failure_plan, reliable=self.reliable,
-            ack_timeout=self.ack_timeout,
+            ack_timeout=self.ack_timeout, trace_level=self.trace_level,
         )
         manager = CAActionManager(self.registry)
         participants: dict[str, CAParticipant] = {}

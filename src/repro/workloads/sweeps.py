@@ -15,6 +15,7 @@ from repro.analysis.fitting import PowerLawFit, fit_power_law
 from repro.analysis.formulas import general_messages
 from repro.analysis.metrics import resolution_timeline
 from repro.net.latency import LatencyModel
+from repro.simkernel.trace import TraceLevel
 from repro.workloads.generator import general_case
 
 
@@ -58,27 +59,54 @@ class SweepResult:
         ]
 
 
+def measure_point(
+    n: int,
+    p: int,
+    q: int,
+    latency: LatencyModel | None = None,
+    seed: int = 0,
+    trace_level: TraceLevel = TraceLevel.FULL,
+    **scenario_kwargs,
+) -> SweepPoint:
+    """Run one (N, P, Q) workload and produce its :class:`SweepPoint`.
+
+    Shared by the serial sweep and the process-pool workers of
+    :mod:`repro.workloads.parallel`, so both paths are the same code and
+    produce bit-identical points.  Under ``COUNTS``/``OFF`` tracing the
+    commit-latency timeline cannot be extracted (it needs full entries), so
+    ``commit_latency`` is ``None`` — measured counts are unaffected.
+    """
+    result = general_case(
+        n, p, q, latency=latency, seed=seed, trace_level=trace_level,
+        **scenario_kwargs,
+    ).run()
+    trace = result.runtime.trace
+    commit_latency = None
+    if trace.wants_entries:
+        commit_latency = resolution_timeline(trace, "A1").detection_to_commit
+    return SweepPoint(
+        n=n, p=p, q=q,
+        measured=result.resolution_message_total(),
+        model=general_messages(n, p, q),
+        commit_latency=commit_latency,
+    )
+
+
 def sweep_general(
     grid: Iterable[tuple[int, int, int]],
     latency: LatencyModel | None = None,
     seed: int = 0,
+    trace_level: TraceLevel = TraceLevel.FULL,
     **scenario_kwargs,
 ) -> SweepResult:
     """Measure the (N, P, Q) workloads in ``grid``."""
-    points = []
-    for n, p, q in grid:
-        result = general_case(
-            n, p, q, latency=latency, seed=seed, **scenario_kwargs
-        ).run()
-        timeline = resolution_timeline(result.runtime.trace, "A1")
-        points.append(
-            SweepPoint(
-                n=n, p=p, q=q,
-                measured=result.resolution_message_total(),
-                model=general_messages(n, p, q),
-                commit_latency=timeline.detection_to_commit,
-            )
+    points = [
+        measure_point(
+            n, p, q, latency=latency, seed=seed, trace_level=trace_level,
+            **scenario_kwargs,
         )
+        for n, p, q in grid
+    ]
     return SweepResult(points)
 
 

@@ -29,6 +29,19 @@ class TestLargeFlatActions:
         assert result.resolution_message_total() == general_messages(32, 4, 8)
         assert result.all_finished()
 
+    def test_ninety_six_participants_under_counts_tracing(self):
+        """N=96 — beyond anything the 1996 paper simulated — stays exact
+        on the COUNTS fast path (no per-message trace entries)."""
+        from repro.simkernel.trace import TraceLevel
+
+        result = general_case(
+            96, p=48, q=24, trace_level=TraceLevel.COUNTS
+        ).run(max_events=5_000_000)
+        assert result.resolution_message_total() == general_messages(96, 48, 24)
+        assert len(result.runtime.trace) == 0  # no entries were allocated
+        assert result.runtime.trace.count("msg.send") > 0  # but counters ran
+        assert result.all_finished()
+
 
 class TestDeepNesting:
     def test_depth_twelve_abortion_chain(self):

@@ -1,0 +1,108 @@
+"""ParallelSweepRunner: identity with the serial path, fallback, errors."""
+
+import multiprocessing
+
+import pytest
+
+from repro.simkernel.trace import TraceLevel
+from repro.workloads.parallel import (
+    ParallelSweepRunner,
+    SweepWorkerError,
+    parallel_sweep_general,
+)
+from repro.workloads.sweeps import full_grid, scaling_grid, sweep_general
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAS_FORK, reason="platform lacks fork")
+
+GRID = scaling_grid([4, 6, 8]) + full_grid([5])
+
+
+class TestIdentityWithSerial:
+    @needs_fork
+    def test_points_bit_identical_to_serial(self):
+        serial = sweep_general(GRID, seed=7)
+        parallel = ParallelSweepRunner(max_workers=2).sweep_general(GRID, seed=7)
+        assert parallel.points == serial.points
+
+    @needs_fork
+    def test_identical_under_counts_tracing(self):
+        serial = sweep_general(GRID, seed=1, trace_level=TraceLevel.COUNTS)
+        parallel = ParallelSweepRunner(
+            max_workers=2, trace_level=TraceLevel.COUNTS
+        ).sweep_general(GRID, seed=1)
+        assert parallel.points == serial.points
+
+    @needs_fork
+    def test_chunk_size_does_not_change_results(self):
+        baseline = ParallelSweepRunner(max_workers=2).sweep_general(GRID)
+        for chunk_size in (1, 3, 100):
+            chunked = ParallelSweepRunner(
+                max_workers=2, chunk_size=chunk_size
+            ).sweep_general(GRID)
+            assert chunked.points == baseline.points
+
+    @needs_fork
+    def test_convenience_wrapper(self):
+        serial = sweep_general(GRID)
+        parallel = parallel_sweep_general(GRID, max_workers=2)
+        assert parallel.points == serial.points
+
+
+class TestFallbacks:
+    def test_single_worker_runs_serially(self):
+        result = ParallelSweepRunner(max_workers=1).sweep_general(GRID)
+        assert result.points == sweep_general(GRID).points
+
+    def test_single_point_grid_runs_serially(self):
+        grid = [(5, 2, 1)]
+        result = ParallelSweepRunner(max_workers=4).sweep_general(grid)
+        assert result.points == sweep_general(grid).points
+
+    def test_serial_when_fork_unavailable(self, monkeypatch):
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        runner = ParallelSweepRunner(max_workers=4)
+        assert runner._resolve_start_method() is None
+        result = runner.sweep_general(GRID[:3])
+        assert result.points == sweep_general(GRID[:3]).points
+
+    def test_unknown_start_method_rejected(self):
+        runner = ParallelSweepRunner(max_workers=2, start_method="not-a-method")
+        with pytest.raises(ValueError, match="not-a-method"):
+            runner.sweep_general(GRID[:2])
+
+    def test_bad_worker_and_chunk_args_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSweepRunner(max_workers=0)
+        with pytest.raises(ValueError):
+            ParallelSweepRunner(chunk_size=0)
+
+
+class TestProgressAndErrors:
+    @needs_fork
+    def test_progress_reaches_total_in_order(self):
+        seen = []
+        runner = ParallelSweepRunner(
+            max_workers=2, chunk_size=2, progress=lambda d, t: seen.append((d, t))
+        )
+        runner.sweep_general(GRID)
+        assert seen[-1] == (len(GRID), len(GRID))
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+        assert all(t == len(GRID) for _, t in seen)
+
+    def test_progress_fires_on_serial_fallback(self):
+        seen = []
+        ParallelSweepRunner(
+            max_workers=1, progress=lambda d, t: seen.append((d, t))
+        ).sweep_general(GRID[:2])
+        assert seen == [(2, 2)]
+
+    @needs_fork
+    def test_worker_error_carries_point_and_traceback(self):
+        bad_grid = [(4, 1, 0), (3, 9, 0)]  # p > n: invalid workload
+        with pytest.raises(SweepWorkerError) as excinfo:
+            ParallelSweepRunner(max_workers=2).sweep_general(bad_grid)
+        assert excinfo.value.point == (3, 9, 0)
+        assert "ValueError" in excinfo.value.worker_traceback

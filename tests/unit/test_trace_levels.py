@@ -1,0 +1,124 @@
+"""TraceLevel semantics and the by_category cache.
+
+``COUNTS`` must keep *exact* per-category counters — every message-count
+claim of the paper is verified through them in fast sweeps — while
+allocating no entries.  The ``by_category`` cache must return exactly what
+a fresh linear scan would, on a growing trace.
+"""
+
+from repro.simkernel.trace import TraceLevel, TraceRecorder
+from repro.workloads.generator import general_case
+
+
+class TestLevels:
+    def test_full_records_entries_and_counts(self):
+        trace = TraceRecorder()
+        assert trace.level is TraceLevel.FULL
+        trace.record(1.0, "msg.send", "O1", dst="O2")
+        trace.record(2.0, "msg.send", "O2", dst="O1")
+        trace.record(3.0, "handler", "O1")
+        assert len(trace) == 3
+        assert trace.counts["msg.send"] == 2
+        assert trace.count("msg") == 2
+        assert trace.count("handler") == 1
+
+    def test_counts_level_keeps_exact_counters_without_entries(self):
+        trace = TraceRecorder(level=TraceLevel.COUNTS)
+        for _ in range(5):
+            trace.record(1.0, "msg.send", "O1", dst="O2", kind="ACK")
+        trace.tick("msg.recv")
+        assert len(trace) == 0
+        assert trace.entries == []
+        assert trace.counts["msg.send"] == 5
+        assert trace.counts["msg.recv"] == 1
+        assert trace.count("msg") == 6
+
+    def test_off_records_nothing(self):
+        trace = TraceRecorder(level=TraceLevel.OFF)
+        trace.record(1.0, "msg.send", "O1")
+        trace.tick("msg.send")
+        assert len(trace) == 0
+        assert trace.counts == {}
+
+    def test_enabled_backwards_compat(self):
+        trace = TraceRecorder()
+        trace.enabled = False
+        assert trace.level is TraceLevel.OFF
+        trace.record(1.0, "x", "y")
+        assert len(trace) == 0
+        trace.enabled = True
+        assert trace.level is TraceLevel.FULL
+        trace.record(1.0, "x", "y")
+        assert len(trace) == 1
+
+    def test_wants_entries_only_at_full(self):
+        assert TraceRecorder(TraceLevel.FULL).wants_entries
+        assert not TraceRecorder(TraceLevel.COUNTS).wants_entries
+        assert not TraceRecorder(TraceLevel.OFF).wants_entries
+
+    def test_count_is_prefix_component_wise(self):
+        trace = TraceRecorder(level=TraceLevel.COUNTS)
+        trace.record(1.0, "msg.send", "a")
+        trace.record(1.0, "msgother", "b")
+        assert trace.count("msg") == 1
+        assert trace.count("msgother") == 1
+
+
+class TestByCategoryCache:
+    def test_matches_fresh_scan_on_growing_trace(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "msg.send", "O1")
+        trace.record(1.0, "msg.recv", "O2")
+        first = trace.by_category("msg")
+        assert [e.category for e in first] == ["msg.send", "msg.recv"]
+        # Grow the trace after the first (now cached) query.
+        trace.record(2.0, "msg.send", "O3")
+        trace.record(2.0, "handler", "O3")
+        second = trace.by_category("msg")
+        assert [e.category for e in second] == ["msg.send", "msg.recv", "msg.send"]
+        assert [e.subject for e in second] == ["O1", "O2", "O3"]
+
+    def test_repeated_queries_do_not_rescan(self):
+        trace = TraceRecorder()
+        for i in range(100):
+            trace.record(float(i), "msg.send", "O1")
+        trace.by_category("msg.send")
+
+        class ExplodingList(list):
+            def __getitem__(self, item):
+                raise AssertionError("query rescanned the entry log")
+
+        # With the cache warm and no new entries, a second query must not
+        # slice the entries list again.
+        trace.entries = ExplodingList(trace.entries)
+        result = trace.by_category("msg.send")
+        assert len(result) == 100
+
+    def test_returned_list_is_a_private_copy(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "msg.send", "O1")
+        result = trace.by_category("msg.send")
+        result.clear()
+        assert len(trace.by_category("msg.send")) == 1
+
+
+class TestCountsMatchFullOnRealScenarios:
+    def test_exact_formula_counts_survive_counts_tracing(self):
+        """E4-style check: measured == (N-1)(2P+3Q+1) under COUNTS."""
+        from repro.analysis import general_messages
+
+        for n, p, q in [(4, 1, 0), (6, 2, 3), (8, 8, 0), (5, 1, 4)]:
+            result = general_case(
+                n, p, q, trace_level=TraceLevel.COUNTS
+            ).run()
+            assert result.resolution_message_total() == general_messages(n, p, q)
+            assert len(result.runtime.trace) == 0
+
+    def test_per_category_counters_agree_between_levels(self):
+        full = general_case(6, 2, 2).run()
+        counts = general_case(6, 2, 2, trace_level=TraceLevel.COUNTS).run()
+        full_trace = full.runtime.trace
+        counts_trace = counts.runtime.trace
+        for category in ("msg.send", "msg.recv"):
+            assert full_trace.count(category) == counts_trace.count(category)
+        assert full.messages_by_kind() == counts.messages_by_kind()
