@@ -15,7 +15,7 @@ flat; abort-mode pays the HaveNested/NestedCompleted messages.
 from _harness import record_table
 
 from repro.core.action import NestedPolicy
-from repro.workloads.generator import RAISE_AT, general_case
+from repro.workloads.generator import general_case
 
 # All durations comfortably exceed the raise instant (t=10) so the nested
 # actions are genuinely in progress when the exception lands.

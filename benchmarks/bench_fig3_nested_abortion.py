@@ -14,7 +14,6 @@ and O1 is belated for A2/A3) and verifies each numbered problem:
 
 from _harness import record_table
 
-from repro.exceptions import declare_exception
 from repro.workloads.generator import figure3_scenario
 
 

@@ -12,7 +12,7 @@ and readability over timing statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.analysis.fitting import fit_power_law
@@ -20,7 +20,6 @@ from repro.analysis.formulas import (
     case1_messages,
     case2_messages,
     case3_messages,
-    general_messages,
 )
 
 

@@ -132,8 +132,21 @@ class ResolutionEngine:
             # A suspended object may start its handler without ever needing
             # a slow peer's HaveNested/NestedCompleted (only the resolver
             # needs them all), and ACKs for our own broadcasts may likewise
-            # trail the Commit.  Exceptions can not trail a Commit: the
-            # Commit's raiser list is complete (see _maybe_start_handler).
+            # trail the Commit.
+            if message.kind == KIND_EXCEPTION:
+                # A raise from the *next* incarnation of a backward-recovery
+                # retry: the sender's acceptance test failed, it re-entered
+                # and raised again before we processed our own retry.  The
+                # raise belongs to the attempt we are about to join — buffer
+                # it for processing (and ACKing) once _start_retry resets
+                # this action's protocol state.  (Within one incarnation an
+                # Exception cannot trail a Commit: the Commit's raiser list
+                # is complete — see _maybe_start_handler.)
+                self.p.buffer_pending(action, message)
+                self.p.trace(
+                    "msg.next_incarnation", action=action, kind=message.kind
+                )
+                return
             if message.kind == KIND_COMMIT:
                 committed = self.completed[action]
                 if (

@@ -195,18 +195,22 @@ class CentralizedRunResult:
     runtime: Runtime
     participants: dict[str, CentralizedParticipant]
     coordinator: ResolutionCoordinator
+    crashed: tuple[str, ...] = ()
+
+    def survivors(self) -> list[CentralizedParticipant]:
+        return [
+            p for n, p in self.participants.items() if n not in self.crashed
+        ]
 
     def total_messages(self) -> int:
         return self.runtime.network.total_sent(set(CD_KINDS))
 
     def all_handled(self) -> bool:
-        return all(p.handled is not None for p in self.participants.values())
+        return all(p.handled is not None for p in self.survivors())
 
     def handled_exceptions(self) -> set[str]:
         return {
-            p.handled.name()
-            for p in self.participants.values()
-            if p.handled is not None
+            p.handled.name() for p in self.survivors() if p.handled is not None
         }
 
     def commit_time(self) -> Optional[float]:
@@ -222,8 +226,22 @@ def run_centralized(
     raise_at: float = 10.0,
     coordinator_crashes_at: Optional[float] = None,
     run_until: Optional[float] = None,
+    failure_plan=None,
+    reliable: bool = False,
+    ack_timeout: float = 5.0,
+    max_retries: int = 25,
+    crash: tuple[str, ...] = (),
+    crash_at: float = 12.0,
 ) -> CentralizedRunResult:
-    """Run the centralised variant on the flat P-raisers workload."""
+    """Run the centralised variant on the flat P-raisers workload.
+
+    ``crash`` names *participants* whose nodes die at ``crash_at``; the
+    coordinator's own crash keeps its dedicated ``coordinator_crashes_at``
+    knob (it lives on ``node:coord``).  Either crash stalls the protocol
+    — the single-point-of-failure and missing-status limitations the
+    module docstring describes — which fault campaigns classify as an
+    *expected* stall.
+    """
     from repro.exceptions.declarations import UniversalException, declare_exception
     from repro.objects.naming import canonical_name
 
@@ -235,7 +253,13 @@ def run_centralized(
     )
     handlers = HandlerSet.completing_all(tree)
     names = tuple(canonical_name(i) for i in range(n))
-    runtime = Runtime(seed=seed, latency=latency)
+    unknown = set(crash) - set(names)
+    if unknown:
+        raise ValueError(f"cannot crash unknown members: {sorted(unknown)}")
+    runtime = Runtime(
+        seed=seed, latency=latency, failure_plan=failure_plan,
+        reliable=reliable, ack_timeout=ack_timeout, max_retries=max_retries,
+    )
     coordinator = ResolutionCoordinator("coord", "A1", names, tree)
     runtime.register(coordinator)
     participants: dict[str, CentralizedParticipant] = {}
@@ -256,8 +280,14 @@ def run_centralized(
             lambda: runtime.crash_node("node:coord"),
             label="crash-coord",
         )
+    for victim in crash:
+        runtime.sim.schedule(
+            crash_at,
+            lambda v=victim: runtime.crash_node(f"node:{v}"),
+            label=f"crash:{victim}",
+        )
     runtime.run(until=run_until, max_events=1_000_000)
-    return CentralizedRunResult(runtime, participants, coordinator)
+    return CentralizedRunResult(runtime, participants, coordinator, tuple(crash))
 
 
 def expected_centralized_messages(n: int, p: int) -> int:

@@ -8,7 +8,8 @@ delivery but cannot unblock the wait.  This module supplies the missing
 piece as an explicit extension:
 
 * every member runs a heartbeat failure detector
-  (:class:`repro.net.detector.Heartbeater`);
+  (:class:`repro.net.detector.Heartbeater`), wired to the group membership
+  service: suspected members leave the action's group view;
 * readiness is computed over the *alive* view: ACKs and NestedCompleteds
   owed by suspected members are waived;
 * the resolver is the biggest **alive** raiser — if the elected resolver
@@ -18,12 +19,48 @@ piece as an explicit extension:
   hold the same LE, so the verdict is unique);
 * handlers still start on Commit, whose raiser list covers exceptions
   raised by members that later crashed (their recovery is the survivors'
-  business — the crashed object is gone).
+  business — the crashed object is gone);
+* a member that learns of an exception *after* committing (e.g. a late
+  broadcast from a falsely suspected peer) replies with its Commit
+  instead of an ACK — decisions already made are stable, and the late
+  raiser adopts the verdict rather than resolving a conflicting one.
 
-The variant is implemented for flat (unnested) actions, the setting where
-the liveness problem is already fully visible; nested abortion under
-crashes would additionally need coordinated view changes, which we leave
-as the next increment (documented limitation).
+False suspicion (a healthy member declared dead by a too-eager detector)
+can split the group into two live halves that each elect a resolver and
+commit different verdicts.  Three rules make the group converge anyway:
+
+* Commits are broadcast to the **whole** group, never just the
+  unsuspected peers — a falsely suspected member is alive and must see
+  the verdict; a genuinely dead one simply never receives it.
+* Conflicting commits **merge**: resolution is a join in the exception
+  tree and ``lca(lca(S1), lca(S2)) == lca(S1 ∪ S2)``, so folding the
+  committed exceptions pairwise yields exactly what one resolver seeing
+  both LE sets would have committed.  Since every commit reaches every
+  member, all survivors fold the same set and agree
+  (``ct.handle_upgrade`` trace).
+* A raiser offered a commit that does **not cover its own exception**
+  (the resolver decided without it) extends the commit — joins its
+  exception in and re-broadcasts (``ct.commit_extend`` trace) — instead
+  of silently dropping a raised exception.
+
+Nested actions are supported one increment beyond the original
+flat-action limitation: a suspended member inside a nested chain
+announces it (``CT_HAVE_NESTED``), runs its abortion handlers (taking
+virtual time, optionally signalling an exception into the resolution)
+and broadcasts ``CT_NESTED_COMPLETED``.  The resolver waits for every
+live nested member's completion — and a member that **crashes during
+nested abortion** is waived on suspicion exactly like a missing ACK, so
+one death mid-abortion no longer stalls the survivors.  Coordinated view
+changes for *concurrent independent* nested resolutions remain future
+work (documented limitation).
+
+Fault-free message count for N members, P raisers, Q nested::
+
+    P(N-1) exceptions + P(N-1) ACKs + Q(N-1) HaveNested
+    + Q(N-1) NestedCompleted + (N-1) Commit  =  (N-1)(2P + 2Q + 1)
+
+(versus the base algorithm's ``(N-1)(2P+3Q+1)``: HaveNested here is one
+broadcast instead of one message per raiser).
 """
 
 from __future__ import annotations
@@ -34,6 +71,7 @@ from typing import Optional
 from repro.exceptions.handlers import HandlerSet
 from repro.exceptions.tree import ExceptionClass, ResolutionTree
 from repro.net.detector import Heartbeater
+from repro.net.failures import FailurePlan
 from repro.net.message import Message
 from repro.objects.base import DistributedObject
 from repro.objects.runtime import Runtime
@@ -41,8 +79,13 @@ from repro.objects.runtime import Runtime
 KIND_CT_EXCEPTION = "CT_EXCEPTION"
 KIND_CT_ACK = "CT_ACK"
 KIND_CT_COMMIT = "CT_COMMIT"
+KIND_CT_HAVE_NESTED = "CT_HAVE_NESTED"
+KIND_CT_NESTED_COMPLETED = "CT_NESTED_COMPLETED"
 
-CT_KINDS = frozenset({KIND_CT_EXCEPTION, KIND_CT_ACK, KIND_CT_COMMIT})
+CT_KINDS = frozenset({
+    KIND_CT_EXCEPTION, KIND_CT_ACK, KIND_CT_COMMIT,
+    KIND_CT_HAVE_NESTED, KIND_CT_NESTED_COMPLETED,
+})
 
 
 @dataclass(frozen=True)
@@ -59,6 +102,19 @@ class CtAck:
 
 
 @dataclass(frozen=True)
+class CtHaveNested:
+    action: str
+    sender: str
+
+
+@dataclass(frozen=True)
+class CtNestedCompleted:
+    action: str
+    sender: str
+    signal: Optional[ExceptionClass]
+
+
+@dataclass(frozen=True)
 class CtCommit:
     action: str
     sender: str
@@ -67,7 +123,7 @@ class CtCommit:
 
 
 class CrashTolerantParticipant(DistributedObject):
-    """A flat-action participant that survives peer crashes."""
+    """A participant that survives peer crashes, including mid-abortion."""
 
     def __init__(
         self,
@@ -78,24 +134,42 @@ class CrashTolerantParticipant(DistributedObject):
         handlers: HandlerSet,
         hb_interval: float = 2.0,
         hb_timeout: float = 7.0,
+        nested_depth: int = 0,
+        abort_duration: float = 0.0,
+        abort_signal: Optional[ExceptionClass] = None,
+        membership_group: str | None = None,
     ) -> None:
         super().__init__(name)
         self.action = action
         self.group = group
         self.tree = tree
         self.handlers = handlers
+        self.nested_depth = nested_depth
+        self.abort_duration = abort_duration
+        self.abort_signal = abort_signal
+        #: Every resolution contribution seen: raised exceptions plus
+        #: abortion-handler signals, keyed by contributor.
         self.le: dict[str, ExceptionClass] = {}
+        #: Members that *broadcast* an exception — the resolver candidates
+        #: (an abortion signal contributes to LE but does not make its
+        #: sender eligible to resolve).
+        self.raisers: set[str] = set()
         self.acks_missing: set[str] = set()
+        self.nested_members: set[str] = set()
+        self.nested_done: set[str] = set()
         self.raised_local = False
+        self.aborting = False
         self.commit: Optional[CtCommit] = None
         self.handled: Optional[ExceptionClass] = None
         self.detector = Heartbeater(
             self, group, interval=hb_interval, timeout=hb_timeout,
-            on_suspect=self._on_suspect,
+            on_suspect=self._on_suspect, membership_group=membership_group,
         )
         self.on_kind(KIND_CT_EXCEPTION, self._on_exception)
         self.on_kind(KIND_CT_ACK, self._on_ack)
         self.on_kind(KIND_CT_COMMIT, self._on_commit)
+        self.on_kind(KIND_CT_HAVE_NESTED, self._on_have_nested)
+        self.on_kind(KIND_CT_NESTED_COMPLETED, self._on_nested_completed)
 
     def start(self) -> None:
         self.detector.start()
@@ -105,7 +179,13 @@ class CrashTolerantParticipant(DistributedObject):
     def raise_exception(self, exception: ExceptionClass) -> None:
         if self.raised_local or self.le or self.handled is not None:
             return  # informed or already recovered: suspended semantics
+        if self.nested_depth > 0:
+            raise RuntimeError(
+                f"{self.name}: a nested member raises within its nested "
+                "action, not the crash-tolerant top-level one"
+            )
         self.raised_local = True
+        self.raisers.add(self.name)
         self.le[self.name] = exception
         self.acks_missing = set(self.detector.alive_peers())
         for peer in self.group:
@@ -121,7 +201,19 @@ class CrashTolerantParticipant(DistributedObject):
     def _on_exception(self, message: Message) -> None:
         payload: CtException = message.payload
         self.le[payload.sender] = payload.exception
+        self.raisers.add(payload.sender)
+        if self.commit is not None:
+            # Decision already taken (the sender is a late raiser — e.g.
+            # falsely suspected and slow): reply with the verdict, not an
+            # ACK, so it adopts our commit instead of resolving its own.
+            self.runtime.trace.record(
+                self.sim_now, "ct.late_exception", self.name,
+                action=self.action, peer=payload.sender,
+            )
+            self.send(payload.sender, KIND_CT_COMMIT, self.commit)
+            return
         self.send(payload.sender, KIND_CT_ACK, CtAck(self.action, self.name))
+        self._maybe_start_abort()
         self._advance()
 
     def _on_ack(self, message: Message) -> None:
@@ -130,19 +222,113 @@ class CrashTolerantParticipant(DistributedObject):
 
     def _on_commit(self, message: Message) -> None:
         payload: CtCommit = message.payload
-        if self.commit is not None and self.commit.exception is not payload.exception:
-            raise RuntimeError(
-                f"{self.name}: conflicting crash-tolerant commits "
-                f"{self.commit.exception.name()} vs {payload.exception.name()}"
-            )
         if self.commit is None:
+            own = self.le.get(self.name) if self.raised_local else None
+            if own is not None and not self.tree.covers(payload.exception, own):
+                # The resolver decided without our raise — it falsely
+                # suspected us, or committed before our Exception landed.
+                # Adopting its verdict would drop a raised exception, so
+                # extend the commit with our own and re-broadcast; joins
+                # commute, so the group still converges on one verdict.
+                merged = self.tree.resolve((payload.exception, own))
+                commit = CtCommit(
+                    self.action, self.name, merged,
+                    raisers=tuple(sorted({*payload.raisers, self.name})),
+                )
+                self.commit = commit
+                self.runtime.trace.record(
+                    self.sim_now, "ct.commit_extend", self.name,
+                    action=self.action, exception=merged.name(),
+                )
+                for peer in self.group:
+                    if peer != self.name:
+                        self.send(peer, KIND_CT_COMMIT, commit)
+                self._start_handler(merged)
+                return
             self.commit = payload
-        self._start_handler(payload.exception)
+            self._start_handler(payload.exception)
+            return
+        if self.commit.exception is payload.exception:
+            return
+        # Two resolvers committed different verdicts: a falsely suspected
+        # partition elected its own resolver over a subset of the raised
+        # exceptions.  Resolution is a join in the exception tree, and
+        # lca(lca(S1), lca(S2)) == lca(S1 ∪ S2) — so merging the two
+        # committed exceptions gives exactly what a single resolver that
+        # had seen both LE sets would have committed.  Every commit is
+        # broadcast to the whole group, so all survivors fold the same
+        # set of verdicts and converge on the same join.
+        merged = self.tree.resolve((self.commit.exception, payload.exception))
+        if merged is self.commit.exception:
+            return
+        self.commit = CtCommit(
+            self.action, payload.sender, merged,
+            raisers=tuple(sorted({*self.commit.raisers, *payload.raisers})),
+        )
+        previous = self.handled
+        self.handled = merged
+        self.runtime.trace.record(
+            self.sim_now, "ct.handle_upgrade", self.name,
+            action=self.action,
+            exception=merged.name(),
+            superseded=previous.name() if previous else None,
+        )
+
+    def _on_have_nested(self, message: Message) -> None:
+        payload: CtHaveNested = message.payload
+        self.nested_members.add(payload.sender)
+        self._advance()
+
+    def _on_nested_completed(self, message: Message) -> None:
+        payload: CtNestedCompleted = message.payload
+        self.nested_members.add(payload.sender)
+        self.nested_done.add(payload.sender)
+        if payload.signal is not None:
+            self.le[payload.sender] = payload.signal
+        self._advance()
 
     def _on_suspect(self, peer: str) -> None:
-        # Waive anything the dead peer owed us, then re-evaluate: this is
-        # both the liveness fix and the resolver re-election trigger.
+        # Waive anything the dead peer owed us — its ACK and, if it died
+        # mid-abortion, its NestedCompleted — then re-evaluate: this is
+        # the liveness fix and the resolver re-election trigger in one.
         self.acks_missing.discard(peer)
+        self._advance()
+
+    # -- nested abortion ---------------------------------------------------------
+
+    def _maybe_start_abort(self) -> None:
+        """On first being informed, a nested member aborts its chain."""
+        if self.nested_depth <= 0 or self.aborting:
+            return
+        self.aborting = True
+        self.nested_members.add(self.name)
+        for peer in self.detector.alive_peers():
+            self.send(peer, KIND_CT_HAVE_NESTED, CtHaveNested(self.action, self.name))
+        self.runtime.trace.record(
+            self.sim_now, "ct.abort_start", self.name, action=self.action,
+            depth=self.nested_depth,
+        )
+        self.runtime.sim.schedule(
+            self.abort_duration * self.nested_depth,
+            self._nested_completed,
+            label=f"ct-abort:{self.name}",
+        )
+
+    def _nested_completed(self) -> None:
+        if self.crashed or self.handled is not None:
+            return  # died mid-abortion, or an outer commit overtook us
+        self.nested_done.add(self.name)
+        if self.abort_signal is not None:
+            self.le[self.name] = self.abort_signal
+        for peer in self.detector.alive_peers():
+            self.send(
+                peer, KIND_CT_NESTED_COMPLETED,
+                CtNestedCompleted(self.action, self.name, self.abort_signal),
+            )
+        self.runtime.trace.record(
+            self.sim_now, "ct.abort_done", self.name, action=self.action,
+            signal=self.abort_signal.name() if self.abort_signal else None,
+        )
         self._advance()
 
     # -- progress ----------------------------------------------------------------
@@ -150,15 +336,25 @@ class CrashTolerantParticipant(DistributedObject):
     def _alive_raisers(self) -> list[str]:
         return [
             name
-            for name in self.le
+            for name in self.raisers
             if name == self.name or not self.detector.is_suspected(name)
         ]
+
+    def _nested_pending(self) -> set[str]:
+        return {
+            member
+            for member in self.nested_members
+            if member not in self.nested_done
+            and not self.detector.is_suspected(member)
+        }
 
     def _advance(self) -> None:
         if self.crashed:
             return  # halt semantics: a dead object takes no decisions
         if self.handled is not None or self.commit is not None:
             return
+        if self._nested_pending():
+            return  # a live nested member is still aborting
         alive_raisers = self._alive_raisers()
         if not self.raised_local:
             # Suspended members normally wait for Commit — but if every
@@ -191,8 +387,12 @@ class CrashTolerantParticipant(DistributedObject):
             self.sim_now, "ct.commit", self.name,
             action=self.action, exception=resolved.name(),
         )
-        for peer in self.detector.alive_peers():
-            self.send(peer, KIND_CT_COMMIT, commit)
+        # Commit goes to the *whole* group, not just unsuspected peers: a
+        # falsely suspected member is alive and must still converge, and a
+        # genuinely dead one simply never receives it (crash = silence).
+        for peer in self.group:
+            if peer != self.name:
+                self.send(peer, KIND_CT_COMMIT, commit)
         self._start_handler(resolved)
 
     def _start_handler(self, exception: ExceptionClass) -> None:
@@ -205,11 +405,19 @@ class CrashTolerantParticipant(DistributedObject):
         )
 
 
+def ct_expected_messages(n: int, p: int, q: int = 0) -> int:
+    """Fault-free protocol messages: ``(N-1)(2P + 2Q + 1)`` (module doc)."""
+    if p == 0:
+        return 0
+    return (n - 1) * (2 * p + 2 * q + 1)
+
+
 @dataclass
 class CrashTolerantRunResult:
     runtime: Runtime
     participants: dict[str, CrashTolerantParticipant]
     crashed: tuple[str, ...]
+    membership_group: str = "ct:A1"
 
     def survivors(self) -> list[CrashTolerantParticipant]:
         return [
@@ -227,10 +435,14 @@ class CrashTolerantRunResult:
     def protocol_messages(self) -> int:
         return self.runtime.network.total_sent(set(CT_KINDS))
 
+    def final_view(self):
+        return self.runtime.membership.view(self.membership_group)
+
 
 def run_crash_tolerant(
     n: int,
     raisers: int = 2,
+    nested: int = 0,
     crash: tuple[str, ...] = (),
     crash_at: float = 12.0,
     raise_at: float = 10.0,
@@ -238,33 +450,57 @@ def run_crash_tolerant(
     latency=None,
     hb_interval: float = 2.0,
     hb_timeout: float = 7.0,
+    abort_duration: float = 1.0,
+    nested_signal: bool = False,
+    failure_plan: FailurePlan | None = None,
+    reliable: bool = False,
+    ack_timeout: float = 5.0,
+    max_retries: int = 25,
     run_until: float = 200.0,
 ) -> CrashTolerantRunResult:
     """Run the crash-tolerant variant, optionally crashing members.
 
     ``crash`` names participants whose nodes die at ``crash_at`` —
     typically *after* raising, the case that deadlocks the base algorithm.
+    The first ``raisers`` members raise; the next ``nested`` members sit
+    inside one-level nested actions and abort them (taking
+    ``abort_duration`` each, signalling an exception when
+    ``nested_signal``).  ``failure_plan``/``reliable`` run the protocol
+    over a faulty channel with the ARQ transport underneath.
     """
     from repro.exceptions.declarations import UniversalException, declare_exception
     from repro.objects.naming import canonical_name
 
     if not 1 <= raisers <= n:
         raise ValueError(f"bad raiser count {raisers} for n={n}")
+    if not 0 <= nested <= n - raisers:
+        raise ValueError(f"bad nested count {nested} for n={n}, raisers={raisers}")
     leaves = [declare_exception(f"CT_{i}") for i in range(raisers)]
+    signal_exc = declare_exception("CT_ABORT_SIG") if nested_signal else None
+    members = leaves + ([signal_exc] if signal_exc else [])
     tree = ResolutionTree(
-        UniversalException, {leaf: UniversalException for leaf in leaves}
+        UniversalException, {leaf: UniversalException for leaf in members}
     )
     handlers = HandlerSet.completing_all(tree)
     names = tuple(canonical_name(i) for i in range(n))
     unknown = set(crash) - set(names)
     if unknown:
         raise ValueError(f"cannot crash unknown members: {sorted(unknown)}")
-    runtime = Runtime(seed=seed, latency=latency)
+    runtime = Runtime(
+        seed=seed, latency=latency, failure_plan=failure_plan,
+        reliable=reliable, ack_timeout=ack_timeout, max_retries=max_retries,
+    )
+    group_name = "ct:A1"
+    runtime.membership.create(group_name, list(names))
     participants: dict[str, CrashTolerantParticipant] = {}
-    for name in names:
+    for index, name in enumerate(names):
+        depth = 1 if raisers <= index < raisers + nested else 0
         participant = CrashTolerantParticipant(
             name, "A1", names, tree, handlers,
             hb_interval=hb_interval, hb_timeout=hb_timeout,
+            nested_depth=depth, abort_duration=abort_duration,
+            abort_signal=signal_exc if depth else None,
+            membership_group=group_name,
         )
         runtime.register(participant)
         participants[name] = participant
@@ -283,4 +519,6 @@ def run_crash_tolerant(
             label=f"crash:{victim}",
         )
     runtime.run(until=run_until, max_events=2_000_000)
-    return CrashTolerantRunResult(runtime, participants, tuple(crash))
+    return CrashTolerantRunResult(
+        runtime, participants, tuple(crash), membership_group=group_name
+    )

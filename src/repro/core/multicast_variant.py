@@ -224,6 +224,7 @@ class MulticastParticipant(DistributedObject):
 class MulticastRunResult:
     runtime: Runtime
     participants: dict[str, MulticastParticipant]
+    crashed: tuple[str, ...] = ()
 
     def multicast_operations(self) -> int:
         return self.runtime.multicast.total_operations(set(MC_KINDS))
@@ -231,14 +232,17 @@ class MulticastRunResult:
     def underlying_unicasts(self) -> int:
         return self.runtime.network.total_sent(set(MC_KINDS))
 
+    def survivors(self) -> list[MulticastParticipant]:
+        return [
+            p for n, p in self.participants.items() if n not in self.crashed
+        ]
+
     def all_handled(self) -> bool:
-        return all(p.handled is not None for p in self.participants.values())
+        return all(p.handled is not None for p in self.survivors())
 
     def handled_exceptions(self) -> set[str]:
         return {
-            p.handled.name()
-            for p in self.participants.values()
-            if p.handled is not None
+            p.handled.name() for p in self.survivors() if p.handled is not None
         }
 
 
@@ -250,8 +254,24 @@ def run_multicast_resolution(
     latency=None,
     raise_at: float = 1.0,
     abort_duration: float = 0.5,
+    failure_plan=None,
+    reliable: bool = False,
+    ack_timeout: float = 5.0,
+    max_retries: int = 25,
+    crash: tuple[str, ...] = (),
+    crash_at: float = 12.0,
+    run_until: float | None = None,
 ) -> MulticastRunResult:
-    """Run the multicast variant on the Section 4.4 workload shape."""
+    """Run the multicast variant on the Section 4.4 workload shape.
+
+    ``failure_plan``/``reliable`` run the variant over a faulty channel
+    with the ARQ transport underneath (the multicast layer detects the
+    reliable substrate and skips its own per-destination retries).
+    ``crash`` names participants whose nodes die at ``crash_at`` — the
+    variant has no failure detector, so a mid-protocol crash stalls the
+    survivors (a documented limitation that fault campaigns classify as
+    an *expected* stall).
+    """
     from repro.exceptions.declarations import UniversalException, declare_exception
     from repro.objects.naming import canonical_name
 
@@ -263,7 +283,13 @@ def run_multicast_resolution(
     )
     handlers = HandlerSet.completing_all(tree)
     names = tuple(canonical_name(i) for i in range(n))
-    runtime = Runtime(seed=seed, latency=latency)
+    unknown = set(crash) - set(names)
+    if unknown:
+        raise ValueError(f"cannot crash unknown members: {sorted(unknown)}")
+    runtime = Runtime(
+        seed=seed, latency=latency, failure_plan=failure_plan,
+        reliable=reliable, ack_timeout=ack_timeout, max_retries=max_retries,
+    )
     runtime.membership.create("GA", list(names))
     participants: dict[str, MulticastParticipant] = {}
     for index, name in enumerate(names):
@@ -281,8 +307,14 @@ def run_multicast_resolution(
             lambda r=raiser, e=leaves[i]: r.raise_exception(e),
             label="mc-raise",
         )
-    runtime.run(max_events=2_000_000)
-    return MulticastRunResult(runtime, participants)
+    for victim in crash:
+        runtime.sim.schedule(
+            crash_at,
+            lambda v=victim: runtime.crash_node(f"node:{v}"),
+            label=f"crash:{victim}",
+        )
+    runtime.run(until=run_until, max_events=2_000_000)
+    return MulticastRunResult(runtime, participants, tuple(crash))
 
 
 def expected_multicast_operations(n: int, p: int, q: int) -> int:

@@ -313,6 +313,10 @@ class CAParticipant(DistributedObject):
             context.raised.clear()  # a fresh attempt may raise anew
         self.trace("action.retry", action=action, attempt=next_attempt)
         self.on_action_retry(action, next_attempt)
+        # A faster peer may have raised in the new attempt already; its
+        # Exception was buffered against our completed previous attempt
+        # (engine.on_message next-incarnation path) and is live again now.
+        self._process_pending(action)
 
     def abort_local(self, action: str) -> None:
         """Pop ``action`` during nested-chain abortion.

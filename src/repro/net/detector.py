@@ -11,6 +11,13 @@ This is an eventually-perfect-style detector under the simulator's fault
 model: crashed endpoints never heartbeat again (no false recoveries), but
 slow networks can cause false suspicion — consumers must tolerate
 messages from suspected peers arriving late, which the variant does.
+
+Suspicion can additionally be wired to the group membership service
+(Section 4.5: participants "could be treated as members of a closed
+group"): pass ``membership_group`` and every suspected member is removed
+from that group's view, so view changes track the detector's alive set.
+Suspected peers also stop receiving our heartbeats — they have left the
+view, and under the crash-only fault model they will never answer again.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ class Heartbeater:
         interval: float = 2.0,
         timeout: float = 7.0,
         on_suspect: Callable[[str], None] | None = None,
+        membership_group: str | None = None,
     ) -> None:
         if timeout <= interval:
             raise ValueError(
@@ -43,9 +51,16 @@ class Heartbeater:
         self.interval = interval
         self.timeout = timeout
         self.on_suspect = on_suspect
+        self.membership_group = membership_group
         self.last_seen: dict[str, float] = {}
         self.suspected: set[str] = set()
         self._running = False
+        # Each start() bumps the generation; beat/check chains carry the
+        # generation they were started under and die when it goes stale.
+        # Without this, stop() followed by start() before the old callbacks
+        # fire would leave two live chains (doubled heartbeat traffic and
+        # check frequency).
+        self._generation = 0
         obj.on_kind(KIND_HEARTBEAT, self._on_heartbeat)
 
     def start(self) -> None:
@@ -53,11 +68,12 @@ class Heartbeater:
         if self._running:
             return
         self._running = True
+        self._generation += 1
         now = self.obj.sim_now
         for peer in self.peers:
             self.last_seen[peer] = now
-        self._beat()
-        self._check()
+        self._beat(self._generation)
+        self._check(self._generation)
 
     def stop(self) -> None:
         self._running = False
@@ -70,13 +86,23 @@ class Heartbeater:
 
     # -- internals ------------------------------------------------------------
 
-    def _beat(self) -> None:
-        if not self._running or self.obj.crashed:
+    def _stale(self, generation: int) -> bool:
+        return (
+            not self._running
+            or generation != self._generation
+            or self.obj.crashed
+        )
+
+    def _beat(self, generation: int) -> None:
+        if self._stale(generation):
             return
         for peer in self.peers:
-            self.obj.send(peer, KIND_HEARTBEAT, None)
+            if peer not in self.suspected:
+                self.obj.send(peer, KIND_HEARTBEAT, None)
         self.obj.runtime.sim.schedule(
-            self.interval, self._beat, label=f"hb:{self.obj.name}"
+            self.interval,
+            lambda: self._beat(generation),
+            label=f"hb:{self.obj.name}",
         )
 
     def _on_heartbeat(self, message: Message) -> None:
@@ -90,20 +116,29 @@ class Heartbeater:
                 peer=message.src,
             )
 
-    def _check(self) -> None:
-        if not self._running or self.obj.crashed:
+    def _check(self, generation: int) -> None:
+        if self._stale(generation):
             return
         now = self.obj.sim_now
         for peer in self.peers:
             if peer in self.suspected:
                 continue
             if now - self.last_seen.get(peer, now) > self.timeout:
-                self.suspected.add(peer)
-                self.obj.runtime.trace.record(
-                    now, "detector.suspect", self.obj.name, peer=peer
-                )
-                if self.on_suspect is not None:
-                    self.on_suspect(peer)
+                self._suspect(peer, now)
         self.obj.runtime.sim.schedule(
-            self.interval, self._check, label=f"hbcheck:{self.obj.name}"
+            self.interval,
+            lambda: self._check(generation),
+            label=f"hbcheck:{self.obj.name}",
         )
+
+    def _suspect(self, peer: str, now: float) -> None:
+        self.suspected.add(peer)
+        self.obj.runtime.trace.record(
+            now, "detector.suspect", self.obj.name, peer=peer
+        )
+        if self.membership_group is not None:
+            membership = self.obj.runtime.membership
+            if self.membership_group in membership.groups():
+                membership.leave(self.membership_group, peer)
+        if self.on_suspect is not None:
+            self.on_suspect(peer)

@@ -50,6 +50,23 @@ class PartitionWindow:
         )
 
 
+def split_partition(
+    members: "list[str] | tuple[str, ...]", start: float, end: float
+) -> PartitionWindow:
+    """A :class:`PartitionWindow` splitting ``members`` into two halves.
+
+    The split is deterministic (sorted order, first half vs rest), which
+    keeps fault campaigns reproducible from their seeds alone.
+    """
+    ordered = sorted(members)
+    if len(ordered) < 2:
+        raise ValueError("a partition needs at least two members")
+    half = len(ordered) // 2
+    return PartitionWindow(
+        frozenset(ordered[:half]), frozenset(ordered[half:]), start, end
+    )
+
+
 @dataclass
 class FailurePlan:
     """Declarative description of the faults to inject in a run."""

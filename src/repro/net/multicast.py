@@ -7,7 +7,12 @@ in our algorithm would consist of only several multicasts".
 
 The layer fans a multicast out as unicasts over the FIFO network, and
 retransmits any unicast the failure injector dropped until it gets through
-(bounded by ``max_retries``).  Two counters are kept:
+(bounded by ``max_retries``; exhaustion dead-letters the unicast — trace
+event ``mcast.dead_letter`` — rather than raising out of the scheduler).
+When the underlying network already provides reliable delivery
+(``provides_reliable_delivery``, e.g. :class:`~repro.net.reliable.ReliableNetwork`),
+the layer's own retry loop is skipped — stacking two ARQ loops would
+double-count logical sends.  Two counters are kept:
 
 * ``operations`` — logical multicast invocations, the unit the Section 4.5
   variant is charged in (experiment E12);
@@ -24,7 +29,11 @@ from repro.net.network import Network
 
 
 class MulticastDeliveryError(RuntimeError):
-    """A member could not be reached within the retry budget."""
+    """A member could not be reached within the retry budget.
+
+    Kept for API compatibility: exhaustion no longer raises (the unicast
+    is dead-lettered instead); see the module docstring.
+    """
 
 
 class ReliableMulticast:
@@ -42,6 +51,7 @@ class ReliableMulticast:
         self.retry_delay = retry_delay
         self.max_retries = max_retries
         self.operations: Counter[str] = Counter()
+        self.dead_letters = 0
 
     def multicast(
         self,
@@ -69,11 +79,15 @@ class ReliableMulticast:
         message = self.network.send(src, dst, kind, payload)
         if not message.dropped:
             return
+        if getattr(self.network, "provides_reliable_delivery", False):
+            return  # the transport's own ARQ recovers the drop
         if attempt >= self.max_retries:
-            raise MulticastDeliveryError(
-                f"multicast {kind} {src}->{dst} undeliverable after "
-                f"{attempt} retries"
+            self.dead_letters += 1
+            self.network.trace.record(
+                self.network.sim.now, "mcast.dead_letter", src,
+                dst=dst, kind=kind, retries=attempt,
             )
+            return
         self.network.sim.schedule(
             self.retry_delay,
             lambda: self._send_reliably(src, dst, kind, payload, attempt + 1),

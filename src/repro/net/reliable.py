@@ -13,12 +13,18 @@ Accounting: ``sent_by_kind`` keeps counting *logical* sends (one per
 retransmissions and transport ACKs are tallied separately
 (``retransmissions``, ``transport_acks``) — they are the price of the
 fault model, not of the algorithm.
+
+Retry exhaustion (a permanently dead destination) does not raise out of
+the scheduler: the frame is *dead-lettered* — a ``msg.dead_letter`` trace
+event is recorded, ``dead_letters`` incremented and the optional
+``on_delivery_failure`` callback invoked — so one unreachable peer fails
+one send, not the whole simulation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable, Optional
 
 from repro.net.failures import FailureInjector
 from repro.net.message import Message
@@ -56,7 +62,12 @@ class _PendingSend:
 
 
 class ReliableDeliveryError(RuntimeError):
-    """A frame could not be delivered within the retry budget."""
+    """A frame could not be delivered within the retry budget.
+
+    Kept for API compatibility: exhaustion no longer raises (it
+    dead-letters the frame instead), but callers may still use this class
+    in their own ``on_delivery_failure`` handling.
+    """
 
 
 class ReliableNetwork(Network):
@@ -65,19 +76,26 @@ class ReliableNetwork(Network):
     Messages sent through :meth:`send` are guaranteed to reach a live
     receiver exactly once and in per-pair FIFO order, even when the
     failure plan drops frames.  Liveness requires the destination to stay
-    up; ``max_retries`` bounds the wait for a dead one.
+    up; ``max_retries`` bounds the wait for a dead one, after which the
+    frame is dead-lettered (see module docstring).
     """
+
+    #: Upper layers (e.g. :class:`~repro.net.multicast.ReliableMulticast`)
+    #: check this to avoid stacking their own retransmission on top of ARQ.
+    provides_reliable_delivery = True
 
     def __init__(
         self,
         *args,
         ack_timeout: float = 5.0,
         max_retries: int = 60,
+        on_delivery_failure: Optional[Callable[["_PendingSend"], None]] = None,
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
         self.ack_timeout = ack_timeout
         self.max_retries = max_retries
+        self.on_delivery_failure = on_delivery_failure
         self._next_seq: dict[tuple[str, str], int] = {}
         self._expected: dict[tuple[str, str], int] = {}
         self._reorder: dict[tuple[str, str], dict[int, Message]] = {}
@@ -85,6 +103,7 @@ class ReliableNetwork(Network):
         self.retransmissions = 0
         self.transport_acks = 0
         self.duplicates_dropped = 0
+        self.dead_letters = 0
 
     # -- sending ------------------------------------------------------------------
 
@@ -113,11 +132,19 @@ class ReliableNetwork(Network):
         if key not in self._pending:
             return  # acknowledged in the meantime
         if pending.retries >= self.max_retries:
-            raise ReliableDeliveryError(
-                f"frame {pending.frame.kind} #{pending.frame.seq} "
-                f"{pending.src}->{pending.dst} lost after "
-                f"{pending.retries} retries"
+            # Retry budget exhausted: dead-letter the frame instead of
+            # raising out of the scheduler (which would abort the whole
+            # simulation for one unreachable destination).
+            del self._pending[key]
+            self.dead_letters += 1
+            self.trace.record(
+                self.sim.now, "msg.dead_letter", pending.src,
+                dst=pending.dst, kind=pending.frame.kind,
+                seq=pending.frame.seq, retries=pending.retries,
             )
+            if self.on_delivery_failure is not None:
+                self.on_delivery_failure(pending)
+            return
         pending.retries += 1
         self.retransmissions += 1
         # Re-wire directly (bypassing send() so the logical count stays put).
@@ -147,6 +174,16 @@ class ReliableNetwork(Network):
 
     def _deliver(self, message: Message) -> None:
         if message.kind == KIND_TRANSPORT_ACK:
+            if message.corrupted:
+                # Checksum failure on the ACK itself: a corrupted ACK must
+                # NOT cancel retransmission — its seq field is untrusted.
+                # Drop it; the retransmission timer re-sends the frame and
+                # the receiver re-acknowledges.
+                self.trace.record(
+                    self.sim.now, "msg.checksum_drop", message.dst,
+                    src=message.src, kind=KIND_TRANSPORT_ACK,
+                )
+                return
             ack: _AckFrame = message.payload
             self._pending.pop((message.dst, message.src, ack.seq), None)
             return

@@ -22,7 +22,7 @@ behaviour the surveyed sequential OO languages give their callers.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.exceptions.tree import ExceptionClass

@@ -29,6 +29,7 @@ class Runtime:
         failure_plan: FailurePlan | None = None,
         reliable: bool = False,
         ack_timeout: float = 5.0,
+        max_retries: int = 60,
         trace_level: TraceLevel = TraceLevel.FULL,
     ) -> None:
         self.sim = Simulator()
@@ -41,6 +42,7 @@ class Runtime:
             self.network: Network = ReliableNetwork(
                 self.sim, latency=latency, rng=self.rng, injector=injector,
                 trace=self.trace, ack_timeout=ack_timeout,
+                max_retries=max_retries,
             )
         else:
             self.network = Network(

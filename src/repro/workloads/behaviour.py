@@ -11,7 +11,7 @@ objects in a CA action and completes the action" (Section 3.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable, Optional, Sequence, Union
 
 from repro.core.participant import (

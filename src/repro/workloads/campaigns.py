@@ -1,0 +1,703 @@
+"""Fault-matrix campaign engine with protocol invariant oracles.
+
+The resolution protocol's correctness argument (Sections 4.1–4.2) rests on
+invariants — every participant of an action agrees on the resolved
+exception, every handler runs at most once, resolution terminates — that
+the worked examples only witness on the happy path.  This module sweeps a
+*fault matrix* instead: every protocol variant in the repo crossed with
+every fault the injector models, each run checked against explicit
+oracles.
+
+Matrix axes
+-----------
+
+* **Scenario family** — ``paper``: the Section 4.4 ``(N, P, Q)`` workload
+  shape (fuzzed shapes, exact count formulas known); ``fuzz``: random
+  nested worlds from :mod:`repro.workloads.fuzz` (no count formula, full
+  nesting generality, base variant only).
+* **Variant** — ``base`` (Section 4.2 decentralised algorithm), ``ct``
+  (crash-tolerant extension), ``mc`` (Section 4.5 multicast variant),
+  ``cd`` (Section 4.5 centralised variant).  ``mc``/``cd`` run the flat
+  projection of the workload (``cd`` ignores Q: it is a flat-action
+  variant by construction).
+* **Fault** — ``none``, ``drop`` (lossy channel + ARQ transport),
+  ``corrupt`` (checksum-detected corruption + ARQ), ``partition`` (a
+  6-time-unit split covering the resolution window + ARQ),
+  ``crash_participant`` and ``crash_resolver`` (node death mid-protocol;
+  for ``ct`` cells with Q > 0 the participant crash lands *during nested
+  abortion* — the crash-tolerant variant's newest increment).
+
+Oracles (per cell)
+------------------
+
+1. **Termination** — the run finishes (all behaviours complete / all
+   survivors handle).  A stall is only acceptable where this repo
+   *documents* the protocol stalls (crashes under variants without a
+   failure detector); anything else is classified ``STALLED-BUG``.
+2. **Agreement** — every participant that started a resolved handler for
+   an action started it for the *same* exception (crashed members'
+   pre-death handlers included).
+3. **Exactly-once** — no participant activates a resolved handler twice
+   for one action incarnation.
+4. **Counts** — fault-free cells must reproduce the paper's exact message
+   counts: ``(N-1)(2P+3Q+1)`` for ``base``, ``(N-1)(2P+2Q+1)`` for
+   ``ct``, ``N+Q+1`` multicast operations for ``mc``, ``3N-2+P`` for
+   ``cd``.
+
+Classifications: ``OK``, ``STALLED-EXPECTED``, ``STALLED-BUG``,
+``INVARIANT-VIOLATION``, ``CRASHED-HARNESS`` (the harness itself raised —
+campaign cells never take the whole sweep down).  Each failing cell
+carries a one-line repro command.
+
+The oracles themselves are tested by *sabotage*: :func:`oracle_selftest`
+re-runs a healthy cell with seeded violations (flipped handler, doubled
+activation, off-by-one count, forced stall) and checks each one is caught.
+
+Campaign fan-out rides :func:`repro.workloads.parallel.parallel_map`
+(fork pool, deterministic reassembly); cells are independent seeded
+simulations, so a campaign is reproducible from its seed alone.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+from repro.net.failures import FailurePlan, split_partition
+from repro.net.latency import ConstantLatency
+from repro.objects.naming import canonical_name
+from repro.workloads.parallel import ProgressCallback, parallel_map
+
+# Classifications --------------------------------------------------------------
+
+OK = "OK"
+STALLED_EXPECTED = "STALLED-EXPECTED"
+STALLED_BUG = "STALLED-BUG"
+INVARIANT_VIOLATION = "INVARIANT-VIOLATION"
+CRASHED_HARNESS = "CRASHED-HARNESS"
+
+CLASSIFICATIONS = (
+    OK, STALLED_EXPECTED, STALLED_BUG, INVARIANT_VIOLATION, CRASHED_HARNESS
+)
+
+#: Classifications that make a campaign fail.
+BAD = (STALLED_BUG, INVARIANT_VIOLATION, CRASHED_HARNESS)
+
+# Matrix axes ------------------------------------------------------------------
+
+VARIANTS = ("base", "ct", "mc", "cd")
+FAULTS = (
+    "none", "drop", "corrupt", "partition",
+    "crash_participant", "crash_resolver",
+)
+FUZZ_FAULTS = ("none", "drop", "corrupt", "partition", "crash")
+
+SABOTAGES = ("disagree", "double", "count", "stall")
+
+# Fault parameters (shared by every cell so campaigns stay comparable).
+DROP_P = 0.2
+CORRUPT_P = 0.15
+#: Paper-family partition window: opens just after the t=10 raise, long
+#: enough to block the ACK round, short enough that ARQ retransmission
+#: (and the crash-tolerant detector's timeout) ride it out.
+PARTITION_WINDOW = (11.0, 17.0)
+FUZZ_PARTITION_WINDOW = (6.0, 12.0)
+ACK_TIMEOUT = 2.0
+MAX_RETRIES = 25
+RAISE_AT = 10.0
+#: Crash just after the raise instant: broadcasts are out, ACKs are not.
+CRASH_AT = 10.5
+#: Crash-tolerant nested cells crash *mid-abortion* instead: informed at
+#: ~11 (unit latency), aborting for ABORT_DURATION, dead at 13.
+CT_NESTED_CRASH_AT = 13.0
+ABORT_DURATION = 5.0
+HB_INTERVAL = 2.0
+#: Above the partition window plus ARQ slack: no false suspicion in
+#: partition cells (suspicion under partitions is a different experiment).
+HB_TIMEOUT = 12.0
+FUZZ_CRASH_AT = 15.0
+RUN_UNTIL = 400.0
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One point of the fault matrix (picklable, fully describes a run)."""
+
+    family: str  # "paper" | "fuzz"
+    variant: str  # "base" | "ct" | "mc" | "cd" ("fuzz" family: always "base")
+    fault: str
+    n: int
+    p: int = 0
+    q: int = 0
+    seed: int = 0
+    sabotage: Optional[str] = None
+
+    @property
+    def cell_id(self) -> str:
+        base = (
+            f"{self.family}:{self.variant}:{self.fault}"
+            f":n{self.n}p{self.p}q{self.q}:s{self.seed}"
+        )
+        return f"{base}:sab-{self.sabotage}" if self.sabotage else base
+
+    def repro_command(self) -> str:
+        return (
+            "PYTHONPATH=src python benchmarks/bench_fault_campaigns.py "
+            f"--cell '{self.cell_id}'"
+        )
+
+
+def parse_cell_id(cell_id: str) -> CampaignCell:
+    """Inverse of :attr:`CampaignCell.cell_id` (for ``--cell`` repros)."""
+    parts = cell_id.split(":")
+    if len(parts) not in (5, 6):
+        raise ValueError(f"malformed cell id: {cell_id!r}")
+    family, variant, fault, shape, seed_part = parts[:5]
+    sabotage = None
+    if len(parts) == 6:
+        if not parts[5].startswith("sab-"):
+            raise ValueError(f"malformed sabotage suffix in {cell_id!r}")
+        sabotage = parts[5][len("sab-"):]
+    try:
+        n_str, rest = shape[1:].split("p", 1)
+        p_str, q_str = rest.split("q", 1)
+        n, p, q = int(n_str), int(p_str), int(q_str)
+        seed = int(seed_part.lstrip("s"))
+    except ValueError:
+        raise ValueError(f"malformed cell id: {cell_id!r}") from None
+    return CampaignCell(family, variant, fault, n, p, q, seed, sabotage)
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What one cell's run produced, post-oracle."""
+
+    cell: CampaignCell
+    classification: str
+    violations: tuple[str, ...] = ()
+    detail: str = ""
+    measured: Optional[int] = None
+    expected: Optional[int] = None
+    sim_duration: float = 0.0
+
+    @property
+    def bad(self) -> bool:
+        return self.classification in BAD
+
+    def repro_line(self) -> str:
+        return f"[{self.classification}] {self.cell.cell_id} -> {self.cell.repro_command()}"
+
+
+@dataclass
+class _Observation:
+    """Raw facts one run exposes to the oracles (sabotage perturbs these)."""
+
+    finished: bool
+    handled: dict[str, str] = field(default_factory=dict)
+    double_handled: list[str] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+    measured: Optional[int] = None
+    expected: Optional[int] = None
+    crashed: tuple[str, ...] = ()
+    survivors: tuple[str, ...] = ()
+    sim_duration: float = 0.0
+
+
+# -- victim selection -----------------------------------------------------------
+
+
+def _resolver_victim(cell: CampaignCell) -> str:
+    """The paper-family resolver: the biggest raiser (``cd``: the coordinator)."""
+    if cell.variant == "cd":
+        return "coord"
+    return canonical_name(cell.p - 1)
+
+
+def _participant_victim(cell: CampaignCell) -> str:
+    """A non-resolver victim.
+
+    For ``ct`` cells with nested members, the victim is the first nested
+    member so the crash lands mid-abortion; otherwise the last (or, when
+    everyone raises, the first) participant.
+    """
+    if cell.variant == "ct" and cell.q > 0:
+        return canonical_name(cell.p)
+    if cell.p == cell.n:
+        return canonical_name(0)
+    return canonical_name(cell.n - 1)
+
+
+def stall_expected(cell: CampaignCell) -> bool:
+    """Is a stall the *documented* outcome for this cell?
+
+    The base, multicast and centralised variants have no failure detector:
+    a mid-protocol crash leaves someone waiting forever (for ``cd`` the
+    coordinator is additionally a single point of failure).  The
+    crash-tolerant variant must never stall — that is its contract.
+    """
+    if cell.family == "fuzz":
+        return cell.fault == "crash"
+    if cell.fault not in ("crash_participant", "crash_resolver"):
+        return False
+    return cell.variant in ("base", "mc", "cd")
+
+
+# -- cell execution --------------------------------------------------------------
+
+
+def _fault_knobs(cell: CampaignCell, members: Sequence[str]) -> dict:
+    """Translate the fault axis into run-function keyword arguments."""
+    window = (
+        FUZZ_PARTITION_WINDOW if cell.family == "fuzz" else PARTITION_WINDOW
+    )
+    if cell.fault == "none":
+        return {}
+    if cell.fault == "drop":
+        return {
+            "failure_plan": FailurePlan(drop_probability=DROP_P),
+            "reliable": True,
+        }
+    if cell.fault == "corrupt":
+        return {
+            "failure_plan": FailurePlan(corrupt_probability=CORRUPT_P),
+            "reliable": True,
+        }
+    if cell.fault == "partition":
+        return {
+            "failure_plan": FailurePlan(
+                partitions=[split_partition(list(members), *window)]
+            ),
+            "reliable": True,
+        }
+    if cell.fault in ("crash_participant", "crash_resolver", "crash"):
+        return {}  # crashes are scheduled per-variant, not injector knobs
+    raise ValueError(f"unknown fault: {cell.fault}")
+
+
+def _crash_spec(cell: CampaignCell) -> tuple[tuple[str, ...], float]:
+    """(victims, crash time) for crash cells; ((), 0.0) otherwise."""
+    if cell.fault == "crash_resolver":
+        return (_resolver_victim(cell),), CRASH_AT
+    if cell.fault == "crash_participant":
+        victim = _participant_victim(cell)
+        at = (
+            CT_NESTED_CRASH_AT
+            if cell.variant == "ct" and cell.q > 0
+            else CRASH_AT
+        )
+        return (victim,), at
+    return (), 0.0
+
+
+def _observe_paper_base(cell: CampaignCell) -> _Observation:
+    from repro.workloads.generator import expected_general_messages, general_case
+
+    victims, crash_at = _crash_spec(cell)
+    names = [canonical_name(i) for i in range(cell.n)]
+    knobs = _fault_knobs(cell, names)
+    scenario = general_case(
+        cell.n, cell.p, cell.q,
+        latency=ConstantLatency(1.0), seed=cell.seed,
+        ack_timeout=ACK_TIMEOUT, max_retries=MAX_RETRIES,
+        crashes=[(v, crash_at) for v in victims],
+        **knobs,
+    )
+    result = scenario.run(until=RUN_UNTIL, max_events=2_000_000)
+    survivors = tuple(n for n in names if n not in victims)
+    finished = all(
+        runner.finished
+        for name, runner in result.runners.items()
+        if name not in victims
+    )
+    handled: dict[str, str] = {}
+    double: list[str] = []
+    for name, participant in result.participants.items():
+        seen = set()
+        for execution in participant.handler_log:
+            key = (execution.action, execution.incarnation)
+            if key in seen:
+                double.append(
+                    f"{name} handled twice in {execution.action} "
+                    f"incarnation {execution.incarnation}"
+                )
+            seen.add(key)
+            if execution.action == "A1":
+                handled[name] = execution.exception
+    measured = result.resolution_message_total()
+    expected = (
+        expected_general_messages(cell.n, cell.p, cell.q)
+        if cell.fault == "none"
+        else None
+    )
+    problems: list[str] = []
+    if finished and not victims:
+        missing = set(names) - set(handled)
+        if missing:
+            problems.append(
+                f"completeness: {sorted(missing)} never started the "
+                "resolved handler"
+            )
+    return _Observation(
+        finished=finished, handled=handled, double_handled=double,
+        problems=problems, measured=measured, expected=expected,
+        crashed=victims, survivors=survivors,
+        sim_duration=result.duration,
+    )
+
+
+def _trace_handled(runtime, category: str) -> tuple[dict[str, str], list[str]]:
+    """(who handled what, double-activation violations) from handle traces."""
+    handled: dict[str, str] = {}
+    double: list[str] = []
+    for entry in runtime.trace.by_category(category):
+        if entry.subject in handled:
+            double.append(f"{entry.subject} activated a handler twice")
+        handled[entry.subject] = entry.details.get("exception", "?")
+    return handled, double
+
+
+def _observe_paper_ct(cell: CampaignCell) -> _Observation:
+    from repro.core.crash_tolerant import ct_expected_messages, run_crash_tolerant
+
+    victims, crash_at = _crash_spec(cell)
+    names = [canonical_name(i) for i in range(cell.n)]
+    knobs = _fault_knobs(cell, names)
+    result = run_crash_tolerant(
+        cell.n, raisers=cell.p, nested=cell.q,
+        crash=victims, crash_at=crash_at,
+        raise_at=RAISE_AT, seed=cell.seed, latency=ConstantLatency(1.0),
+        hb_interval=HB_INTERVAL, hb_timeout=HB_TIMEOUT,
+        abort_duration=ABORT_DURATION,
+        ack_timeout=ACK_TIMEOUT, max_retries=MAX_RETRIES,
+        run_until=RUN_UNTIL,
+        **knobs,
+    )
+    handled, double = _trace_handled(result.runtime, "ct.handle")
+    survivors = tuple(n for n in names if n not in victims)
+    handled = {n: e for n, e in handled.items() if n in survivors}
+    finished = all(n in handled for n in survivors)
+    measured = result.protocol_messages()
+    expected = (
+        ct_expected_messages(cell.n, cell.p, cell.q)
+        if cell.fault == "none"
+        else None
+    )
+    return _Observation(
+        finished=finished, handled=handled, double_handled=double,
+        measured=measured, expected=expected,
+        crashed=victims, survivors=survivors,
+        sim_duration=result.runtime.sim.now,
+    )
+
+
+def _observe_paper_mc(cell: CampaignCell) -> _Observation:
+    from repro.core.multicast_variant import (
+        expected_multicast_operations,
+        run_multicast_resolution,
+    )
+
+    victims, crash_at = _crash_spec(cell)
+    names = [canonical_name(i) for i in range(cell.n)]
+    knobs = _fault_knobs(cell, names)
+    result = run_multicast_resolution(
+        cell.n, cell.p, cell.q, seed=cell.seed,
+        latency=ConstantLatency(1.0), raise_at=RAISE_AT,
+        ack_timeout=ACK_TIMEOUT, max_retries=MAX_RETRIES,
+        crash=victims, crash_at=crash_at, run_until=RUN_UNTIL,
+        **knobs,
+    )
+    handled, double = _trace_handled(result.runtime, "mc.handle")
+    survivors = tuple(n for n in names if n not in victims)
+    handled = {n: e for n, e in handled.items() if n in survivors}
+    finished = all(n in handled for n in survivors)
+    measured = result.multicast_operations()
+    expected = (
+        expected_multicast_operations(cell.n, cell.p, cell.q)
+        if cell.fault == "none"
+        else None
+    )
+    return _Observation(
+        finished=finished, handled=handled, double_handled=double,
+        measured=measured, expected=expected,
+        crashed=victims, survivors=survivors,
+        sim_duration=result.runtime.sim.now,
+    )
+
+
+def _observe_paper_cd(cell: CampaignCell) -> _Observation:
+    from repro.core.centralized_variant import (
+        expected_centralized_messages,
+        run_centralized,
+    )
+
+    victims, crash_at = _crash_spec(cell)
+    names = [canonical_name(i) for i in range(cell.n)]
+    knobs = _fault_knobs(cell, [*names, "coord"])
+    coord_crash = CRASH_AT if "coord" in victims else None
+    participant_victims = tuple(v for v in victims if v != "coord")
+    result = run_centralized(
+        cell.n, raisers=cell.p, seed=cell.seed,
+        latency=ConstantLatency(1.0), raise_at=RAISE_AT,
+        coordinator_crashes_at=coord_crash, run_until=RUN_UNTIL,
+        ack_timeout=ACK_TIMEOUT, max_retries=MAX_RETRIES,
+        crash=participant_victims, crash_at=crash_at,
+        **knobs,
+    )
+    handled, double = _trace_handled(result.runtime, "cd.handle")
+    survivors = tuple(n for n in names if n not in victims)
+    handled = {n: e for n, e in handled.items() if n in survivors}
+    finished = all(n in handled for n in survivors)
+    measured = result.total_messages()
+    expected = (
+        expected_centralized_messages(cell.n, cell.p)
+        if cell.fault == "none"
+        else None
+    )
+    return _Observation(
+        finished=finished, handled=handled, double_handled=double,
+        measured=measured, expected=expected,
+        crashed=victims, survivors=survivors,
+        sim_duration=result.runtime.sim.now,
+    )
+
+
+def _observe_fuzz(cell: CampaignCell) -> _Observation:
+    from repro.workloads.fuzz import build_random_scenario, check_invariants
+
+    scenario, plan = build_random_scenario(
+        cell.seed, n_participants=cell.n, random_latency=True
+    )
+    names = [f"O{i:02d}" for i in range(cell.n)]
+    knobs = _fault_knobs(cell, names)
+    victims: tuple[str, ...] = ()
+    if cell.fault == "crash":
+        victims = (names[-1],)
+        scenario.crashes = [(victims[0], FUZZ_CRASH_AT)]
+    scenario.failure_plan = knobs.get("failure_plan")
+    scenario.reliable = knobs.get("reliable", False)
+    scenario.max_retries = MAX_RETRIES
+    result = scenario.run(until=RUN_UNTIL, max_events=2_000_000)
+    problems = check_invariants(result, plan, crashed=victims)
+    finished = not any(p.startswith("non-termination") for p in problems)
+    problems = [p for p in problems if not p.startswith("non-termination")]
+    return _Observation(
+        finished=finished, problems=problems,
+        crashed=victims,
+        survivors=tuple(n for n in names if n not in victims),
+        sim_duration=result.duration,
+    )
+
+
+_OBSERVERS: dict[tuple[str, str], Callable[[CampaignCell], _Observation]] = {
+    ("paper", "base"): _observe_paper_base,
+    ("paper", "ct"): _observe_paper_ct,
+    ("paper", "mc"): _observe_paper_mc,
+    ("paper", "cd"): _observe_paper_cd,
+    ("fuzz", "base"): _observe_fuzz,
+}
+
+
+# -- oracles ---------------------------------------------------------------------
+
+
+def _apply_sabotage(cell: CampaignCell, obs: _Observation) -> None:
+    """Seed a violation into the observation (oracle self-test support)."""
+    if cell.sabotage is None:
+        return
+    if cell.sabotage == "disagree":
+        if obs.handled:
+            first = sorted(obs.handled)[0]
+            obs.handled[first] = obs.handled[first] + "__SABOTAGED"
+        else:
+            obs.handled.update({"X1": "ExcA", "X2": "ExcB"})
+    elif cell.sabotage == "double":
+        obs.double_handled.append("sabotage: seeded double activation")
+    elif cell.sabotage == "count":
+        obs.measured = (obs.measured or 0) + 1
+        if obs.expected is None:
+            obs.expected = obs.measured - 1
+    elif cell.sabotage == "stall":
+        obs.finished = False
+    else:
+        raise ValueError(f"unknown sabotage: {cell.sabotage}")
+
+
+def _check_oracles(cell: CampaignCell, obs: _Observation) -> list[str]:
+    violations = list(obs.problems)
+    if len(set(obs.handled.values())) > 1:
+        violations.append(f"handler disagreement: {obs.handled}")
+    violations.extend(
+        f"exactly-once violated: {entry}" for entry in obs.double_handled
+    )
+    if obs.expected is not None and obs.measured != obs.expected:
+        violations.append(
+            f"message-count mismatch: measured {obs.measured}, "
+            f"expected {obs.expected}"
+        )
+    return violations
+
+
+def run_cell(cell: CampaignCell) -> CellOutcome:
+    """Run one cell and classify it.  Never raises: harness failures come
+    back as ``CRASHED-HARNESS`` outcomes so one broken cell cannot take a
+    campaign down."""
+    observer = _OBSERVERS.get((cell.family, cell.variant))
+    if observer is None:
+        return CellOutcome(
+            cell, CRASHED_HARNESS,
+            detail=f"no observer for family={cell.family} variant={cell.variant}",
+        )
+    try:
+        obs = observer(cell)
+    except Exception:  # noqa: BLE001 — any harness error becomes an outcome
+        return CellOutcome(
+            cell, CRASHED_HARNESS, detail=traceback.format_exc()
+        )
+    _apply_sabotage(cell, obs)
+    violations = _check_oracles(cell, obs)
+    if violations:
+        classification = INVARIANT_VIOLATION
+    elif not obs.finished:
+        classification = (
+            STALLED_EXPECTED if stall_expected(cell) else STALLED_BUG
+        )
+    else:
+        classification = OK
+    return CellOutcome(
+        cell, classification, violations=tuple(violations),
+        measured=obs.measured, expected=obs.expected,
+        sim_duration=obs.sim_duration,
+    )
+
+
+# -- matrix + campaign ------------------------------------------------------------
+
+
+def default_matrix(smoke: bool = False, seed: int = 0) -> list[CampaignCell]:
+    """The default campaign: fuzzed paper shapes x variants x faults, plus
+    random nested worlds x faults.
+
+    Full: 10 shapes x 4 variants x 6 faults + 10 fuzz worlds x 5 faults
+    = 290 cells.  Smoke: 2 shapes + 2 worlds = 58 cells (the CI gate).
+    """
+    import random
+
+    rng = random.Random(seed)
+    n_shapes = 2 if smoke else 10
+    n_fuzz = 2 if smoke else 10
+    shapes: list[tuple[int, int, int]] = []
+    while len(shapes) < n_shapes:
+        n = rng.randint(3, 8)
+        p = rng.randint(1, n)
+        q = rng.randint(0, n - p)
+        if (n, p, q) not in shapes:
+            shapes.append((n, p, q))
+    cells = [
+        CampaignCell("paper", variant, fault, n, p, q, seed=seed)
+        for (n, p, q) in shapes
+        for variant in VARIANTS
+        for fault in FAULTS
+    ]
+    cells.extend(
+        CampaignCell(
+            "fuzz", "base", fault, n=4 + (i % 2), seed=seed * 1000 + i
+        )
+        for i in range(n_fuzz)
+        for fault in FUZZ_FAULTS
+    )
+    return cells
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated campaign result, JSON-able for ``BENCH_faults.json``."""
+
+    outcomes: list[CellOutcome]
+
+    def counts(self) -> dict[str, int]:
+        tally = {classification: 0 for classification in CLASSIFICATIONS}
+        for outcome in self.outcomes:
+            tally[outcome.classification] += 1
+        return tally
+
+    def failures(self) -> list[CellOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.bad]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures()
+
+    def to_payload(self) -> dict:
+        return {
+            "cells": len(self.outcomes),
+            "counts": self.counts(),
+            "ok": self.ok,
+            "failures": [
+                {
+                    "cell": outcome.cell.cell_id,
+                    "classification": outcome.classification,
+                    "violations": list(outcome.violations),
+                    "detail": outcome.detail,
+                    "repro": outcome.cell.repro_command(),
+                }
+                for outcome in self.failures()
+            ],
+            "outcomes": [
+                {
+                    "cell": outcome.cell.cell_id,
+                    "classification": outcome.classification,
+                    "violations": list(outcome.violations),
+                    "measured": outcome.measured,
+                    "expected": outcome.expected,
+                    "sim_duration": outcome.sim_duration,
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+
+def run_campaign(
+    cells: Sequence[CampaignCell],
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignReport:
+    """Fan the cells out over a process pool and aggregate the outcomes."""
+    outcomes = parallel_map(
+        run_cell, list(cells),
+        max_workers=max_workers, chunk_size=chunk_size, progress=progress,
+    )
+    return CampaignReport(outcomes)
+
+
+def oracle_selftest(seed: int = 0) -> list[str]:
+    """Check the oracles catch seeded violations (returns problems; [] = good).
+
+    Takes one healthy cell, plants each sabotage into its observation and
+    verifies the classification flips as designed.  A campaign whose
+    oracles cannot see planted bugs proves nothing — run this before
+    trusting a green table.
+    """
+    base = CampaignCell("paper", "base", "none", n=4, p=2, q=1, seed=seed)
+    healthy = run_cell(base)
+    problems = []
+    if healthy.classification != OK:
+        problems.append(
+            f"self-test baseline not OK: {healthy.classification} "
+            f"{healthy.violations or healthy.detail}"
+        )
+    wanted = {
+        "disagree": INVARIANT_VIOLATION,
+        "double": INVARIANT_VIOLATION,
+        "count": INVARIANT_VIOLATION,
+        "stall": STALLED_BUG,
+    }
+    for sabotage, expected_class in wanted.items():
+        outcome = run_cell(replace(base, sabotage=sabotage))
+        if outcome.classification != expected_class:
+            problems.append(
+                f"sabotage {sabotage!r} not caught: classified "
+                f"{outcome.classification}, wanted {expected_class}"
+            )
+    return problems

@@ -217,17 +217,28 @@ def build_random_scenario(
     return scenario, plan
 
 
-def check_invariants(result, plan: FuzzPlan) -> list[str]:
+def check_invariants(
+    result, plan: FuzzPlan, crashed: tuple[str, ...] = ()
+) -> list[str]:
     """The paper's guarantees, checked on a finished run.
 
-    Returns a list of violations (empty = all good).
+    Returns a list of violations (empty = all good).  ``crashed`` names
+    participants whose nodes were killed mid-run: they are exempt from
+    the termination and completeness checks (a dead object owes nobody
+    anything) but their *recorded* handler executions still count toward
+    agreement — a crashed object must not have handled a conflicting
+    exception before it died.
     """
     problems: list[str] = []
+    dead = set(crashed)
     if not result.all_finished():
         unfinished = [
-            name for name, runner in result.runners.items() if not runner.finished
+            name
+            for name, runner in result.runners.items()
+            if not runner.finished and name not in dead
         ]
-        problems.append(f"non-termination: {unfinished} never finished")
+        if unfinished:
+            problems.append(f"non-termination: {unfinished} never finished")
     # Per-action, per-attempt handler agreement: within one incarnation of
     # one action, every participant that ran a resolved handler ran the
     # same exception's handler.  (Across backward-recovery attempts the
@@ -281,6 +292,7 @@ def check_invariants(result, plan: FuzzPlan) -> list[str]:
                     name
                     for name in missing
                     if name not in excused and name in entered
+                    and name not in dead
                 }
                 if unexcused:
                     problems.append(

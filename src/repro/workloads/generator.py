@@ -63,6 +63,11 @@ def general_case(
     nested_work: float = WORK,
     resolver_group_size: int = 1,
     trace_level: TraceLevel = TraceLevel.FULL,
+    failure_plan=None,
+    reliable: bool = False,
+    ack_timeout: float = 5.0,
+    max_retries: int = 60,
+    crashes=(),
 ) -> Scenario:
     """The Section 4.4 workload: N participants of one action, of which P
     raise concurrently and Q sit inside nested actions.
@@ -72,6 +77,10 @@ def general_case(
     Raisers and nested objects are disjoint (a raiser raises in the
     top-level action, which requires it not to be inside a nested one);
     hence ``p + q <= n`` and ``p >= 1``.
+
+    ``failure_plan``/``reliable``/``crashes`` forward to
+    :class:`~repro.workloads.scenarios.Scenario` so fault campaigns can run
+    this exact workload over a faulty channel.
     """
     if n < 1:
         raise ValueError(f"need at least one participant, got n={n}")
@@ -120,7 +129,9 @@ def general_case(
             )
         )
     return Scenario(
-        actions, specs, latency=latency, seed=seed, trace_level=trace_level
+        actions, specs, latency=latency, seed=seed, trace_level=trace_level,
+        failure_plan=failure_plan, reliable=reliable, ack_timeout=ack_timeout,
+        max_retries=max_retries, crashes=crashes,
     )
 
 

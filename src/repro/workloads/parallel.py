@@ -44,6 +44,23 @@ from repro.workloads.sweeps import (
 ProgressCallback = Callable[[int, int], None]
 
 
+class ParallelMapError(RuntimeError):
+    """A :func:`parallel_map` worker failed on one item.
+
+    Attributes:
+        item: the input item that failed.
+        worker_traceback: the traceback formatted inside the worker process.
+    """
+
+    def __init__(self, item, worker_traceback: str) -> None:
+        super().__init__(
+            f"parallel map worker failed on item {item!r}\n"
+            f"--- worker traceback ---\n{worker_traceback}"
+        )
+        self.item = item
+        self.worker_traceback = worker_traceback
+
+
 class SweepWorkerError(RuntimeError):
     """A sweep worker failed on one grid point.
 
@@ -88,6 +105,90 @@ def _default_workers() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover — non-Linux
         return os.cpu_count() or 1
+
+
+def _map_chunk(payload):
+    """Pool worker for :func:`parallel_map`: apply ``fn`` to one chunk.
+
+    Returns ``("ok", [(index, result), ...])`` or
+    ``("error", item, formatted_traceback)`` — same errors-as-data protocol
+    as :func:`_run_chunk`, for the same reason.
+    """
+    fn, indexed_items = payload
+    results = []
+    for index, item in indexed_items:
+        try:
+            value = fn(item)
+        except Exception:  # noqa: BLE001 — reported verbatim to the parent
+            return ("error", item, traceback.format_exc())
+        results.append((index, value))
+    return ("ok", results)
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    start_method: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> list:
+    """Map a picklable function over items across a process pool, in order.
+
+    The generic engine underneath the sweep runner, reused by the fault
+    campaigns: items are chunked, fanned out with the ``fork`` start
+    method (serial fallback when unavailable or pointless), and results
+    are reassembled in input order — deterministic given a deterministic
+    ``fn``.  ``fn`` must be an importable module-level callable (pool
+    payloads are pickled even under fork).  A worker exception surfaces as
+    :class:`ParallelMapError` carrying the failing item.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    items = list(items)
+    workers = max_workers if max_workers is not None else _default_workers()
+    if start_method is None:
+        available = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in available else None
+    elif start_method not in multiprocessing.get_all_start_methods():
+        raise ValueError(f"start method {start_method!r} not available here")
+    if workers <= 1 or len(items) <= 1 or start_method is None:
+        results = []
+        for index, item in enumerate(items):
+            try:
+                results.append(fn(item))
+            except Exception:  # noqa: BLE001 — mirror the pooled error shape
+                raise ParallelMapError(item, traceback.format_exc()) from None
+            if progress is not None:
+                progress(index + 1, len(items))
+        return results
+    size = chunk_size
+    if size is None:
+        size = max(1, -(-len(items) // (workers * 4)))
+    indexed = list(enumerate(items))
+    chunks = [indexed[i : i + size] for i in range(0, len(indexed), size)]
+    payloads = [(fn, chunk) for chunk in chunks]
+    context = multiprocessing.get_context(start_method)
+    slots: list = [None] * len(items)
+    filled = [False] * len(items)
+    done = 0
+    with context.Pool(processes=min(workers, len(chunks))) as pool:
+        for outcome in pool.imap_unordered(_map_chunk, payloads):
+            if outcome[0] == "error":
+                _, item, worker_tb = outcome
+                raise ParallelMapError(item, worker_tb)
+            for index, value in outcome[1]:
+                slots[index] = value
+                filled[index] = True
+                done += 1
+            if progress is not None:
+                progress(done, len(items))
+    missing = [i for i, ok in enumerate(filled) if not ok]
+    if missing:  # pragma: no cover — indicates a pool bug, not a workload
+        raise RuntimeError(f"pool returned no result for indices {missing}")
+    return slots
 
 
 class ParallelSweepRunner:

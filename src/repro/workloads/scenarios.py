@@ -113,6 +113,8 @@ class Scenario:
         failure_plan: FailurePlan | None = None,
         reliable: bool = False,
         ack_timeout: float = 5.0,
+        max_retries: int = 60,
+        crashes: Sequence[tuple[str, float]] = (),
         trace_level: TraceLevel = TraceLevel.FULL,
     ) -> None:
         self.registry = ActionRegistry()
@@ -128,13 +130,19 @@ class Scenario:
         self.failure_plan = failure_plan
         self.reliable = reliable
         self.ack_timeout = ack_timeout
+        self.max_retries = max_retries
+        self.crashes = list(crashes)
+        unknown = {victim for victim, _ in self.crashes} - set(names)
+        if unknown:
+            raise ValueError(f"cannot crash unknown participants: {sorted(unknown)}")
         self.trace_level = TraceLevel(trace_level)
 
     def build(self) -> tuple[Runtime, CAActionManager, dict, dict]:
         runtime = Runtime(
             seed=self.seed, latency=self.latency,
             failure_plan=self.failure_plan, reliable=self.reliable,
-            ack_timeout=self.ack_timeout, trace_level=self.trace_level,
+            ack_timeout=self.ack_timeout, max_retries=self.max_retries,
+            trace_level=self.trace_level,
         )
         manager = CAActionManager(self.registry)
         participants: dict[str, CAParticipant] = {}
@@ -153,6 +161,15 @@ class Scenario:
             runners[spec.name] = runner
         for spec in self.specs:
             runners[spec.name].start(spec.start_delay)
+        node_of = {
+            spec.name: spec.node_id or f"node:{spec.name}" for spec in self.specs
+        }
+        for victim, crash_at in self.crashes:
+            runtime.sim.schedule(
+                crash_at,
+                lambda node=node_of[victim]: runtime.crash_node(node),
+                label=f"crash:{victim}",
+            )
         return runtime, manager, participants, runners
 
     def run(

@@ -21,7 +21,6 @@ from repro.exceptions import (
     UniversalException,
     declare_exception,
 )
-from repro.exceptions.handlers import Handler
 from repro.transactions import AtomicObject
 from repro.workloads import (
     ActionBlock,

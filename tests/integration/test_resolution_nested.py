@@ -6,7 +6,6 @@ elimination of inner resolutions by outer ones, abortion ordering, and the
 admission rule for abortion-handler signals.
 """
 
-import pytest
 
 from repro.core.abortion import AbortionHandler
 from repro.core.action import CAActionDef, NestedPolicy
@@ -18,10 +17,9 @@ from repro.exceptions import (
     declare_exception,
 )
 from repro.exceptions.handlers import Handler
-from repro.net.latency import ConstantLatency, UniformLatency
+from repro.net.latency import UniformLatency
 from repro.workloads import ActionBlock, Compute, ParticipantSpec, Raise, Scenario
 from repro.workloads.generator import (
-    E1,
     E2,
     E3,
     example2_scenario,

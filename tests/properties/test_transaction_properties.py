@@ -8,7 +8,6 @@ from repro.transactions import (
     LockManager,
     LockMode,
     TransactionManager,
-    TxnState,
 )
 from repro.transactions.errors import LockConflictError
 

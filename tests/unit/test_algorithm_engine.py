@@ -220,13 +220,20 @@ class TestCommitHandling:
         stragglers = runtime.trace.by_category("msg.straggler")
         assert len(stragglers) >= 3
 
-    def test_post_handler_exception_is_protocol_error(self):
+    def test_post_handler_exception_buffers_for_next_incarnation(self):
+        # An Exception arriving after this participant completed the
+        # action belongs to the next backward-recovery incarnation (a
+        # faster peer re-entered and raised again).  It must be buffered
+        # for the retry, not treated as a protocol error — the race is
+        # legal and fuzzing reproduces it (seed 4691).
         runtime, _, ps = make_world()
         p = self._suspended(ps)
         deliver(p, "O2", KIND_COMMIT, CommitMsg("A1", "O2", ExcA, ("O1",)))
         runtime.run()
-        with pytest.raises(ResolutionProtocolError, match="already-resolved"):
-            deliver(p, "O2", KIND_EXCEPTION, ExceptionMsg("A1", "O2", ExcB))
+        deliver(p, "O2", KIND_EXCEPTION, ExceptionMsg("A1", "O2", ExcB))
+        buffered = runtime.trace.by_category("msg.next_incarnation")
+        assert len(buffered) == 1
+        assert [m.kind for m in p.pending["A1"]] == [KIND_EXCEPTION]
 
     def test_conflicting_late_commit_rejected(self):
         runtime, _, ps = make_world()

@@ -1,6 +1,5 @@
 """Unit tests for the analytical model and fitting helpers."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the Arche-style NVP resolution variant (Section 4.4 comparison)."""
 
-import pytest
 
 from repro.core.arche_variant import (
     ArcheCaller,

@@ -1,0 +1,147 @@
+"""Unit tests for the fault-matrix campaign engine (workloads.campaigns)."""
+
+import pytest
+
+from repro.workloads.campaigns import (
+    BAD,
+    CRASHED_HARNESS,
+    FAULTS,
+    FUZZ_FAULTS,
+    INVARIANT_VIOLATION,
+    OK,
+    SABOTAGES,
+    STALLED_BUG,
+    STALLED_EXPECTED,
+    VARIANTS,
+    CampaignCell,
+    default_matrix,
+    oracle_selftest,
+    parse_cell_id,
+    run_campaign,
+    run_cell,
+    stall_expected,
+)
+
+
+class TestCellIdentity:
+    def test_cell_id_roundtrip(self):
+        cell = CampaignCell("paper", "ct", "crash_participant", 6, p=2, q=1, seed=7)
+        parsed = parse_cell_id(cell.cell_id)
+        assert parsed == cell
+
+    def test_cell_id_roundtrip_with_sabotage(self):
+        cell = CampaignCell("paper", "base", "none", 4, p=2, q=1, sabotage="double")
+        assert cell.cell_id.endswith(":sab-double")
+        assert parse_cell_id(cell.cell_id) == cell
+
+    def test_fuzz_cell_roundtrip(self):
+        cell = CampaignCell("fuzz", "base", "drop", 5, seed=4003)
+        assert parse_cell_id(cell.cell_id) == cell
+
+    def test_bad_cell_id_rejected(self):
+        with pytest.raises(ValueError):
+            parse_cell_id("nonsense")
+
+    def test_repro_command_names_the_cell(self):
+        cell = CampaignCell("paper", "mc", "drop", 4, p=2)
+        assert cell.cell_id in cell.repro_command()
+
+
+class TestMatrix:
+    def test_full_matrix_meets_acceptance_floor(self):
+        cells = default_matrix()
+        assert len(cells) >= 200
+        ids = [c.cell_id for c in cells]
+        assert len(ids) == len(set(ids))  # no duplicate cells
+        # Every variant × fault combination is present.
+        combos = {(c.variant, c.fault) for c in cells if c.family == "paper"}
+        assert combos == {(v, f) for v in VARIANTS for f in FAULTS}
+        fuzz_faults = {c.fault for c in cells if c.family == "fuzz"}
+        assert fuzz_faults == set(FUZZ_FAULTS)
+
+    def test_smoke_matrix_is_small_but_covers_all_faults(self):
+        cells = default_matrix(smoke=True)
+        assert len(cells) < 80
+        combos = {(c.variant, c.fault) for c in cells if c.family == "paper"}
+        assert combos == {(v, f) for v in VARIANTS for f in FAULTS}
+
+    def test_stall_expectations(self):
+        # The base/mc/cd variants have no failure detector: a resolver
+        # crash is a *documented* stall, never a bug.
+        assert stall_expected(CampaignCell("paper", "base", "crash_resolver", 5, p=2))
+        assert stall_expected(CampaignCell("paper", "cd", "crash_resolver", 5, p=2))
+        # The crash-tolerant variant must survive every crash.
+        assert not stall_expected(
+            CampaignCell("paper", "ct", "crash_resolver", 5, p=2)
+        )
+        assert not stall_expected(
+            CampaignCell("paper", "ct", "crash_participant", 5, p=2, q=1)
+        )
+        # Message-level faults over the ARQ transport never excuse a stall.
+        assert not stall_expected(CampaignCell("paper", "base", "drop", 5, p=2))
+
+
+class TestRunCell:
+    def test_fault_free_cells_are_ok_with_exact_counts(self):
+        for variant in VARIANTS:
+            cell = CampaignCell("paper", variant, "none", 5, p=2, q=1)
+            outcome = run_cell(cell)
+            assert outcome.classification == OK, (variant, outcome.detail)
+            assert outcome.measured == outcome.expected
+
+    def test_ct_survives_resolver_crash(self):
+        outcome = run_cell(CampaignCell("paper", "ct", "crash_resolver", 5, p=2))
+        assert outcome.classification == OK, outcome.detail
+
+    def test_base_resolver_crash_is_expected_stall(self):
+        outcome = run_cell(CampaignCell("paper", "base", "crash_resolver", 5, p=2))
+        assert outcome.classification == STALLED_EXPECTED
+
+    def test_drop_fault_recovers_over_arq(self):
+        outcome = run_cell(CampaignCell("paper", "base", "drop", 5, p=2, q=1))
+        assert outcome.classification == OK, outcome.detail
+
+    def test_harness_crash_is_classified_not_raised(self):
+        # An impossible shape slips past the observer and explodes; the
+        # campaign must record it, not die.
+        cell = CampaignCell("paper", "base", "none", 0, p=0)
+        outcome = run_cell(cell)
+        assert outcome.classification == CRASHED_HARNESS
+        assert outcome.bad
+        assert cell.cell_id in outcome.repro_line()
+
+
+class TestOracles:
+    def test_selftest_catches_all_sabotages(self):
+        assert oracle_selftest() == []
+
+    @pytest.mark.parametrize("sabotage", SABOTAGES)
+    def test_each_sabotage_is_caught(self, sabotage):
+        cell = CampaignCell("paper", "base", "none", 4, p=2, q=1, sabotage=sabotage)
+        outcome = run_cell(cell)
+        expected = STALLED_BUG if sabotage == "stall" else INVARIANT_VIOLATION
+        assert outcome.classification == expected
+        assert outcome.bad
+
+
+class TestRunCampaign:
+    def test_smoke_campaign_is_clean(self):
+        report = run_campaign(default_matrix(smoke=True))
+        counts = report.counts()
+        assert sum(counts.values()) == len(default_matrix(smoke=True))
+        assert all(counts[c] == 0 for c in BAD)
+        assert report.ok
+        assert report.failures() == []
+        payload = report.to_payload()
+        assert payload["counts"] == counts
+        assert payload["cells"] == sum(counts.values())
+
+    def test_campaign_report_flags_failures(self):
+        cells = [
+            CampaignCell("paper", "base", "none", 4, p=2),
+            CampaignCell("paper", "base", "none", 4, p=2, sabotage="disagree"),
+        ]
+        report = run_campaign(cells)
+        assert not report.ok
+        assert len(report.failures()) == 1
+        assert report.failures()[0].cell.sabotage == "disagree"

@@ -74,7 +74,5 @@ class TestSinglePointOfFailure:
         participant* crash no better: the coordinator waits for its status
         forever.  Centralisation moves the liveness problem, it does not
         solve it."""
-        from repro.objects.runtime import Runtime
-
         result = run_centralized(4, 1, run_until=300.0, seed=1)
         assert result.all_handled()  # baseline: works without crashes

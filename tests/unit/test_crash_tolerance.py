@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.crash_tolerant import run_crash_tolerant
+from repro.core.crash_tolerant import ct_expected_messages, run_crash_tolerant
 from repro.net.detector import Heartbeater
 from repro.objects import DistributedObject, Runtime
 
@@ -64,6 +64,37 @@ class TestHeartbeater:
         rt.run(until=3.0)
         # One beat schedule, not two: at most ceil(3/1)+1 sends per peer.
         assert rt.network.sent_by_kind["HEARTBEAT"] <= 2 * 5
+
+
+    def test_stop_start_does_not_double_heartbeats(self):
+        # Regression: restarting a Heartbeater left the old beat/check
+        # callbacks scheduled alongside the new ones — doubled heartbeat
+        # traffic and timeout checks against a stale last-seen map.  The
+        # generation token retires every callback from a previous start().
+        rt, objs, hbs = self._world(names=("a", "b"), interval=1.0, timeout=4.0)
+        for hb in hbs.values():
+            hb.start()
+        rt.run(until=5.0)
+        baseline = rt.network.sent_by_kind["HEARTBEAT"]
+        hbs["a"].stop()
+        hbs["a"].start()
+        rt.run(until=10.0)
+        delta = rt.network.sent_by_kind["HEARTBEAT"] - baseline
+        # 5 more seconds at interval 1.0 with 2 peers is ~11 sends; a
+        # leaked duplicate schedule on "a" would push this past 15.
+        assert delta <= 12
+        assert not hbs["a"].suspected and not hbs["b"].suspected
+
+    def test_stale_check_after_stop_never_suspects(self):
+        # The stop()ed detector's already-scheduled _check must not fire
+        # against frozen last-seen timestamps and "suspect" healthy peers.
+        rt, objs, hbs = self._world(names=("a", "b"), interval=1.0, timeout=4.0)
+        for hb in hbs.values():
+            hb.start()
+        rt.run(until=3.0)
+        hbs["a"].stop()
+        rt.run(until=20.0)
+        assert not hbs["a"].suspected
 
 
 class TestCrashTolerantResolution:
@@ -137,3 +168,90 @@ class TestCrashTolerantResolution:
         assert victim.handled is None
         assert all(e.subject != "O0004"
                    for e in result.runtime.trace.by_category("ct.handle"))
+
+    def test_all_raisers_crash_survivor_takes_over(self):
+        """Every raiser dies after broadcasting: no raiser is left to
+        resolve, so the biggest *surviving* member must take over."""
+        result = run_crash_tolerant(
+            5, raisers=2, crash=("O0000", "O0001"), crash_at=10.5,
+            run_until=400.0,
+        )
+        assert result.all_survivors_handled()
+        assert result.handled_exceptions() == {"UniversalException"}
+        takeovers = result.runtime.trace.by_category("ct.takeover")
+        assert [e.subject for e in takeovers] == ["O0004"]
+
+    def test_crash_victim_evicted_from_membership_view(self):
+        result = run_crash_tolerant(5, raisers=2, crash=("O0004",), crash_at=10.5)
+        view = result.final_view()
+        assert "O0004" not in view
+        assert view.version == 2
+
+    def test_false_suspicion_preserves_agreement_and_coverage(self):
+        """Latency far beyond the heartbeat timeout makes healthy members
+        suspect each other.  Resolvers then commit early (waiving
+        'suspects'), or a survivor takes over a live group — commits can
+        conflict.  Merge-on-conflict plus full-group commit broadcast must
+        still give every member the same verdict, and that verdict must
+        cover every raised exception (here: always the root, since both
+        CT_0 and CT_1 were raised)."""
+        from repro.net.latency import UniformLatency
+
+        suspects = 0
+        for seed in range(8):
+            result = run_crash_tolerant(
+                4, raisers=2, seed=seed, latency=UniformLatency(0.5, 9.0),
+                hb_interval=2.0, hb_timeout=6.5, run_until=400.0,
+            )
+            suspects += len(result.runtime.trace.by_category("detector.suspect"))
+            assert result.all_survivors_handled(), f"seed {seed} stalled"
+            assert result.handled_exceptions() == {"UniversalException"}, (
+                f"seed {seed}: {result.handled_exceptions()}"
+            )
+        assert suspects > 0  # the sweep really exercised false suspicion
+
+
+class TestNestedAbortion:
+    """Section 4.4 increment: suspended members inside nested actions
+    abort them before resolution proceeds (CT_HAVE_NESTED /
+    CT_NESTED_COMPLETED)."""
+
+    def test_fault_free_counts_match_formula(self):
+        result = run_crash_tolerant(5, raisers=2, nested=1, abort_duration=1.0)
+        assert result.all_survivors_handled()
+        assert result.protocol_messages() == ct_expected_messages(5, 2, 1)
+
+    def test_abort_signal_joins_resolution(self):
+        result = run_crash_tolerant(
+            5, raisers=2, nested=2, nested_signal=True, abort_duration=1.0
+        )
+        assert result.all_survivors_handled()
+        assert result.handled_exceptions() == {"UniversalException"}
+        assert result.protocol_messages() == ct_expected_messages(5, 2, 2)
+        assert len(result.runtime.trace.by_category("ct.abort_done")) == 2
+
+    def test_commit_waits_for_live_nested_member(self):
+        # With a slow abortion the resolver must not commit before the
+        # nested member reports CT_NESTED_COMPLETED.
+        result = run_crash_tolerant(5, raisers=2, nested=1, abort_duration=5.0)
+        assert result.all_survivors_handled()
+        done = result.runtime.trace.by_category("ct.abort_done")
+        commits = result.runtime.trace.by_category("ct.commit")
+        assert len(done) == 1 and len(commits) == 1
+        assert commits[0].time >= done[0].time
+
+    def test_nested_member_crash_during_abortion_is_waived(self):
+        """The tentpole case: the nested member dies *mid-abortion*, so
+        its CT_NESTED_COMPLETED never arrives.  Suspicion must waive it
+        or the resolver deadlocks waiting on a dead member."""
+        result = run_crash_tolerant(
+            5, raisers=2, nested=1, crash=("O0002",), crash_at=13.0,
+            abort_duration=5.0, run_until=400.0,
+        )
+        assert result.all_survivors_handled()
+        assert result.handled_exceptions() == {"UniversalException"}
+        # The victim started aborting but never finished.
+        starts = result.runtime.trace.by_category("ct.abort_start")
+        assert [e.subject for e in starts] == ["O0002"]
+        assert result.runtime.trace.by_category("ct.abort_done") == []
+        assert "O0002" not in result.final_view()

@@ -6,7 +6,6 @@ entries must not accumulate without bound (the old behaviour leaked
 cancelled timers for the whole run in latency sweeps).
 """
 
-import pytest
 
 from repro.simkernel.events import PRIORITY_DELIVERY, EventQueue
 

@@ -1,0 +1,84 @@
+"""Unit tests for the group membership service and its detector wiring."""
+
+import pytest
+
+from repro.net.detector import Heartbeater
+from repro.net.membership import GroupMembership, GroupView
+from repro.objects import DistributedObject, Runtime
+
+
+class TestGroupMembership:
+    def test_create_and_view(self):
+        gm = GroupMembership()
+        view = gm.create("G", ["b", "a", "c"])
+        assert view.version == 1
+        assert view.members == ("a", "b", "c")
+        assert "b" in view
+        assert view.others("b") == ("a", "c")
+        assert gm.view("G") is view
+
+    def test_duplicate_group_rejected(self):
+        gm = GroupMembership()
+        gm.create("G", ["a"])
+        with pytest.raises(ValueError):
+            gm.create("G", ["a"])
+
+    def test_unknown_group_rejected(self):
+        gm = GroupMembership()
+        with pytest.raises(KeyError):
+            gm.view("missing")
+
+    def test_leave_bumps_version_and_notifies_subscribers(self):
+        gm = GroupMembership()
+        gm.create("G", ["a", "b", "c"])
+        seen: list[GroupView] = []
+        gm.subscribe("G", seen.append)
+        gm.leave("G", "b")
+        assert [v.version for v in seen] == [2]
+        assert seen[0].members == ("a", "c")
+        # Leaving again is a no-op: no new view, no callback.
+        gm.leave("G", "b")
+        assert len(seen) == 1
+        gm.join("G", "b")
+        assert [v.version for v in seen] == [2, 3]
+        assert seen[1].members == ("a", "b", "c")
+
+    def test_dissolve_drops_views_and_listeners(self):
+        gm = GroupMembership()
+        gm.create("G", ["a"])
+        seen = []
+        gm.subscribe("G", seen.append)
+        gm.dissolve("G")
+        assert gm.groups() == []
+        gm.create("G", ["a", "b"])
+        gm.leave("G", "b")
+        assert seen == []  # old subscription did not survive dissolve
+
+
+class TestDetectorMembershipWiring:
+    """A Heartbeater given a membership_group evicts suspects from the
+    group view, so protocol layers observe one authoritative alive set."""
+
+    def test_suspicion_evicts_member_from_view(self):
+        rt = Runtime()
+        names = ("a", "b", "c")
+        rt.membership.create("G", list(names))
+        views: list[GroupView] = []
+        rt.membership.subscribe("G", views.append)
+        hbs = {}
+        for name in names:
+            obj = DistributedObject(name)
+            rt.register(obj)
+            hbs[name] = Heartbeater(
+                obj, names, interval=1.0, timeout=4.0, membership_group="G"
+            )
+        for hb in hbs.values():
+            hb.start()
+        rt.sim.schedule(10.0, lambda: rt.crash_node("node:c"))
+        rt.run(until=30.0)
+        final = rt.membership.view("G")
+        assert "c" not in final
+        assert final.members == ("a", "b")
+        # Both survivors suspect "c" but the view changes exactly once.
+        assert final.version == 2
+        assert [v.members for v in views] == [("a", "b")]

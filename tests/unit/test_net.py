@@ -15,7 +15,6 @@ from repro.net import (
 )
 from repro.net.failures import CrashWindow, PartitionWindow
 from repro.net.message import Message
-from repro.net.multicast import MulticastDeliveryError
 from repro.net.network import UnknownEndpointError
 from repro.simkernel import RngRegistry, Simulator
 
@@ -355,7 +354,10 @@ class TestReliableMulticast:
         assert len(received) == 1
         assert net.sent_by_kind["K"] >= 1
 
-    def test_retry_budget_exhaustion(self):
+    def test_retry_budget_exhaustion_dead_letters(self):
+        # Exhausting the per-destination retry budget records a dead
+        # letter instead of raising out of the retry callback (which would
+        # kill the simulation — fault campaigns crash members on purpose).
         plan = FailurePlan(crashes=[CrashWindow("b", 0.0)])
         sim, net = make_network(plan=plan)
         gm = GroupMembership()
@@ -364,8 +366,11 @@ class TestReliableMulticast:
         net.register("b", lambda m: None)
         mcast = ReliableMulticast(net, gm, retry_delay=0.1, max_retries=3)
         mcast.multicast("g", "a", "K")
-        with pytest.raises(MulticastDeliveryError):
-            sim.run()
+        sim.run()  # completes; no MulticastDeliveryError
+        assert mcast.dead_letters == 1
+        dead = net.trace.by_category("mcast.dead_letter")
+        assert len(dead) == 1
+        assert dead[0].details["dst"] == "b"
 
     def test_total_operations(self):
         sim, net = make_network()

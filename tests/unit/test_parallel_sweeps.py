@@ -6,8 +6,10 @@ import pytest
 
 from repro.simkernel.trace import TraceLevel
 from repro.workloads.parallel import (
+    ParallelMapError,
     ParallelSweepRunner,
     SweepWorkerError,
+    parallel_map,
     parallel_sweep_general,
 )
 from repro.workloads.sweeps import full_grid, scaling_grid, sweep_general
@@ -78,6 +80,69 @@ class TestFallbacks:
             ParallelSweepRunner(max_workers=0)
         with pytest.raises(ValueError):
             ParallelSweepRunner(chunk_size=0)
+
+
+def _square(x):
+    return x * x
+
+
+def _explode_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+class TestParallelMap:
+    """The generic fork-pool map engine shared with the fault campaigns."""
+
+    @needs_fork
+    def test_preserves_input_order(self):
+        items = list(range(37))
+        assert parallel_map(_square, items, max_workers=3) == [
+            x * x for x in items
+        ]
+
+    @needs_fork
+    def test_chunk_size_does_not_change_results(self):
+        items = list(range(20))
+        expected = [x * x for x in items]
+        for chunk_size in (1, 3, 50):
+            got = parallel_map(
+                _square, items, max_workers=2, chunk_size=chunk_size
+            )
+            assert got == expected
+
+    @needs_fork
+    def test_worker_error_carries_item_and_traceback(self):
+        with pytest.raises(ParallelMapError) as excinfo:
+            parallel_map(_explode_on_three, [1, 2, 3, 4], max_workers=2)
+        assert excinfo.value.item == 3
+        assert "three is right out" in excinfo.value.worker_traceback
+
+    def test_serial_fallback_matches_and_reports_progress(self):
+        seen = []
+        got = parallel_map(
+            _square, [1, 2, 3], max_workers=1,
+            progress=lambda d, t: seen.append((d, t)),
+        )
+        assert got == [1, 4, 9]
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_serial_fallback_wraps_errors_identically(self):
+        with pytest.raises(ParallelMapError) as excinfo:
+            parallel_map(_explode_on_three, [3], max_workers=1)
+        assert excinfo.value.item == 3
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1], max_workers=0)
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1], chunk_size=0)
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1, 2], start_method="not-a-method")
+
+    def test_empty_input(self):
+        assert parallel_map(_square, []) == []
 
 
 class TestProgressAndErrors:

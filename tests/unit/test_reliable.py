@@ -1,12 +1,10 @@
 """Unit tests for the reliable (ARQ) transport layer."""
 
-import pytest
 
 from repro.net.failures import CrashWindow, FailurePlan, FailureInjector
-from repro.net.latency import ConstantLatency, UniformLatency
+from repro.net.latency import UniformLatency
 from repro.net.reliable import (
     KIND_TRANSPORT_ACK,
-    ReliableDeliveryError,
     ReliableNetwork,
 )
 from repro.simkernel import RngRegistry, Simulator
@@ -96,14 +94,60 @@ class TestLossRecovery:
         checksum_drops = net.trace.by_category("msg.checksum_drop")
         assert checksum_drops  # some frames were corrupted and discarded
 
-    def test_dead_destination_exhausts_retries(self):
+    def test_dead_destination_dead_letters_instead_of_raising(self):
+        # Retry exhaustion must NOT raise out of the scheduler callback —
+        # that would kill the whole simulation over one unreachable peer.
+        # It records a dead letter and (optionally) notifies the sender.
         plan = FailurePlan(crashes=[CrashWindow("b", 0.0)])
         sim, net = make_reliable(plan=plan, ack_timeout=0.5, max_retries=4)
+        failed = []
+        net.on_delivery_failure = failed.append
         net.register("a", lambda m: None)
         net.register("b", lambda m: None)
         net.send("a", "b", "K")
-        with pytest.raises(ReliableDeliveryError):
-            sim.run(max_events=10_000)
+        sim.run(max_events=10_000)  # completes; no ReliableDeliveryError
+        assert net.dead_letters == 1
+        dead = net.trace.by_category("msg.dead_letter")
+        assert len(dead) == 1
+        assert dead[0].details["dst"] == "b"
+        assert dead[0].details["kind"] == "K"
+        assert [p.frame.kind for p in failed] == ["K"]
+        assert not net._pending  # the exhausted send is fully retired
+
+    def test_corrupted_ack_is_discarded_not_processed(self):
+        # Regression: a corrupted transport ACK used to be fed to the ACK
+        # handler before the checksum check, silently completing the
+        # handshake off garbage.  A corrupted ACK must be discarded like
+        # any other corrupted frame; the sender then retransmits and the
+        # duplicate-suppression re-ACK completes the exchange cleanly.
+        class CorruptFirstAck(FailureInjector):
+            def __init__(self):
+                super().__init__()
+                self._armed = True
+
+            def decide(self, src, dst, time):
+                if self._armed and src == "b" and dst == "a":
+                    self._armed = False
+                    self.corrupted += 1
+                    return self.CORRUPT
+                return self.DELIVER
+
+        sim = Simulator()
+        net = ReliableNetwork(
+            sim, rng=RngRegistry(0), injector=CorruptFirstAck(),
+            ack_timeout=2.0, max_retries=10,
+        )
+        received = []
+        net.register("a", lambda m: None)
+        net.register("b", received.append)
+        net.send("a", "b", "K", payload="x")
+        sim.run(max_events=10_000)
+        assert [m.payload for m in received] == ["x"]  # exactly once
+        assert net.retransmissions >= 1  # corrupt ACK forced a resend
+        drops = net.trace.by_category("msg.checksum_drop")
+        assert any(e.details["kind"] == KIND_TRANSPORT_ACK for e in drops)
+        assert not net._pending  # clean re-ACK retired the send
+        assert net.dead_letters == 0
 
     def test_retransmission_counting(self):
         plan = FailurePlan(drop_probability=1.0)
@@ -111,9 +155,9 @@ class TestLossRecovery:
         net.register("a", lambda m: None)
         net.register("b", lambda m: None)
         net.send("a", "b", "K")
-        with pytest.raises(ReliableDeliveryError):
-            sim.run(max_events=10_000)
+        sim.run(max_events=10_000)
         assert net.retransmissions == 3
+        assert net.dead_letters == 1
         assert net.sent_by_kind["K"] == 1  # logical count untouched
 
 

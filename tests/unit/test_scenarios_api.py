@@ -5,7 +5,7 @@ import pytest
 from repro.core.action import CAActionDef
 from repro.core.messages import RESOLUTION_KINDS
 from repro.exceptions import HandlerSet, ResolutionTree, UniversalException
-from repro.workloads import ActionBlock, Compute, ParticipantSpec, Raise, Scenario
+from repro.workloads import ActionBlock, ParticipantSpec, Scenario
 from repro.workloads.generator import example1_scenario, single_exception_case
 
 
