@@ -44,6 +44,7 @@ from _harness import record_table  # noqa: E402
 
 from repro.workloads.campaigns import (  # noqa: E402
     default_matrix,
+    export_cell_trace,
     oracle_selftest,
     parse_cell_id,
     run_campaign,
@@ -53,7 +54,19 @@ from repro.workloads.campaigns import (  # noqa: E402
 DEFAULT_OUT = REPO_ROOT / "BENCH_faults.json"
 
 
-def _run_one(cell_id: str) -> int:
+def _dump_trace(cell, trace_dir: Path) -> None:
+    """Best-effort causal-trace dump for one cell (never fails the run)."""
+    try:
+        path = export_cell_trace(cell, trace_dir)
+        print(f"  causal trace -> {path}", file=sys.stderr)
+    except Exception as exc:  # noqa: BLE001 — diagnostics must not mask results
+        print(
+            f"  causal trace export failed for {cell.cell_id}: {exc}",
+            file=sys.stderr,
+        )
+
+
+def _run_one(cell_id: str, trace_dir: Path | None = None) -> int:
     """Re-run a single cell verbosely (the repro path for failures)."""
     cell = parse_cell_id(cell_id)
     outcome = run_cell(cell)
@@ -65,6 +78,8 @@ def _run_one(cell_id: str) -> int:
         print(f"violation:      {violation}")
     if outcome.detail:
         print(f"--- harness detail ---\n{outcome.detail}")
+    if trace_dir is not None:
+        _dump_trace(cell, trace_dir)
     return 1 if outcome.bad else 0
 
 
@@ -89,10 +104,15 @@ def main(argv=None) -> int:
         "--out", type=Path, default=DEFAULT_OUT,
         help=f"output JSON path (default: {DEFAULT_OUT})",
     )
+    parser.add_argument(
+        "--trace-dir", type=Path, default=None, metavar="DIR",
+        help="dump causal traces (chrome JSON + span tree) of every "
+             "failing cell into DIR; with --cell, dump that cell",
+    )
     args = parser.parse_args(argv)
 
     if args.cell is not None:
-        return _run_one(args.cell)
+        return _run_one(args.cell, trace_dir=args.trace_dir)
 
     selftest_problems = oracle_selftest(seed=args.seed)
     for problem in selftest_problems:
@@ -155,6 +175,8 @@ def main(argv=None) -> int:
         print(f"FAILING CELL: {outcome.repro_line()}", file=sys.stderr)
         for violation in outcome.violations:
             print(f"  {violation}", file=sys.stderr)
+        if args.trace_dir is not None:
+            _dump_trace(outcome.cell, args.trace_dir)
     if selftest_problems or not report.ok:
         return 1
     return 0

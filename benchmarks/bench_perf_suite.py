@@ -130,6 +130,40 @@ def bench_throughput(n: int) -> dict:
     return out
 
 
+def bench_obs(n: int) -> dict:
+    """Observability semantics and cost on one big scenario.
+
+    Two hard requirements from the span/metrics design:
+
+    * spans are collected **only** at FULL — COUNTS and OFF runs must end
+      with an empty span forest (the emission sites reduce to one ``None``
+      comparison);
+    * the COUNTS fast path must report the same resolution message total
+      as FULL (observability must not change physics).
+    """
+    out: dict = {}
+    totals: dict[str, int] = {}
+    for label, level in (
+        ("full", TraceLevel.FULL),
+        ("counts", TraceLevel.COUNTS),
+        ("off", TraceLevel.OFF),
+    ):
+        scenario = general_case(n, p=max(1, n // 2), q=n // 4, trace_level=level)
+        seconds, result = _time(lambda s=scenario: s.run(max_events=5_000_000))
+        totals[label] = result.resolution_message_total()
+        out[label] = {
+            "seconds": round(seconds, 4),
+            "spans": len(result.runtime.spans),
+            "resolution_messages": totals[label],
+        }
+    out["spans_disabled_below_full"] = (
+        out["counts"]["spans"] == 0 and out["off"]["spans"] == 0
+    )
+    out["full_spans_nonempty"] = out["full"]["spans"] > 0
+    out["counters_agree"] = totals["full"] == totals["counts"] == totals["off"]
+    return out
+
+
 def bench_event_queue(scale: int) -> dict:
     """Microbenchmarks for the tuple-heap event queue."""
     # push+pop throughput, deterministic pseudo-times without RNG cost.
@@ -188,6 +222,11 @@ def main(argv=None) -> int:
         "--out", type=Path, default=DEFAULT_OUT,
         help=f"output JSON path (default: {DEFAULT_OUT})",
     )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="JSON",
+        help="prior BENCH_sweeps.json to regress against: fails if the "
+             "COUNTS-level sweep timings (spans disabled) regressed >5%%",
+    )
     args = parser.parse_args(argv)
 
     n_values = SMOKE_N if args.smoke else FULL_N
@@ -196,6 +235,27 @@ def main(argv=None) -> int:
     sweep = bench_sweeps(n_values, args.workers)
     throughput = bench_throughput(max(n_values))
     queue = bench_event_queue(queue_scale)
+    obs = bench_obs(max(n_values))
+
+    if args.baseline is not None:
+        baseline_timings = (
+            json.loads(args.baseline.read_text())
+            .get("sweep", {})
+            .get("timings_s", {})
+        )
+        regression_pct = {
+            key: round(
+                (sweep["timings_s"][key] - baseline_timings[key])
+                / baseline_timings[key] * 100.0,
+                2,
+            )
+            for key in ("serial_counts", "parallel_counts")
+            if baseline_timings.get(key)
+        }
+        obs["counts_regression_pct_vs_baseline"] = regression_pct
+        obs["counts_within_5pct_of_baseline"] = all(
+            pct <= 5.0 for pct in regression_pct.values()
+        )
 
     payload = {
         "schema": 1,
@@ -209,6 +269,7 @@ def main(argv=None) -> int:
         "sweep": sweep,
         "throughput": throughput,
         "event_queue": queue,
+        "obs": obs,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -240,6 +301,27 @@ def main(argv=None) -> int:
         print(
             f"FATAL: {sweep['model_mismatches']} points deviate from the "
             "(N-1)(2P+3Q+1) model", file=sys.stderr,
+        )
+        return 1
+    if not obs["spans_disabled_below_full"] or not obs["full_spans_nonempty"]:
+        print(
+            "FATAL: span collection violates TraceLevel semantics "
+            f"(spans full/counts/off = {obs['full']['spans']}/"
+            f"{obs['counts']['spans']}/{obs['off']['spans']})",
+            file=sys.stderr,
+        )
+        return 1
+    if not obs["counters_agree"]:
+        print(
+            "FATAL: FULL and COUNTS disagree on resolution message totals",
+            file=sys.stderr,
+        )
+        return 1
+    if not obs.get("counts_within_5pct_of_baseline", True):
+        print(
+            "FATAL: COUNTS-level sweep regressed >5% vs baseline: "
+            f"{obs['counts_regression_pct_vs_baseline']}",
+            file=sys.stderr,
         )
         return 1
     return 0

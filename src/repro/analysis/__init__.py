@@ -7,7 +7,12 @@ O(N³) comparison without relying on absolute counts.
 """
 
 from repro.analysis.fitting import fit_power_law, growth_order
-from repro.analysis.sequence_chart import chart_rows, render_sequence_chart
+from repro.analysis.sequence_chart import (
+    chart_rows,
+    render_sequence_chart,
+    render_span_chart,
+    span_chart_rows,
+)
 from repro.analysis.formulas import (
     case1_messages,
     case2_messages,
@@ -27,5 +32,7 @@ __all__ = [
     "growth_order",
     "multicast_operations",
     "render_sequence_chart",
+    "render_span_chart",
+    "span_chart_rows",
     "resolver_group_messages",
 ]

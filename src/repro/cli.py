@@ -7,7 +7,10 @@ Commands:
 * ``chart {example1,example2,figure3}`` — replay a worked example and
   render its message-sequence chart;
 * ``compare``        — the new algorithm vs the CR baseline (O(N²) vs O(N³));
-* ``fuzz``           — random nested-scenario invariant checking.
+* ``fuzz``           — random nested-scenario invariant checking;
+* ``trace``          — run a scenario and export its causal span forest
+  (plain tree, JSONL, or Chrome trace-event JSON for Perfetto);
+* ``metrics``        — run a scenario and print its metrics registry.
 
 The pytest-benchmark harness under ``benchmarks/`` remains the canonical
 reproduction; this CLI is the quick, dependency-free way to poke at the
@@ -126,6 +129,103 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+#: Scenarios the observability commands can run.  Worked examples replay
+#: the paper's sections; ``general`` is the N/P/Q workload; ``ct``/``mc``/
+#: ``cd`` run the protocol variants on the same workload shape.
+TRACEABLE_SCENARIOS = (
+    "example1", "example2", "figure3", "general", "ct", "mc", "cd",
+)
+
+
+def _run_traced_scenario(args: argparse.Namespace):
+    """Run the requested scenario at FULL trace; returns its Runtime."""
+    name = args.scenario
+    if name in ("example1", "example2", "figure3"):
+        from repro.workloads import generator
+
+        factory = {
+            "example1": generator.example1_scenario,
+            "example2": generator.example2_scenario,
+            "figure3": generator.figure3_scenario,
+        }[name]
+        return factory().run().runtime
+    if name == "general":
+        from repro.workloads.generator import general_case
+
+        return general_case(args.n, args.p, args.q, seed=args.seed).run().runtime
+    if name == "ct":
+        from repro.core.crash_tolerant import run_crash_tolerant
+
+        return run_crash_tolerant(
+            args.n, raisers=args.p, nested=args.q, seed=args.seed
+        ).runtime
+    if name == "mc":
+        from repro.core.multicast_variant import run_multicast_resolution
+
+        return run_multicast_resolution(
+            args.n, p=args.p, q=args.q, seed=args.seed
+        ).runtime
+    if name == "cd":
+        from repro.core.centralized_variant import run_centralized
+
+        return run_centralized(args.n, raisers=args.p, seed=args.seed).runtime
+    raise ValueError(f"unknown scenario {name}")  # pragma: no cover
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        render_span_tree,
+        spans_to_chrome,
+        spans_to_jsonl,
+        validate_chrome_trace,
+    )
+
+    runtime = _run_traced_scenario(args)
+    spans = runtime.spans
+    problems = spans.forest_problems()
+    for problem in problems:
+        print(f"span-forest problem: {problem}", file=sys.stderr)
+    if args.format == "tree":
+        text = render_span_tree(spans)
+    elif args.format == "jsonl":
+        text = spans_to_jsonl(spans)
+    else:
+        doc = spans_to_chrome(spans, process_name=f"repro:{args.scenario}")
+        schema_issues = validate_chrome_trace(doc)
+        for issue in schema_issues:
+            print(f"trace-event schema issue: {issue}", file=sys.stderr)
+        problems.extend(schema_issues)
+        text = json.dumps(doc, indent=1)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(
+            f"{len(spans)} spans ({args.format}) -> {args.output}"
+            + (" [load in Perfetto / chrome://tracing]"
+               if args.format == "chrome" else "")
+        )
+    else:
+        print(text)
+    return 1 if problems else 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import metrics_to_text
+
+    runtime = _run_traced_scenario(args)
+    snapshot = runtime.metrics_snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(metrics_to_text(snapshot))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -177,6 +277,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("--output", default=None)
     p_report.set_defaults(fn=cmd_report)
+
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("scenario", choices=TRACEABLE_SCENARIOS)
+        p.add_argument("--n", type=int, default=4)
+        p.add_argument("--p", type=int, default=2)
+        p.add_argument("--q", type=int, default=0)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_trace = sub.add_parser(
+        "trace", help="export a scenario's causal span forest"
+    )
+    add_scenario_args(p_trace)
+    p_trace.add_argument(
+        "--format", choices=["tree", "jsonl", "chrome"], default="tree"
+    )
+    p_trace.add_argument("--output", "-o", default=None)
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="print a scenario's metrics registry"
+    )
+    add_scenario_args(p_metrics)
+    p_metrics.add_argument("--json", action="store_true")
+    p_metrics.set_defaults(fn=cmd_metrics)
 
     p_fuzz = sub.add_parser("fuzz", help="random-scenario invariant check")
     p_fuzz.add_argument("--count", type=int, default=50)

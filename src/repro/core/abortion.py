@@ -73,6 +73,8 @@ class AbortionTask:
         self.running = False
         self.finished = False
         self._last_signal: Optional[ExceptionClass] = None
+        #: Levels aborted so far (the chain depth the metrics record).
+        self.levels = 0
 
     def start(self) -> None:
         if self.running or self.finished:
@@ -117,23 +119,41 @@ class AbortionTask:
         participant.trace(
             "abort.start", action=action, duration=handler.duration
         )
+        spans = participant.engine._spans
+        span_id = None
+        if spans is not None:
+            ctx = participant.engine.ctx
+            span_id = spans.begin(
+                f"abort {action}", "abort", participant.name,
+                participant.sim_now,
+                parent=ctx.span_id if ctx is not None else None,
+            )
         participant.runtime.sim.schedule(
             handler.duration,
-            lambda: self._run_handler(action, handler),
+            lambda: self._run_handler(action, handler, span_id),
             label=f"abort:{participant.name}:{action}",
         )
 
-    def _run_handler(self, action: str, handler: AbortionHandler) -> None:
+    def _run_handler(
+        self, action: str, handler: AbortionHandler, span_id: Optional[int] = None
+    ) -> None:
         participant = self.participant
         # The handler runs while the context still exists, then the context
         # is popped and the action (and its transaction) marked aborted.
         signal = handler.body(participant, action)
         participant.abort_local(action)
+        self.levels += 1
         participant.trace(
             "abort.done",
             action=action,
             signal=signal.name() if signal else None,
         )
+        spans = participant.engine._spans
+        if spans is not None:
+            spans.end(
+                span_id, participant.sim_now,
+                signal=signal.name() if signal else None,
+            )
         # "ignoring any exception which may be signalled to a containing
         # action" — only the last (outermost-aborted) handler's signal is
         # remembered; earlier ones are overwritten and thus ignored.
@@ -143,4 +163,11 @@ class AbortionTask:
     def _finish(self) -> None:
         self.running = False
         self.finished = True
+        metrics = self.participant.engine._metrics
+        if metrics is not None:
+            from repro.obs.metrics import COUNT_BUCKETS
+
+            metrics.histogram("abortion.depth", COUNT_BUCKETS).observe(
+                self.levels
+            )
         self.on_complete(self._last_signal)

@@ -51,6 +51,7 @@ from repro.core.messages import (
 from repro.core.state import PState, ResolutionCtx
 from repro.exceptions.tree import ExceptionClass
 from repro.net.message import Message
+from repro.obs.metrics import COUNT_BUCKETS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.participant import CAParticipant
@@ -69,6 +70,14 @@ class ResolutionEngine:
         self.abortion: Optional[AbortionTask] = None
         #: Actions whose resolution committed (stragglers are drained).
         self.completed: dict[str, CommitMsg] = {}
+        #: Span collector when the trace level is FULL, else None; set by
+        #: the participant's attach() so the disabled path is one check.
+        self._spans = None
+        #: The runtime's metrics registry (None until attached).
+        self._metrics = None
+        #: msg_id of the message currently being processed — the causal
+        #: edge stamped on spans it opens.  Only tracked when spans are on.
+        self._cause: Optional[int] = None
 
     # -- queries -------------------------------------------------------------
 
@@ -83,7 +92,31 @@ class ResolutionEngine:
         """Called when the participant exits ``action``."""
         self.completed.pop(action, None)
         if self.ctx is not None and self.ctx.action == action:
+            self._close_ctx_spans(self.ctx, "reset")
             self.ctx = None
+
+    # -- observability helpers ---------------------------------------------------
+
+    def _set_state(self, ctx: ResolutionCtx, state: PState) -> None:
+        """Transition the protocol state, rolling the state-dwell span."""
+        if ctx.state is state:
+            return
+        ctx.state = state
+        spans = self._spans
+        if spans is not None:
+            now = self.p.sim_now
+            spans.end(ctx.state_span_id, now)
+            ctx.state_span_id = spans.begin(
+                f"state {state.value}", "state", self.p.name, now,
+                parent=ctx.span_id, cause=self._cause,
+            )
+
+    def _close_ctx_spans(self, ctx: ResolutionCtx, outcome: str) -> None:
+        spans = self._spans
+        if spans is not None:
+            now = self.p.sim_now
+            spans.end(ctx.state_span_id, now)
+            spans.end(ctx.span_id, now, outcome=outcome)
 
     # -- local raise ------------------------------------------------------------
 
@@ -94,10 +127,16 @@ class ResolutionEngine:
                 f"{self.p.name}: raise after committed resolution in {action}"
             )
         ctx = self._context_for(action)
-        ctx.state = PState.EXCEPTIONAL
+        self._set_state(ctx, PState.EXCEPTIONAL)
         ctx.raised_local = True
         ctx.le[self.p.name] = exception
         self.p.trace("raise", action=action, exception=exception.name())
+        if self._spans is not None:
+            self._spans.event(
+                f"raise {exception.name()}", "raise", self.p.name,
+                self.p.sim_now, parent=ctx.span_id, cause=self._cause,
+                exception=exception.name(),
+            )
         others = self.p.registry.get(action).others(self.p.name)
         ctx.ack_awaited[KIND_EXCEPTION] = set(others)
         for other in others:
@@ -110,6 +149,17 @@ class ResolutionEngine:
     # -- message entry point ---------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
+        if self._spans is None:
+            self._dispatch(message)
+            return
+        # Spans on: stamp the causal edge for spans this message opens.
+        self._cause = message.msg_id
+        try:
+            self._dispatch(message)
+        finally:
+            self._cause = None
+
+    def _dispatch(self, message: Message) -> None:
         payload = message.payload
         action: str = payload.action
         registry = self.p.registry
@@ -274,7 +324,20 @@ class ResolutionEngine:
 
     def _context_for(self, action: str) -> ResolutionCtx:
         if self.ctx is None:
-            self.ctx = ResolutionCtx(action)
+            now = self.p.sim_now
+            self.ctx = ctx = ResolutionCtx(action, started_at=now)
+            spans = self._spans
+            if spans is not None:
+                ctx.span_id = spans.begin(
+                    f"resolution {action}", "resolution", self.p.name, now,
+                    parent=self.p.action_span_id(action), cause=self._cause,
+                )
+                ctx.state_span_id = spans.begin(
+                    f"state {ctx.state.value}", "state", self.p.name, now,
+                    parent=ctx.span_id,
+                )
+            if self._metrics is not None:
+                self._metrics.counter("resolution.contexts").inc()
             self.p.trace("resolution.join", action=action)
             self.p.interrupt_behaviour()
         elif self.ctx.action != action:  # pragma: no cover - guarded by caller
@@ -286,6 +349,7 @@ class ResolutionEngine:
         old = self.ctx
         assert old is not None
         self.p.trace("resolution.escalate", inner=old.action, outer=action)
+        self._close_ctx_spans(old, "escalated")
         if old.handler_scheduled:
             # "any activity of the nested action is stopped (including any
             # nested resolution in progress and execution of any handlers)"
@@ -334,9 +398,9 @@ class ResolutionEngine:
             )
         if signal is not None:
             ctx.le[self.p.name] = signal
-            ctx.state = PState.EXCEPTIONAL
+            self._set_state(ctx, PState.EXCEPTIONAL)
         elif ctx.state is PState.NORMAL:
-            ctx.state = PState.SUSPENDED
+            self._set_state(ctx, PState.SUSPENDED)
         self._advance(ctx)
 
     # -- progress ------------------------------------------------------------------
@@ -347,7 +411,7 @@ class ResolutionEngine:
             return  # context was replaced while this event was in flight
         if ctx.state is PState.NORMAL and not ctx.aborting:
             # Involved without being a raiser: suspended.
-            ctx.state = PState.SUSPENDED
+            self._set_state(ctx, PState.SUSPENDED)
         self._check_ready(ctx)
         self._maybe_resolve(ctx)
         self._maybe_start_handler(ctx)
@@ -359,7 +423,7 @@ class ResolutionEngine:
             and ctx.nested_all_completed()
             and ctx.all_acks_received()
         ):
-            ctx.state = PState.READY
+            self._set_state(ctx, PState.READY)
             self.p.trace("resolution.ready", action=ctx.action)
 
     def _maybe_resolve(self, ctx: ResolutionCtx) -> None:
@@ -393,6 +457,17 @@ class ResolutionEngine:
             "resolution.commit", action=ctx.action, exception=resolved.name(),
             raisers=",".join(commit.raisers),
         )
+        if self._spans is not None:
+            self._spans.event(
+                f"commit {resolved.name()}", "commit", self.p.name,
+                self.p.sim_now, parent=ctx.span_id, cause=self._cause,
+                exception=resolved.name(), raisers=",".join(commit.raisers),
+            )
+        if self._metrics is not None:
+            self._metrics.counter("resolution.commits").inc()
+            self._metrics.histogram("resolution.rounds", COUNT_BUCKETS).observe(
+                len(commit.raisers)
+            )
         for other in self.p.registry.get(ctx.action).others(self.p.name):
             self.p.send(other, KIND_COMMIT, commit)
 
@@ -411,6 +486,10 @@ class ResolutionEngine:
         else:
             return
         ctx.handler_scheduled = True
+        if self._metrics is not None:
+            self._metrics.histogram("resolution.latency").observe(
+                self.p.sim_now - ctx.started_at
+            )
         self.p.start_resolved_handler(ctx.action, ctx.commit.exception)
 
     def handler_finished(self, action: str) -> None:
@@ -419,5 +498,8 @@ class ResolutionEngine:
             raise ResolutionProtocolError(
                 f"{self.p.name}: handler finished for {action} without context"
             )
+        self._close_ctx_spans(
+            self.ctx, f"handled {self.ctx.commit.exception.name()}"
+        )
         self.completed[action] = self.ctx.commit
         self.ctx = None

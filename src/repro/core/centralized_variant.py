@@ -92,13 +92,27 @@ class ResolutionCoordinator(DistributedObject):
         self.statuses: set[str] = set()
         self.suspend_sent = False
         self.committed: Optional[CdCommit] = None
+        #: Span collector at FULL trace level (cached in attach), else None.
+        self._spans = None
+        self._span_id: Optional[int] = None
         self.on_kind(KIND_CD_EXCEPTION, self._on_exception)
         self.on_kind(KIND_CD_STATUS, self._on_status)
+
+    def attach(self, runtime: Runtime) -> None:
+        super().attach(runtime)
+        spans = runtime.spans
+        self._spans = spans if spans.enabled else None
 
     def _on_exception(self, message: Message) -> None:
         payload: CdException = message.payload
         if self.committed is not None:
             return  # post-commit raiser: recovery already decided
+        spans = self._spans
+        if spans is not None and self._span_id is None:
+            self._span_id = spans.begin(
+                f"resolution {self.action}", "resolution", self.name,
+                self.sim_now, cause=message.msg_id, variant="cd",
+            )
         self.le[payload.sender] = payload.exception
         self.statuses.add(payload.sender)
         if not self.suspend_sent:
@@ -130,6 +144,18 @@ class ResolutionCoordinator(DistributedObject):
             self.sim_now, "cd.commit", self.name,
             action=self.action, exception=resolved.name(),
         )
+        self.runtime.metrics.counter("resolution.commits").inc()
+        spans = self._spans
+        if spans is not None:
+            spans.event(
+                f"commit {resolved.name()}", "commit", self.name, self.sim_now,
+                parent=self._span_id, exception=resolved.name(),
+                raisers=",".join(self.committed.raisers),
+            )
+            spans.end(
+                self._span_id, self.sim_now,
+                outcome=f"committed {resolved.name()}",
+            )
         for member in self.members:
             self.send(member, KIND_CD_COMMIT, self.committed)
 
@@ -153,13 +179,41 @@ class CentralizedParticipant(DistributedObject):
         self.raised: Optional[ExceptionClass] = None
         self.suspended = False
         self.handled: Optional[ExceptionClass] = None
+        #: Span collector at FULL trace level (cached in attach), else None.
+        self._spans = None
+        self._span_id: Optional[int] = None
+        self._state_span_id: Optional[int] = None
         self.on_kind(KIND_CD_SUSPEND, self._on_suspend)
         self.on_kind(KIND_CD_COMMIT, self._on_commit)
+
+    def attach(self, runtime: Runtime) -> None:
+        super().attach(runtime)
+        spans = runtime.spans
+        self._spans = spans if spans.enabled else None
+
+    def _span_open(self, state: str, cause: Optional[int] = None) -> None:
+        spans = self._spans
+        if spans is None or self._span_id is not None:
+            return
+        now = self.sim_now
+        self._span_id = spans.begin(
+            f"resolution {self.action}", "resolution", self.name, now,
+            cause=cause, variant="cd",
+        )
+        self._state_span_id = spans.begin(
+            f"state {state}", "state", self.name, now, parent=self._span_id,
+        )
 
     def raise_exception(self, exception: ExceptionClass) -> None:
         if self.suspended or self.raised is not None or self.handled is not None:
             return  # informed first: no further raising (paper assumption)
         self.raised = exception
+        self._span_open("X")
+        if self._spans is not None:
+            self._spans.event(
+                f"raise {exception.name()}", "raise", self.name, self.sim_now,
+                parent=self._span_id, exception=exception.name(),
+            )
         self.send(
             self.coordinator,
             KIND_CD_EXCEPTION,
@@ -170,6 +224,7 @@ class CentralizedParticipant(DistributedObject):
         if self.suspended:
             return
         self.suspended = True
+        self._span_open("S", cause=message.msg_id)
         # Answer the suspension.  Even if we raced it with a raise of our
         # own, the CD_EXCEPTION already carries that exception, so the
         # status is always "clean" — the coordinator dedupes by sender.
@@ -188,6 +243,25 @@ class CentralizedParticipant(DistributedObject):
             self.sim_now, "cd.handle", self.name,
             exception=payload.exception.name(),
         )
+        spans = self._spans
+        if spans is not None:
+            self._span_open("S", cause=message.msg_id)
+            now = self.sim_now
+            spans.end(self._state_span_id, now)
+            self._state_span_id = spans.begin(
+                "state R", "state", self.name, now, parent=self._span_id,
+                cause=message.msg_id,
+            )
+            spans.event(
+                f"handler {payload.exception.name()}", "handler", self.name,
+                now, parent=self._span_id, cause=message.msg_id,
+                exception=payload.exception.name(),
+            )
+            spans.end(self._state_span_id, now)
+            spans.end(
+                self._span_id, now,
+                outcome=f"handled {payload.exception.name()}",
+            )
 
 
 @dataclass
@@ -232,6 +306,7 @@ def run_centralized(
     max_retries: int = 25,
     crash: tuple[str, ...] = (),
     crash_at: float = 12.0,
+    trace_level=None,
 ) -> CentralizedRunResult:
     """Run the centralised variant on the flat P-raisers workload.
 
@@ -256,9 +331,12 @@ def run_centralized(
     unknown = set(crash) - set(names)
     if unknown:
         raise ValueError(f"cannot crash unknown members: {sorted(unknown)}")
+    from repro.simkernel.trace import TraceLevel
+
     runtime = Runtime(
         seed=seed, latency=latency, failure_plan=failure_plan,
         reliable=reliable, ack_timeout=ack_timeout, max_retries=max_retries,
+        trace_level=TraceLevel.FULL if trace_level is None else trace_level,
     )
     coordinator = ResolutionCoordinator("coord", "A1", names, tree)
     runtime.register(coordinator)

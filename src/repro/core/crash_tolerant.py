@@ -161,6 +161,11 @@ class CrashTolerantParticipant(DistributedObject):
         self.aborting = False
         self.commit: Optional[CtCommit] = None
         self.handled: Optional[ExceptionClass] = None
+        #: Span collector at FULL trace level (cached in attach), else None.
+        self._spans = None
+        self._span_id: Optional[int] = None
+        self._state_span_id: Optional[int] = None
+        self._abort_span_id: Optional[int] = None
         self.detector = Heartbeater(
             self, group, interval=hb_interval, timeout=hb_timeout,
             on_suspect=self._on_suspect, membership_group=membership_group,
@@ -173,6 +178,38 @@ class CrashTolerantParticipant(DistributedObject):
 
     def start(self) -> None:
         self.detector.start()
+
+    # -- observability ---------------------------------------------------------
+
+    def attach(self, runtime: Runtime) -> None:
+        super().attach(runtime)
+        spans = runtime.spans
+        self._spans = spans if spans.enabled else None
+
+    def _span_open(self, state: str, cause: Optional[int] = None) -> None:
+        """Open this member's resolution span with an initial state dwell."""
+        spans = self._spans
+        if spans is None or self._span_id is not None:
+            return
+        now = self.sim_now
+        self._span_id = spans.begin(
+            f"resolution {self.action}", "resolution", self.name, now,
+            cause=cause, variant="ct",
+        )
+        self._state_span_id = spans.begin(
+            f"state {state}", "state", self.name, now, parent=self._span_id,
+        )
+
+    def _span_state(self, state: str, cause: Optional[int] = None) -> None:
+        spans = self._spans
+        if spans is None or self._span_id is None:
+            return
+        now = self.sim_now
+        spans.end(self._state_span_id, now)
+        self._state_span_id = spans.begin(
+            f"state {state}", "state", self.name, now, parent=self._span_id,
+            cause=cause,
+        )
 
     # -- raising --------------------------------------------------------------
 
@@ -187,6 +224,12 @@ class CrashTolerantParticipant(DistributedObject):
         self.raised_local = True
         self.raisers.add(self.name)
         self.le[self.name] = exception
+        self._span_open("X")
+        if self._spans is not None:
+            self._spans.event(
+                f"raise {exception.name()}", "raise", self.name, self.sim_now,
+                parent=self._span_id, exception=exception.name(),
+            )
         self.acks_missing = set(self.detector.alive_peers())
         for peer in self.group:
             if peer != self.name:
@@ -202,6 +245,7 @@ class CrashTolerantParticipant(DistributedObject):
         payload: CtException = message.payload
         self.le[payload.sender] = payload.exception
         self.raisers.add(payload.sender)
+        self._span_open("S", cause=message.msg_id)
         if self.commit is not None:
             # Decision already taken (the sender is a late raiser — e.g.
             # falsely suspected and slow): reply with the verdict, not an
@@ -291,6 +335,11 @@ class CrashTolerantParticipant(DistributedObject):
         # Waive anything the dead peer owed us — its ACK and, if it died
         # mid-abortion, its NestedCompleted — then re-evaluate: this is
         # the liveness fix and the resolver re-election trigger in one.
+        if self._spans is not None:
+            self._spans.event(
+                f"suspect {peer}", "suspect", self.name, self.sim_now,
+                parent=self._span_id, peer=peer,
+            )
         self.acks_missing.discard(peer)
         self._advance()
 
@@ -308,6 +357,11 @@ class CrashTolerantParticipant(DistributedObject):
             self.sim_now, "ct.abort_start", self.name, action=self.action,
             depth=self.nested_depth,
         )
+        if self._spans is not None:
+            self._abort_span_id = self._spans.begin(
+                f"abort {self.action}", "abort", self.name, self.sim_now,
+                parent=self._span_id, depth=self.nested_depth,
+            )
         self.runtime.sim.schedule(
             self.abort_duration * self.nested_depth,
             self._nested_completed,
@@ -329,6 +383,11 @@ class CrashTolerantParticipant(DistributedObject):
             self.sim_now, "ct.abort_done", self.name, action=self.action,
             signal=self.abort_signal.name() if self.abort_signal else None,
         )
+        if self._spans is not None:
+            self._spans.end(
+                self._abort_span_id, self.sim_now,
+                signal=self.abort_signal.name() if self.abort_signal else None,
+            )
         self._advance()
 
     # -- progress ----------------------------------------------------------------
@@ -387,6 +446,14 @@ class CrashTolerantParticipant(DistributedObject):
             self.sim_now, "ct.commit", self.name,
             action=self.action, exception=resolved.name(),
         )
+        if self._spans is not None:
+            self._span_open("X")  # takeover path: never opened a span
+            self._spans.event(
+                f"commit {resolved.name()}", "commit", self.name,
+                self.sim_now, parent=self._span_id,
+                exception=resolved.name(), raisers=",".join(commit.raisers),
+            )
+        self.runtime.metrics.counter("resolution.commits").inc()
         # Commit goes to the *whole* group, not just unsuspected peers: a
         # falsely suspected member is alive and must still converge, and a
         # genuinely dead one simply never receives it (crash = silence).
@@ -403,6 +470,17 @@ class CrashTolerantParticipant(DistributedObject):
         self.runtime.trace.record(
             self.sim_now, "ct.handle", self.name, exception=exception.name()
         )
+        spans = self._spans
+        if spans is not None:
+            self._span_open("S")  # e.g. Commit raced ahead of the Exception
+            self._span_state("R")
+            now = self.sim_now
+            spans.event(
+                f"handler {exception.name()}", "handler", self.name, now,
+                parent=self._span_id, exception=exception.name(),
+            )
+            spans.end(self._state_span_id, now)
+            spans.end(self._span_id, now, outcome=f"handled {exception.name()}")
 
 
 def ct_expected_messages(n: int, p: int, q: int = 0) -> int:
@@ -457,6 +535,7 @@ def run_crash_tolerant(
     ack_timeout: float = 5.0,
     max_retries: int = 25,
     run_until: float = 200.0,
+    trace_level=None,
 ) -> CrashTolerantRunResult:
     """Run the crash-tolerant variant, optionally crashing members.
 
@@ -486,9 +565,12 @@ def run_crash_tolerant(
     unknown = set(crash) - set(names)
     if unknown:
         raise ValueError(f"cannot crash unknown members: {sorted(unknown)}")
+    from repro.simkernel.trace import TraceLevel
+
     runtime = Runtime(
         seed=seed, latency=latency, failure_plan=failure_plan,
         reliable=reliable, ack_timeout=ack_timeout, max_retries=max_retries,
+        trace_level=TraceLevel.FULL if trace_level is None else trace_level,
     )
     group_name = "ct:A1"
     runtime.membership.create(group_name, list(names))

@@ -109,8 +109,33 @@ class MulticastParticipant(DistributedObject):
         self.flushed = False
         self.handled: Optional[ExceptionClass] = None
         self.commit: Optional[McCommit] = None
+        #: Span collector at FULL trace level (cached in attach), else None.
+        self._spans = None
+        self._span_id: Optional[int] = None
+        self._state_span_id: Optional[int] = None
+        self._abort_span_id: Optional[int] = None
         for kind in MC_KINDS:
             self.on_kind(kind, self._on_message)
+
+    # -- observability ---------------------------------------------------------
+
+    def attach(self, runtime: Runtime) -> None:
+        super().attach(runtime)
+        spans = runtime.spans
+        self._spans = spans if spans.enabled else None
+
+    def _span_open(self, state: str, cause: Optional[int] = None) -> None:
+        spans = self._spans
+        if spans is None or self._span_id is not None:
+            return
+        now = self.sim_now
+        self._span_id = spans.begin(
+            f"resolution {self.action}", "resolution", self.name, now,
+            cause=cause, variant="mc",
+        )
+        self._state_span_id = spans.begin(
+            f"state {state}", "state", self.name, now, parent=self._span_id,
+        )
 
     # -- sending ------------------------------------------------------------------
 
@@ -122,6 +147,12 @@ class MulticastParticipant(DistributedObject):
             return  # informed first: suspended, does not raise any more
         self.flushed = True
         self.statuses[self.name] = exception
+        self._span_open("X")
+        if self._spans is not None:
+            self._spans.event(
+                f"raise {exception.name()}", "raise", self.name, self.sim_now,
+                parent=self._span_id, exception=exception.name(),
+            )
         self._mcast(
             KIND_MC_EXCEPTION, McException(self.action, self.name, exception)
         )
@@ -133,12 +164,18 @@ class MulticastParticipant(DistributedObject):
             return
         self.flushed = True
         self.statuses[self.name] = None
+        self._span_open("S")
         has_nested = self.nested_depth > 0
         self._mcast(
             KIND_MC_FLUSH, McFlush(self.action, self.name, has_nested)
         )
         if has_nested:
             self.nested_members.add(self.name)
+            if self._spans is not None:
+                self._abort_span_id = self._spans.begin(
+                    f"abort {self.action}", "abort", self.name, self.sim_now,
+                    parent=self._span_id, depth=self.nested_depth,
+                )
             # Abort the nested chain (one abortion handler per level), then
             # announce completion with the admissible signal.
             self.runtime.sim.schedule(
@@ -152,6 +189,11 @@ class MulticastParticipant(DistributedObject):
         self.nested_done[self.name] = self.abort_signal
         if self.abort_signal is not None:
             self.statuses[self.name] = self.abort_signal
+        if self._spans is not None:
+            self._spans.end(
+                self._abort_span_id, self.sim_now,
+                signal=self.abort_signal.name() if self.abort_signal else None,
+            )
         self._mcast(
             KIND_MC_NESTED_COMPLETED,
             McNestedCompleted(self.action, self.name, self.abort_signal),
@@ -206,6 +248,12 @@ class MulticastParticipant(DistributedObject):
                 self.sim_now, "mc.commit", self.name, action=self.action,
                 exception=resolved.name(),
             )
+            self.runtime.metrics.counter("resolution.commits").inc()
+        if self._spans is not None:
+            self._spans.event(
+                f"commit {resolved.name()}", "commit", self.name, self.sim_now,
+                parent=self._span_id, exception=resolved.name(),
+            )
         self._mcast(KIND_MC_COMMIT, self.commit)
         self._start_handler(resolved)
 
@@ -218,6 +266,20 @@ class MulticastParticipant(DistributedObject):
                 self.sim_now, "mc.handle", self.name,
                 exception=exception.name(),
             )
+        spans = self._spans
+        if spans is not None:
+            self._span_open("S")  # Commit raced ahead of every status
+            now = self.sim_now
+            spans.end(self._state_span_id, now)
+            self._state_span_id = spans.begin(
+                "state R", "state", self.name, now, parent=self._span_id
+            )
+            spans.event(
+                f"handler {exception.name()}", "handler", self.name, now,
+                parent=self._span_id, exception=exception.name(),
+            )
+            spans.end(self._state_span_id, now)
+            spans.end(self._span_id, now, outcome=f"handled {exception.name()}")
 
 
 @dataclass
@@ -261,6 +323,7 @@ def run_multicast_resolution(
     crash: tuple[str, ...] = (),
     crash_at: float = 12.0,
     run_until: float | None = None,
+    trace_level=None,
 ) -> MulticastRunResult:
     """Run the multicast variant on the Section 4.4 workload shape.
 
@@ -286,9 +349,12 @@ def run_multicast_resolution(
     unknown = set(crash) - set(names)
     if unknown:
         raise ValueError(f"cannot crash unknown members: {sorted(unknown)}")
+    from repro.simkernel.trace import TraceLevel
+
     runtime = Runtime(
         seed=seed, latency=latency, failure_plan=failure_plan,
         reliable=reliable, ack_timeout=ack_timeout, max_retries=max_retries,
+        trace_level=TraceLevel.FULL if trace_level is None else trace_level,
     )
     runtime.membership.create("GA", list(names))
     participants: dict[str, MulticastParticipant] = {}

@@ -64,6 +64,12 @@ class ResolutionCtx:
     sent_commit: bool = False
     #: True if this object raised its exception locally in this action.
     raised_local: bool = False
+    #: Virtual time the context was created (resolution-latency metric).
+    started_at: float = 0.0
+    #: Causal span of this resolution (None unless spans are enabled).
+    span_id: Optional[int] = None
+    #: Currently open state-dwell span (child of ``span_id``).
+    state_span_id: Optional[int] = None
 
     def all_acks_received(self) -> bool:
         return all(not awaited for awaited in self.ack_awaited.values())

@@ -51,6 +51,9 @@ class Network:
             rng=self.rng.stream("net.failures")
         )
         self.trace = trace if trace is not None else TraceRecorder()
+        #: Span collector (set by the runtime when trace level is FULL);
+        #: only rare events (dead letters) emit — never the send path.
+        self.spans = None
         self._receivers: dict[str, Receiver] = {}
         self._channels: dict[tuple[str, str], Channel] = {}
         self._latency_overrides: dict[tuple[str, str], LatencyModel] = {}

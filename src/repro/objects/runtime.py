@@ -14,6 +14,8 @@ from repro.net.multicast import ReliableMulticast
 from repro.net.network import Network
 from repro.objects.base import DistributedObject
 from repro.objects.node import Node
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanCollector
 from repro.simkernel.rng import RngRegistry
 from repro.simkernel.scheduler import Simulator
 from repro.simkernel.trace import TraceLevel, TraceRecorder
@@ -35,6 +37,12 @@ class Runtime:
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
         self.trace = TraceRecorder(level=trace_level)
+        #: Causal spans, collected only at FULL (COUNTS/OFF sweeps pay
+        #: one pointer comparison per would-be emission).
+        self.spans = SpanCollector(enabled=(trace_level is TraceLevel.FULL))
+        #: Metrics registry: protocol engines push rare events; bulk
+        #: network counters are pulled lazily by :meth:`metrics_snapshot`.
+        self.metrics = MetricsRegistry()
         injector = FailureInjector(failure_plan, self.rng.stream("net.failures"))
         if reliable:
             from repro.net.reliable import ReliableNetwork
@@ -51,6 +59,8 @@ class Runtime:
             )
         self.membership = GroupMembership()
         self.multicast = ReliableMulticast(self.network, self.membership)
+        self.network.spans = self.spans if self.spans.enabled else None
+        self.multicast.spans = self.network.spans
         self.nodes: dict[str, Node] = {}
         self.objects: dict[str, DistributedObject] = {}
 
@@ -106,9 +116,42 @@ class Runtime:
                 CrashWindow(name, self.sim.now)
             )
         self.trace.record(self.sim.now, "node.crash", node_id)
+        if self.spans.enabled:
+            self.spans.event(f"crash {node_id}", "crash", node_id, self.sim.now)
+        self.metrics.counter("node.crashes").inc()
 
     # -- execution -------------------------------------------------------------
 
     def run(self, until: float | None = None, max_events: int | None = 200_000) -> None:
         """Run the simulation (with a default livelock budget for safety)."""
         self.sim.run(until=until, max_events=max_events)
+
+    # -- observability -----------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """One picklable dict of every metric, pulling the bulk counters.
+
+        Message/transport/multicast counts live on the network objects (the
+        hot path never touches the registry); this folds them in as plain
+        counters — idempotent, so snapshotting twice does not double-count.
+        """
+        metrics = self.metrics
+        for kind, count in self.network.sent_by_kind.items():
+            metrics.counter(f"msg.sent.{kind}").value = count
+        for kind, count in self.network.delivered_by_kind.items():
+            metrics.counter(f"msg.delivered.{kind}").value = count
+        for attr in (
+            "retransmissions", "transport_acks", "duplicates_dropped",
+            "dead_letters",
+        ):
+            value = getattr(self.network, attr, None)
+            if value is not None:
+                metrics.counter(f"net.{attr}").value = value
+        for kind, count in self.multicast.operations.items():
+            metrics.counter(f"mcast.operations.{kind}").value = count
+        if self.multicast.dead_letters:
+            metrics.counter("mcast.dead_letters").value = (
+                self.multicast.dead_letters
+            )
+        metrics.gauge("sim.now").set(self.sim.now)
+        return metrics.snapshot()

@@ -1,0 +1,41 @@
+"""Observability layer: causal spans, metrics registry, exporters.
+
+See :mod:`repro.obs.spans` for the causal-forest model,
+:mod:`repro.obs.metrics` for the registry, and :mod:`repro.obs.export`
+for the JSONL / Chrome-trace / text renderers.
+"""
+
+from .export import (
+    metrics_to_text,
+    render_span_tree,
+    spans_to_chrome,
+    spans_to_jsonl,
+    validate_chrome_trace,
+)
+from .metrics import (
+    COUNT_BUCKETS,
+    VT_BUCKETS,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from .spans import Span, SpanCollector
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "VT_BUCKETS",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "Span",
+    "SpanCollector",
+    "merge_snapshots",
+    "metrics_to_text",
+    "render_span_tree",
+    "spans_to_chrome",
+    "spans_to_jsonl",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,253 @@
+"""Exporters: JSONL event log, Chrome trace-event JSON, text span tree.
+
+Three views of the same :class:`~repro.obs.spans.SpanCollector` forest:
+
+* :func:`spans_to_jsonl` — one JSON object per span, append-friendly, for
+  ad-hoc ``jq``/pandas post-mortems.
+* :func:`spans_to_chrome` — the Chrome trace-event format (the
+  ``{"traceEvents": [...]}`` flavour), loadable in Perfetto or
+  ``chrome://tracing``.  Each subject becomes a named track; spans become
+  ``ph:"X"`` complete events, instantaneous spans become ``ph:"i"``
+  instants.  Virtual time maps 1 VT unit → 1000 µs so sub-unit dwell
+  times stay visible.
+* :func:`render_span_tree` — a plain-text forest for terminals and golden
+  tests.
+
+:func:`validate_chrome_trace` is the schema check CI runs against the
+exported JSON — deliberately dependency-free (no jsonschema in the
+image).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Optional
+
+from .spans import Span, SpanCollector
+
+#: 1 unit of virtual time == 1000 trace microseconds.
+VT_TO_US = 1000.0
+
+
+def _span_record(span: Span) -> dict[str, Any]:
+    return {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "category": span.category,
+        "subject": span.subject,
+        "start": span.start,
+        "end": span.end,
+        "cause_ids": list(span.cause_ids),
+        "attrs": span.attrs,
+    }
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per line, in span-creation order."""
+    return "".join(
+        json.dumps(_span_record(s), sort_keys=True, default=str) + "\n"
+        for s in spans
+    )
+
+
+def spans_to_chrome(
+    collector: SpanCollector,
+    process_name: str = "repro",
+    end_time: Optional[float] = None,
+) -> dict[str, Any]:
+    """Build a Chrome trace-event JSON document from a span forest.
+
+    Open spans (a stalled run) are closed at ``end_time`` (default: the
+    latest timestamp seen) and flagged with ``"open": true`` so stalls
+    read as bars running off the end of the track, not missing data.
+    """
+    subjects: list[str] = []
+    for span in collector:
+        if span.subject not in subjects:
+            subjects.append(span.subject)
+    tids = {subject: i + 1 for i, subject in enumerate(subjects)}
+
+    if end_time is None:
+        end_time = 0.0
+        for span in collector:
+            end_time = max(end_time, span.start, span.end or span.start)
+
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for subject, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": subject},
+            }
+        )
+
+    for span in collector:
+        args: dict[str, Any] = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        if span.cause_ids:
+            args["cause_msg_ids"] = list(span.cause_ids)
+        for key, value in span.attrs.items():
+            args[key] = value if isinstance(value, (int, float, bool)) else str(value)
+
+        base = {
+            "name": span.name,
+            "cat": span.category,
+            "pid": 1,
+            "tid": tids[span.subject],
+            "ts": span.start * VT_TO_US,
+            "args": args,
+        }
+        if span.is_event:
+            events.append({**base, "ph": "i", "s": "t"})
+        else:
+            end = span.end
+            if end is None:
+                end = max(end_time, span.start)
+                args["open"] = True
+            events.append({**base, "ph": "X", "dur": (end - span.start) * VT_TO_US})
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"vt_to_us": VT_TO_US},
+    }
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Structural validation of a Chrome trace-event document.
+
+    Returns a list of problems (empty == valid).  Checks the subset of
+    the trace-event spec this exporter emits: top-level ``traceEvents``
+    array; every event has ``ph``/``name``/``pid``/``tid``; ``X`` events
+    carry numeric ``ts``/``dur`` with ``dur >= 0``; ``i`` events carry a
+    scope; ``M`` events are known metadata records.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M", "B", "E"):
+            problems.append(f"{where}: unknown or missing ph {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"{where}: missing {key!r}")
+        if ph == "M":
+            if ev.get("name") not in ("process_name", "thread_name"):
+                problems.append(f"{where}: unknown metadata record {ev.get('name')!r}")
+            elif not isinstance(ev.get("args", {}).get("name"), str):
+                problems.append(f"{where}: metadata record missing args.name")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: missing numeric ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)):
+                problems.append(f"{where}: X event missing numeric dur")
+            elif dur < 0:
+                problems.append(f"{where}: negative dur {dur}")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant event missing scope 's'")
+    return problems
+
+
+def render_span_tree(
+    collector: SpanCollector, include_attrs: bool = True
+) -> str:
+    """Plain-text forest, children in creation order.
+
+    Events render as ``●``, open spans as ``[start → …]`` — the renderer
+    the golden test for the §4.3 worked example pins down.
+    """
+    index = collector.child_index()
+    lines: list[str] = []
+
+    def fmt(span: Span) -> str:
+        if span.is_event:
+            when = f"● t={span.start:g}"
+        elif span.end is None:
+            when = f"[{span.start:g} → …]"
+        else:
+            when = f"[{span.start:g} → {span.end:g}]"
+        text = f"{span.name} ({span.subject}) {when}"
+        if include_attrs and span.attrs:
+            payload = ", ".join(
+                f"{k}={v}" for k, v in sorted(span.attrs.items())
+            )
+            text += f"  {{{payload}}}"
+        return text
+
+    def walk(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(fmt(span))
+            child_prefix = ""
+        else:
+            branch = "└─ " if is_last else "├─ "
+            lines.append(prefix + branch + fmt(span))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        kids = index.get(span.span_id, [])
+        for i, kid in enumerate(kids):
+            walk(kid, child_prefix, i == len(kids) - 1, False)
+
+    roots = index.get(None, [])
+    for root in roots:
+        walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+def metrics_to_text(snapshot: dict) -> str:
+    """Human-readable rendering of a MetricsRegistry snapshot."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(n) for n in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(n) for n in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {value:g}")
+    histograms = snapshot.get("histograms", {})
+    for name, data in histograms.items():
+        count = data["count"]
+        lines.append(f"histogram {name}: count={count}")
+        if not count:
+            continue
+        mean = data["sum"] / count
+        lines.append(
+            f"  min={data['min']:g} mean={mean:g} max={data['max']:g}"
+        )
+        bounds = data["bounds"]
+        edges = ["≤" + format(b, "g") for b in bounds] + [
+            ">" + format(bounds[-1], "g") if bounds else "all"
+        ]
+        for edge, bucket in zip(edges, data["bucket_counts"]):
+            if bucket:
+                lines.append(f"  {edge:>8}  {bucket}")
+    return "\n".join(lines)

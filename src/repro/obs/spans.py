@@ -1,0 +1,218 @@
+"""Causal spans: the hierarchical upgrade of the flat trace.
+
+The paper's claims are behavioural — the ``N → X/S → R`` state machine per
+object (Section 4.2), innermost-first abortion of nested-action chains
+(Section 4.1), domino chains (Section 3.3) — and a flat
+``(time, category, subject)`` log cannot answer "which exception caused
+this abortion chain?".  A :class:`Span` is an interval of virtual time with
+a parent span and the ids of the messages that *caused* it, so a run
+becomes a forest:
+
+    action A1 (O2)
+    └─ resolution A1 (O2)           cause: Exception#17
+       ├─ state S                   dwell spans, one per protocol state
+       ├─ abort A3                  innermost-first chain, in order
+       ├─ abort A2
+       ├─ state X
+       ├─ state R
+       ├─ ● resolver.commit
+       └─ handler UniversalException
+
+Spans are emitted by the protocol engines (all four variants) through a
+:class:`SpanCollector` owned by the :class:`~repro.objects.runtime.Runtime`.
+Collection is **off** unless the trace level is ``FULL`` — every emission
+site guards on a cached ``None`` collector, so ``COUNTS``/``OFF`` sweeps
+pay nothing beyond a pointer comparison (checked by
+``benchmarks/bench_perf_suite.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass
+class Span:
+    """One interval of virtual time in the causal forest.
+
+    Attributes:
+        span_id: unique id within one collector (> 0).
+        parent_id: enclosing span's id, or ``None`` for a root.
+        name: display name, e.g. ``"resolution A1"`` or ``"state X"``.
+        category: machine-friendly kind (``action``, ``resolution``,
+            ``state``, ``abort``, ``handler``, ``event`` …).
+        subject: the acting entity (object name, coordinator name …).
+        start: virtual time the span opened.
+        end: virtual time it closed; ``None`` while still open (a run that
+            stalls leaves its spans open — itself a diagnostic).
+        cause_ids: ids of the messages whose processing opened this span —
+            the causal edges that make domino chains visible.
+        attrs: free-form payload (exception names, outcomes, counts).
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    subject: str
+    start: float
+    end: Optional[float] = None
+    cause_ids: tuple[int, ...] = ()
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    @property
+    def is_event(self) -> bool:
+        """True for instantaneous occurrences (raise, commit, crash …)."""
+        return self.end is not None and self.end == self.start
+
+
+class SpanCollector:
+    """Append-only collector of :class:`Span` with forest queries.
+
+    A disabled collector is never handed to emission sites: callers cache
+    ``runtime.spans if runtime.spans.enabled else None`` once and guard on
+    ``None``, so the disabled path costs one comparison.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self._by_id: dict[int, Span] = {}
+        self._next_id = 1
+
+    # -- recording -------------------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        category: str,
+        subject: str,
+        time: float,
+        parent: Optional[int] = None,
+        cause: Optional[int] = None,
+        **attrs: Any,
+    ) -> int:
+        """Open a span; returns its id (parent/cause wiring is by id)."""
+        span_id = self._next_id
+        self._next_id += 1
+        span = Span(
+            span_id=span_id,
+            parent_id=parent,
+            name=name,
+            category=category,
+            subject=subject,
+            start=time,
+            cause_ids=(cause,) if cause is not None else (),
+            attrs=attrs,
+        )
+        self.spans.append(span)
+        self._by_id[span_id] = span
+        return span_id
+
+    def end(self, span_id: Optional[int], time: float, **attrs: Any) -> None:
+        """Close an open span (idempotent; ``None`` ids are ignored so
+        callers need not re-check whether they ever opened one)."""
+        if span_id is None:
+            return
+        span = self._by_id.get(span_id)
+        if span is None or span.end is not None:
+            return
+        span.end = time
+        if attrs:
+            span.attrs.update(attrs)
+
+    def event(
+        self,
+        name: str,
+        category: str,
+        subject: str,
+        time: float,
+        parent: Optional[int] = None,
+        cause: Optional[int] = None,
+        **attrs: Any,
+    ) -> int:
+        """Record an instantaneous occurrence as a zero-duration span."""
+        span_id = self.begin(
+            name, category, subject, time, parent=parent, cause=cause, **attrs
+        )
+        self._by_id[span_id].end = time
+        return span_id
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def get(self, span_id: int) -> Optional[Span]:
+        return self._by_id.get(span_id)
+
+    def by_category(self, category: str) -> list[Span]:
+        return [s for s in self.spans if s.category == category]
+
+    def by_subject(self, subject: str) -> list[Span]:
+        return [s for s in self.spans if s.subject == subject]
+
+    def open_spans(self) -> list[Span]:
+        """Spans never closed — in a healthy terminated run, empty."""
+        return [s for s in self.spans if s.end is None]
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span_id: int) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def child_index(self) -> dict[Optional[int], list[Span]]:
+        """parent id (``None`` for roots) -> children in creation order."""
+        index: dict[Optional[int], list[Span]] = {}
+        for span in self.spans:
+            index.setdefault(span.parent_id, []).append(span)
+        return index
+
+    # -- invariants ------------------------------------------------------------
+
+    def forest_problems(self) -> list[str]:
+        """Structural violations: orphans, cycles, bad intervals.
+
+        The span tree is only trustworthy if parent ids form a forest —
+        the property tests run this over every variant.
+        """
+        problems: list[str] = []
+        for span in self.spans:
+            if span.parent_id is not None and span.parent_id not in self._by_id:
+                problems.append(
+                    f"span {span.span_id} ({span.name}) has unknown parent "
+                    f"{span.parent_id}"
+                )
+            if span.end is not None and span.end < span.start:
+                problems.append(
+                    f"span {span.span_id} ({span.name}) ends at {span.end} "
+                    f"before its start {span.start}"
+                )
+        # Cycle check: walk each span to a root, flagging repeats.  Parent
+        # ids are assigned before children exist, so cycles indicate a
+        # collector bug — still worth a direct guarantee.
+        for span in self.spans:
+            seen = set()
+            current: Optional[Span] = span
+            while current is not None and current.parent_id is not None:
+                if current.span_id in seen:
+                    problems.append(
+                        f"cycle through span {span.span_id} ({span.name})"
+                    )
+                    break
+                seen.add(current.span_id)
+                current = self._by_id.get(current.parent_id)
+        return problems

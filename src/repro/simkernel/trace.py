@@ -95,6 +95,18 @@ class TraceRecorder:
 
     # -- recording -------------------------------------------------------------
 
+    def clear(self) -> None:
+        """Drop all entries, counters and query caches.
+
+        The supported way to reset a recorder mid-run (e.g. between
+        campaign phases, or after toggling ``FULL -> COUNTS`` to reclaim
+        entry memory): it keeps the incremental :meth:`by_category` cache
+        coherent with the emptied log.
+        """
+        self.entries.clear()
+        self.counts.clear()
+        self._category_cache.clear()
+
     def record(
         self, time: float, category: str, subject: str, **details: Any
     ) -> None:
@@ -141,6 +153,12 @@ class TraceRecorder:
         """
         matches, scanned = self._category_cache.get(category, ([], 0))
         entries = self.entries
+        if scanned > len(entries):
+            # The log shrank under the cache — someone truncated
+            # ``entries`` directly (e.g. reclaiming memory after dropping
+            # to COUNTS mid-run) instead of calling :meth:`clear`.  The
+            # incremental assumption is void; rescan from scratch.
+            matches, scanned = [], 0
         if scanned < len(entries):
             prefix = category + "."
             matches = matches + [

@@ -202,6 +202,10 @@ class _Observation:
     crashed: tuple[str, ...] = ()
     survivors: tuple[str, ...] = ()
     sim_duration: float = 0.0
+    #: The run's Runtime — in-process diagnostics only (never pickled:
+    #: :func:`run_cell` reduces observations to plain :class:`CellOutcome`
+    #: before results cross the pool boundary).
+    runtime: Optional[object] = None
 
 
 # -- victim selection -----------------------------------------------------------
@@ -342,7 +346,7 @@ def _observe_paper_base(cell: CampaignCell) -> _Observation:
         finished=finished, handled=handled, double_handled=double,
         problems=problems, measured=measured, expected=expected,
         crashed=victims, survivors=survivors,
-        sim_duration=result.duration,
+        sim_duration=result.duration, runtime=result.runtime,
     )
 
 
@@ -387,7 +391,7 @@ def _observe_paper_ct(cell: CampaignCell) -> _Observation:
         finished=finished, handled=handled, double_handled=double,
         measured=measured, expected=expected,
         crashed=victims, survivors=survivors,
-        sim_duration=result.runtime.sim.now,
+        sim_duration=result.runtime.sim.now, runtime=result.runtime,
     )
 
 
@@ -421,7 +425,7 @@ def _observe_paper_mc(cell: CampaignCell) -> _Observation:
         finished=finished, handled=handled, double_handled=double,
         measured=measured, expected=expected,
         crashed=victims, survivors=survivors,
-        sim_duration=result.runtime.sim.now,
+        sim_duration=result.runtime.sim.now, runtime=result.runtime,
     )
 
 
@@ -458,7 +462,7 @@ def _observe_paper_cd(cell: CampaignCell) -> _Observation:
         finished=finished, handled=handled, double_handled=double,
         measured=measured, expected=expected,
         crashed=victims, survivors=survivors,
-        sim_duration=result.runtime.sim.now,
+        sim_duration=result.runtime.sim.now, runtime=result.runtime,
     )
 
 
@@ -485,7 +489,7 @@ def _observe_fuzz(cell: CampaignCell) -> _Observation:
         finished=finished, problems=problems,
         crashed=victims,
         survivors=tuple(n for n in names if n not in victims),
-        sim_duration=result.duration,
+        sim_duration=result.duration, runtime=result.runtime,
     )
 
 
@@ -569,6 +573,49 @@ def run_cell(cell: CampaignCell) -> CellOutcome:
         measured=obs.measured, expected=obs.expected,
         sim_duration=obs.sim_duration,
     )
+
+
+def export_cell_trace(cell: CampaignCell, out_dir) -> "Path":
+    """Re-run one cell and dump its causal trace for post-mortem analysis.
+
+    Writes ``<cell_id>.chrome.json`` (Perfetto / ``chrome://tracing``
+    loadable) and ``<cell_id>.tree.txt`` under ``out_dir`` and returns the
+    chrome path.  Stalled cells are the target audience: a crashed or
+    stuck member's resolution span stays *open*, so the dump shows exactly
+    which participant never left which protocol state.  Sabotage is
+    stripped before the re-run — sabotage perturbs observations, not the
+    simulation, so there is nothing of it to see in a trace.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs import render_span_tree, spans_to_chrome
+
+    observer = _OBSERVERS.get((cell.family, cell.variant))
+    if observer is None:
+        raise ValueError(
+            f"no observer for family={cell.family} variant={cell.variant}"
+        )
+    obs = observer(replace(cell, sabotage=None))
+    runtime = obs.runtime
+    if runtime is None or not runtime.spans.enabled:
+        raise RuntimeError(
+            f"cell {cell.cell_id} produced no spans (trace level below FULL)"
+        )
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = cell.cell_id.replace(":", "_")
+    doc = spans_to_chrome(
+        runtime.spans,
+        process_name=f"repro:{cell.cell_id}",
+        end_time=runtime.sim.now,
+    )
+    chrome_path = out / f"{stem}.chrome.json"
+    chrome_path.write_text(json.dumps(doc, indent=1) + "\n")
+    (out / f"{stem}.tree.txt").write_text(
+        render_span_tree(runtime.spans) + "\n"
+    )
+    return chrome_path
 
 
 # -- matrix + campaign ------------------------------------------------------------

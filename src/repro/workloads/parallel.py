@@ -37,7 +37,9 @@ from repro.workloads.sweeps import (
     SweepPoint,
     SweepResult,
     measure_point,
+    measure_point_metrics,
     sweep_general,
+    sweep_general_metrics,
 )
 
 #: ``(done_points, total_points)`` callback invoked after each finished chunk.
@@ -97,6 +99,28 @@ def _run_chunk(payload):
         except Exception:  # noqa: BLE001 — reported verbatim to the parent
             return ("error", (n, p, q), traceback.format_exc())
         measured.append((index, point))
+    return ("ok", measured)
+
+
+def _run_chunk_metrics(payload):
+    """Pool worker: measure one chunk, returning points *and* snapshots.
+
+    Same errors-as-data protocol as :func:`_run_chunk`; each result slot is
+    ``(index, SweepPoint, metrics_snapshot)`` with the snapshot being the
+    plain dict produced by :meth:`Runtime.metrics_snapshot` (picklable, and
+    mergeable in the parent with :func:`repro.obs.metrics.merge_snapshots`).
+    """
+    indexed_points, latency, seed, trace_level, scenario_kwargs = payload
+    measured = []
+    for index, (n, p, q) in indexed_points:
+        try:
+            point, snapshot = measure_point_metrics(
+                n, p, q, latency=latency, seed=seed,
+                trace_level=trace_level, **scenario_kwargs,
+            )
+        except Exception:  # noqa: BLE001 — reported verbatim to the parent
+            return ("error", (n, p, q), traceback.format_exc())
+        measured.append((index, point, snapshot))
     return ("ok", measured)
 
 
@@ -256,6 +280,35 @@ class ParallelSweepRunner:
             grid, latency, seed, start_method, scenario_kwargs
         )
 
+    def sweep_general_metrics(
+        self,
+        grid: Iterable[tuple[int, int, int]],
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+        **scenario_kwargs,
+    ) -> tuple[SweepResult, dict]:
+        """Parallel mirror of :func:`repro.workloads.sweeps.sweep_general_metrics`.
+
+        Each worker returns its points alongside per-point metrics
+        snapshots; the parent folds them with
+        :func:`repro.obs.metrics.merge_snapshots` **in grid order**, so the
+        merged snapshot (counter/histogram sums, last-point gauges) is
+        identical to the serial path's regardless of pool scheduling.
+        """
+        grid = list(grid)
+        start_method = self._resolve_start_method()
+        if self.max_workers <= 1 or len(grid) <= 1 or start_method is None:
+            result = sweep_general_metrics(
+                grid, latency=latency, seed=seed,
+                trace_level=self.trace_level, **scenario_kwargs,
+            )
+            if self.progress is not None:
+                self.progress(len(grid), len(grid))
+            return result
+        return self._pooled_sweep_metrics(
+            grid, latency, seed, start_method, scenario_kwargs
+        )
+
     # -- internals -------------------------------------------------------------
 
     def _resolve_start_method(self) -> Optional[str]:
@@ -312,6 +365,43 @@ class ParallelSweepRunner:
         if missing:  # pragma: no cover — indicates a pool bug, not a workload
             raise RuntimeError(f"pool returned no result for indices {missing}")
         return SweepResult(list(slots))
+
+    def _pooled_sweep_metrics(
+        self,
+        grid: list[tuple[int, int, int]],
+        latency: LatencyModel | None,
+        seed: int,
+        start_method: str,
+        scenario_kwargs: dict,
+    ) -> tuple[SweepResult, dict]:
+        from repro.obs.metrics import merge_snapshots
+
+        chunks = self._chunks(grid)
+        payloads = [
+            (chunk, latency, seed, self.trace_level, scenario_kwargs)
+            for chunk in chunks
+        ]
+        workers = min(self.max_workers, len(chunks))
+        context = multiprocessing.get_context(start_method)
+        slots: list[Optional[SweepPoint]] = [None] * len(grid)
+        snapshot_slots: list[Optional[dict]] = [None] * len(grid)
+        done = 0
+        with context.Pool(processes=workers) as pool:
+            for outcome in pool.imap_unordered(_run_chunk_metrics, payloads):
+                if outcome[0] == "error":
+                    _, point, worker_tb = outcome
+                    raise SweepWorkerError(point, worker_tb)
+                for index, sweep_point, snapshot in outcome[1]:
+                    slots[index] = sweep_point
+                    snapshot_slots[index] = snapshot
+                    done += 1
+                if self.progress is not None:
+                    self.progress(done, len(grid))
+        missing = [i for i, slot in enumerate(slots) if slot is None]
+        if missing:  # pragma: no cover — indicates a pool bug, not a workload
+            raise RuntimeError(f"pool returned no result for indices {missing}")
+        merged = merge_snapshots([s for s in snapshot_slots if s is not None])
+        return SweepResult(list(slots)), merged
 
 
 def parallel_sweep_general(

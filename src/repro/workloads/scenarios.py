@@ -99,6 +99,17 @@ class ScenarioResult:
             if e.details.get("action") == action
         ]
 
+    # -- observability ----------------------------------------------------------------
+
+    @property
+    def spans(self):
+        """The run's causal span forest (empty unless trace level FULL)."""
+        return self.runtime.spans
+
+    def metrics_snapshot(self) -> dict:
+        """Picklable metrics view (see :meth:`Runtime.metrics_snapshot`)."""
+        return self.runtime.metrics_snapshot()
+
 
 class Scenario:
     """A declarative simulated-system builder."""

@@ -1,0 +1,127 @@
+"""Observability must not change physics, and spans must form a forest.
+
+Two properties over every protocol variant in the repo:
+
+* **Level agreement** — a FULL run (spans + entries collected) and a
+  COUNTS run (spans off, counters only) of the same seeded scenario must
+  report identical protocol message counts *and* identical metrics
+  snapshots.  Any metric accidentally gated behind span collection, or
+  any emission site that perturbs the simulation, breaks this.
+* **Forest shape** — span parent ids must form a forest: no orphan
+  parents, no cycles, children within their parents' lifetime, and in a
+  healthy (fault-free) run every span closed by the end.
+
+The scenario sample is seeded from the fault-campaign matrix so the
+shapes exercised here are the same ones the campaign engine sweeps.
+"""
+
+import pytest
+
+from repro.core.centralized_variant import run_centralized
+from repro.core.crash_tolerant import run_crash_tolerant
+from repro.core.multicast_variant import run_multicast_resolution
+from repro.net.failures import FailurePlan
+from repro.net.latency import ConstantLatency
+from repro.simkernel.trace import TraceLevel
+from repro.workloads.campaigns import default_matrix
+from repro.workloads.generator import general_case
+
+#: (n, p, q) shapes drawn from the seeded smoke campaign matrix — the
+#: same sample the CI fault campaign runs, deduplicated.
+CAMPAIGN_SHAPES = sorted({
+    (cell.n, cell.p, cell.q)
+    for cell in default_matrix(smoke=True, seed=0)
+    if cell.family == "paper"
+})
+
+FAULT_KNOBS = (
+    {},  # fault-free
+    {"failure_plan": FailurePlan(drop_probability=0.2), "reliable": True},
+)
+
+
+def _run_variant(variant: str, n: int, p: int, q: int, level, knobs):
+    """Run one variant at one trace level; return (runtime, message total)."""
+    if variant == "base":
+        result = general_case(
+            n, p, q, seed=0, latency=ConstantLatency(1.0),
+            trace_level=level, ack_timeout=2.0, max_retries=25, **knobs,
+        ).run(until=400.0)
+        return result.runtime, result.resolution_message_total()
+    if variant == "ct":
+        result = run_crash_tolerant(
+            n, raisers=p, nested=q, seed=0, latency=ConstantLatency(1.0),
+            trace_level=level, ack_timeout=2.0, max_retries=25,
+            hb_timeout=12.0, **knobs,
+        )
+        return result.runtime, result.protocol_messages()
+    if variant == "mc":
+        result = run_multicast_resolution(
+            n, p, q, seed=0, latency=ConstantLatency(1.0),
+            trace_level=level, ack_timeout=2.0, max_retries=25, **knobs,
+        )
+        return result.runtime, result.multicast_operations()
+    if variant == "cd":
+        result = run_centralized(
+            n, raisers=p, seed=0, latency=ConstantLatency(1.0),
+            trace_level=level, ack_timeout=2.0, max_retries=25, **knobs,
+        )
+        return result.runtime, result.total_messages()
+    raise ValueError(variant)
+
+
+class TestFullCountsAgreement:
+    @pytest.mark.parametrize("variant", ["base", "ct", "mc", "cd"])
+    def test_counts_and_metrics_agree_between_levels(self, variant):
+        for n, p, q in CAMPAIGN_SHAPES:
+            for knobs in FAULT_KNOBS:
+                full_rt, full_total = _run_variant(
+                    variant, n, p, q, TraceLevel.FULL, knobs
+                )
+                counts_rt, counts_total = _run_variant(
+                    variant, n, p, q, TraceLevel.COUNTS, knobs
+                )
+                shape = f"{variant} n={n} p={p} q={q} knobs={sorted(knobs)}"
+                assert full_total == counts_total, shape
+                assert (
+                    full_rt.metrics_snapshot() == counts_rt.metrics_snapshot()
+                ), shape
+                # COUNTS runs must not collect spans; FULL runs must.
+                assert len(counts_rt.spans) == 0, shape
+                assert len(full_rt.spans) > 0, shape
+
+
+class TestSpanForest:
+    @pytest.mark.parametrize("variant", ["base", "ct", "mc", "cd"])
+    def test_parent_ids_form_a_closed_forest(self, variant):
+        for n, p, q in CAMPAIGN_SHAPES:
+            runtime, _ = _run_variant(variant, n, p, q, TraceLevel.FULL, {})
+            spans = runtime.spans
+            shape = f"{variant} n={n} p={p} q={q}"
+            assert spans.forest_problems() == [], shape
+            # Fault-free runs leave nothing open.
+            assert spans.open_spans() == [], shape
+            # Every parent id resolves and every child starts within its
+            # parent's lifetime (forest_problems already guards cycles).
+            for span in spans:
+                if span.parent_id is None:
+                    continue
+                parent = spans.get(span.parent_id)
+                assert parent is not None, shape
+                assert parent.start <= span.start, shape
+                if parent.closed and span.closed:
+                    assert span.end <= parent.end, shape
+
+    def test_crashed_member_leaves_open_spans(self):
+        """A crash shows up as *open* spans — the stall diagnostic."""
+        from repro.objects.naming import canonical_name
+
+        victim = canonical_name(2)
+        result = run_crash_tolerant(4, raisers=2, crash=(victim,))
+        open_subjects = {
+            span.subject for span in result.runtime.spans.open_spans()
+        }
+        assert victim in open_subjects
+        # Survivors' resolution spans all closed (the CT contract).
+        survivors = {canonical_name(i) for i in range(4)} - {victim}
+        assert not (open_subjects & survivors)

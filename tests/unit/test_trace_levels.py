@@ -101,6 +101,51 @@ class TestByCategoryCache:
         result.clear()
         assert len(trace.by_category("msg.send")) == 1
 
+    def test_mid_run_level_toggle_keeps_cache_fresh(self):
+        """Regression: FULL -> COUNTS -> FULL mid-run with queries between.
+
+        COUNTS records no entries, so the cached scan position must stay
+        valid across the gap and later FULL entries must still show up.
+        """
+        trace = TraceRecorder()
+        trace.record(1.0, "msg.send", "O1")
+        assert [e.subject for e in trace.by_category("msg.send")] == ["O1"]
+        trace.level = TraceLevel.COUNTS
+        trace.record(2.0, "msg.send", "O2")  # counted, not stored
+        assert [e.subject for e in trace.by_category("msg.send")] == ["O1"]
+        trace.level = TraceLevel.FULL
+        trace.record(3.0, "msg.send", "O3")
+        assert [e.subject for e in trace.by_category("msg.send")] == ["O1", "O3"]
+        assert trace.counts["msg.send"] == 3
+
+    def test_cache_survives_external_truncation(self):
+        """Regression: the cache must not serve entries that were deleted.
+
+        Truncating ``entries`` directly (the memory-reclaim move that goes
+        with dropping to COUNTS mid-run) leaves the cached scan position
+        past the end of the log; the next query must rescan, not replay
+        stale matches.
+        """
+        trace = TraceRecorder()
+        for i in range(4):
+            trace.record(float(i), "msg.send", f"O{i}")
+        assert len(trace.by_category("msg.send")) == 4
+        trace.entries.clear()  # direct truncation, bypassing clear()
+        assert trace.by_category("msg.send") == []
+        trace.record(9.0, "msg.send", "O9")
+        assert [e.subject for e in trace.by_category("msg.send")] == ["O9"]
+
+    def test_clear_resets_entries_counts_and_cache(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "msg.send", "O1")
+        trace.by_category("msg.send")  # warm the cache
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.counts == {}
+        assert trace.by_category("msg.send") == []
+        trace.record(2.0, "msg.send", "O2")
+        assert [e.subject for e in trace.by_category("msg.send")] == ["O2"]
+
 
 class TestCountsMatchFullOnRealScenarios:
     def test_exact_formula_counts_survive_counts_tracing(self):
