@@ -1,0 +1,219 @@
+"""E22 — schedule-space exploration: certified bounds and throughput.
+
+Three measurements back the claims in REPORT.md's "Bugs found & fixed"
+section:
+
+1. **Certified bounds** — bounded-exhaustive DFS (sleep-set POR +
+   canonical-history pruning + independent-group collapse) over every
+   protocol variant's fault-free N=3 cell.  ``exhaustive=True`` means the
+   windowed choice tree was drained, i.e. *every* same-timestamp
+   interleaving the modelled environment can produce was either run or
+   proven Mazurkiewicz-equivalent to one that was.  All must be green.
+2. **Delay-bounded fault cells** — CHESS-style d=1 sweeps over the
+   crash/partition cells, where full exhaustion is out of reach but a
+   single deviation from FIFO already covers the classic race windows.
+3. **Random-walk throughput** — seeded walks on the busiest variant
+   (crash-tolerant, heartbeat chatter included).  The acceptance floor
+   is >= 500 schedules/min; the replayable ``rw:<seed>`` strings make any
+   hit reproducible with one CLI line.
+
+Results land in ``BENCH_explore.json`` at the repo root.  ``--smoke``
+trims the matrix to an exhaustive base-cell DFS plus 200 random walks
+(the CI gate, well under 90 s).  Any finding prints its minimized repro
+command and, with ``--artifacts DIR``, dumps span traces for upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(Path(__file__).resolve().parent) not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import record_table  # noqa: E402
+
+from repro.explore import explore_cell  # noqa: E402
+from repro.explore.engine import export_schedule_trace  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_explore.json"
+
+#: Fault-free N=3 cells: one per protocol variant, all DFS-exhaustible.
+DFS_CELLS = tuple(
+    f"paper:{variant}:none:n3p1q1:s0"
+    for variant in ("base", "mc", "cd", "ct", "cr")
+)
+
+#: Fault cells for the d=1 delay-bounded sweep (full mode only).
+DELAY_CELLS = (
+    "paper:ct:crash_participant:n3p1q1:s0",
+    "paper:ct:crash_resolver:n3p1q1:s0",
+    "paper:ct:partition:n3p1q1:s0",
+    "paper:base:partition:n3p1q1:s0",
+)
+
+#: Throughput cell: the crash-tolerant variant has the densest schedule
+#: space (heartbeats + ARQ timers), so it lower-bounds the others.
+WALK_CELL = "paper:ct:none:n3p1q1:s0"
+
+THROUGHPUT_FLOOR = 500.0  # schedules/min, the acceptance criterion
+
+
+def _report_findings(result, artifacts: Path | None) -> None:
+    for finding in result.findings:
+        print(f"FINDING: {finding.repro_command()}", file=sys.stderr)
+        for violation in finding.violations:
+            print(f"  {violation}", file=sys.stderr)
+        if artifacts is not None:
+            try:
+                paths = export_schedule_trace(
+                    result.cell, finding.minimized, artifacts
+                )
+                for path in paths:
+                    print(f"  artifact -> {path}", file=sys.stderr)
+            except Exception as exc:  # noqa: BLE001 — diagnostics only
+                print(f"  artifact export failed: {exc}", file=sys.stderr)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: exhaustive base-cell DFS + 200 random walks",
+    )
+    parser.add_argument(
+        "--walks", type=int, default=None,
+        help="random-walk count (default: 200 smoke, 500 full)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="random-walk seed base"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--artifacts", type=Path, default=None, metavar="DIR",
+        help="dump span-trace artifacts for every finding into DIR",
+    )
+    args = parser.parse_args(argv)
+    walks = args.walks if args.walks is not None else (
+        200 if args.smoke else 500
+    )
+
+    started = time.perf_counter()
+    problems: list[str] = []
+    rows = []
+    sections: dict[str, list[dict]] = {"dfs": [], "delay": [], "random": []}
+
+    dfs_cells = DFS_CELLS[:1] if args.smoke else DFS_CELLS
+    for cell_id in dfs_cells:
+        result = explore_cell(cell_id, mode="dfs", max_runs=20_000)
+        sections["dfs"].append(result.to_payload())
+        verdict = "OK" if result.ok and result.exhaustive else "FAIL"
+        if not result.exhaustive:
+            problems.append(f"{cell_id}: DFS not exhaustive within budget")
+        if not result.ok:
+            problems.append(f"{cell_id}: {len(result.findings)} finding(s)")
+            _report_findings(result, args.artifacts)
+        rows.append(
+            (
+                "dfs", cell_id, result.schedules_run, result.pruned,
+                "yes" if result.exhaustive else "NO",
+                result.distinct_digests, len(result.findings),
+                f"{result.schedules_per_minute():.0f}", verdict,
+            )
+        )
+
+    if not args.smoke:
+        for cell_id in DELAY_CELLS:
+            result = explore_cell(
+                cell_id, mode="delay", bound=1, max_runs=5_000
+            )
+            sections["delay"].append(result.to_payload())
+            verdict = "OK" if result.ok else "FAIL"
+            if not result.ok:
+                problems.append(f"{cell_id}: {len(result.findings)} finding(s)")
+                _report_findings(result, args.artifacts)
+            rows.append(
+                (
+                    "delay(d=1)", cell_id, result.schedules_run,
+                    result.pruned, "yes" if result.exhaustive else "NO",
+                    result.distinct_digests, len(result.findings),
+                    f"{result.schedules_per_minute():.0f}", verdict,
+                )
+            )
+
+    walk_result = explore_cell(
+        WALK_CELL, mode="random", schedules=walks, seed=args.seed
+    )
+    sections["random"].append(walk_result.to_payload())
+    throughput = walk_result.schedules_per_minute()
+    walk_ok = walk_result.ok and throughput >= THROUGHPUT_FLOOR
+    if throughput < THROUGHPUT_FLOOR:
+        problems.append(
+            f"random-walk throughput {throughput:.0f}/min "
+            f"below the {THROUGHPUT_FLOOR:.0f}/min floor"
+        )
+    if not walk_result.ok:
+        problems.append(f"{WALK_CELL}: {len(walk_result.findings)} finding(s)")
+        _report_findings(walk_result, args.artifacts)
+    rows.append(
+        (
+            "random", WALK_CELL, walk_result.schedules_run,
+            walk_result.pruned, "-", walk_result.distinct_digests,
+            len(walk_result.findings), f"{throughput:.0f}",
+            "OK" if walk_ok else "FAIL",
+        )
+    )
+
+    elapsed = time.perf_counter() - started
+    payload = {
+        "schema": 1,
+        "generated_unix": round(time.time(), 3),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {"smoke": args.smoke, "walks": walks, "seed": args.seed},
+        "wall_seconds": round(elapsed, 3),
+        "throughput_floor_per_min": THROUGHPUT_FLOOR,
+        "random_walk_per_min": round(throughput, 1),
+        "problems": problems,
+        "ok": not problems,
+        **sections,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    record_table(
+        "E22",
+        "schedule-space exploration: certified bounds and throughput",
+        (
+            "mode", "cell", "runs", "pruned", "exhaustive",
+            "digests", "findings", "sched/min", "verdict",
+        ),
+        rows,
+        notes=(
+            f"{elapsed:.1f}s total (smoke={args.smoke}, walks={walks}, "
+            f"seed={args.seed}); exhaustive=yes certifies the windowed "
+            f"N=3 choice tree was drained under the POR documented in "
+            f"EXPERIMENTS.md E22"
+        ),
+    )
+    print(f"\nwrote {args.out}")
+    for problem in problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

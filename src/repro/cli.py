@@ -10,7 +10,10 @@ Commands:
 * ``fuzz``           — random nested-scenario invariant checking;
 * ``trace``          — run a scenario and export its causal span forest
   (plain tree, JSONL, or Chrome trace-event JSON for Perfetto);
-* ``metrics``        — run a scenario and print its metrics registry.
+* ``metrics``        — run a scenario and print its metrics registry;
+* ``explore``        — schedule-space exploration of a campaign cell
+  (exhaustive DFS / random walks / delay-bounded), or replay of one
+  schedule string from a counterexample.
 
 The pytest-benchmark harness under ``benchmarks/`` remains the canonical
 reproduction; this CLI is the quick, dependency-free way to poke at the
@@ -226,6 +229,73 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.explore import explore_cell, run_digest
+    from repro.explore.engine import DEFAULT_WINDOW, export_schedule_trace
+
+    window = DEFAULT_WINDOW if args.window is None else tuple(args.window)
+    if args.schedule is not None:
+        # Replay one schedule (the one-line repro from a finding).
+        outcome = run_digest(args.cell, args.schedule, window=window)
+        payload = {
+            "cell": outcome.cell_id,
+            "schedule": outcome.schedule,
+            "classification": outcome.classification,
+            "violations": list(outcome.violations),
+            "digest": repr(outcome.digest),
+            "choice_points": outcome.choice_points,
+            "trace_hash": outcome.trace_hash,
+        }
+        if args.artifacts:
+            paths = export_schedule_trace(
+                args.cell, args.schedule, args.artifacts
+            )
+            payload["artifacts"] = [str(p) for p in paths]
+        print(json.dumps(payload, indent=2))
+        return 0 if outcome.classification == "OK" else 1
+
+    result = explore_cell(
+        args.cell,
+        mode=args.mode,
+        schedules=args.schedules,
+        seed=args.seed,
+        bound=args.bound,
+        max_runs=args.max_runs,
+        window=window,
+        por=not args.no_por,
+    )
+    payload = result.to_payload()
+    if args.artifacts and result.findings:
+        exported = []
+        for finding in result.findings:
+            exported += [
+                str(p)
+                for p in export_schedule_trace(
+                    args.cell, finding.minimized, args.artifacts
+                )
+            ]
+        payload["artifacts"] = exported
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{payload['cell']} [{payload['mode']}] "
+            f"schedules={payload['schedules_run']} pruned={payload['pruned']} "
+            f"exhaustive={payload['exhaustive']} "
+            f"digests={payload['distinct_digests']}"
+        )
+        for finding in result.findings:
+            print(f"  {finding.classification}: {finding.minimized}")
+            for violation in finding.violations:
+                print(f"    {violation}")
+            print(f"    repro: {finding.repro_command()}")
+        if not result.findings:
+            print("  all interleavings agree with the FIFO baseline")
+    return 0 if result.ok else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -301,6 +371,37 @@ def build_parser() -> argparse.ArgumentParser:
     add_scenario_args(p_metrics)
     p_metrics.add_argument("--json", action="store_true")
     p_metrics.set_defaults(fn=cmd_metrics)
+
+    p_explore = sub.add_parser(
+        "explore", help="schedule-space exploration of a campaign cell"
+    )
+    p_explore.add_argument(
+        "--cell", required=True,
+        help="campaign cell id, e.g. paper:ct:none:n3p1q1:s0",
+    )
+    p_explore.add_argument(
+        "--mode", choices=("dfs", "random", "delay"), default="dfs"
+    )
+    p_explore.add_argument(
+        "--schedule", default=None,
+        help="replay one schedule string (fifo | rw:<seed> | ch:<pos>=<idx>,...)",
+    )
+    p_explore.add_argument("--schedules", type=int, default=200,
+                           help="random walks to run (mode=random)")
+    p_explore.add_argument("--seed", type=int, default=0)
+    p_explore.add_argument("--bound", type=int, default=2,
+                           help="max deviations from FIFO (mode=delay)")
+    p_explore.add_argument("--max-runs", type=int, default=5000)
+    p_explore.add_argument(
+        "--window", type=float, nargs=2, metavar=("START", "END"),
+        default=None, help="exploration window in sim time",
+    )
+    p_explore.add_argument("--no-por", action="store_true",
+                           help="disable partial-order reduction (dfs)")
+    p_explore.add_argument("--artifacts", default=None,
+                           help="directory for counterexample span traces")
+    p_explore.add_argument("--json", action="store_true")
+    p_explore.set_defaults(fn=cmd_explore)
 
     p_fuzz = sub.add_parser("fuzz", help="random-scenario invariant check")
     p_fuzz.add_argument("--count", type=int, default=50)

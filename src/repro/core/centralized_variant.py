@@ -350,7 +350,7 @@ def run_centralized(
         runtime.sim.schedule(
             raise_at,
             lambda r=raiser, e=leaves[i]: r.raise_exception(e),
-            label="cd-raise",
+            label=f"cd-raise:{names[i]}",
         )
     if coordinator_crashes_at is not None:
         runtime.sim.schedule(

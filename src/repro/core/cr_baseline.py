@@ -320,7 +320,7 @@ def run_cr_concurrent(
         runtime.sim.schedule(
             raise_at + i * stagger,
             lambda r=raiser, e=leaves[i]: r.raise_exception(e),
-            label="cr-raise",
+            label=f"cr-raise:{names[i]}",
         )
     runtime.run(max_events=5_000_000)
     return CRRunResult(runtime, participants)
@@ -354,7 +354,8 @@ def run_cr_domino(
     for i in range(initial_raisers):
         raiser = participants[names[-(i + 1)]]
         runtime.sim.schedule(
-            1.0, lambda r=raiser: r.raise_exception(deepest), label="cr-raise"
+            1.0, lambda r=raiser: r.raise_exception(deepest),
+            label=f"cr-raise:{raiser.name}",
         )
     runtime.run(max_events=2_000_000)
     return CRRunResult(runtime, participants)

@@ -256,8 +256,17 @@ class CrashTolerantParticipant(DistributedObject):
             )
             self.send(payload.sender, KIND_CT_COMMIT, self.commit)
             return
-        self.send(payload.sender, KIND_CT_ACK, CtAck(self.action, self.name))
+        # HaveNested must go out *before* the ACK: per-channel FIFO then
+        # guarantees the resolver sees our nested announcement no later
+        # than our ACK, so it can never drain ``acks_missing`` and commit
+        # while our abortion is still unannounced.  (Sending the ACK
+        # first loses that ordering across channels: the resolver may
+        # process the other members' ACKs and ours before our HaveNested
+        # and commit prematurely, dropping the abortion's signal and its
+        # NestedCompleted round — found by ``repro explore``, schedule
+        # ``ch:6=1`` on ``paper:ct:none:n3p1q1:s0``.)
         self._maybe_start_abort()
+        self.send(payload.sender, KIND_CT_ACK, CtAck(self.action, self.name))
         self._advance()
 
     def _on_ack(self, message: Message) -> None:
@@ -592,7 +601,7 @@ def run_crash_tolerant(
         runtime.sim.schedule(
             raise_at,
             lambda r=raiser, e=leaves[i]: r.raise_exception(e),
-            label="ct-raise",
+            label=f"ct-raise:{names[i]}",
         )
     for victim in crash:
         runtime.sim.schedule(

@@ -371,7 +371,7 @@ def run_multicast_resolution(
         runtime.sim.schedule(
             raise_at,
             lambda r=raiser, e=leaves[i]: r.raise_exception(e),
-            label="mc-raise",
+            label=f"mc-raise:{names[i]}",
         )
     for victim in crash:
         runtime.sim.schedule(

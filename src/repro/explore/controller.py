@@ -1,0 +1,135 @@
+"""The tie-break policy that records, replays and randomises schedules.
+
+A :class:`ScheduleController` is installed for one simulated run via
+:func:`repro.simkernel.scheduler.scheduling_policy`.  Whenever the event
+queue pops a *choice group* (>1 live events at the minimal
+``(time, priority)``), the controller:
+
+1. computes the **eligible** candidates (per-pair FIFO is never violated,
+   see :func:`repro.explore.independence.eligible_indices`);
+2. if the group lies outside the exploration ``window``, takes the FIFO
+   default without consuming a choice-point ordinal (bounds the search to
+   the resolution window — heartbeat-only prefixes and long quiescent
+   tails add nothing but depth);
+3. otherwise consults, in order: the DFS driver hook (``on_choice``), the
+   replay deviations, the random-walk RNG — falling back to FIFO;
+4. records the decision so any run converts to an explicit ``ch:``
+   schedule string (:meth:`recorded_spec`).
+
+``on_execute`` feeds every executed event to the driver hook so the DFS
+engine can maintain sleep sets and the canonical-history hash.  Raising
+:class:`PruneRun` from a hook aborts the run (the event queue restores
+the un-popped group first); the engine counts it as a pruned schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.explore.independence import EventMeta, eligible_indices, event_meta
+from repro.explore.schedule import ScheduleSpec
+from repro.simkernel.events import Event, TieBreakPolicy
+
+
+class PruneRun(BaseException):
+    """Raised by a driver hook to abandon a redundant interleaving.
+
+    Derives from ``BaseException`` so no harness-level ``except
+    Exception`` between the event queue and the exploration engine can
+    accidentally swallow the unwind mid-run.
+    """
+
+
+@dataclass(frozen=True)
+class ChoiceRecord:
+    """One resolved choice point (for minimisation and diagnostics)."""
+
+    pos: int
+    time: float
+    priority: int
+    chosen: int
+    k: int
+    labels: tuple[str, ...]
+    eligible: tuple[int, ...]
+
+
+class ScheduleController(TieBreakPolicy):
+    """Drives one run's tie-breaking according to a :class:`ScheduleSpec`."""
+
+    def __init__(
+        self,
+        spec: ScheduleSpec | None = None,
+        window: Optional[tuple[float, float]] = None,
+        max_choice_points: Optional[int] = None,
+        on_choice: Optional[
+            Callable[
+                [int, list[EventMeta], list[int], float, int], Optional[int]
+            ]
+        ] = None,
+        on_event: Optional[Callable[[EventMeta, float, int], None]] = None,
+    ) -> None:
+        spec = spec if spec is not None else ScheduleSpec.fifo()
+        self.spec = spec
+        self.window = window
+        self.max_choice_points = max_choice_points
+        self.on_choice = on_choice
+        self.on_event = on_event
+        self._deviations = dict(spec.choices) if spec.kind == "ch" else {}
+        self._rng = random.Random(spec.seed) if spec.kind == "rw" else None
+        self.pos = 0
+        self.records: list[ChoiceRecord] = []
+        #: Choice groups seen beyond ``max_choice_points`` (0 = the run's
+        #: choice space fits the bound and "exhaustive" means exhaustive).
+        self.truncated_points = 0
+
+    # -- TieBreakPolicy interface ------------------------------------------------
+
+    def choose(self, candidates: Sequence[Event]) -> int:
+        first = candidates[0]
+        if self.window is not None and not (
+            self.window[0] <= first.time <= self.window[1]
+        ):
+            return 0
+        if (
+            self.max_choice_points is not None
+            and self.pos >= self.max_choice_points
+        ):
+            self.truncated_points += 1
+            return 0
+        metas = [event_meta(event.label) for event in candidates]
+        eligible = eligible_indices(metas)
+        pos = self.pos
+        self.pos += 1
+        chosen: Optional[int] = None
+        if self.on_choice is not None:
+            chosen = self.on_choice(
+                pos, metas, eligible, first.time, first.priority
+            )
+        if chosen is None:
+            if self._rng is not None:
+                chosen = eligible[self._rng.randrange(len(eligible))]
+            else:
+                chosen = self._deviations.get(pos, 0)
+                if chosen not in eligible:
+                    chosen = 0
+        self.records.append(
+            ChoiceRecord(
+                pos, first.time, first.priority, chosen, len(candidates),
+                tuple(meta.label for meta in metas), tuple(eligible),
+            )
+        )
+        return chosen
+
+    def on_execute(self, event: Event) -> None:
+        if self.on_event is not None:
+            self.on_event(event_meta(event.label), event.time, event.priority)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def recorded_spec(self) -> ScheduleSpec:
+        """The run's deviations as an explicit ``ch:`` schedule."""
+        return ScheduleSpec.from_choices(
+            (record.pos, record.chosen) for record in self.records
+        )

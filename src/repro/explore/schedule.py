@@ -1,0 +1,96 @@
+"""Compact, replayable schedule strings.
+
+A schedule names one interleaving of a cell as deviations from the FIFO
+baseline.  Three forms:
+
+* ``fifo`` — the deterministic default order (no deviations).
+* ``ch:<pos>=<idx>[,<pos>=<idx>...]`` — explicit choice vector, sparse:
+  at choice point ``pos`` (0-based ordinal over the run's choice groups
+  with more than one candidate) pick candidate ``idx`` of the FIFO-sorted
+  group; every unmentioned point takes the FIFO default (index 0).  An
+  out-of-range or FIFO-ineligible index also falls back to 0, so every
+  ``ch:`` string replays on every cell.
+* ``rw:<seed>`` — the seeded random walk: at each choice point pick
+  uniformly among the eligible candidates with ``random.Random(seed)``.
+  Replaying the same seed reproduces the walk bit-identically; the
+  recorded deviations convert any walk to an equivalent ``ch:`` string
+  (see :meth:`ScheduleController.recorded_spec`).
+
+Schedule strings appear in repro commands, regression tests and
+counterexample artifacts — they are the stable interface, so keep the
+grammar append-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """A parsed schedule string (picklable, hashable)."""
+
+    kind: str = "fifo"  # "fifo" | "ch" | "rw"
+    seed: int = 0
+    #: Sparse (choice point ordinal, candidate index) deviations, sorted.
+    choices: tuple[tuple[int, int], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fifo", "ch", "rw"):
+            raise ValueError(f"unknown schedule kind: {self.kind!r}")
+        object.__setattr__(self, "choices", tuple(sorted(self.choices)))
+
+    @staticmethod
+    def fifo() -> "ScheduleSpec":
+        return ScheduleSpec("fifo")
+
+    @staticmethod
+    def random_walk(seed: int) -> "ScheduleSpec":
+        return ScheduleSpec("rw", seed=seed)
+
+    @staticmethod
+    def from_choices(choices) -> "ScheduleSpec":
+        deviations = tuple(
+            (int(pos), int(idx)) for pos, idx in choices if int(idx) != 0
+        )
+        if not deviations:
+            return ScheduleSpec("fifo")
+        return ScheduleSpec("ch", choices=deviations)
+
+    def encode(self) -> str:
+        if self.kind == "fifo":
+            return "fifo"
+        if self.kind == "rw":
+            return f"rw:{self.seed}"
+        body = ",".join(f"{pos}={idx}" for pos, idx in self.choices)
+        return f"ch:{body}"
+
+    @staticmethod
+    def parse(text: str) -> "ScheduleSpec":
+        text = text.strip()
+        if text == "fifo":
+            return ScheduleSpec("fifo")
+        if text.startswith("rw:"):
+            try:
+                return ScheduleSpec("rw", seed=int(text[3:]))
+            except ValueError:
+                raise ValueError(f"malformed random-walk schedule: {text!r}") from None
+        if text.startswith("ch:"):
+            body = text[3:]
+            if not body:
+                raise ValueError(f"empty choice vector in schedule {text!r}")
+            choices = []
+            if body:
+                for item in body.split(","):
+                    try:
+                        pos, idx = item.split("=", 1)
+                        choices.append((int(pos), int(idx)))
+                    except ValueError:
+                        raise ValueError(
+                            f"malformed choice {item!r} in schedule {text!r}"
+                        ) from None
+            return ScheduleSpec.from_choices(choices)
+        raise ValueError(f"unknown schedule string: {text!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.encode()

@@ -1,0 +1,79 @@
+"""Delta debugging (ddmin) for schedule minimisation.
+
+Zeller & Hildebrandt's ddmin over an arbitrary item list: find a
+1-minimal subset that still makes ``is_failing`` true.  The explorer's
+items are a schedule's non-default choices ``(pos, idx)``; the predicate
+replays the candidate subset (all other choice points FIFO) and checks
+the original violation still shows.  Replays are full runs, so the
+``budget`` caps predicate calls — on exhaustion the smallest failing
+subset found so far is returned (still a valid, just maybe non-minimal,
+repro).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def ddmin(
+    items: Sequence[T],
+    is_failing: Callable[[list[T]], bool],
+    budget: Optional[int] = None,
+) -> list[T]:
+    """Minimise ``items`` while ``is_failing(subset)`` holds.
+
+    Assumes ``is_failing(list(items))`` is true (the caller verified the
+    full set reproduces the failure); returns a subset, order-preserved.
+    """
+    items = list(items)
+    if not items:
+        return items
+    calls = 0
+
+    def test(subset: list[T]) -> bool:
+        nonlocal calls
+        if budget is not None and calls >= budget:
+            return False
+        calls += 1
+        return is_failing(subset)
+
+    if test([]):
+        return []
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        subsets = [
+            items[start:start + chunk] for start in range(0, len(items), chunk)
+        ]
+        reduced = False
+        # Try each subset alone ("reduce to subset")...
+        for subset in subsets:
+            if len(subset) < len(items) and test(subset):
+                items = subset
+                granularity = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        # ...then each complement ("reduce to complement").
+        if granularity > 2:
+            for index in range(len(subsets)):
+                complement = [
+                    item
+                    for j, subset in enumerate(subsets)
+                    for item in subset
+                    if j != index
+                ]
+                if len(complement) < len(items) and test(complement):
+                    items = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if reduced:
+            continue
+        if granularity >= len(items):
+            break
+        granularity = min(len(items), granularity * 2)
+    return items

@@ -16,6 +16,20 @@ from typing import Any
 _msg_ids = itertools.count(1)
 
 
+def reset_msg_ids() -> None:
+    """Restart message-id allocation at 1.
+
+    Ids only need to be unique *within* a run (they key causal span
+    links and trace entries).  The explorer resets them before every
+    controlled run so replaying a schedule string reproduces the trace
+    bit-for-bit — otherwise the process-global counter leaks prior runs'
+    history into ``msg.send id=...`` entries and breaks trace-hash
+    comparison across replays and pool workers.
+    """
+    global _msg_ids
+    _msg_ids = itertools.count(1)
+
+
 @dataclass
 class Message:
     """An envelope in flight between two named endpoints.

@@ -59,6 +59,10 @@ class _PendingSend:
     src: str
     dst: str
     retries: int = 0
+    #: The armed retransmission timer, cancelled on ACK and on
+    #: dead-letter so settled frames leave no ghost ``rto:`` events in
+    #: the schedule space.
+    timer: Any = None
 
 
 class ReliableDeliveryError(RuntimeError):
@@ -100,6 +104,11 @@ class ReliableNetwork(Network):
         self._expected: dict[tuple[str, str], int] = {}
         self._reorder: dict[tuple[str, str], dict[int, Message]] = {}
         self._pending: dict[tuple[str, str, int], _PendingSend] = {}
+        #: Tombstones for dead-lettered frames.  A retransmission already
+        #: in flight when the retry budget runs out (channel FIFO can
+        #: push its arrival past the final timer) must NOT resurrect the
+        #: frame after ``on_delivery_failure`` reported it lost.
+        self._dead: set[tuple[str, str, int]] = set()
         self.retransmissions = 0
         self.transport_acks = 0
         self.duplicates_dropped = 0
@@ -121,7 +130,7 @@ class ReliableNetwork(Network):
         return message
 
     def _arm_timer(self, pending: _PendingSend) -> None:
-        self.sim.schedule(
+        pending.timer = self.sim.schedule(
             self.ack_timeout,
             lambda: self._maybe_retransmit(pending),
             label=f"rto:{pending.src}->{pending.dst}:{pending.frame.seq}",
@@ -136,6 +145,7 @@ class ReliableNetwork(Network):
             # raising out of the scheduler (which would abort the whole
             # simulation for one unreachable destination).
             del self._pending[key]
+            self._dead.add(key)
             self.dead_letters += 1
             self.trace.record(
                 self.sim.now, "msg.dead_letter", pending.src,
@@ -150,6 +160,20 @@ class ReliableNetwork(Network):
                 )
             if self.on_delivery_failure is not None:
                 self.on_delivery_failure(pending)
+            # Resynchronize the receive window past the dead frame:
+            # without this every later frame on the channel would buffer
+            # in ``_reorder`` forever, head-of-line blocked on a seq that
+            # will never arrive.  (Loss of the frame was just reported
+            # via on_delivery_failure; skipping it preserves FIFO for
+            # the survivors.)
+            pair = (pending.src, pending.dst)
+            seq = pending.frame.seq
+            if self._expected.get(pair, 0) == seq:
+                self._expected[pair] = seq + 1
+                buffered = self._reorder.get(pair, {})
+                successor = buffered.pop(seq + 1, None)
+                if successor is not None:
+                    self._deliver_in_order(pair, successor)
             return
         pending.retries += 1
         self.retransmissions += 1
@@ -172,7 +196,7 @@ class ReliableNetwork(Network):
                 deliver_at,
                 lambda: self._deliver(message),
                 priority=PRIORITY_DELIVERY,
-                label=f"redeliver:{pending.frame.kind}",
+                label=f"redeliver:{pending.frame.kind}:{pending.src}->{pending.dst}",
             )
         self._arm_timer(pending)
 
@@ -191,13 +215,26 @@ class ReliableNetwork(Network):
                 )
                 return
             ack: _AckFrame = message.payload
-            self._pending.pop((message.dst, message.src, ack.seq), None)
+            settled = self._pending.pop((message.dst, message.src, ack.seq), None)
+            if settled is not None and settled.timer is not None:
+                settled.timer.cancel()
             return
         if not isinstance(message.payload, _Frame):
             super()._deliver(message)
             return
         frame: _Frame = message.payload
         pair = (message.src, message.dst)
+        if (message.src, message.dst, frame.seq) in self._dead:
+            # The frame was dead-lettered while this retransmission was in
+            # flight (channel FIFO clamping can delay a redelivery past the
+            # final retry timer).  The sender's on_delivery_failure already
+            # reported it lost; delivering now would resurrect a message
+            # the upper layer has written off — drop it, unacked.
+            self.trace.record(
+                self.sim.now, "msg.dead_letter_drop", message.dst,
+                src=message.src, kind=frame.kind, seq=frame.seq,
+            )
+            return
         if message.corrupted:
             # Checksum failure: a corrupted frame is discarded unacked and
             # recovered by retransmission — transient channel errors never

@@ -17,12 +17,34 @@ Performance notes (the simulator's innermost loop lives here):
   outnumber live ones past a threshold the heap is compacted in place,
   bounding memory in long runs with heavy timer cancellation (e.g. the
   reliable-delivery ACK timers of latency sweeps).
+
+Tie-breaking policy
+-------------------
+
+The total order at equal ``(time, priority)`` is an explicit, documented
+policy, not an accident of heap insertion:
+
+* **Default (FIFO)**: events that share ``(time, priority)`` run in
+  insertion order (ascending ``seq``).  This is the deterministic
+  behaviour every sweep and benchmark relies on, bit-identical whether or
+  not a tie-break policy object is installed.
+* **Explorer-controlled**: a :class:`TieBreakPolicy` assigned to
+  :attr:`EventQueue.tie_break` is consulted whenever more than one live
+  event shares the minimal ``(time, priority)`` key — the *choice group*.
+  The policy picks which group member runs next; the rest stay in the
+  heap with their original sequence numbers, so declining to deviate
+  reproduces FIFO exactly.  :mod:`repro.explore` uses this hook to
+  enumerate message-delivery and same-timestamp event interleavings.
+
+Events with *different* priorities are never permuted (deliveries keep
+running before local work at equal times), so a policy cannot express
+schedules the simulator's semantics forbid.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 #: Default event priority.  Lower priorities run first at equal times.
 PRIORITY_NORMAL = 0
@@ -91,8 +113,30 @@ class Event:
         )
 
 
+class TieBreakPolicy:
+    """Chooses which of several same-``(time, priority)`` events runs next.
+
+    ``choose`` receives the live *choice group* sorted by insertion order
+    (index 0 = the FIFO default) and returns the index to run; out-of-range
+    answers fall back to 0.  ``on_execute`` observes *every* event the
+    queue hands to the simulator (group of one included), in execution
+    order — schedule recorders and partial-order reductions hook here.
+    """
+
+    def choose(self, candidates: Sequence[Event]) -> int:  # pragma: no cover
+        return 0
+
+    def on_execute(self, event: Event) -> None:  # pragma: no cover
+        pass
+
+
 class EventQueue:
-    """A priority queue of :class:`Event` with deterministic ordering."""
+    """A priority queue of :class:`Event` with deterministic ordering.
+
+    Same-key ordering is governed by the tie-break policy documented in
+    the module docstring: FIFO by insertion sequence unless a
+    :class:`TieBreakPolicy` is installed on :attr:`tie_break`.
+    """
 
     #: Compact only once at least this many cancelled entries are buried in
     #: the heap (avoids churn on small queues where an O(n) sweep per cancel
@@ -106,6 +150,9 @@ class EventQueue:
         self._seq = 0
         self._live = 0
         self._cancelled_in_heap = 0
+        #: Optional :class:`TieBreakPolicy`; ``None`` keeps the FIFO fast
+        #: path (bit-identical to the policy-free queue of earlier PRs).
+        self.tie_break: TieBreakPolicy | None = None
 
     def __len__(self) -> int:
         return self._live
@@ -136,6 +183,8 @@ class EventQueue:
 
     def pop(self) -> Event | None:
         """Remove and return the next live event, or ``None`` if empty."""
+        if self.tie_break is not None:
+            return self._pop_controlled()
         heap = self._heap
         while heap:
             event = heapq.heappop(heap)[3]
@@ -148,6 +197,53 @@ class EventQueue:
             self._live -= 1
             return event
         return None
+
+    def _pop_controlled(self) -> Event | None:
+        """Pop under a tie-break policy.
+
+        Collects the full choice group (all live events at the minimal
+        ``(time, priority)``), lets the policy pick one, and pushes the
+        rest back with their original heap entries — unchosen events keep
+        their sequence numbers, so the FIFO order among them is preserved
+        for later groups.
+        """
+        heap = self._heap
+        first: tuple[float, int, int, Event] | None = None
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[3].cancelled:
+                self._cancelled_in_heap -= 1
+                continue
+            first = entry
+            break
+        if first is None:
+            return None
+        time, priority = first[0], first[1]
+        group = [first]
+        while heap and heap[0][0] == time and heap[0][1] == priority:
+            entry = heapq.heappop(heap)
+            if entry[3].cancelled:
+                self._cancelled_in_heap -= 1
+                continue
+            group.append(entry)
+        index = 0
+        if len(group) > 1:
+            try:
+                index = self.tie_break.choose([entry[3] for entry in group])
+            except BaseException:
+                for entry in group:
+                    heapq.heappush(heap, entry)
+                raise
+            if not 0 <= index < len(group):
+                index = 0
+        chosen = group.pop(index)
+        for entry in group:
+            heapq.heappush(heap, entry)
+        event = chosen[3]
+        event._queue = None
+        self._live -= 1
+        self.tie_break.on_execute(event)
+        return event
 
     def peek_time(self) -> float | None:
         """Time of the next live event without removing it."""

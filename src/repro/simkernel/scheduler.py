@@ -7,15 +7,47 @@ objects, protocol engines — schedules work through it.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.simkernel.clock import VirtualClock
-from repro.simkernel.events import PRIORITY_NORMAL, Event, EventQueue
+from repro.simkernel.events import PRIORITY_NORMAL, Event, EventQueue, TieBreakPolicy
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulator (negative delays, re-running...)."""
+
+
+#: Tie-break policy inherited by every Simulator constructed while it is
+#: installed (see :func:`scheduling_policy`).  ``None`` = FIFO fast path.
+_installed_policy: TieBreakPolicy | None = None
+
+
+def current_scheduling_policy() -> TieBreakPolicy | None:
+    """The tie-break policy new simulators will pick up, if any."""
+    return _installed_policy
+
+
+@contextmanager
+def scheduling_policy(policy: TieBreakPolicy | None) -> Iterator[TieBreakPolicy | None]:
+    """Install ``policy`` as the tie-break for simulators built in scope.
+
+    Variant runners construct their :class:`~repro.objects.runtime.Runtime`
+    (and thus their :class:`Simulator`) internally, so the schedule
+    explorer cannot thread a policy through every call signature; instead
+    it installs one here and any simulator created inside the ``with``
+    block adopts it.  Process-global and not thread-safe — exploration
+    parallelism in this repo is process-based (``parallel_map``), where
+    each worker installs its own policy.
+    """
+    global _installed_policy
+    previous = _installed_policy
+    _installed_policy = policy
+    try:
+        yield policy
+    finally:
+        _installed_policy = previous
 
 
 @dataclass
@@ -51,6 +83,7 @@ class Simulator:
     def __init__(self, start_time: float = 0.0) -> None:
         self.clock = VirtualClock(start_time)
         self._queue = EventQueue()
+        self._queue.tie_break = _installed_policy
         self._events_executed = 0
         self._running = False
 

@@ -493,13 +493,56 @@ def _observe_fuzz(cell: CampaignCell) -> _Observation:
     )
 
 
+def _observe_paper_cr(cell: CampaignCell) -> _Observation:
+    """The Campbell–Randell baseline (schedule explorer only: not part of
+    the default campaign matrix, and fault axes beyond ``none`` are not
+    modelled for it).  Agreement is checked on the *resolved* exception —
+    CR participants legitimately handle different covers of it."""
+    from repro.core.cr_baseline import run_cr_concurrent
+
+    if cell.fault != "none":
+        raise ValueError(
+            f"CR baseline cells support only fault 'none', got {cell.fault!r}"
+        )
+    result = run_cr_concurrent(
+        cell.n, raisers=cell.p, seed=cell.seed,
+        latency=ConstantLatency(1.0), raise_at=RAISE_AT,
+    )
+    names = [canonical_name(i) for i in range(cell.n)]
+    handled: dict[str, str] = {}
+    double: list[str] = []
+    for entry in result.runtime.trace.by_category("cr.handle"):
+        if entry.subject in handled:
+            double.append(f"{entry.subject} activated a handler twice")
+        handled[entry.subject] = entry.details.get("resolved", "?")
+    finished = all(name in handled for name in names)
+    return _Observation(
+        finished=finished, handled=handled, double_handled=double,
+        measured=result.total_messages(), expected=None,
+        survivors=tuple(names),
+        sim_duration=result.runtime.sim.now, runtime=result.runtime,
+    )
+
+
 _OBSERVERS: dict[tuple[str, str], Callable[[CampaignCell], _Observation]] = {
     ("paper", "base"): _observe_paper_base,
     ("paper", "ct"): _observe_paper_ct,
     ("paper", "mc"): _observe_paper_mc,
     ("paper", "cd"): _observe_paper_cd,
+    ("paper", "cr"): _observe_paper_cr,
     ("fuzz", "base"): _observe_fuzz,
 }
+
+
+def observe_cell(cell: CampaignCell) -> _Observation:
+    """Run one cell's observer (raises on harness error — callers that
+    need the never-raises contract use :func:`run_cell`)."""
+    observer = _OBSERVERS.get((cell.family, cell.variant))
+    if observer is None:
+        raise ValueError(
+            f"no observer for family={cell.family} variant={cell.variant}"
+        )
+    return observer(cell)
 
 
 # -- oracles ---------------------------------------------------------------------
@@ -542,24 +585,15 @@ def _check_oracles(cell: CampaignCell, obs: _Observation) -> list[str]:
     return violations
 
 
-def run_cell(cell: CampaignCell) -> CellOutcome:
-    """Run one cell and classify it.  Never raises: harness failures come
-    back as ``CRASHED-HARNESS`` outcomes so one broken cell cannot take a
-    campaign down."""
-    observer = _OBSERVERS.get((cell.family, cell.variant))
-    if observer is None:
-        return CellOutcome(
-            cell, CRASHED_HARNESS,
-            detail=f"no observer for family={cell.family} variant={cell.variant}",
-        )
-    try:
-        obs = observer(cell)
-    except Exception:  # noqa: BLE001 — any harness error becomes an outcome
-        return CellOutcome(
-            cell, CRASHED_HARNESS, detail=traceback.format_exc()
-        )
-    _apply_sabotage(cell, obs)
-    violations = _check_oracles(cell, obs)
+def classify_observation(
+    cell: CampaignCell, obs: _Observation
+) -> tuple[str, tuple[str, ...]]:
+    """Apply the invariant oracles to one observation.
+
+    Shared by the fault campaigns and the schedule explorer, so a
+    violation means the same thing whichever harness found it.
+    """
+    violations = tuple(_check_oracles(cell, obs))
     if violations:
         classification = INVARIANT_VIOLATION
     elif not obs.finished:
@@ -568,8 +602,28 @@ def run_cell(cell: CampaignCell) -> CellOutcome:
         )
     else:
         classification = OK
+    return classification, violations
+
+
+def run_cell(cell: CampaignCell) -> CellOutcome:
+    """Run one cell and classify it.  Never raises: harness failures come
+    back as ``CRASHED-HARNESS`` outcomes so one broken cell cannot take a
+    campaign down."""
+    if (cell.family, cell.variant) not in _OBSERVERS:
+        return CellOutcome(
+            cell, CRASHED_HARNESS,
+            detail=f"no observer for family={cell.family} variant={cell.variant}",
+        )
+    try:
+        obs = observe_cell(cell)
+    except Exception:  # noqa: BLE001 — any harness error becomes an outcome
+        return CellOutcome(
+            cell, CRASHED_HARNESS, detail=traceback.format_exc()
+        )
+    _apply_sabotage(cell, obs)
+    classification, violations = classify_observation(cell, obs)
     return CellOutcome(
-        cell, classification, violations=tuple(violations),
+        cell, classification, violations=violations,
         measured=obs.measured, expected=obs.expected,
         sim_duration=obs.sim_duration,
     )

@@ -1,0 +1,110 @@
+"""Regression: a dead-lettered frame must stay dead.
+
+``ReliableNetwork._maybe_retransmit`` gives up after ``max_retries`` and
+dead-letters the frame (``on_delivery_failure`` tells the sender the
+message is lost).  But a retransmission *already in flight* at that
+moment could still arrive afterwards — channel-FIFO clamping delays a
+redelivery past the final retry timer whenever the channel latency
+exceeds the ACK timeout — and the frame would then be delivered to the
+receiver *after* the sender was told it failed, resurrecting a message
+the upper layer (e.g. the crash-tolerant resolver's waiver logic) has
+already written off.
+
+The fix tombstones the ``(src, dst, seq)`` of every dead-lettered frame;
+late arrivals are dropped unacked with a ``msg.dead_letter_drop`` trace.
+
+Timeline reproduced below (latency 5 ≫ ack_timeout 1, max_retries 2,
+first two transmission attempts dropped):
+
+    t=0  send, attempt 1 dropped          t=2  attempt 3 *delivered*,
+    t=1  retry, attempt 2 dropped              arrival stamped t=7
+    t=3  retry budget exhausted: dead-letter, on_delivery_failure
+    t=7  the in-flight copy arrives -> must be dropped, not delivered
+"""
+
+from repro.net.failures import FailureInjector
+from repro.net.latency import ConstantLatency
+from repro.net.reliable import ReliableNetwork
+from repro.simkernel import RngRegistry, Simulator
+
+
+class _DropFirst(FailureInjector):
+    """Drops the first ``n`` transmission attempts, delivers the rest."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        self.remaining = n
+
+    def decide(self, src: str, dst: str, time: float) -> str:
+        if self.remaining > 0:
+            self.remaining -= 1
+            self.dropped += 1
+            return self.DROP
+        return self.DELIVER
+
+
+def _make(injector, ack_timeout=1.0, **kwargs):
+    sim = Simulator()
+    net = ReliableNetwork(
+        sim, latency=ConstantLatency(5.0), rng=RngRegistry(0),
+        injector=injector, ack_timeout=ack_timeout, max_retries=2, **kwargs,
+    )
+    return sim, net
+
+
+def test_late_retransmission_does_not_resurrect_dead_letter():
+    failures = []
+    sim, net = _make(_DropFirst(2), on_delivery_failure=failures.append)
+    received = []
+    net.register("a", lambda m: None)
+    net.register("b", received.append)
+    net.send("a", "b", "K", payload="doomed")
+    sim.run()
+    assert len(failures) == 1, "sender must learn of the loss exactly once"
+    assert net.dead_letters == 1
+    assert received == [], "a dead-lettered frame must never be delivered"
+    drops = net.trace.by_category("msg.dead_letter_drop")
+    assert len(drops) == 1 and drops[0].details["seq"] == 0
+    # The late copy must not be acknowledged either: an ACK would clear a
+    # pending entry a *new* frame with the same seq could be using.
+    assert net.transport_acks == 0
+
+
+def test_dead_letter_then_reuse_of_channel_is_clean():
+    # After one frame dies, later frames on the same channel (fresh seqs)
+    # go through untouched: the tombstone is per-(src, dst, seq) and the
+    # receive window is resynchronized past the gap.  (ack_timeout must
+    # exceed the 10-unit ACK round trip here so the second frame can
+    # actually settle.)
+    sim, net = _make(_DropFirst(3), ack_timeout=12.0)
+    received = []
+    net.register("a", lambda m: None)
+    net.register("b", received.append)
+    net.send("a", "b", "K", payload="doomed")
+    sim.run()
+    assert net.dead_letters == 1 and received == []
+    net.send("a", "b", "K", payload="alive")
+    sim.run()
+    # In-order delivery starts from the dead frame's successor.
+    assert [m.payload for m in received] == ["alive"]
+
+
+def test_acked_frame_cancels_retry_timer():
+    # Once the ACK lands, the armed retransmission timer is cancelled —
+    # no ghost ``rto:`` wakeup fires after the exchange settles.  (This
+    # also keeps settled frames out of the explorer's choice space: a
+    # same-tick failure-detector suspicion cannot race a timer that no
+    # longer exists.)
+    sim = Simulator()
+    net = ReliableNetwork(
+        sim, latency=ConstantLatency(1.0), rng=RngRegistry(0),
+        ack_timeout=5.0, max_retries=3,
+    )
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: None)
+    net.send("a", "b", "K")
+    sim.run()
+    # send t=0 -> deliver t=1 -> ACK back t=2.  With the ghost timer the
+    # simulation would idle on to t=5 before running out of events.
+    assert sim.now == 2.0
+    assert net.retransmissions == 0
