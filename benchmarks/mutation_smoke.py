@@ -1,0 +1,444 @@
+"""E24: mutation-testing smoke — do the oracles actually bite?
+
+A green test suite only means something if it *fails* when the protocol
+is wrong.  This bench applies ~20 hand-rolled mutants to the two protocol
+engines — :mod:`repro.core.algorithm` (base Section 4.2) and
+:mod:`repro.core.crash_tolerant` — each a realistic implementation slip:
+a dropped ACK, a swapped send order, an off-by-one in the resolver
+election, a guard turned permissive.  For every mutant, a shadow copy of
+``src/`` is patched and a fast detection suite (campaign cells with the
+invariant oracles, exact Section 4.4 counts, plus one schedule-explorer
+replay) runs against it in a fresh interpreter.
+
+The bench passes only if **at least 90 %** of the mutants are killed
+(detection exits non-zero).  Before mutating anything, the detection
+suite must pass on the pristine tree — a broken suite kills nothing
+honestly.
+
+One mutant is special: ``ct-ack-before-have-nested`` reintroduces the
+*real* interleaving bug the schedule explorer found (commit e01eb862,
+schedule ``ch:6=1``); only the explorer replay kills it, which keeps
+that regression pinned forever.
+
+    PYTHONPATH=src python benchmarks/mutation_smoke.py --smoke   # CI gate
+    PYTHONPATH=src python benchmarks/mutation_smoke.py           # all mutants
+    PYTHONPATH=src python benchmarks/mutation_smoke.py --check   # detection only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+# APPEND (not insert): in --check mode the mutated shadow tree arrives
+# via PYTHONPATH and must win over the pristine repo sources.
+if str(SRC) not in sys.path:  # allow plain `python benchmarks/...`
+    sys.path.append(str(SRC))
+if str(Path(__file__).resolve().parent) not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_mutation.json"
+PER_MUTANT_TIMEOUT = 180.0
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One hand-rolled defect: ``old`` must occur exactly once in ``path``."""
+
+    mutant_id: str
+    path: str  # repo-relative, under src/
+    description: str
+    old: str
+    new: str
+
+
+ALG = "src/repro/core/algorithm.py"
+CT = "src/repro/core/crash_tolerant.py"
+
+MUTANTS: tuple[Mutant, ...] = (
+    # -- base algorithm (Section 4.2) -------------------------------------------
+    Mutant(
+        "alg-drop-exception-ack", ALG,
+        "receiver of Exception never ACKs: resolver can't reach READY",
+        """        ctx.le[m.sender] = m.exception
+        self.p.send(
+            m.sender, KIND_ACK, AckMsg(ctx.action, self.p.name, KIND_EXCEPTION)
+        )""",
+        """        ctx.le[m.sender] = m.exception""",
+    ),
+    Mutant(
+        "alg-ack-noop", ALG,
+        "ACKs received but never recorded",
+        """        awaited = ctx.ack_awaited.get(m.ref_kind)
+        if awaited is not None:
+            awaited.discard(m.sender)""",
+        """        awaited = ctx.ack_awaited.get(m.ref_kind)
+        if awaited is not None:
+            pass""",
+    ),
+    Mutant(
+        "alg-ready-or", ALG,
+        "READY on nested-complete OR acks instead of AND",
+        """            ctx.state is PState.EXCEPTIONAL
+            and not ctx.aborting
+            and ctx.nested_all_completed()
+            and ctx.all_acks_received()""",
+        """            ctx.state is PState.EXCEPTIONAL
+            and not ctx.aborting
+            and (ctx.nested_all_completed() or ctx.all_acks_received())""",
+    ),
+    Mutant(
+        "alg-commit-not-broadcast", ALG,
+        "resolver decides but never tells anyone",
+        """        for other in self.p.registry.get(ctx.action).others(self.p.name):
+            self.p.send(other, KIND_COMMIT, commit)""",
+        """        for other in self.p.registry.get(ctx.action).others(self.p.name):
+            pass""",
+    ),
+    Mutant(
+        "alg-resolver-off-by-one", ALG,
+        "resolver election slice off by one: nobody resolves",
+        "        top = sorted(ctx.le, reverse=True)[: definition.resolver_group_size]",
+        "        top = sorted(ctx.le, reverse=True)[: definition.resolver_group_size - 1]",
+    ),
+    Mutant(
+        "alg-drop-nested-completed-ack", ALG,
+        "NestedCompleted never ACKed: sender's ack set never drains",
+        """        self.p.send(
+            m.sender,
+            KIND_ACK,
+            AckMsg(ctx.action, self.p.name, KIND_NESTED_COMPLETED),
+        )
+        ctx.nested_completed.add(m.sender)""",
+        """        ctx.nested_completed.add(m.sender)""",
+    ),
+    Mutant(
+        "alg-forget-nested-completed", ALG,
+        "NestedCompleted receipt not recorded: LO never drains",
+        """        ctx.nested_completed.add(m.sender)
+        if m.exception is not None:""",
+        """        if m.exception is not None:""",
+    ),
+    Mutant(
+        "alg-have-nested-rebroadcast", ALG,
+        "sent_have_nested never latched: HaveNested storms per receipt",
+        """        ctx.sent_have_nested = True
+        ctx.aborting = True""",
+        """        ctx.aborting = True""",
+    ),
+    Mutant(
+        "alg-handler-restarted", ALG,
+        "handler_scheduled latch dropped: handler starts more than once",
+        """        if ctx.commit is None or ctx.handler_scheduled:
+            return""",
+        """        if ctx.commit is None:
+            return""",
+    ),
+    Mutant(
+        "alg-commit-ignored", ALG,
+        "received Commit discarded: non-resolvers never learn the verdict",
+        "        ctx.commit = m",
+        "        ctx.commit = None",
+    ),
+    Mutant(
+        "alg-no-acks-awaited", ALG,
+        "raiser awaits no ACKs: resolves instantly on partial LE",
+        "        ctx.ack_awaited[KIND_EXCEPTION] = set(others)",
+        "        ctx.ack_awaited[KIND_EXCEPTION] = set()",
+    ),
+    # -- crash-tolerant variant ------------------------------------------------
+    Mutant(
+        "ct-ack-before-have-nested", CT,
+        "the explorer-found ordering bug: ACK overtakes HaveNested",
+        """        self._maybe_start_abort()
+        self.send(payload.sender, KIND_CT_ACK, CtAck(self.action, self.name))""",
+        """        self.send(payload.sender, KIND_CT_ACK, CtAck(self.action, self.name))
+        self._maybe_start_abort()""",
+    ),
+    Mutant(
+        "ct-no-acks-missing", CT,
+        "raiser awaits no ACKs: commits before the group is informed",
+        "        self.acks_missing = set(self.detector.alive_peers())",
+        "        self.acks_missing = set()",
+    ),
+    Mutant(
+        "ct-ack-noop", CT,
+        "ACKs received but never recorded",
+        """        self.acks_missing.discard(message.src)
+        self._advance()""",
+        """        self._advance()""",
+    ),
+    Mutant(
+        "ct-commit-without-acks", CT,
+        "resolver skips the ACK barrier entirely",
+        """            if self.acks_missing - self.detector.suspected:
+                return  # still waiting on live peers""",
+        """            if False:
+                return  # still waiting on live peers""",
+    ),
+    Mutant(
+        "ct-no-takeover", CT,
+        "survivors never take over a dead resolver",
+        """            if not self.le or alive_raisers:
+                return""",
+        """            if True:
+                return""",
+    ),
+    Mutant(
+        "ct-have-nested-silent", CT,
+        "nested member aborts without announcing HaveNested",
+        """        self.aborting = True
+        self.nested_members.add(self.name)
+        for peer in self.detector.alive_peers():
+            self.send(peer, KIND_CT_HAVE_NESTED, CtHaveNested(self.action, self.name))""",
+        """        self.aborting = True
+        self.nested_members.add(self.name)""",
+    ),
+    Mutant(
+        "ct-suspect-no-advance", CT,
+        "suspicion recorded but progress never re-evaluated",
+        """        self.acks_missing.discard(peer)
+        self._advance()""",
+        """        self.acks_missing.discard(peer)""",
+    ),
+    Mutant(
+        "ct-resolver-never-handles", CT,
+        "resolver commits but never starts its own handler",
+        """        for peer in self.group:
+            if peer != self.name:
+                self.send(peer, KIND_CT_COMMIT, commit)
+        self._start_handler(resolved)""",
+        """        for peer in self.group:
+            if peer != self.name:
+                self.send(peer, KIND_CT_COMMIT, commit)""",
+    ),
+    Mutant(
+        "ct-commit-not-adopted", CT,
+        "suspended members drop the verdict instead of adopting it",
+        """            self.commit = payload
+            self._start_handler(payload.exception)
+            return""",
+        """            return""",
+    ),
+)
+
+#: CI subset: one per defect family, all certain kills, plus the
+#: explorer-replay special.
+SMOKE_IDS = (
+    "alg-drop-exception-ack", "alg-ready-or", "alg-handler-restarted",
+    "alg-commit-not-broadcast", "ct-ack-before-have-nested",
+    "ct-no-acks-missing", "ct-resolver-never-handles", "ct-commit-not-adopted",
+)
+
+
+# -- detection suite --------------------------------------------------------------
+
+
+def detection_problems() -> list[str]:
+    """Fast oracle pass; any returned problem means "mutant detected".
+
+    Runs under whatever ``repro`` is first on ``sys.path`` — the caller
+    points that at a mutated shadow tree.
+    """
+    from repro.explore import run_digest
+    from repro.workloads.campaigns import (
+        CampaignCell,
+        classify_observation,
+        observe_cell,
+    )
+
+    problems: list[str] = []
+    cells = (
+        # Base: nested + suspended member + exact (N-1)(2P+3Q+1) count.
+        CampaignCell("paper", "base", "none", 4, 2, 1, seed=0),
+        # Crash-tolerant: nested abortion + exact (N-1)(2P+2Q+1) count.
+        CampaignCell("paper", "ct", "none", 3, 1, 1, seed=0),
+        # The detector must carry the protocol over a participant crash...
+        CampaignCell("paper", "ct", "crash_participant", 3, 2, 0, seed=0),
+        # ...and survivors must take over a crashed (sole) resolver.
+        CampaignCell("paper", "ct", "crash_resolver", 3, 1, 0, seed=0),
+    )
+    for cell in cells:
+        try:
+            obs = observe_cell(cell, run_until=200.0)
+            classification, violations = classify_observation(cell, obs)
+        except Exception as exc:  # any engine crash is a detection
+            problems.append(f"{cell.cell_id}: {type(exc).__name__}: {exc}")
+            continue
+        if classification != "OK":
+            problems.append(
+                f"{cell.cell_id}: {classification} {list(violations)}"
+            )
+    # The interleaving that once broke the ct ACK/HaveNested ordering
+    # (fixed in commit 01eb862; only this replay catches a reintroduction).
+    try:
+        outcome = run_digest("paper:ct:none:n3p1q1:s0", "ch:6=1")
+        if outcome.classification != "OK":
+            problems.append(
+                f"explore ch:6=1: {outcome.classification} "
+                f"{list(outcome.violations)}"
+            )
+    except Exception as exc:
+        problems.append(f"explore ch:6=1: {type(exc).__name__}: {exc}")
+    return problems
+
+
+# -- mutation machinery -----------------------------------------------------------
+
+
+def apply_mutant(tree: Path, mutant: Mutant) -> None:
+    target = tree / mutant.path
+    text = target.read_text()
+    count = text.count(mutant.old)
+    if count != 1:
+        raise RuntimeError(
+            f"{mutant.mutant_id}: pattern occurs {count}x in {mutant.path} "
+            "(expected exactly 1 — the engine drifted; update the mutant)"
+        )
+    target.write_text(text.replace(mutant.old, mutant.new))
+
+
+def make_shadow_tree(base: Path) -> Path:
+    shadow = base / "shadow"
+    shutil.copytree(
+        SRC, shadow / "src",
+        ignore=shutil.ignore_patterns("__pycache__"),
+    )
+    return shadow
+
+
+def run_detection(shadow: Path) -> tuple[bool, str]:
+    """Detection suite against the shadow tree; True means mutant killed."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(shadow / "src")
+    try:
+        proc = subprocess.run(
+            [sys.executable, str(Path(__file__).resolve()), "--check"],
+            capture_output=True, text=True, env=env,
+            timeout=PER_MUTANT_TIMEOUT,
+        )
+    except subprocess.TimeoutExpired:
+        return True, "timeout (livelock — detected)"
+    if proc.returncode != 0:
+        detail = (proc.stdout + proc.stderr).strip().splitlines()
+        return True, detail[-1] if detail else "non-zero exit"
+    return False, "SURVIVED"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="run the detection suite only (internal)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI subset of mutants")
+    parser.add_argument("--mutant", default=None,
+                        help="run a single mutant by id")
+    parser.add_argument("--list", action="store_true", help="list mutants")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    if args.check:
+        problems = detection_problems()
+        for problem in problems:
+            print(f"DETECTED: {problem}")
+        return 1 if problems else 0
+
+    if args.list:
+        for mutant in MUTANTS:
+            print(f"{mutant.mutant_id:32s} {mutant.path:36s} {mutant.description}")
+        return 0
+
+    if args.mutant is not None:
+        selected = [m for m in MUTANTS if m.mutant_id == args.mutant]
+        if not selected:
+            print(f"unknown mutant {args.mutant!r}", file=sys.stderr)
+            return 2
+    elif args.smoke:
+        selected = [m for m in MUTANTS if m.mutant_id in SMOKE_IDS]
+    else:
+        selected = list(MUTANTS)
+
+    from _harness import record_table
+
+    import tempfile
+
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-mutation-") as tmp:
+        shadow = make_shadow_tree(Path(tmp))
+
+        # A detection suite that fails on the pristine tree kills nothing
+        # honestly — bail out before crediting any mutant.
+        clean_killed, clean_detail = run_detection(shadow)
+        if clean_killed:
+            print(
+                f"detection suite fails on the PRISTINE tree: {clean_detail}",
+                file=sys.stderr,
+            )
+            return 1
+
+        results = []
+        for mutant in selected:
+            original = (shadow / mutant.path).read_text()
+            apply_mutant(shadow, mutant)
+            killed, detail = run_detection(shadow)
+            (shadow / mutant.path).write_text(original)
+            results.append({
+                "mutant": mutant.mutant_id,
+                "path": mutant.path,
+                "description": mutant.description,
+                "killed": killed,
+                "detail": detail,
+            })
+            print(f"{'KILLED ' if killed else 'ALIVE  '} {mutant.mutant_id}")
+    elapsed = time.perf_counter() - started
+
+    kills = sum(1 for r in results if r["killed"])
+    score = kills / len(results) if results else 0.0
+    payload = {
+        "schema": 1,
+        "experiment": "E24",
+        "generated_unix": round(time.time(), 3),
+        "config": {"smoke": args.smoke, "mutants": len(results)},
+        "wall_seconds": round(elapsed, 3),
+        "killed": kills,
+        "score": round(score, 3),
+        "survivors": [r["mutant"] for r in results if not r["killed"]],
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    record_table(
+        "E24",
+        "mutation smoke: oracle kill rate on hand-rolled protocol defects",
+        ("mutant", "target", "verdict"),
+        [
+            (r["mutant"], Path(r["path"]).name,
+             "killed" if r["killed"] else "SURVIVED")
+            for r in results
+        ],
+        notes=(
+            f"{kills}/{len(results)} killed ({score:.0%}); threshold 90%; "
+            f"{elapsed:.1f}s"
+        ),
+    )
+    print(f"\nwrote {args.out}")
+    if score < 0.9:
+        for r in results:
+            if not r["killed"]:
+                print(f"SURVIVOR: {r['mutant']} — {r['description']}",
+                      file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

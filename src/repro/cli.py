@@ -13,7 +13,12 @@ Commands:
 * ``metrics``        — run a scenario and print its metrics registry;
 * ``explore``        — schedule-space exploration of a campaign cell
   (exhaustive DFS / random walks / delay-bounded), or replay of one
-  schedule string from a counterexample.
+  schedule string from a counterexample;
+* ``rt``             — the real-concurrency backend: ``rt conformance``
+  runs the sim-vs-asyncio digest comparison, ``rt run`` executes one
+  campaign cell on a chosen backend (optionally over localhost TCP),
+  ``rt hub`` serves a standalone frame-routing hub for multi-process
+  experiments.
 
 The pytest-benchmark harness under ``benchmarks/`` remains the canonical
 reproduction; this CLI is the quick, dependency-free way to poke at the
@@ -296,6 +301,110 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_rt_conformance(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.rt import ProtocolHarness, conformance_cells
+    from repro.rt.harness import fault_cells
+
+    ns = tuple(int(x) for x in args.ns.split(","))
+    backends = tuple(args.backends.split(","))
+    harness = ProtocolHarness(backends=backends, time_scale=args.time_scale)
+    trace_dir = Path(args.artifacts) if args.artifacts else None
+    report = harness.run(
+        conformance_cells(ns=ns, seed=args.seed), trace_dir=trace_dir
+    )
+    fault_report = None
+    if args.faults:
+        fault_harness = ProtocolHarness(
+            backends=("asyncio",), time_scale=args.time_scale
+        )
+        fault_report = fault_harness.run(
+            fault_cells(ns=ns, seed=args.seed), trace_dir=trace_dir
+        )
+    if args.json:
+        payload = {"conformance": report.to_payload()}
+        if fault_report is not None:
+            payload["faults"] = fault_report.to_payload()
+        print(json.dumps(payload, indent=2))
+    else:
+        for result in report.results:
+            verdict = "MATCH" if result.healthy else "DIVERGED"
+            runs = " ".join(
+                f"{r.backend}={r.classification}" for r in result.runs
+            )
+            print(f"{verdict:8s} {result.cell.cell_id:42s} {runs}")
+        if fault_report is not None:
+            for result in fault_report.results:
+                run = result.runs[0]
+                verdict = "OK" if result.healthy else "BAD"
+                print(f"{verdict:8s} {result.cell.cell_id:42s} "
+                      f"asyncio={run.classification}")
+    ok = report.ok and (fault_report is None or fault_report.ok)
+    return 0 if ok else 1
+
+
+def cmd_rt_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.rt import ProtocolHarness, tcp_transport
+    from repro.rt.harness import cell_horizon, oracle_digest
+    from repro.workloads.campaigns import (
+        classify_observation,
+        observe_cell,
+        parse_cell_id,
+    )
+
+    cell = parse_cell_id(args.cell)
+    if args.tcp:
+        if args.backend != "asyncio":
+            print("--tcp requires --backend asyncio", file=sys.stderr)
+            return 2
+        with tcp_transport(time_scale=args.time_scale, mode=args.mode) as bridges:
+            obs = observe_cell(cell, run_until=cell_horizon(cell))
+        frames = sum(b.frames_delivered for b in bridges)
+    else:
+        harness = ProtocolHarness(
+            backends=(args.backend,), time_scale=args.time_scale
+        )
+        run = harness.run_cell(cell, args.backend)
+        print(json.dumps(
+            {k: list(v) if isinstance(v, tuple) else v
+             for k, v in run.digest.items()},
+            indent=2,
+        ))
+        return 0 if run.classification in ("OK", "STALLED-EXPECTED") else 1
+    classification, violations = classify_observation(cell, obs)
+    digest = oracle_digest(cell, obs, classification, violations)
+    digest["tcp_frames"] = frames
+    print(json.dumps(
+        {k: list(v) if isinstance(v, tuple) else v for k, v in digest.items()},
+        indent=2,
+    ))
+    return 0 if classification in ("OK", "STALLED-EXPECTED") else 1
+
+
+def cmd_rt_hub(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.rt.tcp import TcpHub
+
+    hub = TcpHub(host=args.host, port=args.port)
+
+    async def serve() -> None:
+        task = asyncio.ensure_future(hub.serve())
+        await hub.ready.wait()
+        print(f"hub listening on {hub.host}:{hub.port}")
+        await task
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -402,6 +511,48 @@ def build_parser() -> argparse.ArgumentParser:
                            help="directory for counterexample span traces")
     p_explore.add_argument("--json", action="store_true")
     p_explore.set_defaults(fn=cmd_explore)
+
+    p_rt = sub.add_parser(
+        "rt", help="real-concurrency backend (asyncio timers, TCP wire)"
+    )
+    rt_sub = p_rt.add_subparsers(dest="rt_command", required=True)
+
+    p_conf = rt_sub.add_parser(
+        "conformance", help="sim-vs-asyncio oracle-digest comparison"
+    )
+    p_conf.add_argument("--ns", default="2,3,5",
+                        help="comma-separated participant counts")
+    p_conf.add_argument("--backends", default="sim,asyncio")
+    p_conf.add_argument("--time-scale", type=float, default=0.005,
+                        help="wall seconds per virtual unit (asyncio)")
+    p_conf.add_argument("--seed", type=int, default=0)
+    p_conf.add_argument("--faults", action="store_true",
+                        help="also run the asyncio drop/crash cells")
+    p_conf.add_argument("--artifacts", default=None,
+                        help="directory for span traces on divergence")
+    p_conf.add_argument("--json", action="store_true")
+    p_conf.set_defaults(fn=cmd_rt_conformance)
+
+    p_rt_run = rt_sub.add_parser(
+        "run", help="one campaign cell on a real backend"
+    )
+    p_rt_run.add_argument("--cell", required=True,
+                          help="campaign cell id, e.g. paper:ct:none:n3p1q1:s0")
+    p_rt_run.add_argument("--backend", choices=("sim", "asyncio"),
+                          default="asyncio")
+    p_rt_run.add_argument("--time-scale", type=float, default=0.005)
+    p_rt_run.add_argument("--tcp", action="store_true",
+                          help="route every delivery over a localhost socket")
+    p_rt_run.add_argument("--mode", choices=("token", "pickle"),
+                          default="token", help="TCP frame mode")
+    p_rt_run.set_defaults(fn=cmd_rt_run)
+
+    p_hub = rt_sub.add_parser(
+        "hub", help="standalone TCP frame hub (multi-process experiments)"
+    )
+    p_hub.add_argument("--host", default="127.0.0.1")
+    p_hub.add_argument("--port", type=int, default=9321)
+    p_hub.set_defaults(fn=cmd_rt_hub)
 
     p_fuzz = sub.add_parser("fuzz", help="random-scenario invariant check")
     p_fuzz.add_argument("--count", type=int, default=50)

@@ -21,6 +21,8 @@ Two exceptions have special protocol meaning:
 
 from __future__ import annotations
 
+import sys
+
 
 class ActionException(Exception):
     """Base class of all exceptions declared for CA actions.
@@ -94,4 +96,15 @@ def declare_exception(
         raise ValueError(f"exception name must be an identifier: {name!r}")
     if not issubclass(parent, ActionException):
         raise TypeError(f"parent must derive from ActionException: {parent!r}")
-    return type(name, (parent,), {"description": description})
+    cls = type(name, (parent,), {"description": description, "_dynamic": True})
+    # Register on this module so instances pickle (the TCP transport's
+    # pickle frame mode sends raised occurrences across real process
+    # boundaries).  Redeclaring a name rebinds it — only the newest class
+    # of that name is picklable — and generated names can never shadow a
+    # statically declared symbol.
+    module = sys.modules[__name__]
+    existing = getattr(module, name, None)
+    if existing is None or getattr(existing, "_dynamic", False):
+        cls.__module__ = __name__
+        setattr(module, name, cls)
+    return cls

@@ -54,6 +54,12 @@ class Network:
         #: Span collector (set by the runtime when trace level is FULL);
         #: only rare events (dead letters) emit — never the send path.
         self.spans = None
+        #: Wire diversion hook ``(message, deliver_at) -> None``: when set,
+        #: delivery is handed to it instead of a kernel timer — the TCP
+        #: transport uses this to push every frame through a real socket.
+        #: Injection, latency stamping and counting all happen *before*
+        #: this point, so the fault model is transport-independent.
+        self.deliver_via: Callable[[Message, float], None] | None = None
         self._receivers: dict[str, Receiver] = {}
         self._channels: dict[tuple[str, str], Channel] = {}
         self._latency_overrides: dict[tuple[str, str], LatencyModel] = {}
@@ -134,13 +140,19 @@ class Network:
             return message
         if fate == FailureInjector.CORRUPT:
             message.corrupted = True
+        self._schedule_delivery(message, deliver_at)
+        return message
+
+    def _schedule_delivery(self, message: Message, deliver_at: float) -> None:
+        if self.deliver_via is not None:
+            self.deliver_via(message, deliver_at)
+            return
         self.sim.schedule_at(
             deliver_at,
             lambda: self._deliver(message),
             priority=PRIORITY_DELIVERY,
-            label=f"deliver:{kind}:{src}->{dst}",
+            label=f"deliver:{message.kind}:{message.src}->{message.dst}",
         )
-        return message
 
     def _deliver(self, message: Message) -> None:
         trace = self.trace

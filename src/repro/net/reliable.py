@@ -29,7 +29,6 @@ from typing import Any, Callable, Optional
 from repro.net.failures import FailureInjector
 from repro.net.message import Message
 from repro.net.network import Network
-from repro.simkernel.events import PRIORITY_DELIVERY
 
 KIND_TRANSPORT_ACK = "T_ACK"
 
@@ -192,12 +191,7 @@ class ReliableNetwork(Network):
         if fate != FailureInjector.DROP:
             if fate == FailureInjector.CORRUPT:
                 message.corrupted = True
-            self.sim.schedule_at(
-                deliver_at,
-                lambda: self._deliver(message),
-                priority=PRIORITY_DELIVERY,
-                label=f"redeliver:{pending.frame.kind}:{pending.src}->{pending.dst}",
-            )
+            self._schedule_delivery(message, deliver_at)
         self._arm_timer(pending)
 
     # -- receiving -----------------------------------------------------------------

@@ -7,6 +7,9 @@ a one-stop construction API for scenarios and examples.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
 from repro.net.failures import FailureInjector, FailurePlan
 from repro.net.latency import LatencyModel
 from repro.net.membership import GroupMembership
@@ -16,9 +19,35 @@ from repro.objects.base import DistributedObject
 from repro.objects.node import Node
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanCollector
+from repro.simkernel.kernel import current_kernel_factory
 from repro.simkernel.rng import RngRegistry
 from repro.simkernel.scheduler import Simulator
 from repro.simkernel.trace import TraceLevel, TraceRecorder
+
+
+#: Hooks run at the end of every Runtime construction while installed.
+#: Like the kernel seam, this exists because variant runners build their
+#: Runtime internally: the TCP transport (repro.rt.tcp) uses it to attach
+#: a socket bridge to runtimes it never sees constructed.
+_runtime_hooks: tuple["RuntimeHook", ...] = ()
+
+RuntimeHook = Callable[["Runtime"], None]
+
+
+def current_runtime_hooks() -> tuple[RuntimeHook, ...]:
+    return _runtime_hooks
+
+
+@contextmanager
+def runtime_hook(hook: RuntimeHook) -> Iterator[RuntimeHook]:
+    """Run ``hook(runtime)`` on every Runtime built in scope."""
+    global _runtime_hooks
+    previous = _runtime_hooks
+    _runtime_hooks = (*_runtime_hooks, hook)
+    try:
+        yield hook
+    finally:
+        _runtime_hooks = previous
 
 
 class Runtime:
@@ -34,7 +63,11 @@ class Runtime:
         max_retries: int = 60,
         trace_level: TraceLevel = TraceLevel.FULL,
     ) -> None:
-        self.sim = Simulator()
+        # The kernel seam (see repro.simkernel.kernel): the deterministic
+        # Simulator by default, or whatever backend factory is installed —
+        # e.g. repro.rt's AsyncioKernel for real-concurrency runs.
+        factory = current_kernel_factory()
+        self.sim = Simulator() if factory is None else factory()
         self.rng = RngRegistry(seed)
         self.trace = TraceRecorder(level=trace_level)
         #: Causal spans, collected only at FULL (COUNTS/OFF sweeps pay
@@ -63,6 +96,8 @@ class Runtime:
         self.multicast.spans = self.network.spans
         self.nodes: dict[str, Node] = {}
         self.objects: dict[str, DistributedObject] = {}
+        for hook in _runtime_hooks:
+            hook(self)
 
     # -- topology -----------------------------------------------------------------
 

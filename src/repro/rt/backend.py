@@ -1,0 +1,43 @@
+"""Backend selection helpers for real-concurrency runs.
+
+The variant runners (``run_crash_tolerant``, ``run_multicast_resolution``,
+…) build their :class:`~repro.objects.runtime.Runtime` internally, so the
+asyncio kernel is installed around them via the kernel seam::
+
+    with asyncio_backend(time_scale=0.005):
+        result = run_crash_tolerant(5, raisers=2)
+
+Every Runtime constructed inside the block runs on a fresh
+:class:`~repro.rt.kernel.AsyncioKernel` — same protocol state machines,
+real wall-clock timers.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.simkernel.kernel import kernel_backend
+from repro.rt.kernel import DEFAULT_TIME_SCALE, AsyncioKernel
+
+#: Names accepted wherever a backend is selected by string.
+BACKENDS = ("sim", "asyncio")
+
+
+@contextmanager
+def asyncio_backend(time_scale: float = DEFAULT_TIME_SCALE) -> Iterator[None]:
+    """Run every Runtime built in scope on a fresh asyncio kernel."""
+    with kernel_backend(lambda: AsyncioKernel(time_scale=time_scale)):
+        yield
+
+
+@contextmanager
+def backend(name: str, time_scale: float = DEFAULT_TIME_SCALE) -> Iterator[None]:
+    """``"sim"`` (deterministic, default kernel) or ``"asyncio"``."""
+    if name == "sim":
+        yield
+    elif name == "asyncio":
+        with asyncio_backend(time_scale=time_scale):
+            yield
+    else:
+        raise ValueError(f"unknown backend {name!r} (expected one of {BACKENDS})")

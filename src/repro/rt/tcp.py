@@ -1,0 +1,274 @@
+"""Localhost TCP transport: protocol messages over real sockets.
+
+The asyncio kernel already gives the protocols real *timers*; this module
+additionally gives them a real *wire*.  A :class:`TcpHub` (an asyncio TCP
+server) routes length-prefixed frames between registered endpoint
+connections, and a :class:`TcpTransport` bridge attaches to a runtime's
+network so that every delivery — after the failure injector and latency
+model have had their say — crosses a real localhost socket through the
+hub and back before reaching the destination object.  Delivery order and
+timing then include genuine kernel socket scheduling.
+
+Two frame modes:
+
+* ``token`` (default, in-process) — the frame carries only a routing
+  header and an opaque token; the message object itself stays in the
+  sending process and is delivered by identity when its token returns.
+  No serialisation, so arbitrary payloads (exception trees, object
+  references) survive untouched.
+* ``pickle`` (multi-process) — the frame carries the pickled
+  :class:`~repro.net.message.Message`; a hub plus one process per node
+  can then run the protocol across real process boundaries.  The codec
+  (:func:`encode_frame` / :func:`decode_frame`) is shared; only payloads
+  that pickle cleanly qualify.
+
+Usage (single process, every message over TCP)::
+
+    with tcp_transport():                    # asyncio kernel + socket wire
+        result = general_case(4, 2, 1).run(until=100.0)
+
+A standalone hub for multi-process experiments::
+
+    python -m repro rt hub --port 9321
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import json
+import pickle
+import struct
+from typing import Iterator, Optional
+
+from repro.net.message import Message
+from repro.objects.runtime import Runtime, runtime_hook
+from repro.rt.backend import asyncio_backend
+from repro.rt.kernel import DEFAULT_TIME_SCALE, AsyncioKernel
+
+_LEN = struct.Struct("!I")
+
+#: Frame bodies start with one mode byte.
+_MODE_JSON = b"J"
+_MODE_PICKLE = b"P"
+
+
+# -- frame codec -----------------------------------------------------------------
+
+
+def encode_frame(header: dict, message: Optional[Message] = None) -> bytes:
+    """One wire frame: length prefix + mode byte + header (+ pickled body).
+
+    ``token`` mode sends just the JSON header; ``pickle`` mode appends the
+    pickled message after the header (header gains a ``hlen`` so the
+    receiver can split).
+    """
+    head = json.dumps(header, separators=(",", ":")).encode()
+    if message is None:
+        body = _MODE_JSON + head
+    else:
+        body = _MODE_PICKLE + _LEN.pack(len(head)) + head + pickle.dumps(message)
+    return _LEN.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> tuple[dict, Optional[Message]]:
+    """Inverse of :func:`encode_frame` (body excludes the length prefix)."""
+    mode, rest = body[:1], body[1:]
+    if mode == _MODE_JSON:
+        return json.loads(rest.decode()), None
+    if mode == _MODE_PICKLE:
+        (hlen,) = _LEN.unpack(rest[: _LEN.size])
+        head = rest[_LEN.size : _LEN.size + hlen]
+        return json.loads(head.decode()), pickle.loads(rest[_LEN.size + hlen :])
+    raise ValueError(f"unknown frame mode {mode!r}")
+
+
+async def read_frame(reader: asyncio.StreamReader) -> tuple[dict, Optional[Message]]:
+    prefix = await reader.readexactly(_LEN.size)
+    (length,) = _LEN.unpack(prefix)
+    return decode_frame(await reader.readexactly(length))
+
+
+# -- hub ------------------------------------------------------------------------
+
+
+class TcpHub:
+    """Routes frames between endpoint connections.
+
+    A connection's first frame must be a registration header
+    ``{"register": [name, ...]}``; the name ``"*"`` claims every
+    otherwise-unregistered destination (the single-process bridge uses
+    this).  Every later frame is forwarded verbatim to the connection
+    registered for its ``dst``.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self.ready = asyncio.Event()
+        self._routes: dict[str, asyncio.StreamWriter] = {}
+        self._server: asyncio.AbstractServer | None = None
+
+    async def serve(self) -> None:
+        """Run the hub until cancelled (an :class:`AsyncioKernel` service)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.ready.set()
+        try:
+            async with self._server:
+                await self._server.serve_forever()
+        except asyncio.CancelledError:
+            raise
+        finally:
+            for writer in set(self._routes.values()):
+                writer.close()
+            self._routes.clear()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        names: list[str] = []
+        try:
+            header, _ = await read_frame(reader)
+            names = list(header.get("register", ()))
+            for name in names:
+                self._routes[name] = writer
+            while True:
+                prefix = await reader.readexactly(_LEN.size)
+                (length,) = _LEN.unpack(prefix)
+                body = await reader.readexactly(length)
+                head, _ = decode_frame(body)
+                out = self._routes.get(head["dst"]) or self._routes.get("*")
+                if out is None:
+                    continue  # destination process not up: frame is lost
+                out.write(_LEN.pack(len(body)) + body)
+                await out.drain()
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # peer closed
+        finally:
+            for name in names:
+                if self._routes.get(name) is writer:
+                    del self._routes[name]
+            writer.close()
+
+
+# -- single-process bridge -------------------------------------------------------
+
+
+class TcpTransport:
+    """Divert one runtime's deliveries through a real localhost socket.
+
+    Attaches to ``runtime.network.deliver_via``: at each message's
+    ``deliver_at`` the bridge writes a token frame to the hub; when the
+    frame comes back on the client connection the message object is
+    delivered to its destination.  The kernel's ``hold``/``release``
+    bracket the socket round-trip so quiescence detection waits for
+    frames in flight.
+    """
+
+    def __init__(self, runtime: Runtime, hub: TcpHub | None = None,
+                 mode: str = "token") -> None:
+        kernel = runtime.sim
+        if not isinstance(kernel, AsyncioKernel):
+            raise TypeError(
+                "TcpTransport requires an AsyncioKernel runtime "
+                f"(got {type(kernel).__name__}); use tcp_transport()"
+            )
+        if mode not in ("token", "pickle"):
+            raise ValueError(f"unknown frame mode {mode!r}")
+        self.kernel = kernel
+        self.network = runtime.network
+        self.hub = hub if hub is not None else TcpHub()
+        self.own_hub = hub is None
+        self.mode = mode
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self._tokens = itertools.count()
+        self._outstanding: dict[int, Message] = {}
+        self._writer: asyncio.StreamWriter | None = None
+        self._backlog: list[bytes] = []
+        self.network.deliver_via = self._on_deliver_at
+        if self.own_hub:
+            kernel.add_service(self.hub.serve)
+        kernel.add_service(self._client)
+
+    # -- send side ---------------------------------------------------------------
+
+    def _on_deliver_at(self, message: Message, deliver_at: float) -> None:
+        """``Network.deliver_via`` hook: put the wire leg at ``deliver_at``."""
+        self.kernel.hold()  # in flight until the frame returns
+        self.kernel.schedule_at(
+            deliver_at,
+            lambda: self._transmit(message),
+            label=f"tcp:{message.kind}:{message.src}->{message.dst}",
+        )
+
+    def _transmit(self, message: Message) -> None:
+        token = next(self._tokens)
+        header = {"dst": message.dst, "token": token}
+        if self.mode == "token":
+            self._outstanding[token] = message
+            frame = encode_frame(header)
+        else:
+            frame = encode_frame(header, message)
+        self.frames_sent += 1
+        if self._writer is not None:
+            self._writer.write(frame)
+        else:
+            self._backlog.append(frame)
+
+    # -- receive side -------------------------------------------------------------
+
+    async def _client(self) -> None:
+        try:
+            await self.hub.ready.wait()
+            reader, writer = await asyncio.open_connection(
+                self.hub.host, self.hub.port
+            )
+            writer.write(encode_frame({"register": ["*"]}))
+            self._writer = writer
+            for frame in self._backlog:
+                writer.write(frame)
+            self._backlog.clear()
+            while True:
+                header, pickled = await read_frame(reader)
+                if pickled is not None:
+                    message = pickled
+                else:
+                    message = self._outstanding.pop(header["token"])
+                self.frames_delivered += 1
+                try:
+                    self.network._deliver(message)
+                finally:
+                    self.kernel.release()
+        except asyncio.CancelledError:
+            raise
+        except asyncio.IncompleteReadError:
+            pass  # hub shut down first
+        except Exception as exc:  # noqa: BLE001 — surface through run()
+            self.kernel.fail(exc)
+        finally:
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+
+
+@contextlib.contextmanager
+def tcp_transport(
+    time_scale: float = DEFAULT_TIME_SCALE, mode: str = "token"
+) -> Iterator[list[TcpTransport]]:
+    """Asyncio kernel + TCP wire for every runtime built in scope.
+
+    Yields the list of bridges attached so far (one per runtime), so
+    callers can read ``frames_sent`` / ``frames_delivered`` afterwards.
+    """
+    bridges: list[TcpTransport] = []
+
+    def attach(runtime: Runtime) -> None:
+        bridges.append(TcpTransport(runtime, mode=mode))
+
+    with asyncio_backend(time_scale=time_scale), runtime_hook(attach):
+        yield bridges

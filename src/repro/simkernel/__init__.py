@@ -8,10 +8,19 @@ streams and a structured trace recorder.
 The kernel is intentionally single-threaded: all concurrency in the
 reproduction is *simulated* concurrency, which makes every run reproducible
 and makes message counting exact (see DESIGN.md, "Key design decisions").
+The protocol stack only ever touches the :class:`Kernel` seam
+(:mod:`repro.simkernel.kernel`), so the same state machines also run on
+the real-concurrency asyncio backend in :mod:`repro.rt`.
 """
 
 from repro.simkernel.clock import VirtualClock
 from repro.simkernel.events import Event, EventQueue
+from repro.simkernel.kernel import (
+    Kernel,
+    KernelHandle,
+    current_kernel_factory,
+    kernel_backend,
+)
 from repro.simkernel.process import Delay, SimProcess, Stop
 from repro.simkernel.rng import RngRegistry
 from repro.simkernel.scheduler import ScheduledHandle, Simulator
@@ -21,6 +30,10 @@ __all__ = [
     "Delay",
     "Event",
     "EventQueue",
+    "Kernel",
+    "KernelHandle",
+    "current_kernel_factory",
+    "kernel_backend",
     "RngRegistry",
     "ScheduledHandle",
     "SimProcess",

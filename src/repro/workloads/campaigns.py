@@ -294,7 +294,9 @@ def _crash_spec(cell: CampaignCell) -> tuple[tuple[str, ...], float]:
     return (), 0.0
 
 
-def _observe_paper_base(cell: CampaignCell) -> _Observation:
+def _observe_paper_base(
+    cell: CampaignCell, run_until: Optional[float] = None
+) -> _Observation:
     from repro.workloads.generator import expected_general_messages, general_case
 
     victims, crash_at = _crash_spec(cell)
@@ -307,7 +309,10 @@ def _observe_paper_base(cell: CampaignCell) -> _Observation:
         crashes=[(v, crash_at) for v in victims],
         **knobs,
     )
-    result = scenario.run(until=RUN_UNTIL, max_events=2_000_000)
+    result = scenario.run(
+        until=RUN_UNTIL if run_until is None else run_until,
+        max_events=2_000_000,
+    )
     survivors = tuple(n for n in names if n not in victims)
     finished = all(
         runner.finished
@@ -361,7 +366,9 @@ def _trace_handled(runtime, category: str) -> tuple[dict[str, str], list[str]]:
     return handled, double
 
 
-def _observe_paper_ct(cell: CampaignCell) -> _Observation:
+def _observe_paper_ct(
+    cell: CampaignCell, run_until: Optional[float] = None
+) -> _Observation:
     from repro.core.crash_tolerant import ct_expected_messages, run_crash_tolerant
 
     victims, crash_at = _crash_spec(cell)
@@ -374,7 +381,7 @@ def _observe_paper_ct(cell: CampaignCell) -> _Observation:
         hb_interval=HB_INTERVAL, hb_timeout=HB_TIMEOUT,
         abort_duration=ABORT_DURATION,
         ack_timeout=ACK_TIMEOUT, max_retries=MAX_RETRIES,
-        run_until=RUN_UNTIL,
+        run_until=RUN_UNTIL if run_until is None else run_until,
         **knobs,
     )
     handled, double = _trace_handled(result.runtime, "ct.handle")
@@ -395,7 +402,9 @@ def _observe_paper_ct(cell: CampaignCell) -> _Observation:
     )
 
 
-def _observe_paper_mc(cell: CampaignCell) -> _Observation:
+def _observe_paper_mc(
+    cell: CampaignCell, run_until: Optional[float] = None
+) -> _Observation:
     from repro.core.multicast_variant import (
         expected_multicast_operations,
         run_multicast_resolution,
@@ -408,7 +417,8 @@ def _observe_paper_mc(cell: CampaignCell) -> _Observation:
         cell.n, cell.p, cell.q, seed=cell.seed,
         latency=ConstantLatency(1.0), raise_at=RAISE_AT,
         ack_timeout=ACK_TIMEOUT, max_retries=MAX_RETRIES,
-        crash=victims, crash_at=crash_at, run_until=RUN_UNTIL,
+        crash=victims, crash_at=crash_at,
+        run_until=RUN_UNTIL if run_until is None else run_until,
         **knobs,
     )
     handled, double = _trace_handled(result.runtime, "mc.handle")
@@ -429,7 +439,9 @@ def _observe_paper_mc(cell: CampaignCell) -> _Observation:
     )
 
 
-def _observe_paper_cd(cell: CampaignCell) -> _Observation:
+def _observe_paper_cd(
+    cell: CampaignCell, run_until: Optional[float] = None
+) -> _Observation:
     from repro.core.centralized_variant import (
         expected_centralized_messages,
         run_centralized,
@@ -443,7 +455,8 @@ def _observe_paper_cd(cell: CampaignCell) -> _Observation:
     result = run_centralized(
         cell.n, raisers=cell.p, seed=cell.seed,
         latency=ConstantLatency(1.0), raise_at=RAISE_AT,
-        coordinator_crashes_at=coord_crash, run_until=RUN_UNTIL,
+        coordinator_crashes_at=coord_crash,
+        run_until=RUN_UNTIL if run_until is None else run_until,
         ack_timeout=ACK_TIMEOUT, max_retries=MAX_RETRIES,
         crash=participant_victims, crash_at=crash_at,
         **knobs,
@@ -466,7 +479,9 @@ def _observe_paper_cd(cell: CampaignCell) -> _Observation:
     )
 
 
-def _observe_fuzz(cell: CampaignCell) -> _Observation:
+def _observe_fuzz(
+    cell: CampaignCell, run_until: Optional[float] = None
+) -> _Observation:
     from repro.workloads.fuzz import build_random_scenario, check_invariants
 
     scenario, plan = build_random_scenario(
@@ -481,7 +496,10 @@ def _observe_fuzz(cell: CampaignCell) -> _Observation:
     scenario.failure_plan = knobs.get("failure_plan")
     scenario.reliable = knobs.get("reliable", False)
     scenario.max_retries = MAX_RETRIES
-    result = scenario.run(until=RUN_UNTIL, max_events=2_000_000)
+    result = scenario.run(
+        until=RUN_UNTIL if run_until is None else run_until,
+        max_events=2_000_000,
+    )
     problems = check_invariants(result, plan, crashed=victims)
     finished = not any(p.startswith("non-termination") for p in problems)
     problems = [p for p in problems if not p.startswith("non-termination")]
@@ -493,11 +511,15 @@ def _observe_fuzz(cell: CampaignCell) -> _Observation:
     )
 
 
-def _observe_paper_cr(cell: CampaignCell) -> _Observation:
-    """The Campbell–Randell baseline (schedule explorer only: not part of
-    the default campaign matrix, and fault axes beyond ``none`` are not
-    modelled for it).  Agreement is checked on the *resolved* exception —
-    CR participants legitimately handle different covers of it."""
+def _observe_paper_cr(
+    cell: CampaignCell, run_until: Optional[float] = None
+) -> _Observation:
+    """The Campbell–Randell baseline (schedule explorer and conformance
+    kit only: not part of the default campaign matrix, and fault axes
+    beyond ``none`` are not modelled for it — ``run_until`` is likewise
+    ignored, the baseline runs to quiescence).  Agreement is checked on
+    the *resolved* exception — CR participants legitimately handle
+    different covers of it."""
     from repro.core.cr_baseline import run_cr_concurrent
 
     if cell.fault != "none":
@@ -524,7 +546,7 @@ def _observe_paper_cr(cell: CampaignCell) -> _Observation:
     )
 
 
-_OBSERVERS: dict[tuple[str, str], Callable[[CampaignCell], _Observation]] = {
+_OBSERVERS: dict[tuple[str, str], Callable[..., _Observation]] = {
     ("paper", "base"): _observe_paper_base,
     ("paper", "ct"): _observe_paper_ct,
     ("paper", "mc"): _observe_paper_mc,
@@ -534,15 +556,22 @@ _OBSERVERS: dict[tuple[str, str], Callable[[CampaignCell], _Observation]] = {
 }
 
 
-def observe_cell(cell: CampaignCell) -> _Observation:
+def observe_cell(
+    cell: CampaignCell, run_until: Optional[float] = None
+) -> _Observation:
     """Run one cell's observer (raises on harness error — callers that
-    need the never-raises contract use :func:`run_cell`)."""
+    need the never-raises contract use :func:`run_cell`).
+
+    ``run_until`` overrides the campaign-wide :data:`RUN_UNTIL` horizon —
+    the conformance harness shortens it on the wall-clocked asyncio
+    backend, where simulated time units cost real seconds.
+    """
     observer = _OBSERVERS.get((cell.family, cell.variant))
     if observer is None:
         raise ValueError(
             f"no observer for family={cell.family} variant={cell.variant}"
         )
-    return observer(cell)
+    return observer(cell, run_until=run_until)
 
 
 # -- oracles ---------------------------------------------------------------------

@@ -120,6 +120,57 @@ class TestGeneralFormula:
             general_case(0, p=0, q=0)
 
 
+class TestMulticastGoldenTable:
+    """Section 4.5 multicast variant: N + Q + 1 operations, pinned as
+    *literal* golden values at N = 2..6.
+
+    The literals are intentionally redundant with the formula: if a
+    refactor changes either the protocol or the closed form, this table
+    disagrees with one of them and names the exact cell that moved.
+    """
+
+    #: (n, p, q) -> total multicast operations.  P raisers multicast
+    #: Exception, N-P suspended members multicast their ACK-equivalent,
+    #: each of Q nested members multicasts NestedCompleted, the resolver
+    #: multicasts Commit: P + (N - P) + Q + 1 = N + Q + 1.
+    GOLDEN = {
+        (2, 1, 0): 3,
+        (2, 2, 0): 3,
+        (3, 1, 0): 4,
+        (3, 2, 1): 5,
+        (3, 3, 0): 4,
+        (4, 2, 1): 6,
+        (4, 1, 3): 8,
+        (5, 2, 2): 8,
+        (5, 5, 0): 6,
+        (6, 3, 2): 9,
+        (6, 1, 5): 12,
+    }
+
+    @pytest.mark.parametrize(
+        "n,p,q", sorted(GOLDEN), ids=[f"n{n}p{p}q{q}" for n, p, q in sorted(GOLDEN)]
+    )
+    def test_operations_match_golden_value(self, n, p, q):
+        from repro.core.multicast_variant import (
+            expected_multicast_operations,
+            run_multicast_resolution,
+        )
+
+        result = run_multicast_resolution(n, p=p, q=q, seed=0)
+        golden = self.GOLDEN[(n, p, q)]
+        assert golden == n + q + 1  # the table agrees with the closed form
+        assert expected_multicast_operations(n, p, q) == golden
+        assert result.multicast_operations() == golden
+
+    def test_no_raise_means_no_operations(self):
+        """P = 0 is outside the runner's domain (someone must raise);
+        the closed form still pins the zero-overhead claim."""
+        from repro.core.multicast_variant import expected_multicast_operations
+
+        assert expected_multicast_operations(4, 0, 0) == 0
+        assert expected_multicast_operations(6, 0, 3) == 0
+
+
 class TestZeroOverhead:
     """Section 4.4: "no overhead if an exception is not raised"."""
 
