@@ -22,6 +22,7 @@ so future PRs have a perf trajectory to regress against::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import platform
@@ -39,7 +40,10 @@ from _harness import record_table  # noqa: E402
 
 from repro.simkernel.events import EventQueue  # noqa: E402
 from repro.simkernel.trace import TraceLevel  # noqa: E402
-from repro.workloads.generator import general_case  # noqa: E402
+from repro.workloads.generator import (  # noqa: E402
+    expected_general_messages,
+    general_case,
+)
 from repro.workloads.parallel import ParallelSweepRunner  # noqa: E402
 from repro.workloads.sweeps import scaling_grid, sweep_general  # noqa: E402
 
@@ -47,7 +51,12 @@ from repro.workloads.sweeps import scaling_grid, sweep_general  # noqa: E402
 # point per N, so the N range doubles as the point count.
 SMOKE_N = tuple(range(8, 33, 4))  # 7 points, smoke stays well under 60 s
 FULL_N = tuple(range(8, 97, 4))  # 23 points up to N=96
+#: The §4.4 scaling curve: single COUNTS-level cells far past the paper's
+#: own range (N=512 runs in seconds on the fast path), each checked
+#: against the (N-1)(2P+3Q+1) model.  Cheap enough to run in smoke too.
+SCALING_N = (64, 128, 256, 384, 512)
 DEFAULT_OUT = REPO_ROOT / "BENCH_sweeps.json"
+DEFAULT_PROFILE_OUT = REPO_ROOT / "BENCH_profile.txt"
 
 
 def _time(fn):
@@ -61,29 +70,49 @@ def _count_pairs(result):
 
 
 def bench_sweeps(n_values, workers: int) -> dict:
-    """Time the four sweep configurations on the same grid and seed."""
+    """Time the five sweep configurations on the same grid and seed.
+
+    Each configuration is timed twice and the better run recorded: on
+    shared hosts the measurement directly after a FULL-trace sweep runs
+    ~25% slow (GC debt from the prior configuration's entry garbage),
+    which would otherwise systematically penalize whichever configuration
+    happens to run second.
+    """
     grid = scaling_grid(n_values)
     # Warm-up on a tiny grid so import/alloc one-offs don't skew config #1.
     sweep_general(scaling_grid(n_values[:1]))
 
+    configs = [
+        ("serial_full",
+         lambda: sweep_general(grid, trace_level=TraceLevel.FULL)),
+        ("serial_counts",
+         lambda: sweep_general(grid, trace_level=TraceLevel.COUNTS)),
+        ("parallel_full",
+         lambda: ParallelSweepRunner(
+             max_workers=workers, trace_level=TraceLevel.FULL
+         ).sweep_general(grid)),
+        ("parallel_counts",
+         lambda: ParallelSweepRunner(
+             max_workers=workers, trace_level=TraceLevel.COUNTS
+         ).sweep_general(grid)),
+        # Defaulted workers: the runner itself decides serial vs pool
+        # (serial on single-core hosts and below-break-even grids) — the
+        # configuration campaigns actually use, and it must never lose to
+        # plain serial the way forced pooling can on a starved machine.
+        ("parallel_auto_full",
+         lambda: ParallelSweepRunner(
+             trace_level=TraceLevel.FULL
+         ).sweep_general(grid)),
+    ]
     timings: dict[str, float] = {}
     results = {}
-    timings["serial_full"], results["serial_full"] = _time(
-        lambda: sweep_general(grid, trace_level=TraceLevel.FULL)
-    )
-    timings["serial_counts"], results["serial_counts"] = _time(
-        lambda: sweep_general(grid, trace_level=TraceLevel.COUNTS)
-    )
-    timings["parallel_full"], results["parallel_full"] = _time(
-        lambda: ParallelSweepRunner(
-            max_workers=workers, trace_level=TraceLevel.FULL
-        ).sweep_general(grid)
-    )
-    timings["parallel_counts"], results["parallel_counts"] = _time(
-        lambda: ParallelSweepRunner(
-            max_workers=workers, trace_level=TraceLevel.COUNTS
-        ).sweep_general(grid)
-    )
+    for _ in range(2):
+        for name, run in configs:
+            gc.collect()  # don't bill this config for its predecessor's garbage
+            seconds, result = _time(run)
+            if name not in timings or seconds < timings[name]:
+                timings[name] = seconds
+            results[name] = result
 
     reference = _count_pairs(results["serial_full"])
     counts_identical = all(
@@ -105,6 +134,7 @@ def bench_sweeps(n_values, workers: int) -> dict:
         "speedups": {
             "parallel_vs_serial_full": speedup("serial_full", "parallel_full"),
             "parallel_vs_serial_counts": speedup("serial_counts", "parallel_counts"),
+            "auto_vs_serial_full": speedup("serial_full", "parallel_auto_full"),
             "counts_vs_full_serial": speedup("serial_full", "serial_counts"),
             "optimized_vs_baseline": speedup("serial_full", "parallel_counts"),
         },
@@ -114,20 +144,99 @@ def bench_sweeps(n_values, workers: int) -> dict:
     }
 
 
-def bench_throughput(n: int) -> dict:
-    """Simulator events/second on one big scenario, FULL vs COUNTS."""
+def bench_throughput(n: int, repetitions: int = 5) -> dict:
+    """Simulator events/second on one big scenario, FULL vs COUNTS.
+
+    Best of ``repetitions`` runs: single samples on shared or single-core
+    hosts are dominated by scheduler preemption and cache state (observed
+    spread ~40% between back-to-back runs), while the per-sample *maximum*
+    estimates what the machine can actually sustain and is stable enough
+    to regress against with a modest tolerance.
+    """
     out = {}
     for label, level in (("full", TraceLevel.FULL), ("counts", TraceLevel.COUNTS)):
-        scenario = general_case(n, p=max(1, n // 2), q=n // 4, trace_level=level)
-        seconds, result = _time(lambda s=scenario: s.run(max_events=5_000_000))
+        best_eps = 0.0
+        best = None
+        for _ in range(repetitions):
+            scenario = general_case(
+                n, p=max(1, n // 2), q=n // 4, trace_level=level
+            )
+            seconds, result = _time(lambda s=scenario: s.run(max_events=5_000_000))
+            events = result.runtime.sim.events_executed
+            eps = events / seconds if seconds else 0.0
+            if eps > best_eps:
+                best_eps = eps
+                best = {
+                    "n": n,
+                    "events": events,
+                    "seconds": round(seconds, 4),
+                    "events_per_sec": round(eps),
+                    "repetitions": repetitions,
+                }
+        out[label] = best
+    return out
+
+
+def bench_scaling(n_values=SCALING_N) -> dict:
+    """The §4.4 message-complexity curve pushed past the paper's range.
+
+    One COUNTS-level cell per N with P=N/2 raisers and Q=N/4 nested
+    participants; each cell's measured resolution-message total must equal
+    the paper's ``(N-1)(2P+3Q+1)``, so the curve doubles as a correctness
+    check at scales no test runs at.
+    """
+    points = []
+    for n in n_values:
+        p, q = max(1, n // 2), n // 4
+        scenario = general_case(n, p=p, q=q, trace_level=TraceLevel.COUNTS)
+        seconds, result = _time(lambda s=scenario: s.run(max_events=20_000_000))
         events = result.runtime.sim.events_executed
-        out[label] = {
+        measured = result.resolution_message_total()
+        model = expected_general_messages(n, p, q)
+        points.append({
             "n": n,
+            "p": p,
+            "q": q,
             "events": events,
             "seconds": round(seconds, 4),
             "events_per_sec": round(events / seconds) if seconds else 0,
-        }
-    return out
+            "messages_measured": measured,
+            "messages_model": model,
+            "model_ok": measured == model,
+        })
+    return {
+        "max_n": max(n_values),
+        "trace_level": "COUNTS",
+        "points": points,
+        "model_ok": all(point["model_ok"] for point in points),
+    }
+
+
+def profile_sweep(out_path: Path, n_values=SMOKE_N) -> None:
+    """Profile the sweep hot loop; write cProfile top-25 cumulative.
+
+    The artifact keeps future perf work profile-guided: the next PR can
+    read where the time actually goes instead of guessing.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    grid = scaling_grid(n_values)
+    sweep_general(scaling_grid(n_values[:1]))  # warm imports out of the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sweep_general(grid, trace_level=TraceLevel.FULL)
+    sweep_general(grid, trace_level=TraceLevel.COUNTS)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+    out_path.write_text(
+        f"# cProfile of sweep_general over N={list(n_values)} "
+        "(FULL then COUNTS), top 25 by cumulative time\n" + buffer.getvalue()
+    )
+    print(f"wrote {out_path}")
 
 
 def bench_obs(n: int) -> dict:
@@ -227,15 +336,28 @@ def main(argv=None) -> int:
         help="prior BENCH_sweeps.json to regress against: fails if the "
              "COUNTS-level sweep timings (spans disabled) regressed >5%%",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="additionally profile the sweep hot loop and write the "
+             f"cProfile top-25 (cumulative) to {DEFAULT_PROFILE_OUT}",
+    )
+    parser.add_argument(
+        "--profile-out", type=Path, default=DEFAULT_PROFILE_OUT,
+        help="profile artifact path (with --profile)",
+    )
     args = parser.parse_args(argv)
 
     n_values = SMOKE_N if args.smoke else FULL_N
     queue_scale = 50_000 if args.smoke else 200_000
 
+    if args.profile:
+        profile_sweep(args.profile_out, n_values=SMOKE_N)
+
     sweep = bench_sweeps(n_values, args.workers)
     throughput = bench_throughput(max(n_values))
     queue = bench_event_queue(queue_scale)
     obs = bench_obs(max(n_values))
+    scaling = bench_scaling()
 
     if args.baseline is not None:
         baseline_timings = (
@@ -268,6 +390,7 @@ def main(argv=None) -> int:
         "config": {"smoke": args.smoke, "workers": args.workers},
         "sweep": sweep,
         "throughput": throughput,
+        "scaling": scaling,
         "event_queue": queue,
         "obs": obs,
     }
@@ -292,6 +415,26 @@ def main(argv=None) -> int:
             f"counts identical: {sweep['counts_identical']}"
         ),
     )
+    scaling_rows = [
+        (
+            point["n"], point["p"], point["q"], point["events"],
+            point["events_per_sec"], point["messages_measured"],
+            point["messages_model"], "yes" if point["model_ok"] else "NO",
+        )
+        for point in scaling["points"]
+    ]
+    record_table(
+        "E25",
+        "§4.4 scaling curve past the paper's range (COUNTS level)",
+        ("N", "P", "Q", "events", "events/sec", "measured", "model", "ok"),
+        scaling_rows,
+        notes=(
+            f"single cells with P=N/2, Q=N/4 up to N={scaling['max_n']}; "
+            f"serial FULL throughput at N={max(n_values)}: "
+            f"{throughput['full']['events_per_sec']} events/sec, COUNTS: "
+            f"{throughput['counts']['events_per_sec']} events/sec"
+        ),
+    )
     print(f"\nwrote {args.out}")
 
     if not sweep["counts_identical"] or not sweep["parallel_bitwise_identical"]:
@@ -301,6 +444,13 @@ def main(argv=None) -> int:
         print(
             f"FATAL: {sweep['model_mismatches']} points deviate from the "
             "(N-1)(2P+3Q+1) model", file=sys.stderr,
+        )
+        return 1
+    if not scaling["model_ok"]:
+        bad = [p["n"] for p in scaling["points"] if not p["model_ok"]]
+        print(
+            f"FATAL: scaling-curve cells deviate from the model at N={bad}",
+            file=sys.stderr,
         )
         return 1
     if not obs["spans_disabled_below_full"] or not obs["full_spans_nonempty"]:

@@ -70,9 +70,8 @@ MUTANTS: tuple[Mutant, ...] = (
         "alg-drop-exception-ack", ALG,
         "receiver of Exception never ACKs: resolver can't reach READY",
         """        ctx.le[m.sender] = m.exception
-        self.p.send(
-            m.sender, KIND_ACK, AckMsg(ctx.action, self.p.name, KIND_EXCEPTION)
-        )""",
+        me = self.p.name
+        self._send(me, m.sender, KIND_ACK, AckMsg(ctx.action, me, KIND_EXCEPTION))""",
         """        ctx.le[m.sender] = m.exception""",
     ),
     Mutant(
@@ -89,20 +88,19 @@ MUTANTS: tuple[Mutant, ...] = (
         "alg-ready-or", ALG,
         "READY on nested-complete OR acks instead of AND",
         """            ctx.state is PState.EXCEPTIONAL
-            and not ctx.aborting
-            and ctx.nested_all_completed()
-            and ctx.all_acks_received()""",
+            and not aborting
+            and ctx.lo <= ctx.nested_completed
+            and not any(ctx.ack_awaited.values())""",
         """            ctx.state is PState.EXCEPTIONAL
-            and not ctx.aborting
-            and (ctx.nested_all_completed() or ctx.all_acks_received())""",
+            and not aborting
+            and (ctx.lo <= ctx.nested_completed
+                 or not any(ctx.ack_awaited.values()))""",
     ),
     Mutant(
         "alg-commit-not-broadcast", ALG,
         "resolver decides but never tells anyone",
-        """        for other in self.p.registry.get(ctx.action).others(self.p.name):
-            self.p.send(other, KIND_COMMIT, commit)""",
-        """        for other in self.p.registry.get(ctx.action).others(self.p.name):
-            pass""",
+        "        self._send_many(me, definition.others(me), KIND_COMMIT, commit)",
+        "        pass  # commit never broadcast",
     ),
     Mutant(
         "alg-resolver-off-by-one", ALG,
@@ -113,10 +111,8 @@ MUTANTS: tuple[Mutant, ...] = (
     Mutant(
         "alg-drop-nested-completed-ack", ALG,
         "NestedCompleted never ACKed: sender's ack set never drains",
-        """        self.p.send(
-            m.sender,
-            KIND_ACK,
-            AckMsg(ctx.action, self.p.name, KIND_NESTED_COMPLETED),
+        """        self._send(
+            me, m.sender, KIND_ACK, AckMsg(ctx.action, me, KIND_NESTED_COMPLETED)
         )
         ctx.nested_completed.add(m.sender)""",
         """        ctx.nested_completed.add(m.sender)""",

@@ -96,6 +96,7 @@ class CAActionDef:
         # protocol message, which is O(N) per call and O(N²) per broadcast
         # round without it.  (The dataclass is frozen, hence the setattr.)
         object.__setattr__(self, "_others_memo", {})
+        object.__setattr__(self, "_others_set_memo", {})
 
     def others(self, name: str) -> tuple[str, ...]:
         """All participants except ``name`` — the broadcast targets."""
@@ -106,12 +107,35 @@ class CAActionDef:
             memo[name] = cached
         return cached
 
+    def others_set(self, name: str) -> frozenset[str]:
+        """Frozen-set view of :meth:`others`, memoized.
+
+        The exit barrier compares arrivals against this once per DONE
+        receipt; building a fresh set there made the barrier O(N²) per
+        participant and dominated large-N sweeps.
+        """
+        memo: dict[str, frozenset[str]] = self._others_set_memo
+        cached = memo.get(name)
+        if cached is None:
+            cached = frozenset(self.others(name))
+            memo[name] = cached
+        return cached
+
 
 @dataclass
 class ActionRegistry:
-    """All action declarations of a scenario, with nesting queries."""
+    """All action declarations of a scenario, with nesting queries.
+
+    Nesting queries (:meth:`ancestors`, :meth:`contains`,
+    :meth:`descendants`) are memoized: the engines issue them on every
+    protocol message, and the registry only changes through
+    :meth:`declare`, which invalidates the memos.
+    """
 
     _defs: dict[str, CAActionDef] = field(default_factory=dict)
+    _ancestors_memo: dict[str, list[str]] = field(default_factory=dict)
+    _ancestor_sets: dict[str, frozenset[str]] = field(default_factory=dict)
+    _descendants_memo: dict[str, list[str]] = field(default_factory=dict)
 
     def declare(self, definition: CAActionDef) -> CAActionDef:
         """Register a definition, validating nesting constraints."""
@@ -131,6 +155,9 @@ class ActionRegistry:
                     f"{definition.name} are not participants of {parent.name}"
                 )
         self._defs[definition.name] = definition
+        self._ancestors_memo.clear()
+        self._ancestor_sets.clear()
+        self._descendants_memo.clear()
         return definition
 
     def get(self, name: str) -> CAActionDef:
@@ -146,25 +173,40 @@ class ActionRegistry:
         return sorted(self._defs)
 
     def ancestors(self, name: str) -> list[str]:
-        """Containing actions of ``name``, innermost first."""
-        chain: list[str] = []
-        cursor = self.get(name).parent
-        while cursor is not None:
-            chain.append(cursor)
-            cursor = self.get(cursor).parent
-        return chain
+        """Containing actions of ``name``, innermost first.
+
+        Memoized; treat the returned list as immutable.
+        """
+        cached = self._ancestors_memo.get(name)
+        if cached is None:
+            cached = []
+            cursor = self.get(name).parent
+            while cursor is not None:
+                cached.append(cursor)
+                cursor = self.get(cursor).parent
+            self._ancestors_memo[name] = cached
+            self._ancestor_sets[name] = frozenset(cached)
+        return cached
 
     def contains(self, outer: str, inner: str) -> bool:
         """True if action ``outer`` strictly contains action ``inner``."""
-        return outer in self.ancestors(inner)
+        ancestors = self._ancestor_sets.get(inner)
+        if ancestors is None:
+            self.ancestors(inner)
+            ancestors = self._ancestor_sets[inner]
+        return outer in ancestors
 
     def descendants(self, name: str) -> list[str]:
-        """All actions nested (transitively) inside ``name``."""
-        return [
-            candidate
-            for candidate in self._defs
-            if self.contains(name, candidate)
-        ]
+        """All actions nested (transitively) inside ``name`` (memoized)."""
+        cached = self._descendants_memo.get(name)
+        if cached is None:
+            cached = [
+                candidate
+                for candidate in self._defs
+                if self.contains(name, candidate)
+            ]
+            self._descendants_memo[name] = cached
+        return cached
 
     def depth(self, name: str) -> int:
         """Nesting depth: 0 for top-level actions."""

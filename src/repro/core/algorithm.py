@@ -48,6 +48,7 @@ from repro.core.messages import (
     HaveNestedMsg,
     NestedCompletedMsg,
 )
+from repro.core.manager import ActionStatus
 from repro.core.state import PState, ResolutionCtx
 from repro.exceptions.tree import ExceptionClass
 from repro.net.message import Message
@@ -78,6 +79,23 @@ class ResolutionEngine:
         #: msg_id of the message currently being processed — the causal
         #: edge stamped on spans it opens.  Only tracked when spans are on.
         self._cause: Optional[int] = None
+        #: Bound ``network.send``/``network.send_many`` (rebound at
+        #: participant attach); protocol send sites call them directly,
+        #: skipping the DistributedObject.send wrapper on the hottest
+        #: frames.  Broadcasts go through ``_send_many`` so the network can
+        #: hoist the per-send constants out of the loop.
+        self._send = self._send_detached
+        self._send_many = self._send_many_detached
+
+    def _send_detached(self, src: str, dst: str, kind: str, payload: object):
+        # Pre-attach fallback; replaced by the runtime's network.send.
+        return self.p.send(dst, kind, payload)
+
+    def _send_many_detached(
+        self, src: str, dsts, kind: str, payload: object
+    ):
+        # Pre-attach fallback; replaced by the runtime's network.send_many.
+        return [self.p.send(dst, kind, payload) for dst in dsts]
 
     # -- queries -------------------------------------------------------------
 
@@ -137,47 +155,108 @@ class ResolutionEngine:
                 self.p.sim_now, parent=ctx.span_id, cause=self._cause,
                 exception=exception.name(),
             )
-        others = self.p.registry.get(action).others(self.p.name)
+        me = self.p.name
+        others = ctx.definition.others(me)
         ctx.ack_awaited[KIND_EXCEPTION] = set(others)
-        for other in others:
-            self.p.send(
-                other, KIND_EXCEPTION, ExceptionMsg(action, self.p.name, exception)
-            )
+        # One frozen payload shared by the whole broadcast (N-1 sends).
+        self._send_many(me, others, KIND_EXCEPTION, ExceptionMsg(action, me, exception))
         self.p.interrupt_behaviour()
         self._advance(ctx)
 
     # -- message entry point ---------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
-        if self._spans is None:
-            self._dispatch(message)
-            return
-        # Spans on: stamp the causal edge for spans this message opens.
-        self._cause = message.msg_id
-        try:
-            self._dispatch(message)
-        finally:
-            self._cause = None
+        # Kept as the documented entry point; the kind maps bind straight
+        # to :meth:`_dispatch` (see ``Participant.attach``), which owns the
+        # causal-edge bookkeeping itself.
+        self._dispatch(message)
 
     def _dispatch(self, message: Message) -> None:
         payload = message.payload
         action: str = payload.action
+        kind = message.kind
+        ctx = self.ctx
+        # Stamp the causal edge for spans this message may open.  Done
+        # unconditionally (a slot write is cheaper than a spans-enabled
+        # branch would save) and cleared in the finally below; in CPython
+        # 3.11 a try/finally with no exception in flight costs nothing.
+        self._cause = message.msg_id
+        try:
+            if ctx is not None and ctx.action == action:
+                # Hot path: traffic for the resolution already in progress.
+                # A live context implies the action is entered and not
+                # committed here (handler completion clears the context),
+                # and there is no escalation relation to examine.
+                status = ctx.instance.status
+                if status is ActionStatus.ABORTED:
+                    self.p.trace("msg.stale", action=action, kind=kind)
+                    return
+                if kind == KIND_ACK and status is ActionStatus.COMPLETED:
+                    self.p.trace("msg.straggler", action=action, kind=kind)
+                    return
+                if ctx.definition.policy is NestedPolicy.WAIT_FOR_NESTED:
+                    # depth_below(action) > 0, unrolled: a live context
+                    # implies this participant entered the action, so it is
+                    # nested-busy iff the *innermost* entered action is a
+                    # different one.
+                    stack = self.p.contexts._stack
+                    if (
+                        stack[-1].action_name != action
+                        if stack
+                        else self.p.contexts.depth_below(action) > 0
+                    ):
+                        self.p.buffer_pending(action, message)
+                        self.p.trace("msg.deferred", action=action, kind=kind)
+                        return
+            else:
+                ctx = self._dispatch_slow(message, action)
+                if ctx is None:
+                    return
+
+            if kind == KIND_EXCEPTION or kind == KIND_HAVE_NESTED:
+                self._maybe_nested_trigger(ctx)
+
+            if kind == KIND_EXCEPTION:
+                self._on_exception(ctx, payload)
+            elif kind == KIND_HAVE_NESTED:
+                self._on_have_nested(ctx, payload)
+            elif kind == KIND_NESTED_COMPLETED:
+                self._on_nested_completed(ctx, payload)
+            elif kind == KIND_ACK:
+                self._on_ack(ctx, payload)
+            elif kind == KIND_COMMIT:
+                self._on_commit(ctx, payload)
+            else:  # pragma: no cover - the kind map is closed
+                raise ResolutionProtocolError(f"unknown kind {kind}")
+
+            self._advance(ctx)
+        finally:
+            self._cause = None
+
+    def _dispatch_slow(self, message: Message, action: str):
+        """Dispatch prologue for traffic outside the current context.
+
+        Handles stale/straggler traffic, belated buffering, Figure 1(a)
+        deferral and escalation; returns the context to process the message
+        under, or ``None`` when the message was consumed.
+        """
+        payload = message.payload
         registry = self.p.registry
         manager = self.p.action_manager
 
         # Stale traffic for cancelled or completed actions is dropped.
-        if manager.is_cancelled(action):
+        # (One instance() lookup serves both status checks.)
+        status = manager.instance(action).status
+        if status is ActionStatus.ABORTED:
             self.p.trace("msg.stale", action=action, kind=message.kind)
-            return
-        from repro.core.manager import ActionStatus
-
+            return None
         if (
             message.kind == KIND_ACK
-            and manager.instance(action).status is ActionStatus.COMPLETED
+            and status is ActionStatus.COMPLETED
         ):
             # An ACK overtaken by the whole exit barrier; nothing awaits it.
             self.p.trace("msg.straggler", action=action, kind=message.kind)
-            return
+            return None
         if action in self.completed:
             # A suspended object may start its handler without ever needing
             # a slow peer's HaveNested/NestedCompleted (only the resolver
@@ -254,33 +333,14 @@ class ResolutionEngine:
             # An outer resolution overrides the one in progress.
             self._escalate_to(action)
 
-        ctx = self._context_for(action)
-
-        if message.kind in (KIND_EXCEPTION, KIND_HAVE_NESTED):
-            self._maybe_nested_trigger(ctx)
-
-        if message.kind == KIND_EXCEPTION:
-            self._on_exception(ctx, payload)
-        elif message.kind == KIND_HAVE_NESTED:
-            self._on_have_nested(ctx, payload)
-        elif message.kind == KIND_NESTED_COMPLETED:
-            self._on_nested_completed(ctx, payload)
-        elif message.kind == KIND_ACK:
-            self._on_ack(ctx, payload)
-        elif message.kind == KIND_COMMIT:
-            self._on_commit(ctx, payload)
-        else:  # pragma: no cover - the kind map is closed
-            raise ResolutionProtocolError(f"unknown kind {message.kind}")
-
-        self._advance(ctx)
+        return self._context_for(action)
 
     # -- per-kind handling -------------------------------------------------------
 
     def _on_exception(self, ctx: ResolutionCtx, m: ExceptionMsg) -> None:
         ctx.le[m.sender] = m.exception
-        self.p.send(
-            m.sender, KIND_ACK, AckMsg(ctx.action, self.p.name, KIND_EXCEPTION)
-        )
+        me = self.p.name
+        self._send(me, m.sender, KIND_ACK, AckMsg(ctx.action, me, KIND_EXCEPTION))
 
     def _on_have_nested(self, ctx: ResolutionCtx, m: HaveNestedMsg) -> None:
         ctx.lo.add(m.sender)
@@ -288,10 +348,9 @@ class ResolutionEngine:
         self.p.drop_pending_nested(ctx.action)
 
     def _on_nested_completed(self, ctx: ResolutionCtx, m: NestedCompletedMsg) -> None:
-        self.p.send(
-            m.sender,
-            KIND_ACK,
-            AckMsg(ctx.action, self.p.name, KIND_NESTED_COMPLETED),
+        me = self.p.name
+        self._send(
+            me, m.sender, KIND_ACK, AckMsg(ctx.action, me, KIND_NESTED_COMPLETED)
         )
         ctx.nested_completed.add(m.sender)
         if m.exception is not None:
@@ -326,6 +385,8 @@ class ResolutionEngine:
         if self.ctx is None:
             now = self.p.sim_now
             self.ctx = ctx = ResolutionCtx(action, started_at=now)
+            ctx.instance = self.p.action_manager.instance(action)
+            ctx.definition = self.p.registry.get(action)
             spans = self._spans
             if spans is not None:
                 ctx.span_id = spans.begin(
@@ -364,17 +425,25 @@ class ResolutionEngine:
         nested within A then ..." — broadcast HaveNested, abort the chain,
         and later broadcast NestedCompleted."""
         action = ctx.action
-        if self.p.contexts.depth_below(action) == 0:
+        # depth_below(action) == 0, unrolled as in _dispatch: the context
+        # implies this participant entered the action, so it is outside any
+        # nested action iff the innermost entered action is this one.
+        stack = self.p.contexts._stack
+        if (
+            stack[-1].action_name == action
+            if stack
+            else self.p.contexts.depth_below(action) == 0
+        ):
             return
         if ctx.sent_have_nested:
             return
         ctx.sent_have_nested = True
         ctx.aborting = True
-        others = self.p.registry.get(action).others(self.p.name)
-        for other in others:
-            self.p.send(
-                other, KIND_HAVE_NESTED, HaveNestedMsg(action, self.p.name)
-            )
+        me = self.p.name
+        self._send_many(
+            me, ctx.definition.others(me), KIND_HAVE_NESTED,
+            HaveNestedMsg(action, me),
+        )
         # Inner actions are cancelled: never process their buffered traffic.
         self.p.drop_pending_nested(action)
         if self.abortion is not None and self.abortion.running:
@@ -388,14 +457,13 @@ class ResolutionEngine:
         if ctx is None:  # pragma: no cover - abortion only runs with a ctx
             raise ResolutionProtocolError("abortion completed without context")
         ctx.aborting = False
-        others = self.p.registry.get(ctx.action).others(self.p.name)
+        me = self.p.name
+        others = ctx.definition.others(me)
         ctx.ack_awaited[KIND_NESTED_COMPLETED] = set(others)
-        for other in others:
-            self.p.send(
-                other,
-                KIND_NESTED_COMPLETED,
-                NestedCompletedMsg(ctx.action, self.p.name, signal),
-            )
+        self._send_many(
+            me, others, KIND_NESTED_COMPLETED,
+            NestedCompletedMsg(ctx.action, me, signal),
+        )
         if signal is not None:
             ctx.le[self.p.name] = signal
             self._set_state(ctx, PState.EXCEPTIONAL)
@@ -406,25 +474,32 @@ class ResolutionEngine:
     # -- progress ------------------------------------------------------------------
 
     def _advance(self, ctx: ResolutionCtx) -> None:
-        """Run the state-transition checks of the algorithm's tail."""
+        """Run the state-transition checks of the algorithm's tail.
+
+        The ready/resolve/handler checks are guarded inline (rather than
+        delegated unconditionally) because ``_advance`` runs after every
+        protocol message and the sub-checks almost always have nothing to
+        do — see :meth:`_maybe_resolve` and :meth:`_maybe_start_handler`
+        for the semantics.
+        """
         if ctx is not self.ctx:
             return  # context was replaced while this event was in flight
-        if ctx.state is PState.NORMAL and not ctx.aborting:
+        aborting = ctx.aborting
+        if ctx.state is PState.NORMAL and not aborting:
             # Involved without being a raiser: suspended.
             self._set_state(ctx, PState.SUSPENDED)
-        self._check_ready(ctx)
-        self._maybe_resolve(ctx)
-        self._maybe_start_handler(ctx)
-
-    def _check_ready(self, ctx: ResolutionCtx) -> None:
         if (
             ctx.state is PState.EXCEPTIONAL
-            and not ctx.aborting
-            and ctx.nested_all_completed()
-            and ctx.all_acks_received()
+            and not aborting
+            and ctx.lo <= ctx.nested_completed
+            and not any(ctx.ack_awaited.values())
         ):
             self._set_state(ctx, PState.READY)
             self.p.trace("resolution.ready", action=ctx.action)
+        if ctx.state is PState.READY and not ctx.sent_commit:
+            self._maybe_resolve(ctx)
+        if ctx.commit is not None:
+            self._maybe_start_handler(ctx)
 
     def _maybe_resolve(self, ctx: ResolutionCtx) -> None:
         """The chosen raiser(s) resolve and commit.
@@ -436,7 +511,7 @@ class ResolutionEngine:
         """
         if ctx.state is not PState.READY or ctx.sent_commit:
             return
-        definition = self.p.registry.get(ctx.action)
+        definition = ctx.definition
         top = sorted(ctx.le, reverse=True)[: definition.resolver_group_size]
         if self.p.name not in top:
             return
@@ -468,8 +543,8 @@ class ResolutionEngine:
             self._metrics.histogram("resolution.rounds", COUNT_BUCKETS).observe(
                 len(commit.raisers)
             )
-        for other in self.p.registry.get(ctx.action).others(self.p.name):
-            self.p.send(other, KIND_COMMIT, commit)
+        me = self.p.name
+        self._send_many(me, definition.others(me), KIND_COMMIT, commit)
 
     def _maybe_start_handler(self, ctx: ResolutionCtx) -> None:
         if ctx.commit is None or ctx.handler_scheduled:

@@ -142,6 +142,10 @@ class CAParticipant(DistributedObject):
         #: Span collector when the trace level is FULL, else None (cached
         #: at attach() so every emission site is one pointer comparison).
         self._spans = None
+        #: Bound ``network.send``/``send_many`` once attached (broadcast
+        #: hot path).
+        self._net_send = None
+        self._net_send_many = None
         #: Open span ids: per entered action, and per running handler.
         self._action_span_ids: dict[str, int] = {}
         self._handler_span_ids: dict[str, int] = {}
@@ -150,6 +154,9 @@ class CAParticipant(DistributedObject):
         from repro.core.algorithm import ResolutionEngine
 
         self.engine = ResolutionEngine(self)
+        # The engine's dispatcher is registered directly (not via a
+        # participant wrapper method): protocol messages are the hot kinds,
+        # and the wrapper frame is pure overhead.
         for kind in (
             KIND_EXCEPTION,
             KIND_HAVE_NESTED,
@@ -157,7 +164,7 @@ class CAParticipant(DistributedObject):
             KIND_ACK,
             KIND_COMMIT,
         ):
-            self.on_kind(kind, self._on_protocol_message)
+            self.on_kind(kind, self.engine._dispatch)
         self.on_kind(KIND_DONE, self._on_done)
 
     # -- small helpers -------------------------------------------------------
@@ -168,6 +175,12 @@ class CAParticipant(DistributedObject):
         self._spans = spans if spans.enabled else None
         self.engine._spans = self._spans
         self.engine._metrics = runtime.metrics
+        # Bind the network's send directly for the protocol hot paths (the
+        # DistributedObject.send wrapper only re-derives these arguments).
+        self._net_send = runtime.network.send
+        self._net_send_many = runtime.network.send_many
+        self.engine._send = runtime.network.send
+        self.engine._send_many = runtime.network.send_many
 
     def action_span_id(self, action: str) -> Optional[int]:
         """The open span of ``action``, if spans are on and it is entered."""
@@ -254,32 +267,57 @@ class CAParticipant(DistributedObject):
         attempt = self._attempts.setdefault(action, 1)
         if action not in self._done_broadcast:
             self._done_broadcast.add(action)
-            for other in definition.others(self.name):
-                self.send(
-                    other, KIND_DONE, DoneMsg(action, self.name, epoch=attempt)
-                )
+            done_msg = DoneMsg(action, self.name, epoch=attempt)
+            me = self.name
+            send_many = self._net_send_many
+            if send_many is None:  # not attached (unit-test construction)
+                for other in definition.others(me):
+                    self.send(other, KIND_DONE, done_msg)
+            else:
+                send_many(me, definition.others(me), KIND_DONE, done_msg)
         self._waiting_barrier = action
         self.trace("action.leave_requested", action=action, attempt=attempt)
         self._check_barrier(action)
 
     def _on_done(self, message: Message) -> None:
         done: DoneMsg = message.payload
-        self._barrier.setdefault((done.action, done.epoch), set()).add(done.sender)
-        self._check_barrier(done.action)
+        action = done.action
+        barrier = self._barrier
+        key = (action, done.epoch)
+        arrived = barrier.get(key)
+        if arrived is None:
+            barrier[key] = arrived = set()
+        arrived.add(done.sender)
+        # Most DONEs arrive before this participant has requested leave
+        # itself; the barrier check's own precondition is tested here so
+        # those take no extra frame.
+        if self._waiting_barrier == action:
+            self._check_barrier(action)
 
     def _check_barrier(self, action: str) -> None:
         if self._waiting_barrier != action or action not in self._done_broadcast:
             return
-        if self.engine.resolving_action() is not None:
+        if self.engine.ctx is not None:
             # A resolution is in progress: either for this action (the exit
             # resumes from _exit_after_handler once the handler completes)
             # or for a containing one, whose abortion chain is about to pop
             # this context — in both cases the barrier must not fire now.
             return
-        definition = self.registry.get(action)
         attempt = self._attempts.get(action, 1)
-        arrived = self._barrier.get((action, attempt), set())
-        if set(definition.others(self.name)) <= arrived:
+        arrived = self._barrier.get((action, attempt))
+        expected = self.registry.get(action).others_set(self.name)
+        if arrived is None:
+            # No DONE has arrived for this attempt; the barrier is open
+            # only in the degenerate single-participant case.
+            if expected:
+                return
+            self._waiting_barrier = None
+            self._complete_action(action)
+            return
+        # Cheap length gate first: the subset test is O(N) and this check
+        # runs once per DONE received, so testing it before the last
+        # arrival made the barrier O(N²) per participant.
+        if len(arrived) >= len(expected) and expected <= arrived:
             self._waiting_barrier = None
             self._complete_action(action)
 
@@ -526,6 +564,8 @@ class CAParticipant(DistributedObject):
     # -- protocol plumbing ---------------------------------------------------------
 
     def _on_protocol_message(self, message: Message) -> None:
+        # Kept for API compatibility; kind handlers now bind
+        # ``engine.on_message`` directly.
         self.engine.on_message(message)
 
     def buffer_pending(self, action: str, message: Message) -> None:
@@ -541,7 +581,9 @@ class CAParticipant(DistributedObject):
         """
         dropped = 0
         for nested in self.registry.descendants(action):
-            dropped += len(self.pending.pop(nested, []))
+            buffered = self.pending.pop(nested, None)
+            if buffered is not None:
+                dropped += len(buffered)
         if dropped:
             self.trace("pending.cleanup", action=action, dropped=dropped)
         return dropped

@@ -70,9 +70,17 @@ class ResolutionCtx:
     span_id: Optional[int] = None
     #: Currently open state-dwell span (child of ``span_id``).
     state_span_id: Optional[int] = None
+    #: Cached :class:`~repro.core.manager.ActionInstance` and
+    #: :class:`~repro.core.action.CAActionDef` for ``action`` — both are
+    #: stable for the context's lifetime (instances are only replaced for
+    #: nested actions after every holder has exited them), and the dispatch
+    #: hot path reads ``instance.status`` / ``definition.policy`` on every
+    #: protocol message.
+    instance: Optional[object] = None
+    definition: Optional[object] = None
 
     def all_acks_received(self) -> bool:
-        return all(not awaited for awaited in self.ack_awaited.values())
+        return not any(self.ack_awaited.values())
 
     def nested_all_completed(self) -> bool:
         return self.lo <= self.nested_completed

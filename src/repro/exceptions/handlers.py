@@ -119,8 +119,15 @@ class HandlerSet:
     def completing_all(
         cls, tree: ResolutionTree, duration: float = 0.0
     ) -> "HandlerSet":
-        """A set with a successful default handler for every tree member."""
-        return cls({exc: Handler.completing(duration) for exc in tree.members})
+        """A set with a successful default handler for every tree member.
+
+        One (immutable) handler instance is shared across all members —
+        large generated scenarios build thousands of these bindings, and
+        the per-member Handler + closure allocation dominated scenario
+        construction time.
+        """
+        handler = Handler.completing(duration)
+        return cls({exc: handler for exc in tree.members})
 
     def with_override(
         self, exception: ExceptionClass, handler: Handler

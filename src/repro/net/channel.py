@@ -19,6 +19,8 @@ from repro.net.message import Message
 class Channel:
     """Unidirectional FIFO link between two endpoint names."""
 
+    __slots__ = ("src", "dst", "latency", "_rng", "_last_delivery", "sent", "_fixed")
+
     def __init__(
         self,
         src: str,
@@ -32,6 +34,11 @@ class Channel:
         self._rng = rng if rng is not None else random.Random(0)
         self._last_delivery = 0.0
         self.sent = 0
+        # Constant-latency channels (the default, and every count sweep)
+        # skip the sample() dispatch per message.
+        self._fixed = (
+            self.latency.delay if isinstance(self.latency, ConstantLatency) else None
+        )
 
     def stamp(self, message: Message, now: float) -> float:
         """Assign send/deliver times to ``message`` and return the latter.
@@ -39,8 +46,12 @@ class Channel:
         FIFO is enforced by clamping the delivery time to be no earlier than
         the previous message's delivery on this channel.
         """
-        delay = self.latency.sample(self._rng)
-        deliver_at = max(now + delay, self._last_delivery)
+        fixed = self._fixed
+        delay = fixed if fixed is not None else self.latency.sample(self._rng)
+        deliver_at = now + delay
+        last = self._last_delivery
+        if deliver_at < last:
+            deliver_at = last
         self._last_delivery = deliver_at
         message.send_time = now
         message.deliver_time = deliver_at

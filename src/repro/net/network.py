@@ -11,22 +11,35 @@ from __future__ import annotations
 
 import random
 from collections import Counter
+from heapq import heappush
 from typing import Callable
 
 from repro.net.channel import Channel
 from repro.net.failures import FailureInjector
 from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net import message as _message_mod
 from repro.net.message import Message
 from repro.simkernel.events import PRIORITY_DELIVERY
 from repro.simkernel.rng import RngRegistry
 from repro.simkernel.scheduler import Simulator
-from repro.simkernel.trace import TraceRecorder
+from repro.simkernel.trace import SEND_SHAPE, TraceRecorder
 
 Receiver = Callable[[Message], None]
 
 #: Shared stand-in stream for channels whose latency model is deterministic
 #: (it is never actually sampled).
 _NULL_RNG = random.Random(0)
+
+# Field-name shapes for flat (tuple) trace records: the hot path appends
+# ``(shape, v1, v2, ...)`` instead of building a details dict per record;
+# the recorder zips shape and values into the dict lazily, only if the
+# entries are ever read (see TraceRecorder.entries).  The send shape is the
+# recorder's own marker tuple: for those records the payload object itself
+# is stored and the ``action`` detail extracted at materialization.
+_SEND_FIELDS = SEND_SHAPE
+_DROP_FIELDS = ("dst", "kind", "id")
+_LOST_FIELDS = ("kind", "id")
+_RECV_FIELDS = ("src", "kind", "id")
 
 
 class UnknownEndpointError(KeyError):
@@ -62,18 +75,72 @@ class Network:
         self.deliver_via: Callable[[Message, float], None] | None = None
         self._receivers: dict[str, Receiver] = {}
         self._channels: dict[tuple[str, str], Channel] = {}
+        #: src -> dst -> Channel mirror of ``_channels``: the hot path does
+        #: two plain dict gets on interned endpoint names instead of
+        #: building (and hashing) a key tuple per send.
+        self._channels_by_src: dict[str, dict[str, Channel]] = {}
         self._latency_overrides: dict[tuple[str, str], LatencyModel] = {}
+        #: Network-wide fixed delay when the default model is constant and
+        #: no per-pair override exists: the send path then needs no channel
+        #: at all — constant delay plus a monotonic clock makes the FIFO
+        #: clamp provably a no-op, so neither the per-pair ``Channel``
+        #: objects (O(N²) of them) nor their dict lookups are built.
+        #: Cleared by :meth:`set_pair_latency`.
+        self._uniform_delay = (
+            self.default_latency.delay
+            if self.default_latency.__class__ is ConstantLatency
+            else None
+        )
+        #: True when ``send`` is not overridden by a subclass; the batched
+        #: :meth:`send_many` fast loop is only sound then (a subclass like
+        #: ReliableNetwork must see every individual send).
+        self._stock_send = type(self).send is Network.send
         self.sent_by_kind: Counter[str] = Counter()
         self.delivered_by_kind: Counter[str] = Counter()
+        # Kernel shortcuts for the deterministic Simulator: direct access to
+        # its event queue and clock lets the send path skip the
+        # schedule_at wrapper (validation + handle) and the ``now``
+        # property hop.  Foreign kernels (e.g. the asyncio backend) leave
+        # these as None and take the generic path.
+        self._sim_queue = getattr(sim, "_queue", None)
+        self._sim_clock = getattr(sim, "clock", None)
+        #: dst -> the object's live kind-handler dict, for receivers that
+        #: are the stock ``DistributedObject.receive`` bound method: the
+        #: delivery path then dispatches to the kind handler directly,
+        #: skipping the ``receive`` frame.  ``None`` for custom receivers.
+        self._targets: dict[str, tuple[Receiver, dict[str, Receiver] | None]] = {}
+        # Claim the queue's raw-delivery sink (first network wins): sends
+        # may then push (time, priority, seq, message) entries with no
+        # Event allocated, and the drain loop hands the message straight
+        # to _deliver.
+        self._raw_push = False
+        queue = self._sim_queue
+        if queue is not None and getattr(queue, "message_sink", False) is None:
+            queue.message_sink = self._deliver
+            self._raw_push = True
 
     # -- endpoint management -------------------------------------------------
 
     def register(self, name: str, receiver: Receiver) -> None:
         """Attach ``receiver`` to endpoint ``name`` (replacing any prior)."""
         self._receivers[name] = receiver
+        # Alias the object's kind-handler table when the receiver is the
+        # un-overridden DistributedObject.receive: handlers registered
+        # later via on_kind land in the same (live) dict.  Anything else —
+        # plain callables, overridden receive — keeps the generic path.
+        kind_map = None
+        owner = getattr(receiver, "__self__", None)
+        if owner is not None:
+            from repro.objects.base import DistributedObject
+
+            if getattr(receiver, "__func__", None) is DistributedObject.receive:
+                kind_map = owner._kind_handlers
+        # One lookup per delivery: receiver and kind map travel together.
+        self._targets[name] = (receiver, kind_map)
 
     def unregister(self, name: str) -> None:
         self._receivers.pop(name, None)
+        self._targets.pop(name, None)
 
     def endpoints(self) -> list[str]:
         return sorted(self._receivers)
@@ -87,21 +154,48 @@ class Network:
         """
         if (src, dst) in self._channels:
             raise RuntimeError(f"channel {src}->{dst} already in use")
+        if self._uniform_delay is not None and self.sent_by_kind:
+            # The uniform fast path leaves no per-pair channel record, so
+            # the in-use check above cannot see earlier traffic; any prior
+            # send may have been on this pair, and rebasing its latency
+            # mid-flight would break per-channel FIFO.
+            raise RuntimeError(
+                "set_pair_latency after traffic on a uniform-latency network"
+            )
+        self._uniform_delay = None
         self._latency_overrides[(src, dst)] = model
 
     def _channel(self, src: str, dst: str) -> Channel:
+        by_dst = self._channels_by_src.get(src)
+        if by_dst is not None:
+            channel = by_dst.get(dst)
+            if channel is not None:
+                return channel
         key = (src, dst)
         channel = self._channels.get(key)
         if channel is None:
             model = self._latency_overrides.get(key, self.default_latency)
             if model.deterministic:
                 # The model never draws: share one dummy stream instead of
-                # seeding a named stream per ordered pair (O(N²) of them).
-                stream = _NULL_RNG
+                # seeding a named stream per ordered pair (O(N²) of them),
+                # and build the channel without the ``__init__`` frame —
+                # every ordered pair in a large sweep passes through here
+                # exactly once, and the N(N-1) constructions add up.
+                channel = Channel.__new__(Channel)
+                channel.src = src
+                channel.dst = dst
+                channel.latency = model
+                channel._rng = _NULL_RNG
+                channel._last_delivery = 0.0
+                channel.sent = 0
+                channel._fixed = (
+                    model.delay if model.__class__ is ConstantLatency else None
+                )
             else:
                 stream = self.rng.stream(f"net.latency.{src}->{dst}")
-            channel = Channel(src, dst, model, stream)
+                channel = Channel(src, dst, model, stream)
             self._channels[key] = channel
+        self._channels_by_src.setdefault(src, {})[dst] = channel
         return channel
 
     # -- sending --------------------------------------------------------------
@@ -115,37 +209,199 @@ class Network:
         """
         if dst not in self._receivers:
             raise UnknownEndpointError(dst)
-        message = Message(src=src, dst=dst, kind=kind, payload=payload)
+        # Message.__init__ unrolled (one envelope per send is one of the
+        # hottest allocations in a sweep): send/deliver times are always
+        # overwritten by the stamp below, so only the identity fields and
+        # fault flags need writing.
+        message = Message.__new__(Message)
+        message.src = src
+        message.dst = dst
+        message.kind = kind
+        message.payload = payload
+        message.msg_id = next(_message_mod._msg_ids)
+        message.corrupted = False
+        message.dropped = False
         self.sent_by_kind[kind] += 1
-        now = self.sim.now
-        fate = self.injector.decide(src, dst, now)
-        channel = self._channel(src, dst)
-        deliver_at = channel.stamp(message, now)
-        trace = self.trace
-        if trace.wants_entries:
-            trace.record(
-                now, "msg.send", src, dst=dst, kind=kind, id=message.msg_id,
-                action=getattr(payload, "action", None),
-            )
+        clock = self._sim_clock
+        now = clock._now if clock is not None else self.sim.now
+        # Fault-free plans (every count sweep) skip the decide() frame; the
+        # inline test mirrors decide()'s own fast-return condition.  Only
+        # the stock injector class qualifies — subclasses may override
+        # decide() with logic beyond the plan.
+        injector = self.injector
+        plan = injector.plan
+        if injector.__class__ is not FailureInjector or (
+            plan.crashes
+            or plan.partitions
+            or plan.drop_probability
+            or plan.corrupt_probability
+        ):
+            fate = injector.decide(src, dst, now)
         else:
-            trace.tick("msg.send")
-        if fate == FailureInjector.DROP:
-            message.dropped = True
-            if trace.wants_entries:
-                trace.record(
-                    now, "msg.drop", src, dst=dst, kind=kind, id=message.msg_id
-                )
+            fate = FailureInjector.DELIVER
+        # Uniform constant latency (the default, and every count sweep)
+        # needs no channel: the delay is network-wide and the sim clock is
+        # monotonic, so the per-channel FIFO clamp can never fire.
+        delay = self._uniform_delay
+        if delay is not None:
+            deliver_at = now + delay
+            message.send_time = now
+            message.deliver_time = deliver_at
+        else:
+            by_dst = self._channels_by_src.get(src)
+            channel = by_dst.get(dst) if by_dst is not None else None
+            if channel is None:
+                channel = self._channel(src, dst)
+            # Constant-latency channels stamp inline (Channel.stamp
+            # unrolled); sampled latencies take the call.
+            fixed = channel._fixed
+            if fixed is not None:
+                deliver_at = now + fixed
+                last = channel._last_delivery
+                if deliver_at < last:
+                    deliver_at = last
+                channel._last_delivery = deliver_at
+                message.send_time = now
+                message.deliver_time = deliver_at
+                channel.sent += 1
             else:
-                trace.tick("msg.drop")
-            return message
-        if fate == FailureInjector.CORRUPT:
-            message.corrupted = True
+                deliver_at = channel.stamp(message, now)
+        # Trace records are appended inline (no ``record()`` frame) as flat
+        # single-tuple records (no details dict, no nested tuple): two
+        # records per delivered message is the densest record site in a
+        # FULL run.  The payload rides in the record; its ``action`` is
+        # extracted only if the entries are ever materialized.
+        trace = self.trace
+        if trace._full:
+            trace._pending.append((
+                now, "msg.send", src, _SEND_FIELDS, dst, kind,
+                message.msg_id, payload,
+            ))
+        elif trace._counting:
+            trace._counts["msg.send"] += 1
+        if fate != FailureInjector.DELIVER:
+            if fate == FailureInjector.DROP:
+                message.dropped = True
+                if trace._full:
+                    trace._pending.append((
+                        now, "msg.drop", src, _DROP_FIELDS, dst, kind,
+                        message.msg_id,
+                    ))
+                elif trace._counting:
+                    trace._counts["msg.drop"] += 1
+                return message
+            message.corrupted = True  # fate == CORRUPT
+        # Delivery fast path: with the deterministic kernel and FIFO
+        # tie-breaks, push a *raw* heap entry carrying the message itself —
+        # no Event, no closure, no label string, no ScheduledHandle, no
+        # schedule_at validation (``deliver_at >= now`` by construction).
+        # Controlled (explorer) runs keep the labelled slow path because
+        # schedule replay keys on delivery labels.
+        if self.deliver_via is None:
+            queue = self._sim_queue
+            if queue is not None and queue.tie_break is None:
+                if self._raw_push:
+                    seq = queue._seq
+                    queue._seq = seq + 1
+                    heappush(
+                        queue._heap, (deliver_at, PRIORITY_DELIVERY, seq, message)
+                    )
+                    queue._live += 1
+                else:
+                    queue.push(
+                        deliver_at, self._deliver, PRIORITY_DELIVERY, "", message
+                    )
+                return message
         self._schedule_delivery(message, deliver_at)
         return message
+
+    def send_many(
+        self, src: str, dsts: list[str], kind: str, payload: object = None
+    ) -> list[Message]:
+        """Send the same ``payload`` to every name in ``dsts``, in order.
+
+        Semantically identical to ``[send(src, d, kind, payload) for d in
+        dsts]`` — same messages, same ids, same counters, same trace
+        records, same raised error on an unknown endpoint — but the
+        per-send constants (clock read, injector check, latency lookup,
+        counter hashes, queue bookkeeping) are hoisted out of the loop.
+        Broadcasts (DONE, EXCEPTION, COMMIT, ...) are ~70% of all sends in
+        a resolution run, so the hoisting is worth a dedicated entry point.
+
+        The batched loop is only sound on the stock configuration; any
+        wrinkle (subclassed ``send``, per-pair latency, wire diversion,
+        active fault plan, controlled scheduling, foreign kernel) falls
+        back to the per-send loop.
+        """
+        delay = self._uniform_delay
+        queue = self._sim_queue
+        injector = self.injector
+        plan = injector.plan
+        if (
+            not self._stock_send
+            or delay is None
+            or self.deliver_via is not None
+            or not self._raw_push
+            or queue is None
+            or queue.tie_break is not None
+            or injector.__class__ is not FailureInjector
+            or plan.crashes
+            or plan.partitions
+            or plan.drop_probability
+            or plan.corrupt_probability
+        ):
+            return [self.send(src, dst, kind, payload) for dst in dsts]
+        receivers = self._receivers
+        for dst in dsts:
+            if dst not in receivers:
+                # Replay per-send so the earlier names are sent and
+                # UnknownEndpointError raised at the same point it would
+                # have been by the plain loop.
+                return [self.send(src, d, kind, payload) for d in dsts]
+        clock = self._sim_clock
+        now = clock._now if clock is not None else self.sim.now
+        deliver_at = now + delay
+        trace = self.trace
+        full = trace._full
+        pending = trace._pending
+        heap = queue._heap
+        seq = queue._seq
+        msg_ids = _message_mod._msg_ids
+        messages = []
+        mappend = messages.append
+        for dst in dsts:
+            message = Message.__new__(Message)
+            message.src = src
+            message.dst = dst
+            message.kind = kind
+            message.payload = payload
+            message.msg_id = mid = next(msg_ids)
+            message.corrupted = False
+            message.dropped = False
+            message.send_time = now
+            message.deliver_time = deliver_at
+            if full:
+                pending.append((
+                    now, "msg.send", src, _SEND_FIELDS, dst, kind, mid, payload,
+                ))
+            heappush(heap, (deliver_at, PRIORITY_DELIVERY, seq, message))
+            seq += 1
+            mappend(message)
+        count = len(messages)
+        queue._seq = seq
+        queue._live += count
+        self.sent_by_kind[kind] += count
+        if not full and trace._counting:
+            trace._counts["msg.send"] += count
+        return messages
 
     def _schedule_delivery(self, message: Message, deliver_at: float) -> None:
         if self.deliver_via is not None:
             self.deliver_via(message, deliver_at)
+            return
+        queue = self._sim_queue
+        if queue is not None and queue.tie_break is None:
+            queue.push(deliver_at, self._deliver, PRIORITY_DELIVERY, "", message)
             return
         self.sim.schedule_at(
             deliver_at,
@@ -156,37 +412,49 @@ class Network:
 
     def _deliver(self, message: Message) -> None:
         trace = self.trace
-        receiver = self._receivers.get(message.dst)
-        if receiver is None:
+        dst = message.dst
+        kind = message.kind
+        clock = self._sim_clock
+        now = clock._now if clock is not None else self.sim.now
+        target = self._targets.get(dst)
+        if target is None:
             # Endpoint disappeared (e.g. crashed and deregistered) while the
             # message was in flight: the message is silently lost, matching
             # the non-fail-stop fault model.
-            if trace.wants_entries:
-                trace.record(
-                    self.sim.now, "msg.lost", message.dst, kind=message.kind,
-                    id=message.msg_id,
-                )
-            else:
-                trace.tick("msg.lost")
+            if trace._full:
+                trace._pending.append((
+                    now, "msg.lost", dst, _LOST_FIELDS, kind, message.msg_id,
+                ))
+            elif trace._counting:
+                trace._counts["msg.lost"] += 1
             return
-        if self.injector.crashed(message.dst, self.sim.now):
-            if trace.wants_entries:
-                trace.record(
-                    self.sim.now, "msg.lost", message.dst, kind=message.kind,
-                    id=message.msg_id,
-                )
-            else:
-                trace.tick("msg.lost")
+        injector = self.injector
+        if injector.plan.crashes and injector.crashed(dst, now):
+            if trace._full:
+                trace._pending.append((
+                    now, "msg.lost", dst, _LOST_FIELDS, kind, message.msg_id,
+                ))
+            elif trace._counting:
+                trace._counts["msg.lost"] += 1
             return
-        self.delivered_by_kind[message.kind] += 1
-        if trace.wants_entries:
-            trace.record(
-                self.sim.now, "msg.recv", message.dst, src=message.src,
-                kind=message.kind, id=message.msg_id,
-            )
-        else:
-            trace.tick("msg.recv")
-        receiver(message)
+        self.delivered_by_kind[kind] += 1
+        if trace._full:
+            trace._pending.append((
+                now, "msg.recv", dst, _RECV_FIELDS, message.src, kind,
+                message.msg_id,
+            ))
+        elif trace._counting:
+            trace._counts["msg.recv"] += 1
+        # Dispatch straight to the kind handler when the receiver is the
+        # stock DistributedObject.receive (skips one frame per delivery);
+        # unknown kinds fall back so on_unhandled semantics are preserved.
+        kind_map = target[1]
+        if kind_map is not None:
+            handler = kind_map.get(kind)
+            if handler is not None:
+                handler(message)
+                return
+        target[0](message)
 
     # -- accounting ------------------------------------------------------------
 

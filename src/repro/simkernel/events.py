@@ -61,29 +61,44 @@ class Event:
         time: virtual time at which the event fires.
         priority: tie-break rank at equal times (lower runs first).
         seq: insertion sequence number; final deterministic tie-break.
-        action: zero-argument callable run when the event fires.
+        action: callable run when the event fires.  Called with no
+            arguments unless ``arg`` is set.
+        arg: optional single argument passed to ``action``.  The network's
+            delivery fast path stores the message here instead of closing
+            over it — one slot write instead of a closure allocation per
+            message.
         label: human-readable tag used in traces and debugging.
         cancelled: a cancelled event stays in the heap but is skipped.
     """
 
-    __slots__ = ("time", "priority", "seq", "action", "label", "cancelled", "_queue")
+    __slots__ = (
+        "time", "priority", "seq", "action", "arg", "label", "cancelled", "_queue"
+    )
 
     def __init__(
         self,
         time: float,
         priority: int,
         seq: int,
-        action: Callable[[], Any],
+        action: Callable[..., Any],
         label: str = "",
         cancelled: bool = False,
+        arg: Any = None,
     ) -> None:
         self.time = time
         self.priority = priority
         self.seq = seq
         self.action = action
+        self.arg = arg
         self.label = label
         self.cancelled = cancelled
         self._queue: "EventQueue | None" = None
+
+    def fire(self) -> Any:
+        """Invoke the action (with ``arg`` when one was attached)."""
+        if self.arg is None:
+            return self.action()
+        return self.action(self.arg)
 
     def cancel(self) -> None:
         """Mark this event so the simulator will skip it."""
@@ -153,6 +168,25 @@ class EventQueue:
         #: Optional :class:`TieBreakPolicy`; ``None`` keeps the FIFO fast
         #: path (bit-identical to the policy-free queue of earlier PRs).
         self.tie_break: TieBreakPolicy | None = None
+        #: Delivery sink for *raw* heap entries.  The network claims this
+        #: (first come, first served) and may then push entries whose
+        #: fourth element is a plain payload instead of an :class:`Event`;
+        #: the drain loops call ``message_sink(payload)`` for those.  Raw
+        #: entries are uncancellable by construction (deliveries never
+        #: cancel) and skip one Event allocation per message.
+        self.message_sink: Callable[[Any], None] | None = None
+
+    def _wrap_raw(self, entry: tuple) -> Event:
+        """Materialize an :class:`Event` for a raw delivery entry.
+
+        Only the non-fast paths (``step()``, controlled pops) see raw
+        entries as events; the fast drain loop dispatches them directly.
+        """
+        event = Event(
+            entry[0], entry[1], entry[2], self.message_sink, "deliver", False,
+            entry[3],
+        )
+        return event
 
     def __len__(self) -> int:
         return self._live
@@ -168,18 +202,58 @@ class EventQueue:
     def push(
         self,
         time: float,
-        action: Callable[[], Any],
+        action: Callable[..., Any],
         priority: int = PRIORITY_NORMAL,
         label: str = "",
+        arg: Any = None,
     ) -> Event:
         """Insert an event and return it (so callers may cancel it)."""
         seq = self._seq
         self._seq = seq + 1
-        event = Event(time, priority, seq, action, label)
+        event = Event(time, priority, seq, action, label, False, arg)
         event._queue = self
         heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
+
+    def push_batch(
+        self,
+        items: Sequence[tuple[float, Callable[..., Any]]],
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> list[Event]:
+        """Insert many ``(time, action)`` timers in one pass.
+
+        Sequence numbers are assigned in ``items`` order, so a batch is
+        indistinguishable from the equivalent loop of :meth:`push` calls —
+        same FIFO tie-breaks, same pop order.  For batches that are large
+        relative to the heap the whole structure is rebuilt with one O(n)
+        ``heapify`` instead of k × O(log n) sift-ups; small batches fall
+        back to individual pushes.  Scenario generators use this to arm a
+        whole workload's initial timers at once.
+        """
+        events: list[Event] = []
+        seq = self._seq
+        heap = self._heap
+        batch = len(items)
+        if batch * 4 >= len(heap) and batch > 4:
+            for time, action in items:
+                event = Event(time, priority, seq, action, label)
+                event._queue = self
+                heap.append((time, priority, seq, event))
+                seq += 1
+                events.append(event)
+            heapq.heapify(heap)
+        else:
+            for time, action in items:
+                event = Event(time, priority, seq, action, label)
+                event._queue = self
+                heapq.heappush(heap, (time, priority, seq, event))
+                seq += 1
+                events.append(event)
+        self._seq = seq
+        self._live += batch
+        return events
 
     def pop(self) -> Event | None:
         """Remove and return the next live event, or ``None`` if empty."""
@@ -187,7 +261,11 @@ class EventQueue:
             return self._pop_controlled()
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)[3]
+            entry = heapq.heappop(heap)
+            event = entry[3]
+            if event.__class__ is not Event:
+                self._live -= 1
+                return self._wrap_raw(entry)
             if event.cancelled:
                 self._cancelled_in_heap -= 1
                 continue
@@ -211,7 +289,10 @@ class EventQueue:
         first: tuple[float, int, int, Event] | None = None
         while heap:
             entry = heapq.heappop(heap)
-            if entry[3].cancelled:
+            payload = entry[3]
+            if payload.__class__ is not Event:
+                entry = (entry[0], entry[1], entry[2], self._wrap_raw(entry))
+            elif payload.cancelled:
                 self._cancelled_in_heap -= 1
                 continue
             first = entry
@@ -222,7 +303,10 @@ class EventQueue:
         group = [first]
         while heap and heap[0][0] == time and heap[0][1] == priority:
             entry = heapq.heappop(heap)
-            if entry[3].cancelled:
+            payload = entry[3]
+            if payload.__class__ is not Event:
+                entry = (entry[0], entry[1], entry[2], self._wrap_raw(entry))
+            elif payload.cancelled:
                 self._cancelled_in_heap -= 1
                 continue
             group.append(entry)
@@ -248,7 +332,7 @@ class EventQueue:
     def peek_time(self) -> float | None:
         """Time of the next live event without removing it."""
         heap = self._heap
-        while heap and heap[0][3].cancelled:
+        while heap and heap[0][3].__class__ is Event and heap[0][3].cancelled:
             heapq.heappop(heap)
             self._cancelled_in_heap -= 1
         if not heap:
@@ -276,6 +360,12 @@ class EventQueue:
         """
         if not self._cancelled_in_heap:
             return
-        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        # In place (not a rebind): the simulator's fast drain loop holds a
+        # direct reference to this list across events.
+        self._heap[:] = [
+            entry
+            for entry in self._heap
+            if entry[3].__class__ is not Event or not entry[3].cancelled
+        ]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0

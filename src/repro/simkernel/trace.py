@@ -24,8 +24,15 @@ from __future__ import annotations
 
 import enum
 from collections import Counter
-from dataclasses import dataclass, field
 from typing import Any, Iterator
+
+
+#: Flat-record field shape for the network's ``msg.send`` records.  The
+#: shape is matched *by identity* in :attr:`TraceRecorder.entries`: for
+#: these records the stored fourth value is the raw payload object, and the
+#: ``action`` detail is extracted from it lazily at materialization — the
+#: send path then skips a ``getattr`` per message.
+SEND_SHAPE = ("dst", "kind", "id", "action")
 
 
 class TraceLevel(enum.IntEnum):
@@ -36,9 +43,13 @@ class TraceLevel(enum.IntEnum):
     FULL = 2
 
 
-@dataclass(frozen=True)
 class TraceEntry:
     """One recorded occurrence.
+
+    A ``__slots__`` class rather than a (frozen) dataclass: FULL-level runs
+    allocate one per recorded occurrence, and the frozen-dataclass
+    ``__init__`` (four ``object.__setattr__`` calls) was the single biggest
+    line item of FULL tracing.  Treat instances as immutable.
 
     Attributes:
         time: virtual time of the occurrence.
@@ -47,10 +58,35 @@ class TraceEntry:
         details: free-form payload describing the occurrence.
     """
 
-    time: float
-    category: str
-    subject: str
-    details: dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "category", "subject", "details")
+
+    def __init__(
+        self,
+        time: float,
+        category: str,
+        subject: str,
+        details: dict[str, Any] | None = None,
+    ) -> None:
+        self.time = time
+        self.category = category
+        self.subject = subject
+        self.details = {} if details is None else details
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEntry):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.category == other.category
+            and self.subject == other.subject
+            and self.details == other.details
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceEntry(time={self.time!r}, category={self.category!r}, "
+            f"subject={self.subject!r}, details={self.details!r})"
+        )
 
     def __str__(self) -> str:
         detail_str = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
@@ -61,9 +97,27 @@ class TraceRecorder:
     """Append-only log of :class:`TraceEntry` with simple query helpers."""
 
     def __init__(self, level: TraceLevel = TraceLevel.FULL) -> None:
-        self.entries: list[TraceEntry] = []
-        #: Exact number of record() calls per category (any level but OFF).
-        self.counts: Counter[str] = Counter()
+        self._entries: list[TraceEntry] = []
+        #: Raw record tuples not yet materialized into :class:`TraceEntry`
+        #: objects.  FULL-level hot paths append here (a tuple, not an
+        #: object construction, per record); the :attr:`entries` getter
+        #: converts lazily, so runs that never read their trace never pay
+        #: for entry objects.  Two record shapes share the list:
+        #:
+        #: * ``(time, category, subject, details_dict)`` — the generic
+        #:   :meth:`record` form;
+        #: * ``(time, category, subject, field_names, v1, v2, ...)`` — the
+        #:   *flat* form used by the densest sites (the network's
+        #:   per-message entries): one tuple per record, with the interned
+        #:   field-name tuple shared across records, so no dict is built
+        #:   unless the entries are actually read.
+        self._pending: list[tuple[Any, ...]] = []
+        # Exact number of record() calls per category (any level but OFF).
+        # At FULL the hot paths do not touch this directly: a pending
+        # record's category is folded in lazily by the :attr:`counts`
+        # property (``_counted`` = how many pending records are folded).
+        self._counts: Counter[str] = Counter()
+        self._counted = 0
         # Incremental per-query cache for by_category(): category ->
         # (matching entries, number of self.entries scanned so far).  The
         # log is append-only, so a cached result only ever needs extending.
@@ -85,6 +139,63 @@ class TraceRecorder:
         self._counting = self._level is not TraceLevel.OFF
 
     @property
+    def counts(self) -> Counter[str]:
+        """Exact per-category record() tallies (any level but ``OFF``).
+
+        FULL-level hot paths only append to ``_pending``; the tallies for
+        those records are folded in here, on first read.
+        """
+        pending = self._pending
+        if pending:
+            counted = self._counted
+            total = len(pending)
+            if counted < total:
+                counts = self._counts
+                for index in range(counted, total):
+                    counts[pending[index][1]] += 1
+                self._counted = total
+        return self._counts
+
+    @property
+    def entries(self) -> list[TraceEntry]:
+        """The entry log, materializing any lazily recorded entries.
+
+        Returns the backing list itself (append-only semantics; callers may
+        truncate it directly to reclaim memory — :meth:`by_category`
+        tolerates shrinkage).
+        """
+        pending = self._pending
+        if pending:
+            self.counts  # fold pending tallies before the list is cleared
+            append = self._entries.append
+            for rec in pending:
+                details = rec[3]
+                if details.__class__ is tuple:
+                    values = rec[4:]
+                    if details is SEND_SHAPE:
+                        # msg.send stores the payload itself; the action
+                        # detail is derived here, off the hot path.
+                        values = values[:3] + (
+                            getattr(values[3], "action", None),
+                        )
+                    details = dict(zip(details, values))
+                append(TraceEntry(rec[0], rec[1], rec[2], details))
+            pending.clear()
+            self._counted = 0
+        return self._entries
+
+    @entries.setter
+    def entries(self, value: list[TraceEntry]) -> None:
+        # Wholesale replacement of the log (tests wrap it to assert on
+        # access patterns); pending raw records are dropped with the old
+        # log's contents — but their tallies stay counted, as they would
+        # have been under eager counting.
+        self.counts
+        self._pending.clear()
+        self._counted = 0
+        self._entries = value
+
+    @property
     def enabled(self) -> bool:
         """Backwards-compatible on/off switch (pre-:class:`TraceLevel` API)."""
         return self._level is not TraceLevel.OFF
@@ -103,18 +214,19 @@ class TraceRecorder:
         entry memory): it keeps the incremental :meth:`by_category` cache
         coherent with the emptied log.
         """
-        self.entries.clear()
-        self.counts.clear()
+        self._entries.clear()
+        self._pending.clear()
+        self._counts.clear()
+        self._counted = 0
         self._category_cache.clear()
 
     def record(
         self, time: float, category: str, subject: str, **details: Any
     ) -> None:
         if self._full:
-            self.entries.append(TraceEntry(time, category, subject, details))
-            self.counts[category] += 1
+            self._pending.append((time, category, subject, details))
         elif self._counting:
-            self.counts[category] += 1
+            self._counts[category] += 1
 
     def tick(self, category: str) -> None:
         """Count an occurrence without entry payload (hot-path helper).
@@ -124,7 +236,7 @@ class TraceRecorder:
         ``wants_entries`` is false.
         """
         if self._counting:
-            self.counts[category] += 1
+            self._counts[category] += 1
 
     @property
     def wants_entries(self) -> bool:
@@ -137,9 +249,10 @@ class TraceRecorder:
         """Exact occurrences of ``category`` (prefix-matched like
         :meth:`by_category`), maintained at ``FULL`` and ``COUNTS`` levels."""
         prefix = category + "."
+        counts = self.counts  # folds pending tallies
         return sum(
             n
-            for cat, n in self.counts.items()
+            for cat, n in counts.items()
             if cat == category or cat.startswith(prefix)
         )
 

@@ -100,19 +100,27 @@ def general_case(
     )
     actions = [top]
     specs = []
+    # All participants share the same (immutable) complete handler set for
+    # A1, every nested action shares one root-only tree/handler set, and
+    # every nested participant the same silent abortion handler: the former
+    # per-participant construction was O(N·P) Handler allocations and
+    # dominated scenario build time at large N.
+    top_handlers = HandlerSet.completing_all(tree)
+    nested_tree = ResolutionTree(UniversalException)
+    nested_handlers = HandlerSet.completing_all(nested_tree)
+    silent_abort = AbortionHandler.silent(abort_duration)
     for i, name in enumerate(names):
-        handler_sets = {"A1": HandlerSet.completing_all(tree)}
+        handler_sets = {"A1": top_handlers}
         abortion_handlers = {}
         if i < p:
             behaviour = [ActionBlock("A1", [Compute(raise_at), Raise(leaves[i]),])]
         elif i < p + q:
             nested_name = f"A1.N{i}"
-            nested_tree = ResolutionTree(UniversalException)
             actions.append(
                 CAActionDef(nested_name, (name,), nested_tree, parent="A1")
             )
-            handler_sets[nested_name] = HandlerSet.completing_all(nested_tree)
-            abortion_handlers[nested_name] = AbortionHandler.silent(abort_duration)
+            handler_sets[nested_name] = nested_handlers
+            abortion_handlers[nested_name] = silent_abort
             behaviour = [
                 ActionBlock(
                     "A1", [ActionBlock(nested_name, [Compute(nested_work)])]

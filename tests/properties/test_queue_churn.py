@@ -1,0 +1,126 @@
+"""Property: the optimized EventQueue is bit-identical to the seed heap.
+
+The queue grew a fast path (tuple-keyed heap entries, O(1) ``len`` via a
+live counter, lazy cancellation with threshold compaction, batched
+insertion).  None of it may change observable semantics: against a
+deliberately naive reference model — a plain ``heapq`` of
+``(time, priority, seq)`` keys with eager cancelled-skip on pop — a
+randomized push/cancel/pop/batch workload must produce the same pop order,
+the same ``len`` after every operation, and a fully drained heap at the
+end, while compaction keeps the physical heap bounded.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel.events import PRIORITY_DELIVERY, PRIORITY_NORMAL, EventQueue
+
+
+class ReferenceQueue:
+    """The seed implementation, restated as simply as possible."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+        self._cancelled = set()
+        self._popped = set()
+
+    def push(self, time, priority):
+        seq = self._seq
+        self._seq += 1
+        heapq.heappush(self._heap, (time, priority, seq))
+        return seq
+
+    def cancel(self, seq):
+        if seq not in self._popped:
+            self._cancelled.add(seq)
+
+    def pop(self):
+        while self._heap:
+            time, priority, seq = heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                continue
+            self._popped.add(seq)
+            return (time, priority, seq)
+        return None
+
+    def __len__(self):
+        return sum(
+            1 for _, _, seq in self._heap if seq not in self._cancelled
+        )
+
+
+# Operations: ("push", time, priority) | ("batch", [times]) |
+# ("cancel", index-into-pushed) | ("pop",).  Times are drawn from a tiny
+# domain so (time, priority) ties are common — that is where ordering bugs
+# live.
+_TIMES = st.integers(min_value=0, max_value=7).map(float)
+_PRIORITIES = st.sampled_from([PRIORITY_DELIVERY, PRIORITY_NORMAL, 1])
+_OPS = st.one_of(
+    st.tuples(st.just("push"), _TIMES, _PRIORITIES),
+    st.tuples(st.just("batch"), st.lists(_TIMES, min_size=1, max_size=12)),
+    st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=10_000)),
+    st.tuples(st.just("pop")),
+)
+
+
+def _key(event):
+    return (event.time, event.priority, event.seq)
+
+
+@given(ops=st.lists(_OPS, min_size=1, max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_churn_matches_reference(ops):
+    queue = EventQueue()
+    reference = ReferenceQueue()
+    noop = lambda: None  # noqa: E731
+    pushed = []  # (Event, ref seq), in push order — cancel targets
+
+    for op in ops:
+        if op[0] == "push":
+            _, time, priority = op
+            event = queue.push(time, noop, priority)
+            ref_seq = reference.push(time, priority)
+            assert event.seq == ref_seq
+            pushed.append((event, ref_seq))
+        elif op[0] == "batch":
+            # A batch must be indistinguishable from the same loop of
+            # single pushes (same seqs, same eventual pop order).
+            events = queue.push_batch([(t, noop) for t in op[1]])
+            for time, event in zip(op[1], events):
+                ref_seq = reference.push(time, PRIORITY_NORMAL)
+                assert event.seq == ref_seq
+                pushed.append((event, ref_seq))
+        elif op[0] == "cancel":
+            if pushed:
+                event, ref_seq = pushed[op[1] % len(pushed)]
+                event.cancel()
+                reference.cancel(ref_seq)
+        else:  # pop
+            popped = queue.pop()
+            expected = reference.pop()
+            if expected is None:
+                assert popped is None
+            else:
+                assert popped is not None and _key(popped) == expected
+        assert len(queue) == len(reference)
+        assert bool(queue) == (len(reference) > 0)
+        # Lazy cancellation must not let garbage accumulate: past the
+        # compaction threshold, dead entries never exceed live ones.
+        dead = queue.heap_size - len(queue)
+        assert (
+            dead <= max(len(queue), EventQueue.COMPACT_MIN_CANCELLED)
+        ), f"compaction failed: {dead} dead vs {len(queue)} live"
+
+    # Drain both to the floor: full residual order must agree too.
+    while True:
+        popped = queue.pop()
+        expected = reference.pop()
+        if expected is None:
+            assert popped is None
+            break
+        assert popped is not None and _key(popped) == expected
+    assert len(queue) == 0
+    assert queue.pop() is None
