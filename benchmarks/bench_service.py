@@ -1,0 +1,225 @@
+"""E26 — the resolution service under open-loop load.
+
+Starts the ``repro service serve`` server as a *subprocess* (real process
+isolation: the loadgen's Python runtime never shares the GIL with the
+server it measures) and drives it with the open-loop generator:
+
+1. **Sustained phase** — a warm-up burst lets the slow-start token bucket
+   converge, then a measured window at the offered rate.  The acceptance
+   floor is ``--floor`` completed actions/sec (default 500) with p50/p99
+   resolution latency reported.
+2. **Overload ramp** — stepwise-increasing offered rates far past
+   capacity.  Healthy behaviour: ``OVERLOADED`` replies appear (shedding
+   engages) while goodput *never collapses to zero* — the server keeps
+   completing admitted work at its service rate.
+
+Writes ``BENCH_service.json`` and ``benchmarks/results/E26.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from _harness import record_table  # noqa: E402
+
+from repro.service import LoadSpec, request_shutdown, run_load  # noqa: E402
+from repro.workloads.parallel import shutdown_warm_pools  # noqa: E402
+
+REPO_ROOT = Path(__file__).parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_service.json"
+
+_LISTEN_RE = re.compile(r"service listening on ([\d.]+):(\d+)")
+
+
+class ServerProcess:
+    """The server as a child process, port discovered from its stdout."""
+
+    def __init__(self, budget_seconds: float, queue_limit: int = 2048) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "service", "serve",
+                "--port", "0", "--max-seconds", str(budget_seconds),
+                "--queue-limit", str(queue_limit),
+            ],
+            cwd=REPO_ROOT, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        self.host, self.port = self._await_listening()
+
+    def _await_listening(self, timeout: float = 30.0) -> tuple[str, int]:
+        deadline = time.monotonic() + timeout
+        assert self.proc.stdout is not None
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"server exited before listening (rc={self.proc.poll()})"
+                )
+            match = _LISTEN_RE.search(line)
+            if match:
+                return match.group(1), int(match.group(2))
+        raise RuntimeError("server never announced its port")
+
+    def stop(self) -> int:
+        """Graceful shutdown if possible, SIGKILL as the backstop."""
+        if self.proc.poll() is None:
+            try:
+                request_shutdown(self.host, self.port)
+            except OSError:
+                pass
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+        return self.proc.returncode
+
+
+def _round_trip(report) -> dict:
+    payload = report.to_payload()
+    lat = payload["latency_ms"]
+    payload["latency_ms"] = {
+        k: (round(v, 2) if v is not None else None) for k, v in lat.items()
+    }
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="short windows for CI (same assertions)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--floor", type=float, default=500.0,
+                        help="minimum sustained completed actions/sec")
+    parser.add_argument("--rate", type=float, default=800.0,
+                        help="sustained-phase offered rate")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    sustain_secs = 5.0 if args.smoke else 15.0
+    ramp_secs = 2.0 if args.smoke else 4.0
+    ramp_rates = (400.0, 1600.0, 4000.0) if args.smoke else (
+        400.0, 800.0, 1600.0, 3200.0, 6400.0
+    )
+    budget = 60.0 + sustain_secs + ramp_secs * len(ramp_rates) * 3
+
+    server = ServerProcess(budget_seconds=budget)
+    print(f"server subprocess pid={server.proc.pid} "
+          f"on {server.host}:{server.port}")
+    problems: list[str] = []
+    try:
+        # Warm-up: let slow-start converge on capacity (not measured).
+        run_load(server.host, server.port, LoadSpec(
+            rate=args.rate, duration=2.0, seed=args.seed + 999,
+            drain_seconds=3.0,
+        ))
+
+        sustained = run_load(server.host, server.port, LoadSpec(
+            rate=args.rate, duration=sustain_secs, seed=args.seed,
+            drain_seconds=8.0,
+        ), fetch_stats=True)
+        if sustained.goodput < args.floor:
+            problems.append(
+                f"sustained goodput {sustained.goodput:.0f}/s "
+                f"below floor {args.floor:.0f}/s"
+            )
+        if sustained.errors:
+            problems.append(f"{sustained.errors} error replies in sustained phase")
+
+        ramp = []
+        for rate in ramp_rates:
+            report = run_load(server.host, server.port, LoadSpec(
+                rate=rate, duration=ramp_secs, seed=args.seed + int(rate),
+                drain_seconds=4.0,
+            ))
+            ramp.append(report)
+            if report.goodput <= 0:
+                problems.append(f"goodput collapsed to zero at {rate:.0f}/s")
+            if report.errors:
+                problems.append(f"{report.errors} error replies at {rate:.0f}/s")
+        if not any(r.shed for r in ramp):
+            problems.append(
+                "overload ramp never shed (no OVERLOADED replies) — "
+                "admission control did not engage"
+            )
+    finally:
+        rc = server.stop()
+        shutdown_warm_pools()
+    if rc != 0:
+        problems.append(f"server exited rc={rc}")
+
+    def fmt_ms(value) -> str:
+        return f"{value:.1f}" if value is not None else "n/a"
+
+    rows = [[
+        "sustained", f"{args.rate:.0f}", sustained.submitted,
+        sustained.completed, sustained.shed,
+        f"{sustained.goodput:.0f}", fmt_ms(sustained.percentile(0.50)),
+        fmt_ms(sustained.percentile(0.99)),
+    ]]
+    for rate, report in zip(ramp_rates, ramp):
+        rows.append([
+            "ramp", f"{rate:.0f}", report.submitted, report.completed,
+            report.shed, f"{report.goodput:.0f}",
+            fmt_ms(report.percentile(0.50)), fmt_ms(report.percentile(0.99)),
+        ])
+    record_table(
+        "E26", "Resolution service under open-loop load",
+        ["phase", "offered/s", "submitted", "completed", "shed",
+         "goodput/s", "p50 ms", "p99 ms"],
+        rows,
+        notes=(
+            f"floor={args.floor:.0f}/s; shedding must engage on the ramp "
+            "with goodput > 0 at every step"
+            + (f"; PROBLEMS: {problems}" if problems else "; all checks passed")
+        ),
+    )
+
+    payload = {
+        "experiment": "E26",
+        "smoke": args.smoke,
+        "floor": args.floor,
+        "ok": not problems,
+        "problems": problems,
+        "sustained": _round_trip(sustained),
+        "overload_ramp": [
+            {"offered_rate": rate, **_round_trip(report)}
+            for rate, report in zip(ramp_rates, ramp)
+        ],
+        "server_stats": sustained.server_stats,
+    }
+    args.out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    if problems:
+        for problem in problems:
+            print(f"PROBLEM: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except KeyboardInterrupt:
+        # Interrupted benchmarks must still release any warm fork pools —
+        # orphaned workers hang CI waiting on their pipes.
+        shutdown_warm_pools()
+        sys.exit(130)

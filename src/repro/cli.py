@@ -18,7 +18,12 @@ Commands:
   runs the sim-vs-asyncio digest comparison, ``rt run`` executes one
   campaign cell on a chosen backend (optionally over localhost TCP),
   ``rt hub`` serves a standalone frame-routing hub for multi-process
-  experiments.
+  experiments;
+* ``service``        — the resolution service: ``service serve`` runs the
+  long-running CA-action resolution server (bounded admission, slow-start
+  token bucket, OVERLOADED shedding, live stats endpoint),
+  ``service load`` drives it with open-loop Poisson/bursty traffic and
+  prints goodput, shed counts and latency percentiles.
 
 The pytest-benchmark harness under ``benchmarks/`` remains the canonical
 reproduction; this CLI is the quick, dependency-free way to poke at the
@@ -405,6 +410,100 @@ def cmd_rt_hub(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_service_serve(args: argparse.Namespace) -> int:
+    from repro.service import ResolutionServer
+
+    server = ResolutionServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        initial_rate=args.initial_rate,
+        max_rate=args.max_rate,
+    )
+
+    # The listener sets the real port before any request is served; print
+    # it as soon as the loop starts so wrappers (benchmarks, CI smoke) can
+    # connect to an ephemeral --port 0.
+    def announce() -> None:
+        if server.ready.is_set():
+            print(
+                f"service listening on {server.host}:{server.port}",
+                flush=True,
+            )
+        else:
+            server.kernel.loop.call_later(0.01, announce)
+
+    server.kernel.loop.call_soon(announce)
+    try:
+        server.serve_forever(max_seconds=args.max_seconds)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        snapshot = server.stats_snapshot()
+        server.close()
+    counters = snapshot.get("counters", {})
+    print(
+        "service stopped: "
+        f"completed={counters.get('service.completed', 0)} "
+        f"shed={counters.get('service.shed', 0)} "
+        f"sessions={counters.get('service.sessions_opened', 0)}"
+    )
+    return 0
+
+
+def cmd_service_load(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import LoadSpec, request_shutdown, run_load
+
+    spec = LoadSpec(
+        rate=args.rate,
+        duration=args.duration,
+        arrivals=args.arrivals,
+        connections=args.connections,
+        mix=args.mix,
+        max_n=args.max_n,
+        variant=args.variant,
+        seed=args.seed,
+        drain_seconds=args.drain,
+    )
+    report = run_load(args.host, args.port, spec, fetch_stats=args.stats)
+    payload = report.to_payload()
+    if args.stats:
+        payload["server_stats"] = report.server_stats
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        lat = payload["latency_ms"]
+
+        def ms(value):
+            return f"{value:.1f}ms" if value is not None else "n/a"
+
+        print(
+            f"offered {args.rate:.0f}/s for {args.duration:.0f}s "
+            f"({args.arrivals}, mix={args.mix}, variant={args.variant})"
+        )
+        print(
+            f"  submitted={report.submitted} completed={report.completed} "
+            f"shed={report.shed} errors={report.errors} "
+            f"unanswered={report.unanswered}"
+        )
+        print(
+            f"  goodput={report.goodput:.1f}/s  latency p50={ms(lat['p50'])} "
+            f"p90={ms(lat['p90'])} p99={ms(lat['p99'])}  "
+            f"max in-flight={report.max_inflight}"
+        )
+    if args.shutdown:
+        acked = request_shutdown(args.host, args.port)
+        # With --json, stdout is machine-readable; status goes to stderr.
+        print(
+            f"shutdown {'acknowledged' if acked else 'NOT acknowledged'}",
+            file=sys.stderr if args.json else sys.stdout,
+        )
+    return 0 if report.completed and not report.errors else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -553,6 +652,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_hub.add_argument("--host", default="127.0.0.1")
     p_hub.add_argument("--port", type=int, default=9321)
     p_hub.set_defaults(fn=cmd_rt_hub)
+
+    p_service = sub.add_parser(
+        "service", help="CA-action resolution service (server + loadgen)"
+    )
+    service_sub = p_service.add_subparsers(dest="service_command", required=True)
+
+    p_serve = service_sub.add_parser(
+        "serve", help="run the long-running resolution server"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=9400,
+                         help="listen port (0 picks a free one)")
+    p_serve.add_argument("--workers", type=int, default=2)
+    p_serve.add_argument("--queue-limit", type=int, default=2048,
+                         help="admission queue slots (the in-flight bound)")
+    p_serve.add_argument("--initial-rate", type=float, default=100.0,
+                         help="slow-start starting admission rate (actions/s)")
+    p_serve.add_argument("--max-rate", type=float, default=20000.0)
+    p_serve.add_argument("--max-seconds", type=float, default=None,
+                         help="stop after this much wall time (default: run "
+                              "until a shutdown frame or Ctrl-C)")
+    p_serve.set_defaults(fn=cmd_service_serve)
+
+    p_load = service_sub.add_parser(
+        "load", help="open-loop traffic generator against a running server"
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=9400)
+    p_load.add_argument("--rate", type=float, default=500.0,
+                        help="offered actions/sec (open loop)")
+    p_load.add_argument("--duration", type=float, default=10.0)
+    p_load.add_argument("--arrivals", choices=("poisson", "bursty"),
+                        default="poisson")
+    p_load.add_argument("--connections", type=int, default=4)
+    p_load.add_argument("--mix", choices=("heavy", "small", "uniform"),
+                        default="heavy", help="action-size distribution")
+    p_load.add_argument("--max-n", type=int, default=32,
+                        help="largest action in the mix")
+    p_load.add_argument("--variant", choices=("base", "ct", "mc", "cd"),
+                        default="base")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--drain", type=float, default=5.0,
+                        help="seconds to wait for straggler replies")
+    p_load.add_argument("--stats", action="store_true",
+                        help="fetch the server's live metrics snapshot")
+    p_load.add_argument("--shutdown", action="store_true",
+                        help="send a shutdown frame after the run")
+    p_load.add_argument("--json", action="store_true")
+    p_load.set_defaults(fn=cmd_service_load)
 
     p_fuzz = sub.add_parser("fuzz", help="random-scenario invariant check")
     p_fuzz.add_argument("--count", type=int, default=50)

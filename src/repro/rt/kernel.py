@@ -170,6 +170,11 @@ class AsyncioKernel:
                     )
                 loop.run_forever()
         finally:
+            # Not running from here on: a cancelled service that calls
+            # release() in its finally must not loop.stop() the cleanup
+            # gather below ("Event loop stopped before Future completed",
+            # orphaning every task the gather was reaping).
+            self._running = False
             if deadline is not None:
                 deadline.cancel()
             for task in self._service_tasks:
@@ -184,7 +189,6 @@ class AsyncioKernel:
                 if handle._timer is not None:
                     handle._timer.cancel()
                     handle._timer = None
-            self._running = False
         if self._error is not None:
             error, self._error = self._error, None
             raise error

@@ -53,6 +53,20 @@ _LEN = struct.Struct("!I")
 _MODE_JSON = b"J"
 _MODE_PICKLE = b"P"
 
+#: Ceiling on one frame body.  A misbehaving (or merely confused — e.g.
+#: HTTP) client whose first four bytes decode to a huge length must not
+#: make ``readexactly`` buffer gigabytes: anything above this is a
+#: protocol error, handled without touching the hub's accept loop.
+MAX_FRAME = 1 << 20
+
+
+class FrameError(ValueError):
+    """A malformed wire frame (bad mode, truncated body, oversized length).
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    ``ValueError`` from :func:`decode_frame` keep working.
+    """
+
 
 # -- frame codec -----------------------------------------------------------------
 
@@ -73,20 +87,60 @@ def encode_frame(header: dict, message: Optional[Message] = None) -> bytes:
 
 
 def decode_frame(body: bytes) -> tuple[dict, Optional[Message]]:
-    """Inverse of :func:`encode_frame` (body excludes the length prefix)."""
+    """Inverse of :func:`encode_frame` (body excludes the length prefix).
+
+    Raises :class:`FrameError` on anything malformed — empty body, unknown
+    mode byte, truncated pickle header, undecodable JSON — so transports
+    can treat "bad frame" as one clean error class.
+    """
     mode, rest = body[:1], body[1:]
     if mode == _MODE_JSON:
-        return json.loads(rest.decode()), None
+        try:
+            header = json.loads(rest.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FrameError(f"undecodable JSON frame header: {exc}") from None
+        if not isinstance(header, dict):
+            raise FrameError(f"frame header is not an object: {header!r}")
+        return header, None
     if mode == _MODE_PICKLE:
+        if len(rest) < _LEN.size:
+            raise FrameError("truncated pickle frame: missing header length")
         (hlen,) = _LEN.unpack(rest[: _LEN.size])
+        if hlen > len(rest) - _LEN.size:
+            raise FrameError(
+                f"truncated pickle frame: header length {hlen} exceeds body"
+            )
         head = rest[_LEN.size : _LEN.size + hlen]
-        return json.loads(head.decode()), pickle.loads(rest[_LEN.size + hlen :])
-    raise ValueError(f"unknown frame mode {mode!r}")
+        try:
+            header = json.loads(head.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FrameError(f"undecodable JSON frame header: {exc}") from None
+        if not isinstance(header, dict):
+            raise FrameError(f"frame header is not an object: {header!r}")
+        try:
+            payload = pickle.loads(rest[_LEN.size + hlen :])
+        except Exception as exc:  # pickle raises a zoo of error types
+            raise FrameError(f"undecodable pickle payload: {exc}") from None
+        return header, payload
+    raise FrameError(f"unknown frame mode {mode!r}")
 
 
-async def read_frame(reader: asyncio.StreamReader) -> tuple[dict, Optional[Message]]:
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME
+) -> tuple[dict, Optional[Message]]:
+    """Read one length-prefixed frame.
+
+    Raises :class:`FrameError` on an oversized or empty length prefix and
+    lets :class:`asyncio.IncompleteReadError` propagate on disconnect
+    (including mid-frame) — callers treat the former as a misbehaving
+    peer and the latter as a closed one.
+    """
     prefix = await reader.readexactly(_LEN.size)
     (length,) = _LEN.unpack(prefix)
+    if length == 0:
+        raise FrameError("zero-length frame")
+    if length > max_frame:
+        raise FrameError(f"frame of {length} bytes exceeds limit {max_frame}")
     return decode_frame(await reader.readexactly(length))
 
 
@@ -103,12 +157,24 @@ class TcpHub:
     registered for its ``dst``.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0,
+        max_frame: int = MAX_FRAME,
+    ) -> None:
         self.host = host
         self.port = port
+        self.max_frame = max_frame
         self.ready = asyncio.Event()
+        self.frames_routed = 0
+        self.frames_dropped = 0
+        self.protocol_errors = 0
         self._routes: dict[str, asyncio.StreamWriter] = {}
         self._server: asyncio.AbstractServer | None = None
+        #: Live per-connection handler tasks.  ``start_server`` spawns one
+        #: task per connection and forgets it; without tracking them here a
+        #: hub stopped with sessions open orphans those tasks and the loop
+        #: teardown logs ``Task was destroyed but it is pending``.
+        self._conn_tasks: set[asyncio.Task] = set()
 
     async def serve(self) -> None:
         """Run the hub until cancelled (an :class:`AsyncioKernel` service)."""
@@ -123,6 +189,17 @@ class TcpHub:
         except asyncio.CancelledError:
             raise
         finally:
+            # Tear down open sessions deterministically: cancel their
+            # reader tasks, let the cancellations unwind (each handler's
+            # ``finally`` closes its writer), then close any writer that
+            # never got a handler far enough to register.
+            tasks = [t for t in self._conn_tasks if not t.done()]
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                with contextlib.suppress(Exception):
+                    await asyncio.gather(*tasks, return_exceptions=True)
+            self._conn_tasks.clear()
             for writer in set(self._routes.values()):
                 writer.close()
             self._routes.clear()
@@ -130,29 +207,60 @@ class TcpHub:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         names: list[str] = []
         try:
-            header, _ = await read_frame(reader)
+            header, _ = await read_frame(reader, self.max_frame)
             names = list(header.get("register", ()))
             for name in names:
                 self._routes[name] = writer
             while True:
                 prefix = await reader.readexactly(_LEN.size)
                 (length,) = _LEN.unpack(prefix)
+                if not 0 < length <= self.max_frame:
+                    raise FrameError(
+                        f"frame of {length} bytes outside (0, {self.max_frame}]"
+                    )
                 body = await reader.readexactly(length)
                 head, _ = decode_frame(body)
                 out = self._routes.get(head["dst"]) or self._routes.get("*")
-                if out is None:
+                if out is None or out.is_closing():
+                    self.frames_dropped += 1
                     continue  # destination process not up: frame is lost
-                out.write(_LEN.pack(len(body)) + body)
-                await out.drain()
+                try:
+                    out.write(_LEN.pack(len(body)) + body)
+                    await out.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    # The *destination* died mid-forward: the frame is lost
+                    # (same contract as an unregistered destination), but
+                    # this connection keeps serving.
+                    self.frames_dropped += 1
+                    continue
+                self.frames_routed += 1
         except (asyncio.IncompleteReadError, ConnectionResetError):
-            pass  # peer closed
+            pass  # peer closed (possibly mid-frame)
+        except asyncio.CancelledError:
+            # Hub stopping.  Exit normally rather than re-raise: asyncio's
+            # streams machinery calls ``task.exception()`` on the handler
+            # task from a plain callback, which logs a spurious
+            # ``CancelledError`` for every cancelled connection otherwise.
+            pass
+        except (FrameError, KeyError):
+            # Malformed frame or missing "dst": drop this connection only —
+            # an unhandled exception here would be logged as a destroyed
+            # task and, worse, leave the writer open.
+            self.protocol_errors += 1
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             for name in names:
                 if self._routes.get(name) is writer:
                     del self._routes[name]
             writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
 
 
 # -- single-process bridge -------------------------------------------------------
@@ -246,14 +354,19 @@ class TcpTransport:
                     self.kernel.release()
         except asyncio.CancelledError:
             raise
-        except asyncio.IncompleteReadError:
-            pass  # hub shut down first
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # hub shut down first (possibly mid-frame)
         except Exception as exc:  # noqa: BLE001 — surface through run()
             self.kernel.fail(exc)
         finally:
             if self._writer is not None:
-                self._writer.close()
-                self._writer = None
+                writer, self._writer = self._writer, None
+                writer.close()
+                # Wait for the transport to actually release the socket so
+                # repeated runs (the conformance matrix does hundreds) never
+                # accumulate half-closed connections or pending callbacks.
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
 
 
 @contextlib.contextmanager

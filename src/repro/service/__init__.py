@@ -1,0 +1,46 @@
+"""repro.service — the CA-action resolution protocol as a served workload.
+
+A long-running server (:mod:`repro.service.server`) resolves CA actions
+submitted by clients over length-prefixed TCP frames, with bounded
+admission, slow-start rate adaptation and explicit overload shedding; an
+open-loop traffic generator (:mod:`repro.service.loadgen`) drives it with
+Poisson or bursty arrivals over a heavy-tailed action-size mix.
+
+Quick start::
+
+    python -m repro service serve --port 9400
+    python -m repro service load --port 9400 --rate 800 --duration 10
+"""
+
+from repro.service.loadgen import (
+    LoadReport,
+    LoadSpec,
+    fetch_server_stats,
+    request_shutdown,
+    run_load,
+)
+from repro.service.protocol import (
+    MAX_PARTICIPANTS,
+    SERVICE_VARIANTS,
+    ActionOutcome,
+    ActionRequest,
+    ServiceProtocolError,
+    execute_request,
+)
+from repro.service.server import ResolutionServer, TokenBucket
+
+__all__ = [
+    "ActionOutcome",
+    "ActionRequest",
+    "LoadReport",
+    "LoadSpec",
+    "MAX_PARTICIPANTS",
+    "ResolutionServer",
+    "SERVICE_VARIANTS",
+    "ServiceProtocolError",
+    "TokenBucket",
+    "execute_request",
+    "fetch_server_stats",
+    "request_shutdown",
+    "run_load",
+]

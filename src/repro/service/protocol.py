@@ -1,0 +1,248 @@
+"""Service wire protocol: action requests, outcomes, and their execution.
+
+The resolution service speaks the same length-prefixed frame codec as the
+:mod:`repro.rt.tcp` hub (JSON ``token`` mode only — no pickles from
+untrusted peers).  Every frame header carries a ``"type"``:
+
+client → server
+    ``submit``     one CA-action request (see :class:`ActionRequest`);
+    ``stats``      live :class:`~repro.obs.metrics.MetricsRegistry`
+                   snapshot, ``format`` ``"json"`` (default) or ``"text"``;
+    ``ping``       liveness probe;
+    ``shutdown``   ask the server to drain and stop (localhost research
+                   service — there is no auth layer to hide this behind).
+
+server → client
+    ``outcome``    the resolution result for one accepted ``submit``;
+    ``overloaded`` the request was shed at admission (explicit reply, so
+                   open-loop clients can count goodput vs shed);
+    ``stats`` / ``pong`` / ``error`` / ``bye``.
+
+Execution runs the *actual* protocol engines — each accepted request
+builds and runs a deterministic simulation of the requested CA action
+(variant, participants, raisers, nested members) at ``TraceLevel.COUNTS``,
+then reduces it to an :class:`ActionOutcome`: resolved exception, handler
+activations, commit/abort status, resolution message count.  COUNTS keeps
+the per-action cost at a fraction of a millisecond for the small actions
+that dominate a heavy-tailed mix; outcomes are extracted from the engine
+state (managers, participants, network counters), never from FULL traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simkernel.trace import TraceLevel
+
+#: Protocol variants the service can run, mapping to the repo's engines:
+#: ``base`` — the Section 4.2 decentralised algorithm (supports nesting),
+#: ``ct``   — the crash-tolerant extension,
+#: ``mc``   — the Section 4.5 multicast variant,
+#: ``cd``   — the Section 4.5 centralised variant (flat actions only).
+SERVICE_VARIANTS = ("base", "ct", "mc", "cd")
+
+#: Hard ceiling on participants per served action.  An N=128 action costs
+#: tens of milliseconds of engine time; anything bigger belongs in the
+#: batch campaign harness, not a live service.
+MAX_PARTICIPANTS = 128
+
+
+class ServiceProtocolError(ValueError):
+    """A malformed or out-of-bounds service request header."""
+
+
+@dataclass(frozen=True)
+class ActionRequest:
+    """One CA action to resolve on behalf of a client.
+
+    ``n``/``p``/``q`` follow the paper's Section 4.4 workload shape:
+    ``n`` participants of whom ``p`` raise concurrently and ``q`` sit in
+    nested actions (``p + q <= n``; ``cd`` ignores ``q`` — it is a flat
+    variant by construction).
+    """
+
+    id: int
+    variant: str = "base"
+    n: int = 3
+    p: int = 1
+    q: int = 0
+    seed: int = 0
+
+    @staticmethod
+    def from_header(header: dict) -> "ActionRequest":
+        """Validate and build a request from a ``submit`` frame header."""
+        try:
+            req_id = int(header["id"])
+        except (KeyError, TypeError, ValueError):
+            raise ServiceProtocolError(
+                f"submit needs an integer 'id': {header!r}"
+            ) from None
+        variant = header.get("variant", "base")
+        if variant not in SERVICE_VARIANTS:
+            raise ServiceProtocolError(
+                f"unknown variant {variant!r} (expected one of {SERVICE_VARIANTS})"
+            )
+        try:
+            n = int(header.get("n", 3))
+            p = int(header.get("p", 1))
+            q = int(header.get("q", 0))
+            seed = int(header.get("seed", 0))
+        except (TypeError, ValueError):
+            raise ServiceProtocolError(
+                f"non-integer action shape in {header!r}"
+            ) from None
+        if not 1 <= n <= MAX_PARTICIPANTS:
+            raise ServiceProtocolError(
+                f"n={n} outside [1, {MAX_PARTICIPANTS}]"
+            )
+        if not 1 <= p <= n:
+            raise ServiceProtocolError(f"p={p} outside [1, n={n}]")
+        if not 0 <= q <= n - p:
+            raise ServiceProtocolError(f"q={q} outside [0, n-p={n - p}]")
+        return ActionRequest(id=req_id, variant=variant, n=n, p=p, q=q, seed=seed)
+
+    def to_header(self) -> dict:
+        return {
+            "type": "submit", "id": self.id, "variant": self.variant,
+            "n": self.n, "p": self.p, "q": self.q, "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class ActionOutcome:
+    """What resolving one action produced (the ``outcome`` frame body)."""
+
+    id: int
+    variant: str
+    status: str  # "committed" | "aborted" | "stalled"
+    exception: Optional[str]  # resolved exception class name
+    handlers: int  # participants that activated the resolved handler
+    messages: int  # resolution messages (mc: multicast operations)
+    sim_duration: float  # virtual time the action took
+
+    def to_header(self) -> dict:
+        return {
+            "type": "outcome", "id": self.id, "variant": self.variant,
+            "status": self.status, "exception": self.exception,
+            "handlers": self.handlers, "messages": self.messages,
+            "sim_duration": self.sim_duration,
+        }
+
+    @staticmethod
+    def from_header(header: dict) -> "ActionOutcome":
+        return ActionOutcome(
+            id=int(header["id"]), variant=header["variant"],
+            status=header["status"], exception=header.get("exception"),
+            handlers=int(header["handlers"]), messages=int(header["messages"]),
+            sim_duration=float(header["sim_duration"]),
+        )
+
+
+# -- execution --------------------------------------------------------------------
+
+
+def _exc_name(exc) -> Optional[str]:
+    if exc is None:
+        return None
+    return exc.name() if hasattr(exc, "name") else type(exc).__name__
+
+
+def _execute_base(request: ActionRequest) -> ActionOutcome:
+    from repro.core.manager import ActionStatus
+    from repro.workloads.generator import general_case
+
+    result = general_case(
+        request.n, request.p, request.q, seed=request.seed,
+        trace_level=TraceLevel.COUNTS,
+    ).run(max_events=400_000)
+    instance = result.manager.instance("A1")
+    status = {
+        ActionStatus.COMPLETED: "committed",
+        ActionStatus.ABORTED: "aborted",
+    }.get(instance.status, "stalled")
+    handled = instance.handled_exception
+    handlers = sum(
+        1
+        for participant in result.participants.values()
+        for execution in participant.handler_log
+        if execution.action == "A1"
+    )
+    return ActionOutcome(
+        id=request.id, variant="base", status=status,
+        exception=_exc_name(handled), handlers=handlers,
+        messages=result.resolution_message_total(),
+        sim_duration=result.duration,
+    )
+
+
+def _execute_ct(request: ActionRequest) -> ActionOutcome:
+    from repro.core.crash_tolerant import run_crash_tolerant
+
+    result = run_crash_tolerant(
+        request.n, raisers=request.p, nested=request.q, seed=request.seed,
+        run_until=80.0, trace_level=TraceLevel.COUNTS,
+    )
+    return _variant_outcome(
+        request, "ct", result, result.all_survivors_handled(),
+        result.handled_exceptions(), result.protocol_messages(),
+    )
+
+
+def _execute_mc(request: ActionRequest) -> ActionOutcome:
+    from repro.core.multicast_variant import run_multicast_resolution
+
+    result = run_multicast_resolution(
+        request.n, p=request.p, q=request.q, seed=request.seed,
+        trace_level=TraceLevel.COUNTS,
+    )
+    return _variant_outcome(
+        request, "mc", result, result.all_handled(),
+        result.handled_exceptions(), result.multicast_operations(),
+    )
+
+
+def _execute_cd(request: ActionRequest) -> ActionOutcome:
+    from repro.core.centralized_variant import run_centralized
+
+    result = run_centralized(
+        request.n, raisers=request.p, seed=request.seed,
+        trace_level=TraceLevel.COUNTS,
+    )
+    return _variant_outcome(
+        request, "cd", result, result.all_handled(),
+        result.handled_exceptions(), result.total_messages(),
+    )
+
+
+def _variant_outcome(
+    request: ActionRequest, variant: str, result, all_handled: bool,
+    handled_names: set, messages: int,
+) -> ActionOutcome:
+    handlers = sum(
+        1 for p in result.participants.values() if p.handled is not None
+    )
+    exception = sorted(handled_names)[0] if handled_names else None
+    status = "committed" if all_handled and handled_names else "stalled"
+    return ActionOutcome(
+        id=request.id, variant=variant, status=status, exception=exception,
+        handlers=handlers, messages=messages,
+        sim_duration=result.runtime.sim.now,
+    )
+
+
+_EXECUTORS = {
+    "base": _execute_base,
+    "ct": _execute_ct,
+    "mc": _execute_mc,
+    "cd": _execute_cd,
+}
+
+
+def execute_request(request: ActionRequest) -> ActionOutcome:
+    """Run one action's resolution protocol to completion, synchronously.
+
+    Deterministic given ``(variant, n, p, q, seed)`` — the service is a
+    stateless resolution oracle, so retried requests are idempotent.
+    """
+    return _EXECUTORS[request.variant](request)

@@ -1,0 +1,391 @@
+"""The long-running CA-action resolution server.
+
+:class:`ResolutionServer` turns the repo's protocol engines into a
+persistent network service on the :class:`~repro.rt.kernel.AsyncioKernel`:
+clients open TCP sessions, submit action requests as length-prefixed JSON
+frames (:mod:`repro.service.protocol`), and receive resolution outcomes
+asynchronously — many in-flight actions multiplexed on one kernel.
+
+Load discipline (the part the paper's batch campaigns never needed):
+
+* **Bounded admission queue** — accepted requests wait in a FIFO of
+  ``queue_limit`` slots shared by every session; worker coroutines drain
+  it.  The queue *is* the in-flight buffer: its depth is the live signal
+  of how far offered load exceeds service capacity.
+* **Slow-start token bucket** — admission is additionally rate-limited by
+  :class:`TokenBucket`.  The admitted rate starts low (``initial_rate``)
+  and grows multiplicatively while the queue stays shallow; when the
+  queue crowds past its high watermark the rate is cut.  The bucket
+  therefore *converges on the server's measured capacity* instead of
+  trusting a static configuration — classic slow-start/AIMD, applied to
+  admission instead of a congestion window.
+* **Load shedding** — a request that finds the bucket empty or the queue
+  full is answered immediately with an ``overloaded`` frame (never
+  silently dropped), so open-loop clients can distinguish goodput from
+  shed work and back off.  Under overload the server keeps completing
+  admitted work at capacity: goodput degrades to the service rate, not to
+  zero.
+
+Observability: a per-server :class:`~repro.obs.metrics.MetricsRegistry`
+(counters for submitted/accepted/shed/completed, wall-clock latency and
+action-size histograms, queue/rate gauges) served live over the same
+frame protocol by ``stats`` requests, as JSON or rendered text.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Optional
+
+from repro.obs.export import metrics_to_text
+from repro.obs.metrics import MetricsRegistry
+from repro.rt.kernel import AsyncioKernel
+from repro.rt.tcp import MAX_FRAME, FrameError, encode_frame, read_frame
+from repro.service.protocol import (
+    ActionRequest,
+    ServiceProtocolError,
+    execute_request,
+)
+
+#: Wall-clock latency buckets (milliseconds): sub-millisecond admission
+#: through multi-second queue waits under overload.
+MS_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0, 10000.0,
+)
+
+#: Action-size buckets (participants per action) for the mix histogram.
+N_BUCKETS = (2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0, 128.0)
+
+
+class TokenBucket:
+    """Admission rate limiter with slow-start adaptation.
+
+    Tokens refill continuously at ``rate`` per second up to one second's
+    worth (``burst``).  :meth:`adjust` implements the control loop: grow
+    the rate while the queue is shallow, cut it when the queue crowds —
+    see the module docstring.
+    """
+
+    def __init__(
+        self,
+        initial_rate: float = 100.0,
+        max_rate: float = 20_000.0,
+        min_rate: float = 50.0,
+        growth: float = 1.5,
+        backoff: float = 0.7,
+    ) -> None:
+        if not 0 < min_rate <= initial_rate <= max_rate:
+            raise ValueError(
+                f"need 0 < min_rate <= initial_rate <= max_rate, got "
+                f"{min_rate}/{initial_rate}/{max_rate}"
+            )
+        self.rate = initial_rate
+        self.max_rate = max_rate
+        self.min_rate = min_rate
+        self.growth = growth
+        self.backoff = backoff
+        self._tokens = initial_rate  # start with one second of burst
+        self._last = 0.0
+        self._primed = False
+
+    def _refill(self, now: float) -> None:
+        if not self._primed:
+            self._last, self._primed = now, True
+            return
+        self._tokens = min(
+            self.rate, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+
+    def try_take(self, now: float) -> bool:
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def adjust(self, queue_occupancy: float) -> None:
+        """One control tick: slow-start up, multiplicative cut on crowding."""
+        if queue_occupancy > 0.75:
+            self.rate = max(self.min_rate, self.rate * self.backoff)
+        elif queue_occupancy < 0.25:
+            self.rate = min(self.max_rate, self.rate * self.growth)
+
+
+class ResolutionServer:
+    """Serve CA-action resolution over localhost TCP (see module docstring).
+
+    Args:
+        host, port: listen address (``port=0`` picks a free port, readable
+            from ``self.port`` once ``ready`` is set).
+        workers: concurrent queue-drainer coroutines.  Engine runs are
+            synchronous CPU work, so workers add *multiplexing* across
+            sessions (and overlap with socket I/O), not parallelism.
+        queue_limit: admission queue slots (the in-flight bound).
+        initial_rate / max_rate / min_rate: token-bucket parameters.
+        pacer_interval: wall seconds between slow-start control ticks.
+        max_frame: per-frame byte ceiling (protocol hardening).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        queue_limit: int = 2048,
+        initial_rate: float = 100.0,
+        max_rate: float = 20_000.0,
+        min_rate: float = 50.0,
+        pacer_interval: float = 0.25,
+        max_frame: int = MAX_FRAME,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if queue_limit < 1:
+            raise ValueError(f"need a positive queue limit, got {queue_limit}")
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self.queue_limit = queue_limit
+        self.pacer_interval = pacer_interval
+        self.bucket = TokenBucket(
+            initial_rate=initial_rate, max_rate=max_rate, min_rate=min_rate
+        )
+        # time_scale=1.0: one virtual unit == one wall second, so
+        # ``run(until=max_seconds)`` and pacer arithmetic read naturally.
+        self.kernel = AsyncioKernel(time_scale=1.0)
+        self.metrics = MetricsRegistry()
+        self.ready = asyncio.Event()
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._sessions: set[asyncio.Task] = set()
+        self._stopping = False
+        self._started_wall: Optional[float] = None
+        self.kernel.add_service(self._serve)
+        self.kernel.add_service(self._pacer)
+        for _ in range(workers):
+            self.kernel.add_service(self._worker)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def serve_forever(self, max_seconds: Optional[float] = None) -> None:
+        """Run until :meth:`stop` (or ``max_seconds`` of wall time).
+
+        Blocks the calling thread.  The kernel would otherwise consider an
+        idle server quiescent, so the server holds one lifetime token for
+        the duration.
+        """
+        self.kernel.hold()
+        try:
+            self.kernel.run(until=max_seconds)
+        finally:
+            # Released unless stop() already did (idempotent bookkeeping).
+            if not self._stopping:
+                self._stopping = True
+                with contextlib.suppress(Exception):
+                    self.kernel.release()
+
+    def stop(self) -> None:
+        """Stop from inside the loop: no new work, release the lifetime hold."""
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+        self.kernel.release()
+
+    def request_stop(self) -> None:
+        """Thread-safe stop for embedding hosts (tests, benchmarks)."""
+        self.kernel.loop.call_soon_threadsafe(self.stop)
+
+    def close(self) -> None:
+        self.kernel.close()
+
+    # -- the listener service ----------------------------------------------------
+
+    async def _serve(self) -> None:
+        self._started_wall = self.kernel.loop.time()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.ready.set()
+        try:
+            async with self._server:
+                await self._server.serve_forever()
+        except asyncio.CancelledError:
+            raise
+        finally:
+            sessions = [t for t in self._sessions if not t.done()]
+            for task in sessions:
+                task.cancel()
+            if sessions:
+                with contextlib.suppress(Exception):
+                    await asyncio.gather(*sessions, return_exceptions=True)
+            self._sessions.clear()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._sessions.add(task)
+        self.metrics.counter("service.sessions_opened").inc()
+        try:
+            await self._session(reader, writer)
+        except asyncio.CancelledError:
+            # Server stopping.  Exit normally rather than re-raise: the
+            # asyncio streams machinery calls ``task.exception()`` on this
+            # task from a plain callback and would log a spurious
+            # ``CancelledError`` per open session otherwise.
+            pass
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # peer vanished (possibly mid-frame)
+        except Exception as exc:  # noqa: BLE001 — surface through run()
+            self.kernel.fail(exc)
+        finally:
+            if task is not None:
+                self._sessions.discard(task)
+            self.metrics.counter("service.sessions_closed").inc()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _session(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                header, _ = await read_frame(reader, self.max_frame)
+            except FrameError as exc:
+                # A misbehaving client gets a clean protocol error and its
+                # session closed; the server (and every other session)
+                # keeps running.
+                self.metrics.counter("service.protocol_errors").inc()
+                self._reply(writer, {"type": "error", "reason": str(exc)})
+                with contextlib.suppress(Exception):
+                    await writer.drain()
+                return
+            kind = header.get("type")
+            if kind == "submit":
+                self._on_submit(header, writer)
+            elif kind == "stats":
+                self._on_stats(header, writer)
+            elif kind == "ping":
+                self._reply(writer, {"type": "pong"})
+            elif kind == "shutdown":
+                self._reply(writer, {"type": "bye"})
+                with contextlib.suppress(Exception):
+                    await writer.drain()
+                self.stop()
+                return
+            else:
+                self.metrics.counter("service.protocol_errors").inc()
+                self._reply(
+                    writer,
+                    {"type": "error", "reason": f"unknown frame type {kind!r}"},
+                )
+            await writer.drain()
+
+    # -- request handling ----------------------------------------------------------
+
+    def _reply(self, writer: asyncio.StreamWriter, header: dict) -> None:
+        if not writer.is_closing():
+            writer.write(encode_frame(header))
+
+    def _on_submit(self, header: dict, writer: asyncio.StreamWriter) -> None:
+        metrics = self.metrics
+        metrics.counter("service.submitted").inc()
+        try:
+            request = ActionRequest.from_header(header)
+        except ServiceProtocolError as exc:
+            metrics.counter("service.rejected").inc()
+            self._reply(
+                writer,
+                {"type": "error", "id": header.get("id"), "reason": str(exc)},
+            )
+            return
+        now = self.kernel.loop.time()
+        if self._stopping or not self.bucket.try_take(now) or self._queue.full():
+            metrics.counter("service.shed").inc()
+            self._reply(
+                writer,
+                {
+                    "type": "overloaded",
+                    "id": request.id,
+                    "queue": self._queue.qsize(),
+                    "rate": round(self.bucket.rate, 1),
+                },
+            )
+            return
+        metrics.counter("service.accepted").inc()
+        self._queue.put_nowait((request, writer, now))
+
+    async def _worker(self) -> None:
+        metrics = self.metrics
+        latency = metrics.histogram("service.latency_ms", MS_BUCKETS)
+        sizes = metrics.histogram("service.action_n", N_BUCKETS)
+        while True:
+            request, writer, enqueued = await self._queue.get()
+            try:
+                outcome = execute_request(request)
+            except Exception as exc:  # noqa: BLE001 — engine bug: report, survive
+                metrics.counter("service.engine_errors").inc()
+                self._reply(
+                    writer,
+                    {
+                        "type": "error", "id": request.id,
+                        "reason": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+                continue
+            metrics.counter("service.completed").inc()
+            metrics.counter(f"service.completed.{request.variant}").inc()
+            latency.observe(
+                (self.kernel.loop.time() - enqueued) * 1000.0
+            )
+            sizes.observe(request.n)
+            metrics.histogram("service.sim_duration").observe(
+                outcome.sim_duration
+            )
+            self._reply(writer, outcome.to_header())
+            if not writer.is_closing():
+                with contextlib.suppress(
+                    ConnectionResetError, BrokenPipeError
+                ):
+                    await writer.drain()
+            # One engine run is a synchronous burst; yield so session
+            # readers interleave even when the queue never empties.
+            await asyncio.sleep(0)
+
+    # -- control loop & stats --------------------------------------------------------
+
+    async def _pacer(self) -> None:
+        while True:
+            await asyncio.sleep(self.pacer_interval)
+            self.bucket.adjust(self._queue.qsize() / self.queue_limit)
+            gauges = self.metrics
+            gauges.gauge("service.queue_depth").set(self._queue.qsize())
+            gauges.gauge("service.admit_rate").set(self.bucket.rate)
+
+    def stats_snapshot(self) -> dict:
+        """The live registry snapshot, gauges refreshed at call time."""
+        metrics = self.metrics
+        metrics.gauge("service.queue_depth").set(self._queue.qsize())
+        metrics.gauge("service.admit_rate").set(self.bucket.rate)
+        if self._started_wall is not None:
+            metrics.gauge("service.uptime_seconds").set(
+                self.kernel.loop.time() - self._started_wall
+            )
+        return metrics.snapshot()
+
+    def _on_stats(self, header: dict, writer: asyncio.StreamWriter) -> None:
+        snapshot = self.stats_snapshot()
+        if header.get("format") == "text":
+            self._reply(
+                writer, {"type": "stats", "text": metrics_to_text(snapshot)}
+            )
+        else:
+            self._reply(writer, {"type": "stats", "snapshot": snapshot})

@@ -231,8 +231,14 @@ def shutdown_warm_pools() -> None:
     global _sweep_pool, _map_pool
     for cached in (_sweep_pool, _map_pool):
         if cached is not None:
-            cached[1].terminate()
-            cached[1].join()
+            # A pool may already be half-dead (interpreter teardown after
+            # SIGINT, workers reaped by the OS); releasing the rest must
+            # not mask the original exit.
+            try:
+                cached[1].terminate()
+                cached[1].join()
+            except Exception:  # pragma: no cover — depends on kill timing
+                pass
     _sweep_pool = None
     _map_pool = None
 

@@ -1,0 +1,132 @@
+"""MetricsRegistry merge semantics and histogram edge behaviour.
+
+The sweep runner and the resolution service both rely on snapshots being
+mergeable by plain elementwise addition; these tests pin down the edges
+that general usage never exercises — values exactly on bucket bounds,
+merging with empty snapshots, and registries with disjoint key sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import HistogramMetric, MetricsRegistry, merge_snapshots
+
+BOUNDS = (1.0, 2.0, 5.0)
+
+
+class TestHistogramEdges:
+    def test_value_on_bound_lands_in_lower_bucket(self) -> None:
+        """Bounds are inclusive upper edges: observe(b) counts in b's bucket."""
+        hist = HistogramMetric("h", BOUNDS)
+        hist.observe(1.0)
+        hist.observe(2.0)
+        hist.observe(5.0)
+        assert hist.bucket_counts == [1, 1, 1, 0]
+
+    def test_value_above_last_bound_lands_in_overflow(self) -> None:
+        hist = HistogramMetric("h", BOUNDS)
+        hist.observe(5.000001)
+        hist.observe(1e9)
+        assert hist.bucket_counts == [0, 0, 0, 2]
+
+    def test_value_below_first_bound_lands_in_first_bucket(self) -> None:
+        hist = HistogramMetric("h", BOUNDS)
+        hist.observe(0.0)
+        hist.observe(-3.0)  # defensive: negative samples still count
+        assert hist.bucket_counts == [2, 0, 0, 0]
+
+    def test_empty_histogram_extremes(self) -> None:
+        hist = HistogramMetric("h", BOUNDS)
+        assert hist.count == 0
+        assert hist.min is None
+        assert hist.max is None
+        assert hist.mean is None
+
+    def test_non_increasing_bounds_rejected(self) -> None:
+        with pytest.raises(ValueError, match="strictly increasing"):
+            HistogramMetric("h", (1.0, 1.0, 2.0))
+
+
+class TestSnapshotMerge:
+    def test_merge_with_empty_snapshot_is_identity(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", BOUNDS).observe(2.0)
+        base = registry.snapshot()
+
+        empty = MetricsRegistry().snapshot()
+        assert merge_snapshots([base, empty]) == base
+        assert merge_snapshots([empty, base]) == base
+
+    def test_empty_histogram_merge_keeps_none_extremes(self) -> None:
+        """An empty histogram's min/max (None) must not poison the merge."""
+        left = MetricsRegistry()
+        left.histogram("h", BOUNDS)  # created, never observed
+        right = MetricsRegistry()
+        right.histogram("h", BOUNDS).observe(3.0)
+
+        merged = merge_snapshots([left.snapshot(), right.snapshot()])
+        assert merged["histograms"]["h"]["min"] == 3.0
+        assert merged["histograms"]["h"]["max"] == 3.0
+
+        both_empty = merge_snapshots(
+            [left.snapshot(), MetricsRegistry().snapshot()]
+        )
+        # "h" only exists on the left; extremes stay unset.
+        assert both_empty["histograms"]["h"]["min"] is None
+        assert both_empty["histograms"]["h"]["max"] is None
+
+    def test_disjoint_keys_union(self) -> None:
+        left = MetricsRegistry()
+        left.counter("only.left").inc(1)
+        left.histogram("hist.left", BOUNDS).observe(1.0)
+        right = MetricsRegistry()
+        right.counter("only.right").inc(2)
+        right.gauge("gauge.right").set(9.0)
+
+        merged = merge_snapshots([left.snapshot(), right.snapshot()])
+        assert merged["counters"] == {"only.left": 1, "only.right": 2}
+        assert merged["gauges"] == {"gauge.right": 9.0}
+        assert set(merged["histograms"]) == {"hist.left"}
+
+    def test_shared_keys_add_and_gauges_overwrite(self) -> None:
+        snapshots = []
+        for value in (1.0, 4.0):
+            registry = MetricsRegistry()
+            registry.counter("c").inc(int(value))
+            registry.gauge("g").set(value)
+            registry.histogram("h", BOUNDS).observe(value)
+            snapshots.append(registry.snapshot())
+
+        merged = merge_snapshots(snapshots)
+        assert merged["counters"]["c"] == 5
+        assert merged["gauges"]["g"] == 4.0  # last write wins
+        hist = merged["histograms"]["h"]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(5.0)
+        assert hist["min"] == 1.0
+        assert hist["max"] == 4.0
+        assert hist["bucket_counts"] == [1, 0, 1, 0]
+
+    def test_boundary_samples_merge_without_drift(self) -> None:
+        """Edge samples bucket identically before and after a merge."""
+        direct = HistogramMetric("h", BOUNDS)
+        halves = [MetricsRegistry(), MetricsRegistry()]
+        for index, value in enumerate([1.0, 1.0, 2.0, 5.0, 6.0]):
+            direct.observe(value)
+            halves[index % 2].histogram("h", BOUNDS).observe(value)
+
+        merged = merge_snapshots([h.snapshot() for h in halves])
+        assert merged["histograms"]["h"]["bucket_counts"] == list(
+            direct.bucket_counts
+        )
+
+    def test_mismatched_bounds_rejected(self) -> None:
+        left = MetricsRegistry()
+        left.histogram("h", (1.0, 2.0)).observe(1.0)
+        right = MetricsRegistry()
+        right.histogram("h", (10.0, 20.0)).observe(15.0)
+        with pytest.raises(ValueError, match="bounds"):
+            merge_snapshots([left.snapshot(), right.snapshot()])

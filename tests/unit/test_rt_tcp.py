@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
+import asyncio
+import struct
+
 import pytest
 
 from repro.net.message import Message
-from repro.rt.tcp import TcpTransport, decode_frame, encode_frame, tcp_transport
+from repro.rt.tcp import (
+    FrameError,
+    TcpTransport,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    tcp_transport,
+)
 from repro.workloads.generator import (
     expected_general_messages,
     general_case,
@@ -47,6 +57,78 @@ class TestFrameCodec:
     def test_unknown_mode_rejected(self) -> None:
         with pytest.raises(ValueError, match="frame mode"):
             decode_frame(b"Zjunk")
+
+
+class TestMalformedFrames:
+    """decode_frame/read_frame must fail with FrameError, never hang or
+    leak a raw json/pickle/struct exception to transport code."""
+
+    def test_frame_error_is_a_value_error(self) -> None:
+        # Pre-existing callers catch ValueError; the refinement must not
+        # slip past them.
+        assert issubclass(FrameError, ValueError)
+
+    def test_undecodable_json_header(self) -> None:
+        with pytest.raises(FrameError, match="undecodable JSON"):
+            decode_frame(b"J{not json")
+
+    def test_non_object_json_header(self) -> None:
+        with pytest.raises(FrameError, match="not an object"):
+            decode_frame(b"J[1, 2, 3]")
+
+    def test_non_utf8_json_header(self) -> None:
+        with pytest.raises(FrameError, match="undecodable JSON"):
+            decode_frame(b"J\xff\xfe")
+
+    def test_pickle_frame_missing_header_length(self) -> None:
+        with pytest.raises(FrameError, match="missing header length"):
+            decode_frame(b"P\x00\x01")
+
+    def test_pickle_frame_header_length_exceeds_body(self) -> None:
+        with pytest.raises(FrameError, match="exceeds body"):
+            decode_frame(b"P" + struct.pack("!I", 999) + b"{}")
+
+    def test_pickle_frame_garbage_payload(self) -> None:
+        head = b'{"dst":"x"}'
+        body = b"P" + struct.pack("!I", len(head)) + head + b"not a pickle"
+        with pytest.raises(FrameError, match="undecodable pickle"):
+            decode_frame(body)
+
+    def _read(self, data: bytes, **kwargs):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return await read_frame(reader, **kwargs)
+
+        return asyncio.run(go())
+
+    def test_read_frame_zero_length_rejected(self) -> None:
+        with pytest.raises(FrameError, match="zero-length"):
+            self._read(struct.pack("!I", 0))
+
+    def test_read_frame_oversized_length_rejected(self) -> None:
+        # An HTTP GET's first four bytes decode to ~1.2 GB: the reader
+        # must refuse before trying to buffer it.
+        with pytest.raises(FrameError, match="exceeds limit"):
+            self._read(b"GET / HTTP/1.1\r\n")
+
+    def test_read_frame_custom_limit(self) -> None:
+        frame = encode_frame({"dst": "x", "blob": "y" * 100})
+        with pytest.raises(FrameError, match="exceeds limit"):
+            self._read(frame, max_frame=16)
+
+    def test_read_frame_mid_frame_eof_is_incomplete_read(self) -> None:
+        # Disconnect between prefix and body: the *caller* decides what a
+        # vanished peer means, so the asyncio error must pass through.
+        frame = encode_frame({"dst": "x"})
+        with pytest.raises(asyncio.IncompleteReadError):
+            self._read(frame[:6])
+
+    def test_read_frame_good_frame_round_trips(self) -> None:
+        header, message = self._read(encode_frame({"dst": "x", "token": 3}))
+        assert header == {"dst": "x", "token": 3}
+        assert message is None
 
 
 class TestTcpRuns:

@@ -1,0 +1,327 @@
+"""Resolution service: protocol validation, admission control, live sessions."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.rt.tcp import encode_frame, read_frame
+from repro.service import (
+    ActionRequest,
+    ResolutionServer,
+    ServiceProtocolError,
+    TokenBucket,
+    execute_request,
+)
+
+REPLY_TIMEOUT = 30.0
+
+
+# -- live-server harness ----------------------------------------------------------
+
+
+class _ServerHarness:
+    """A ResolutionServer on a free port, running in a daemon thread."""
+
+    def __init__(self, **kwargs) -> None:
+        self.server = ResolutionServer(port=0, **kwargs)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"max_seconds": 120.0},
+            daemon=True,
+        )
+        self.thread.start()
+        deadline = time.monotonic() + 15.0
+        while self.server.port == 0:
+            if not self.thread.is_alive():
+                raise RuntimeError("server thread died before binding")
+            if time.monotonic() > deadline:
+                raise RuntimeError("server never bound its port")
+            time.sleep(0.005)
+
+    def stop(self) -> None:
+        self.server.request_stop()
+        self.thread.join(timeout=15.0)
+        self.server.close()
+        assert not self.thread.is_alive(), "server thread failed to stop"
+
+
+@pytest.fixture()
+def start_server():
+    harnesses: list[_ServerHarness] = []
+
+    def _start(**kwargs) -> ResolutionServer:
+        harness = _ServerHarness(**kwargs)
+        harnesses.append(harness)
+        return harness.server
+
+    yield _start
+    for harness in harnesses:
+        harness.stop()
+
+
+def _exchange(port: int, headers: list[dict], replies: int) -> list[dict]:
+    """One session: send ``headers``, read ``replies`` frames, disconnect."""
+
+    async def go() -> list[dict]:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            for header in headers:
+                writer.write(encode_frame(header))
+            await writer.drain()
+            out = []
+            for _ in range(replies):
+                header, _body = await asyncio.wait_for(
+                    read_frame(reader), timeout=REPLY_TIMEOUT
+                )
+                out.append(header)
+            return out
+        finally:
+            writer.close()
+
+    return asyncio.run(go())
+
+
+# -- protocol validation ----------------------------------------------------------
+
+
+class TestActionRequestValidation:
+    def test_header_roundtrip(self) -> None:
+        request = ActionRequest(id=7, variant="mc", n=5, p=2, q=1, seed=42)
+        assert ActionRequest.from_header(request.to_header()) == request
+
+    def test_missing_id_rejected(self) -> None:
+        with pytest.raises(ServiceProtocolError, match="integer 'id'"):
+            ActionRequest.from_header({"type": "submit"})
+
+    def test_unknown_variant_rejected(self) -> None:
+        with pytest.raises(ServiceProtocolError, match="unknown variant"):
+            ActionRequest.from_header({"id": 1, "variant": "quantum"})
+
+    @pytest.mark.parametrize("n", [0, -1, 129, 10_000])
+    def test_participant_count_bounded(self, n: int) -> None:
+        with pytest.raises(ServiceProtocolError, match="outside"):
+            ActionRequest.from_header({"id": 1, "n": n, "p": 1})
+
+    def test_raisers_bounded_by_n(self) -> None:
+        with pytest.raises(ServiceProtocolError, match="p=4"):
+            ActionRequest.from_header({"id": 1, "n": 3, "p": 4})
+
+    def test_nested_bounded_by_remaining(self) -> None:
+        with pytest.raises(ServiceProtocolError, match="q=3"):
+            ActionRequest.from_header({"id": 1, "n": 4, "p": 2, "q": 3})
+
+    def test_non_integer_shape_rejected(self) -> None:
+        with pytest.raises(ServiceProtocolError, match="non-integer"):
+            ActionRequest.from_header({"id": 1, "n": "lots"})
+
+
+class TestExecuteRequest:
+    @pytest.mark.parametrize("variant", ["base", "ct", "mc", "cd"])
+    def test_small_action_commits(self, variant: str) -> None:
+        request = ActionRequest(id=1, variant=variant, n=3, p=1, q=0, seed=0)
+        outcome = execute_request(request)
+        assert outcome.id == 1
+        assert outcome.variant == variant
+        assert outcome.status == "committed"
+        assert outcome.exception is not None
+        assert outcome.handlers >= 1
+        assert outcome.messages > 0
+        assert outcome.sim_duration > 0
+
+    def test_deterministic_given_seed(self) -> None:
+        request = ActionRequest(id=2, variant="base", n=4, p=2, q=1, seed=9)
+        assert execute_request(request) == execute_request(request)
+
+    def test_nested_base_action(self) -> None:
+        outcome = execute_request(
+            ActionRequest(id=3, variant="base", n=4, p=1, q=2, seed=0)
+        )
+        assert outcome.status in ("committed", "aborted")
+        assert outcome.messages > 0
+
+
+# -- admission control ------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_initial_burst_then_refusal(self) -> None:
+        bucket = TokenBucket(initial_rate=50.0, max_rate=50.0, min_rate=50.0)
+        taken = sum(bucket.try_take(0.0) for _ in range(60))
+        assert taken == 50
+        assert not bucket.try_take(0.0)
+
+    def test_refills_at_rate(self) -> None:
+        bucket = TokenBucket(initial_rate=100.0, max_rate=100.0, min_rate=50.0)
+        while bucket.try_take(0.0):
+            pass
+        # Half a second later: ~50 tokens back.
+        taken = sum(bucket.try_take(0.5) for _ in range(100))
+        assert 45 <= taken <= 55
+
+    def test_adjust_grows_when_queue_shallow(self) -> None:
+        bucket = TokenBucket(initial_rate=100.0, max_rate=1000.0)
+        bucket.adjust(queue_occupancy=0.0)
+        assert bucket.rate == pytest.approx(150.0)
+
+    def test_adjust_cuts_when_queue_crowded(self) -> None:
+        bucket = TokenBucket(initial_rate=100.0)
+        bucket.adjust(queue_occupancy=0.9)
+        assert bucket.rate == pytest.approx(70.0)
+
+    def test_adjust_holds_in_dead_band(self) -> None:
+        bucket = TokenBucket(initial_rate=100.0)
+        bucket.adjust(queue_occupancy=0.5)
+        assert bucket.rate == pytest.approx(100.0)
+
+    def test_rate_clamped_to_bounds(self) -> None:
+        bucket = TokenBucket(initial_rate=60.0, max_rate=100.0, min_rate=50.0)
+        for _ in range(20):
+            bucket.adjust(queue_occupancy=1.0)
+        assert bucket.rate == pytest.approx(50.0)
+        for _ in range(20):
+            bucket.adjust(queue_occupancy=0.0)
+        assert bucket.rate == pytest.approx(100.0)
+
+    def test_invalid_bounds_rejected(self) -> None:
+        with pytest.raises(ValueError, match="min_rate"):
+            TokenBucket(initial_rate=10.0, max_rate=5.0)
+
+
+# -- live sessions ----------------------------------------------------------------
+
+
+class TestLiveServer:
+    def test_ping_pong(self, start_server) -> None:
+        server = start_server()
+        (reply,) = _exchange(server.port, [{"type": "ping"}], replies=1)
+        assert reply == {"type": "pong"}
+
+    def test_submit_returns_matching_outcome(self, start_server) -> None:
+        server = start_server()
+        request = ActionRequest(id=41, variant="base", n=3, p=1, q=0, seed=1)
+        (reply,) = _exchange(server.port, [request.to_header()], replies=1)
+        assert reply["type"] == "outcome"
+        assert reply["id"] == 41
+        assert reply["status"] == "committed"
+
+    def test_invalid_submit_gets_error_not_disconnect(self, start_server) -> None:
+        server = start_server()
+        replies = _exchange(
+            server.port,
+            [{"type": "submit", "id": 9, "n": 0}, {"type": "ping"}],
+            replies=2,
+        )
+        assert replies[0]["type"] == "error"
+        assert replies[0]["id"] == 9
+        # The session survived the bad submit.
+        assert replies[1] == {"type": "pong"}
+
+    def test_unknown_frame_type_gets_error(self, start_server) -> None:
+        server = start_server()
+        replies = _exchange(
+            server.port, [{"type": "dance"}, {"type": "ping"}], replies=2
+        )
+        assert replies[0]["type"] == "error"
+        assert "dance" in replies[0]["reason"]
+        assert replies[1] == {"type": "pong"}
+
+    def test_malformed_frame_closes_session_only(self, start_server) -> None:
+        server = start_server()
+
+        async def misbehave() -> dict:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                # Valid length prefix, garbage mode byte.
+                writer.write(b"\x00\x00\x00\x05Zjunk")
+                await writer.drain()
+                header, _ = await asyncio.wait_for(
+                    read_frame(reader), timeout=REPLY_TIMEOUT
+                )
+                # ...and then the server hangs up on us.
+                with pytest.raises(asyncio.IncompleteReadError):
+                    await asyncio.wait_for(
+                        read_frame(reader), timeout=REPLY_TIMEOUT
+                    )
+                return header
+            finally:
+                writer.close()
+
+        reply = asyncio.run(misbehave())
+        assert reply["type"] == "error"
+        # The server itself is unharmed: fresh sessions still work.
+        (pong,) = _exchange(server.port, [{"type": "ping"}], replies=1)
+        assert pong == {"type": "pong"}
+        assert server.metrics.counter("service.protocol_errors").value == 1
+
+    def test_oversized_frame_rejected(self, start_server) -> None:
+        server = start_server(max_frame=1024)
+
+        async def oversend() -> dict:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                writer.write(b"\xff\xff\xff\xff")  # claims a 4 GiB frame
+                await writer.drain()
+                header, _ = await asyncio.wait_for(
+                    read_frame(reader), timeout=REPLY_TIMEOUT
+                )
+                return header
+            finally:
+                writer.close()
+
+        reply = asyncio.run(oversend())
+        assert reply["type"] == "error"
+        assert "exceeds limit" in reply["reason"]
+
+    def test_overload_sheds_with_explicit_reply(self, start_server) -> None:
+        # A deliberately tiny, non-adaptive bucket: 50-token burst, 50/s
+        # refill, no growth — a 200-request burst must shed most of itself.
+        server = start_server(initial_rate=50.0, max_rate=50.0, min_rate=50.0)
+        headers = [
+            ActionRequest(id=i, variant="base", n=2, p=1, q=0, seed=i).to_header()
+            for i in range(200)
+        ]
+        replies = _exchange(server.port, headers, replies=200)
+        kinds = {"outcome": 0, "overloaded": 0}
+        for reply in replies:
+            kinds[reply["type"]] += 1
+        assert kinds["outcome"] >= 1, "admitted work must still complete"
+        assert kinds["overloaded"] >= 1, "overload must shed explicitly"
+        assert kinds["outcome"] + kinds["overloaded"] == 200
+        shed = server.metrics.counter("service.shed").value
+        assert shed == kinds["overloaded"]
+
+    def test_stats_snapshot_over_the_wire(self, start_server) -> None:
+        server = start_server()
+        request = ActionRequest(id=1, variant="cd", n=3, p=1, q=0, seed=0)
+        _exchange(server.port, [request.to_header()], replies=1)
+        (reply,) = _exchange(server.port, [{"type": "stats"}], replies=1)
+        snapshot = reply["snapshot"]
+        assert snapshot["counters"]["service.completed"] == 1
+        assert snapshot["counters"]["service.completed.cd"] == 1
+        assert snapshot["histograms"]["service.latency_ms"]["count"] == 1
+        assert "service.queue_depth" in snapshot["gauges"]
+
+    def test_stats_text_format(self, start_server) -> None:
+        server = start_server()
+        (reply,) = _exchange(
+            server.port, [{"type": "stats", "format": "text"}], replies=1
+        )
+        assert reply["type"] == "stats"
+        assert "service.sessions_opened" in reply["text"]
+
+    def test_shutdown_frame_stops_server(self, start_server) -> None:
+        server = start_server()
+        (reply,) = _exchange(server.port, [{"type": "shutdown"}], replies=1)
+        assert reply == {"type": "bye"}
+        deadline = time.monotonic() + 15.0
+        while not server._stopping and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server._stopping
