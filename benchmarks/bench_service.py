@@ -1,19 +1,29 @@
-"""E26 — the resolution service under open-loop load.
+"""E26/E27 — the resolution service under open-loop load, and its tracing.
 
 Starts the ``repro service serve`` server as a *subprocess* (real process
 isolation: the loadgen's Python runtime never shares the GIL with the
 server it measures) and drives it with the open-loop generator:
 
-1. **Sustained phase** — a warm-up burst lets the slow-start token bucket
-   converge, then a measured window at the offered rate.  The acceptance
-   floor is ``--floor`` completed actions/sec (default 500) with p50/p99
-   resolution latency reported.
-2. **Overload ramp** — stepwise-increasing offered rates far past
+1. **Sustained phase (E26)** — a warm-up burst lets the slow-start token
+   bucket converge, then a measured window at the offered rate.  The
+   acceptance floor is ``--floor`` completed actions/sec (default 500)
+   with p50/p99 resolution latency reported.
+2. **Overload ramp (E26)** — stepwise-increasing offered rates far past
    capacity.  Healthy behaviour: ``OVERLOADED`` replies appear (shedding
    engages) while goodput *never collapses to zero* — the server keeps
    completing admitted work at its service rate.
+3. **Tracing (E27)** — a fresh server with a flight-recorder dump
+   directory serves one traced window at 1× the sustained rate and one at
+   8× (forced overload).  Records the per-stage latency breakdown
+   (queue-wait / execute / serialize / reply p50+p99, from the server's
+   histograms via :func:`histogram_quantile`), verifies the shed-triggered
+   flight dump is valid Chrome trace JSON, and compares the E26
+   tracing-off sustained goodput against the previously recorded baseline
+   — the tracing machinery must cost ≤5% when off (hard-gated only under
+   ``--baseline``; always recorded).
 
-Writes ``BENCH_service.json`` and ``benchmarks/results/E26.txt``.
+Writes ``BENCH_service.json`` and ``benchmarks/results/E26.txt`` /
+``E27.txt``; flight dumps land in ``benchmarks/results/flight-e27/``.
 
 Usage::
 
@@ -36,7 +46,13 @@ sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 from _harness import record_table  # noqa: E402
 
-from repro.service import LoadSpec, request_shutdown, run_load  # noqa: E402
+from repro.obs.export import validate_chrome_trace  # noqa: E402
+from repro.obs.metrics import histogram_quantile  # noqa: E402
+from repro.service import (  # noqa: E402
+    LoadSpec,
+    request_shutdown,
+    run_load,
+)
 from repro.workloads.parallel import shutdown_warm_pools  # noqa: E402
 
 REPO_ROOT = Path(__file__).parent.parent
@@ -48,7 +64,12 @@ _LISTEN_RE = re.compile(r"service listening on ([\d.]+):(\d+)")
 class ServerProcess:
     """The server as a child process, port discovered from its stdout."""
 
-    def __init__(self, budget_seconds: float, queue_limit: int = 2048) -> None:
+    def __init__(
+        self,
+        budget_seconds: float,
+        queue_limit: int = 2048,
+        extra_args: list[str] | None = None,
+    ) -> None:
         env = dict(os.environ)
         env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
@@ -58,6 +79,7 @@ class ServerProcess:
                 sys.executable, "-m", "repro", "service", "serve",
                 "--port", "0", "--max-seconds", str(budget_seconds),
                 "--queue-limit", str(queue_limit),
+                *(extra_args or []),
             ],
             cwd=REPO_ROOT, env=env,
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
@@ -102,6 +124,56 @@ def _round_trip(report) -> dict:
     return payload
 
 
+#: Per-request wall-clock stage histograms the server publishes (ms).
+STAGE_HISTOGRAMS = ("latency", "queue_wait", "execute", "serialize", "reply")
+
+
+def _stage_breakdown(snapshot: dict, previous: dict | None = None) -> dict:
+    """p50/p99 per stage from the server's histograms.
+
+    With ``previous``, quantiles are estimated over the bucket-count
+    *deltas* between the two snapshots — the same trick the server's own
+    p99-budget check uses — so one window's breakdown is not polluted by
+    everything served before it.
+    """
+    out: dict = {}
+    histograms = snapshot.get("histograms", {})
+    prev_histograms = (previous or {}).get("histograms", {})
+    for stage in STAGE_HISTOGRAMS:
+        name = f"service.{stage}_ms"
+        data = histograms.get(name)
+        if data is None:
+            continue
+        prev = prev_histograms.get(name)
+        if prev is not None:
+            data = {
+                "bounds": data["bounds"],
+                "bucket_counts": [
+                    a - b
+                    for a, b in zip(data["bucket_counts"], prev["bucket_counts"])
+                ],
+                "count": data["count"] - prev["count"],
+                "min": None,  # window extremes unknown; skip the clamp
+                "max": data.get("max"),
+            }
+        out[stage] = {
+            "count": data["count"],
+            "p50_ms": histogram_quantile(data, 0.50),
+            "p99_ms": histogram_quantile(data, 0.99),
+        }
+    return out
+
+
+def _prior_sustained_goodput(out_path: Path) -> float | None:
+    """The previously recorded sustained goodput (the ≤5% reference)."""
+    try:
+        prior = json.loads(out_path.read_text())
+    except (OSError, ValueError):
+        return None
+    goodput = prior.get("sustained", {}).get("goodput")
+    return float(goodput) if isinstance(goodput, (int, float)) else None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -112,7 +184,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rate", type=float, default=800.0,
                         help="sustained-phase offered rate")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--baseline", action="store_true",
+                        help="hard-gate the tracing-off ≤5%% overhead check "
+                             "against the previously recorded sustained "
+                             "goodput (always measured and recorded)")
     args = parser.parse_args(argv)
+
+    # Read the reference *before* this run overwrites the output file.
+    prior_goodput = _prior_sustained_goodput(args.out)
 
     sustain_secs = 5.0 if args.smoke else 15.0
     ramp_secs = 2.0 if args.smoke else 4.0
@@ -162,9 +241,75 @@ def main(argv: list[str] | None = None) -> int:
             )
     finally:
         rc = server.stop()
-        shutdown_warm_pools()
     if rc != 0:
         problems.append(f"server exited rc={rc}")
+
+    # -- E27: tracing on the live path ---------------------------------------------
+
+    trace_secs = 3.0 if args.smoke else 8.0
+    overload_secs = 2.0 if args.smoke else 4.0
+    flight_dir = REPO_ROOT / "benchmarks" / "results" / "flight-e27"
+    if flight_dir.exists():
+        for stale in flight_dir.iterdir():
+            stale.unlink()
+    trace_server = ServerProcess(
+        budget_seconds=60.0 + trace_secs + overload_secs,
+        extra_args=["--flight-dir", str(flight_dir)],
+    )
+    print(f"trace server subprocess pid={trace_server.proc.pid} "
+          f"on {trace_server.host}:{trace_server.port}")
+    try:
+        traced_1x = run_load(trace_server.host, trace_server.port, LoadSpec(
+            rate=args.rate, duration=trace_secs, seed=args.seed + 27,
+            drain_seconds=6.0, trace=True, engine_trace_every=200,
+        ), fetch_stats=True)
+        traced_8x = run_load(trace_server.host, trace_server.port, LoadSpec(
+            rate=args.rate * 8, duration=overload_secs, seed=args.seed + 28,
+            drain_seconds=4.0, trace=True,
+        ), fetch_stats=True)
+    finally:
+        trace_rc = trace_server.stop()
+        shutdown_warm_pools()
+    if trace_rc != 0:
+        problems.append(f"trace server exited rc={trace_rc}")
+
+    breakdown_1x = _stage_breakdown(traced_1x.server_stats or {})
+    breakdown_8x = _stage_breakdown(
+        traced_8x.server_stats or {}, previous=traced_1x.server_stats
+    )
+    if traced_1x.completed == 0:
+        problems.append("traced 1x window completed nothing")
+    mismatches = traced_1x.trace_mismatches + traced_8x.trace_mismatches
+    if mismatches:
+        problems.append(f"{mismatches} trace-id mismatches — cross-linked traces")
+    if traced_1x.spans is not None and traced_1x.spans.forest_problems():
+        problems.append(
+            f"client span forest corrupt: "
+            f"{traced_1x.spans.forest_problems()[:2]}"
+        )
+    if traced_8x.shed == 0:
+        problems.append("8x overload window never shed — no dump trigger")
+    flight_dumps = sorted(flight_dir.glob("*.trace.json"))
+    if not flight_dumps:
+        problems.append("shed storm produced no flight-recorder dump")
+    for dump in flight_dumps:
+        dump_problems = validate_chrome_trace(json.loads(dump.read_text()))
+        if dump_problems:
+            problems.append(f"{dump.name} invalid: {dump_problems[:2]}")
+
+    # Tracing-off overhead: this run's untraced sustained goodput vs the
+    # previously recorded one.  Advisory unless --baseline (shared CI boxes
+    # are noisy); the ratio is always recorded.
+    overhead_ratio = None
+    if prior_goodput:
+        overhead_ratio = sustained.goodput / prior_goodput
+        line = (
+            f"tracing-off sustained goodput {sustained.goodput:.0f}/s vs "
+            f"prior {prior_goodput:.0f}/s (ratio {overhead_ratio:.3f})"
+        )
+        print(line)
+        if args.baseline and overhead_ratio < 0.95:
+            problems.append(f"tracing-off overhead beyond 5%: {line}")
 
     def fmt_ms(value) -> str:
         return f"{value:.1f}" if value is not None else "n/a"
@@ -193,6 +338,32 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
 
+    e27_rows = []
+    for label, breakdown in (("1x", breakdown_1x), ("8x", breakdown_8x)):
+        for stage in STAGE_HISTOGRAMS:
+            data = breakdown.get(stage)
+            if data is None:
+                continue
+            e27_rows.append([
+                label, stage, data["count"],
+                fmt_ms(data["p50_ms"]), fmt_ms(data["p99_ms"]),
+            ])
+    record_table(
+        "E27", "Distributed tracing: per-stage latency breakdown",
+        ["load", "stage", "count", "p50 ms", "p99 ms"],
+        e27_rows,
+        notes=(
+            f"traced goodput {traced_1x.goodput:.0f}/s at 1x, "
+            f"{traced_8x.goodput:.0f}/s at 8x (shed {traced_8x.shed}); "
+            f"{len(flight_dumps)} flight dump(s) in {flight_dir.name}/; "
+            + (
+                f"tracing-off ratio vs prior {overhead_ratio:.3f}"
+                if overhead_ratio is not None
+                else "no prior baseline for the tracing-off comparison"
+            )
+        ),
+    )
+
     payload = {
         "experiment": "E26",
         "smoke": args.smoke,
@@ -205,6 +376,20 @@ def main(argv: list[str] | None = None) -> int:
             for rate, report in zip(ramp_rates, ramp)
         ],
         "server_stats": sustained.server_stats,
+        "tracing": {
+            "experiment": "E27",
+            "traced_1x": _round_trip(traced_1x),
+            "traced_8x": _round_trip(traced_8x),
+            "breakdown_1x": breakdown_1x,
+            "breakdown_8x": breakdown_8x,
+            "flight_dumps": [p.name for p in flight_dumps],
+            "tracing_off_goodput": round(sustained.goodput, 1),
+            "prior_goodput": prior_goodput,
+            "tracing_off_ratio": (
+                round(overhead_ratio, 4) if overhead_ratio is not None else None
+            ),
+            "baseline_gated": args.baseline,
+        },
     }
     args.out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     print(f"wrote {args.out}")

@@ -411,6 +411,8 @@ def cmd_rt_hub(args: argparse.Namespace) -> int:
 
 
 def cmd_service_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.service import ResolutionServer
 
     server = ResolutionServer(
@@ -420,6 +422,10 @@ def cmd_service_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         initial_rate=args.initial_rate,
         max_rate=args.max_rate,
+        flight_dir=Path(args.flight_dir) if args.flight_dir else None,
+        flight_capacity=args.flight_capacity,
+        stall_after=args.stall_after,
+        p99_budget_ms=args.p99_budget_ms,
     )
 
     # The listener sets the real port before any request is served; print
@@ -467,6 +473,8 @@ def cmd_service_load(args: argparse.Namespace) -> int:
         variant=args.variant,
         seed=args.seed,
         drain_seconds=args.drain,
+        trace=args.trace,
+        engine_trace_every=args.engine_trace_every,
     )
     report = run_load(args.host, args.port, spec, fetch_stats=args.stats)
     payload = report.to_payload()
@@ -502,6 +510,131 @@ def cmd_service_load(args: argparse.Namespace) -> int:
             file=sys.stderr if args.json else sys.stdout,
         )
     return 0 if report.completed and not report.errors else 1
+
+
+def cmd_service_stats(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import time
+
+    from repro.obs import metrics_to_text
+    from repro.service import fetch_server_stats
+
+    def fetch() -> dict:
+        return asyncio.run(
+            fetch_server_stats(args.host, args.port, timeout=args.timeout)
+        )
+
+    try:
+        snapshot = fetch()
+    except (TimeoutError, OSError) as exc:
+        print(f"stats fetch failed: {exc}", file=sys.stderr)
+        return 1
+    if args.watch is None:
+        print(json.dumps(snapshot, indent=2) if args.json
+              else metrics_to_text(snapshot))
+        return 0
+    # Watch mode: poll at the given interval and render *deltas* — what a
+    # dashboard wants (current throughput, queue depth, fresh sheds), not
+    # monotonically growing totals.
+    previous, previous_at = snapshot, time.monotonic()
+    remaining = args.count
+    try:
+        while remaining is None or remaining > 0:
+            time.sleep(args.watch)
+            try:
+                snapshot = fetch()
+            except (TimeoutError, OSError) as exc:
+                print(f"stats fetch failed: {exc}", file=sys.stderr)
+                return 1
+            now_at = time.monotonic()
+            elapsed = max(now_at - previous_at, 1e-9)
+            counters = snapshot.get("counters", {})
+            prev_counters = previous.get("counters", {})
+            gauges = snapshot.get("gauges", {})
+
+            def delta(name):
+                return counters.get(name, 0) - prev_counters.get(name, 0)
+
+            line = (
+                f"rate={delta('service.completed') / elapsed:7.1f}/s  "
+                f"shed=+{delta('service.shed')}"
+                f" (total {counters.get('service.shed', 0)})  "
+                f"queue={gauges.get('service.queue_depth', 0):.0f}  "
+                f"admit={gauges.get('service.admit_rate', 0):.0f}/s  "
+                f"flight-dumps={counters.get('service.flight.dumps', 0)}"
+            )
+            if args.json:
+                print(json.dumps({
+                    "interval_seconds": round(elapsed, 3),
+                    "completed_per_second":
+                        round(delta("service.completed") / elapsed, 1),
+                    "shed_delta": delta("service.shed"),
+                    "shed_total": counters.get("service.shed", 0),
+                    "queue_depth": gauges.get("service.queue_depth", 0),
+                    "admit_rate": gauges.get("service.admit_rate", 0),
+                    "flight_dumps":
+                        counters.get("service.flight.dumps", 0),
+                }))
+            else:
+                print(time.strftime("[%H:%M:%S] ") + line, flush=True)
+            previous, previous_at = snapshot, now_at
+            if remaining is not None:
+                remaining -= 1
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_service_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import render_span_tree, spans_to_chrome, validate_chrome_trace
+    from repro.service import ActionRequest, run_traced_requests
+
+    requests = [
+        ActionRequest(
+            id=index, variant=args.variant, n=args.n, p=args.p, q=args.q,
+            seed=args.seed + index, trace=not args.no_engine,
+        )
+        for index in range(args.count)
+    ]
+    try:
+        spans, outcomes = run_traced_requests(
+            args.host, args.port, requests, timeout=args.timeout
+        )
+    except (TimeoutError, OSError) as exc:
+        print(f"trace failed: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        doc = spans_to_chrome(spans, process_name="service-trace")
+        problems = validate_chrome_trace(doc)
+        if problems:
+            print(f"chrome trace INVALID: {problems[:3]}", file=sys.stderr)
+            return 1
+        Path(args.out).write_text(json.dumps(doc, indent=1) + "\n")
+        print(f"chrome trace written to {args.out}", file=sys.stderr)
+    # Render wall-clock spans relative to the first send, in milliseconds —
+    # raw loop.time() epochs are unreadable.
+    if len(spans):
+        origin = min(span.start for span in spans)
+        for span in spans:
+            span.start = round((span.start - origin) * 1000.0, 3)
+            if span.end is not None:
+                span.end = round((span.end - origin) * 1000.0, 3)
+    if args.json:
+        print(json.dumps({"outcomes": outcomes}, indent=2, default=str))
+    else:
+        print(render_span_tree(spans))
+        for outcome in outcomes:
+            print(
+                f"request {outcome.get('id')}: {outcome.get('type')} "
+                f"status={outcome.get('status', '-')} "
+                f"latency={outcome.get('latency_ms', 0.0):.2f}ms"
+            )
+    bad = [o for o in outcomes if o.get("type") not in ("outcome", "overloaded")]
+    return 1 if bad else 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -673,6 +806,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-seconds", type=float, default=None,
                          help="stop after this much wall time (default: run "
                               "until a shutdown frame or Ctrl-C)")
+    p_serve.add_argument("--flight-dir", default=None,
+                         help="directory for flight-recorder trace dumps "
+                              "(default: in-memory ring only, no files)")
+    p_serve.add_argument("--flight-capacity", type=int, default=256,
+                         help="completed request traces kept in the ring")
+    p_serve.add_argument("--stall-after", type=float, default=30.0,
+                         help="seconds before an open request counts as "
+                              "stalled (fires a flight-recorder dump)")
+    p_serve.add_argument("--p99-budget-ms", type=float, default=None,
+                         help="rolling p99 latency budget in ms; breaches "
+                              "fire a flight-recorder dump (default: off)")
     p_serve.set_defaults(fn=cmd_service_serve)
 
     p_load = service_sub.add_parser(
@@ -699,8 +843,54 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fetch the server's live metrics snapshot")
     p_load.add_argument("--shutdown", action="store_true",
                         help="send a shutdown frame after the run")
+    p_load.add_argument("--trace", action="store_true",
+                        help="attach distributed-trace context to every "
+                             "request and join the server spans client-side")
+    p_load.add_argument("--engine-trace-every", type=int, default=0,
+                        help="with --trace: request an engine-level FULL "
+                             "span forest on every Nth request (0 = never)")
     p_load.add_argument("--json", action="store_true")
     p_load.set_defaults(fn=cmd_service_load)
+
+    p_sstats = service_sub.add_parser(
+        "stats", help="fetch (or continuously watch) a server's metrics"
+    )
+    p_sstats.add_argument("--host", default="127.0.0.1")
+    p_sstats.add_argument("--port", type=int, default=9400)
+    p_sstats.add_argument("--watch", type=float, default=None, metavar="SEC",
+                          help="poll every SEC seconds, printing deltas "
+                               "(rate, queue depth, fresh sheds)")
+    p_sstats.add_argument("--count", type=int, default=None,
+                          help="with --watch: stop after this many samples "
+                               "(default: until Ctrl-C)")
+    p_sstats.add_argument("--timeout", type=float, default=5.0,
+                          help="per-fetch wall-clock timeout in seconds")
+    p_sstats.add_argument("--json", action="store_true")
+    p_sstats.set_defaults(fn=cmd_service_stats)
+
+    p_trace = service_sub.add_parser(
+        "trace", help="submit traced requests and print the span forest"
+    )
+    p_trace.add_argument("--host", default="127.0.0.1")
+    p_trace.add_argument("--port", type=int, default=9400)
+    p_trace.add_argument("--count", type=int, default=1,
+                         help="requests to submit (sequentially)")
+    p_trace.add_argument("--variant", choices=("base", "ct", "mc", "cd"),
+                         default="base")
+    p_trace.add_argument("-n", type=int, default=6, help="participants")
+    p_trace.add_argument("-p", type=int, default=2, help="raisers")
+    p_trace.add_argument("-q", type=int, default=1, help="nested members")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--no-engine", action="store_true",
+                         help="skip the engine-level FULL span forest "
+                              "(wall-clock stages only)")
+    p_trace.add_argument("--timeout", type=float, default=5.0,
+                         help="per-request reply timeout in seconds")
+    p_trace.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the forest as Chrome trace JSON")
+    p_trace.add_argument("--json", action="store_true",
+                         help="print raw outcome frames instead of the tree")
+    p_trace.set_defaults(fn=cmd_service_trace)
 
     p_fuzz = sub.add_parser("fuzz", help="random-scenario invariant check")
     p_fuzz.add_argument("--count", type=int, default=50)

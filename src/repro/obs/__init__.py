@@ -14,17 +14,21 @@ from .export import (
 )
 from .metrics import (
     COUNT_BUCKETS,
+    MS_LATENCY_BUCKETS,
     VT_BUCKETS,
     CounterMetric,
     GaugeMetric,
     HistogramMetric,
     MetricsRegistry,
+    histogram_quantile,
+    log_spaced_buckets,
     merge_snapshots,
 )
-from .spans import Span, SpanCollector
+from .spans import Span, SpanCollector, TraceContext
 
 __all__ = [
     "COUNT_BUCKETS",
+    "MS_LATENCY_BUCKETS",
     "VT_BUCKETS",
     "CounterMetric",
     "GaugeMetric",
@@ -32,6 +36,9 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "SpanCollector",
+    "TraceContext",
+    "histogram_quantile",
+    "log_spaced_buckets",
     "merge_snapshots",
     "metrics_to_text",
     "render_span_tree",

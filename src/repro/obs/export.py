@@ -28,6 +28,10 @@ from .spans import Span, SpanCollector
 #: 1 unit of virtual time == 1000 trace microseconds.
 VT_TO_US = 1000.0
 
+#: 1 wall-clock second == 1e6 trace microseconds (collectors with
+#: ``clock == "wall"`` record in seconds; Chrome traces want µs).
+WALL_TO_US = 1_000_000.0
+
 
 def _span_record(span: Span) -> dict[str, Any]:
     return {
@@ -61,7 +65,20 @@ def spans_to_chrome(
     Open spans (a stalled run) are closed at ``end_time`` (default: the
     latest timestamp seen) and flagged with ``"open": true`` so stalls
     read as bars running off the end of the track, not missing data.
+
+    Timestamps are scaled per the collector's clock domain: virtual-time
+    collectors map 1 VT unit → 1000 µs, wall-clock collectors map seconds
+    → microseconds.  Wall collectors additionally get their origin shifted
+    to the earliest span so traces don't start at a huge monotonic-clock
+    offset.
     """
+    to_us = (
+        WALL_TO_US if getattr(collector, "clock", "virtual") == "wall"
+        else VT_TO_US
+    )
+    origin = 0.0
+    if to_us is WALL_TO_US and len(collector):
+        origin = min(span.start for span in collector)
     subjects: list[str] = []
     for span in collector:
         if span.subject not in subjects:
@@ -108,7 +125,7 @@ def spans_to_chrome(
             "cat": span.category,
             "pid": 1,
             "tid": tids[span.subject],
-            "ts": span.start * VT_TO_US,
+            "ts": (span.start - origin) * to_us,
             "args": args,
         }
         if span.is_event:
@@ -118,12 +135,16 @@ def spans_to_chrome(
             if end is None:
                 end = max(end_time, span.start)
                 args["open"] = True
-            events.append({**base, "ph": "X", "dur": (end - span.start) * VT_TO_US})
+            events.append({**base, "ph": "X", "dur": (end - span.start) * to_us})
 
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"vt_to_us": VT_TO_US},
+        "otherData": {
+            "clock": getattr(collector, "clock", "virtual"),
+            "to_us": to_us,
+            "vt_to_us": VT_TO_US,
+        },
     }
 
 

@@ -35,6 +35,75 @@ VT_BUCKETS: tuple[float, ...] = (
 COUNT_BUCKETS: tuple[float, ...] = (0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0)
 
 
+def log_spaced_buckets(
+    low: float, high: float, per_decade: int = 4
+) -> tuple[float, ...]:
+    """Logarithmically spaced bucket edges from ``low`` to >= ``high``.
+
+    ``per_decade`` edges per factor of 10, rounded to 3 significant digits
+    (deterministic, so snapshots built by different processes still merge).
+    The virtual-time defaults above mis-bin millisecond wall-clock
+    latencies — a 0.3 ms admission wait and a 0.9 ms engine run both land
+    in the ≤1.0 bucket — so wall-clock histograms use these instead.
+    """
+    if not 0 < low < high:
+        raise ValueError(f"need 0 < low < high, got {low}/{high}")
+    if per_decade < 1:
+        raise ValueError(f"need >=1 edge per decade, got {per_decade}")
+    edges: list[float] = []
+    k = 0
+    while True:
+        edge = low * 10 ** (k / per_decade)
+        edge = float(f"{edge:.3g}")
+        if not edges or edge > edges[-1]:
+            edges.append(edge)
+        if edge >= high:
+            return tuple(edges)
+        k += 1
+
+
+#: Wall-clock latency edges (milliseconds): 50 µs through 20 s, four
+#: buckets per decade — the service latency/breakdown histograms' default.
+MS_LATENCY_BUCKETS: tuple[float, ...] = log_spaced_buckets(0.05, 20_000.0)
+
+
+def histogram_quantile(data: dict, q: float) -> Optional[float]:
+    """Estimate a quantile from a snapshotted histogram dict.
+
+    ``data`` is one entry of ``snapshot()["histograms"]`` (or any dict
+    with ``bounds``/``bucket_counts``/``count``/``min``/``max``).  Returns
+    the upper edge of the bucket holding the q-th sample — clamped to the
+    observed ``max`` (and ``min`` from below) so the overflow bucket still
+    yields a finite number.  ``None`` on an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = data.get("count", 0)
+    if not total:
+        return None
+    bounds = data["bounds"]
+    # Same rank convention as LoadReport.percentile on a sorted list:
+    # the sample at 0-based index int(q*total), expressed 1-based here.
+    target = min(total, int(q * total) + 1)
+    cumulative = 0
+    estimate: Optional[float] = None
+    for i, bucket in enumerate(data["bucket_counts"]):
+        cumulative += bucket
+        if cumulative >= target and bucket:
+            estimate = bounds[i] if i < len(bounds) else data.get("max")
+            break
+    if estimate is None:  # target beyond every bucket (rounding edge)
+        estimate = data.get("max")
+    if estimate is None:
+        return None
+    low, high = data.get("min"), data.get("max")
+    if high is not None:
+        estimate = min(estimate, high)
+    if low is not None:
+        estimate = max(estimate, low)
+    return estimate
+
+
 class CounterMetric:
     """A monotonically increasing count."""
 

@@ -28,8 +28,15 @@ pay nothing beyond a pointer comparison (checked by
 
 from __future__ import annotations
 
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
+
+#: Clock domains a collector can record in.  ``virtual`` is the simulator's
+#: virtual time (the original, deterministic domain); ``wall`` is wall-clock
+#: seconds from an arbitrary epoch (``loop.time()`` in the live service).
+#: The exporters scale timestamps per domain; nothing else cares.
+CLOCKS = ("virtual", "wall")
 
 
 @dataclass
@@ -75,16 +82,88 @@ class Span:
         return self.end is not None and self.end == self.start
 
 
+@dataclass(frozen=True)
+class TraceContext:
+    """Distributed-trace identity carried across process/wire boundaries.
+
+    A trace id names one end-to-end request; ``parent_span`` is the span id
+    (in the *originator's* collector) the next hop should causally attach
+    under.  The context travels as two plain header fields (``trace_id``,
+    ``parent_span``) inside the JSON frame headers of :mod:`repro.rt.tcp`
+    and :mod:`repro.service.protocol` — the hub forwards frames verbatim,
+    so propagation through any number of hops is free.
+
+    Parsing is deliberately *tolerant*: a missing or malformed context
+    degrades to ``None`` (the receiver starts a fresh root trace) and is
+    never a protocol error — tracing must not be able to take a request
+    down.
+    """
+
+    trace_id: str
+    parent_span: Optional[int] = None
+
+    #: Longest trace id accepted off the wire (hardening, not a format).
+    MAX_ID_LEN = 64
+
+    @staticmethod
+    def new() -> "TraceContext":
+        """A fresh root context with a random 16-hex-digit trace id."""
+        return TraceContext(trace_id=uuid.uuid4().hex[:16])
+
+    def child(self, span_id: int) -> "TraceContext":
+        """The context the next hop should receive: same trace, new parent."""
+        return TraceContext(trace_id=self.trace_id, parent_span=span_id)
+
+    def to_fields(self) -> dict:
+        """Header fields to merge into an outgoing frame header."""
+        fields: dict = {"trace_id": self.trace_id}
+        if self.parent_span is not None:
+            fields["parent_span"] = self.parent_span
+        return fields
+
+    @staticmethod
+    def from_header(header: Any) -> Optional["TraceContext"]:
+        """Extract a context from a frame header; ``None`` if absent/bad.
+
+        Never raises: garbage in either field (wrong type, empty, oversized
+        id, boolean posing as an int) yields ``None`` so the receiver falls
+        back to a fresh root trace.
+        """
+        if not isinstance(header, dict):
+            return None
+        trace_id = header.get("trace_id")
+        if (
+            not isinstance(trace_id, str)
+            or not trace_id
+            or len(trace_id) > TraceContext.MAX_ID_LEN
+        ):
+            return None
+        parent = header.get("parent_span")
+        if parent is not None and (
+            isinstance(parent, bool) or not isinstance(parent, int)
+        ):
+            return None
+        return TraceContext(trace_id=trace_id, parent_span=parent)
+
+
 class SpanCollector:
     """Append-only collector of :class:`Span` with forest queries.
 
     A disabled collector is never handed to emission sites: callers cache
     ``runtime.spans if runtime.spans.enabled else None`` once and guard on
     ``None``, so the disabled path costs one comparison.
+
+    ``clock`` names the time domain every ``time`` argument lives in:
+    ``"virtual"`` (simulator units, the default) or ``"wall"`` (wall-clock
+    seconds) — the collector itself is clock-agnostic, the exporters scale
+    per domain.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, clock: str = "virtual") -> None:
+        if clock not in CLOCKS:
+            raise ValueError(f"unknown clock {clock!r} (expected one of {CLOCKS})")
         self.enabled = enabled
+        self.clock = clock
         self.spans: list[Span] = []
         self._by_id: dict[int, Span] = {}
         self._next_id = 1
@@ -180,6 +259,76 @@ class SpanCollector:
         for span in self.spans:
             index.setdefault(span.parent_id, []).append(span)
         return index
+
+    # -- interchange -----------------------------------------------------------
+
+    def to_records(self) -> list[dict]:
+        """Serialize every span to a plain JSON-able dict (wire/JSONL shape).
+
+        The inverse is :meth:`graft` on some other collector — together they
+        move a span forest across a process boundary (the resolution server
+        ships its per-request spans back to the tracing client this way).
+        """
+        return [
+            {
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "category": span.category,
+                "subject": span.subject,
+                "start": span.start,
+                "end": span.end,
+                "cause_ids": list(span.cause_ids),
+                "attrs": dict(span.attrs),
+            }
+            for span in self.spans
+        ]
+
+    def graft(
+        self, records: list[dict], parent: Optional[int] = None
+    ) -> dict[int, int]:
+        """Import serialized span records under ``parent``, remapping ids.
+
+        Records whose ``parent_id`` is another record in the batch keep
+        their internal structure; records whose parent is unknown (foreign
+        roots) are re-parented onto ``parent``.  Returns the old→new id
+        mapping.  Malformed records are skipped — grafting remote spans
+        must never corrupt the local forest.
+        """
+        mapping: dict[int, int] = {}
+        grafted: list[tuple[dict, int]] = []
+        for record in records:
+            if not isinstance(record, dict):
+                continue
+            old_id = record.get("span_id")
+            start = record.get("start")
+            if not isinstance(old_id, int) or not isinstance(start, (int, float)):
+                continue
+            new_id = self._next_id
+            self._next_id += 1
+            mapping[old_id] = new_id
+            grafted.append((record, new_id))
+        for record, new_id in grafted:
+            old_parent = record.get("parent_id")
+            new_parent = mapping.get(old_parent, parent)
+            end = record.get("end")
+            attrs = record.get("attrs")
+            span = Span(
+                span_id=new_id,
+                parent_id=new_parent,
+                name=str(record.get("name", "?")),
+                category=str(record.get("category", "?")),
+                subject=str(record.get("subject", "?")),
+                start=float(record["start"]),
+                end=float(end) if isinstance(end, (int, float)) else None,
+                cause_ids=tuple(
+                    c for c in record.get("cause_ids", ()) if isinstance(c, int)
+                ),
+                attrs=dict(attrs) if isinstance(attrs, dict) else {},
+            )
+            self.spans.append(span)
+            self._by_id[new_id] = span
+        return mapping
 
     # -- invariants ------------------------------------------------------------
 

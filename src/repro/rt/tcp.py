@@ -40,7 +40,7 @@ import itertools
 import json
 import pickle
 import struct
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.net.message import Message
 from repro.objects.runtime import Runtime, runtime_hook
@@ -168,6 +168,12 @@ class TcpHub:
         self.frames_routed = 0
         self.frames_dropped = 0
         self.protocol_errors = 0
+        #: Observer invoked (with a reason string) on every protocol error,
+        #: outside the hub's own error handling — the service layer's
+        #: flight recorder hooks this to dump recent request traces when a
+        #: peer misbehaves.  Exceptions it raises are swallowed: a broken
+        #: observer must not take the hub down.
+        self.on_protocol_error: Optional[Callable[[str], None]] = None
         self._routes: dict[str, asyncio.StreamWriter] = {}
         self._server: asyncio.AbstractServer | None = None
         #: Live per-connection handler tasks.  ``start_server`` spawns one
@@ -247,11 +253,15 @@ class TcpHub:
             # task from a plain callback, which logs a spurious
             # ``CancelledError`` for every cancelled connection otherwise.
             pass
-        except (FrameError, KeyError):
+        except (FrameError, KeyError) as exc:
             # Malformed frame or missing "dst": drop this connection only —
             # an unhandled exception here would be logged as a destroyed
             # task and, worse, leave the writer open.
             self.protocol_errors += 1
+            observer = self.on_protocol_error
+            if observer is not None:
+                with contextlib.suppress(Exception):
+                    observer(f"{type(exc).__name__}: {exc}")
         finally:
             if task is not None:
                 self._conn_tasks.discard(task)

@@ -6,18 +6,33 @@ admission, slow-start rate adaptation and explicit overload shedding; an
 open-loop traffic generator (:mod:`repro.service.loadgen`) drives it with
 Poisson or bursty arrivals over a heavy-tailed action-size mix.
 
+Every request can carry a distributed-trace context
+(:class:`~repro.obs.spans.TraceContext`), stitching client send, admission
+queue wait, engine execution and reply into one causal span forest; an
+always-on :class:`~repro.service.flight.FlightRecorder` keeps the last K
+request traces and dumps Chrome-trace artifacts when sheds, latency-budget
+breaches, stalls or protocol errors fire.
+
 Quick start::
 
     python -m repro service serve --port 9400
     python -m repro service load --port 9400 --rate 800 --duration 10
+    python -m repro service trace --port 9400 --variant base -n 8
 """
 
+from repro.service.flight import (
+    TRIGGER_REASONS,
+    FlightRecorder,
+    RequestTrace,
+)
 from repro.service.loadgen import (
+    CONTROL_TIMEOUT,
     LoadReport,
     LoadSpec,
     fetch_server_stats,
     request_shutdown,
     run_load,
+    run_traced_requests,
 )
 from repro.service.protocol import (
     MAX_PARTICIPANTS,
@@ -26,21 +41,30 @@ from repro.service.protocol import (
     ActionRequest,
     ServiceProtocolError,
     execute_request,
+    execute_request_traced,
+    rescale_records,
 )
 from repro.service.server import ResolutionServer, TokenBucket
 
 __all__ = [
     "ActionOutcome",
     "ActionRequest",
+    "CONTROL_TIMEOUT",
+    "FlightRecorder",
     "LoadReport",
     "LoadSpec",
     "MAX_PARTICIPANTS",
+    "RequestTrace",
     "ResolutionServer",
     "SERVICE_VARIANTS",
     "ServiceProtocolError",
+    "TRIGGER_REASONS",
     "TokenBucket",
     "execute_request",
+    "execute_request_traced",
     "fetch_server_stats",
     "request_shutdown",
+    "rescale_records",
     "run_load",
+    "run_traced_requests",
 ]

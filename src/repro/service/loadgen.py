@@ -29,14 +29,19 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.obs.spans import SpanCollector, TraceContext
 from repro.rt.tcp import encode_frame, read_frame
 from repro.service.protocol import ActionRequest
 
 ARRIVALS = ("poisson", "bursty")
 MIXES = ("heavy", "small", "uniform")
+
+#: Default wall-clock timeout for one control-plane round-trip (stats,
+#: shutdown).  A wedged server must produce a clean error, not a hang.
+CONTROL_TIMEOUT = 5.0
 
 
 @dataclass(frozen=True)
@@ -55,6 +60,14 @@ class LoadSpec:
     variant: str = "base"
     seed: int = 0
     drain_seconds: float = 5.0  # post-arrival wait for straggler replies
+    #: Attach distributed-trace context to every request: each submit
+    #: carries a fresh trace id + the client root span id, the server's
+    #: span records come back on the outcome frame and are grafted under
+    #: the client root — one connected forest per request.
+    trace: bool = False
+    #: When tracing, additionally set ``trace: true`` (engine-level FULL
+    #: span forest) on every Nth request per connection; 0 = never.
+    engine_trace_every: int = 0
 
     def __post_init__(self) -> None:
         if self.arrivals not in ARRIVALS:
@@ -90,6 +103,11 @@ class LoadReport:
     latencies_ms: list = field(default_factory=list)
     statuses: dict = field(default_factory=dict)
     server_stats: Optional[dict] = None
+    #: Client-side span forest (only when the spec enabled tracing).
+    spans: Optional[SpanCollector] = field(default=None, repr=False)
+    #: Outcomes whose echoed trace id did not match the request's own —
+    #: any nonzero value means the server cross-linked traces.
+    trace_mismatches: int = 0
 
     @property
     def goodput(self) -> float:
@@ -105,7 +123,7 @@ class LoadReport:
         return ordered[index]
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "offered_rate": self.spec_rate,
             "duration": self.duration,
             "submitted": self.submitted,
@@ -123,6 +141,11 @@ class LoadReport:
             },
             "statuses": dict(sorted(self.statuses.items())),
         }
+        if self.spans is not None:
+            payload["traced"] = True
+            payload["trace_mismatches"] = self.trace_mismatches
+            payload["client_spans"] = len(self.spans)
+        return payload
 
 
 # -- request shapes ---------------------------------------------------------------
@@ -182,13 +205,29 @@ class _Campaign:
         self.report = LoadReport(spec_rate=spec.rate, duration=spec.duration)
         self.pending: dict[int, float] = {}  # id -> send wall time
         self.inflight = 0
+        self.spans: Optional[SpanCollector] = (
+            SpanCollector(clock="wall") if spec.trace else None
+        )
+        # id -> (client root span id, trace id) for open traced requests.
+        self.trace_roots: dict[int, tuple[int, str]] = {}
 
-    def sent(self, req_id: int, now: float) -> None:
+    def sent(self, req_id: int, now: float) -> Optional[TraceContext]:
+        """Record a submit; returns the trace context to stamp on it."""
         self.pending[req_id] = now
         self.report.submitted += 1
         self.inflight += 1
         if self.inflight > self.report.max_inflight:
             self.report.max_inflight = self.inflight
+        if self.spans is None:
+            return None
+        context = TraceContext.new()
+        root = self.spans.begin(
+            f"request {req_id}", "request", "client", now,
+            trace_id=context.trace_id,
+        )
+        self.spans.event("send", "event", "client", now, parent=root)
+        self.trace_roots[req_id] = (root, context.trace_id)
+        return context.child(root)
 
     def answered(self, header: dict, now: float) -> None:
         req_id = header.get("id")
@@ -202,10 +241,30 @@ class _Campaign:
             self.report.statuses[status] = self.report.statuses.get(status, 0) + 1
             if sent_at is not None:
                 self.report.latencies_ms.append((now - sent_at) * 1000.0)
+            self._join_trace(req_id, header, now, status)
         elif kind == "overloaded":
             self.report.shed += 1
+            self._join_trace(req_id, header, now, "shed")
         else:
             self.report.errors += 1
+
+    def _join_trace(
+        self, req_id, header: dict, now: float, status: str
+    ) -> None:
+        """Graft the server's span records under the client root span."""
+        if self.spans is None:
+            return
+        entry = self.trace_roots.pop(req_id, None)
+        if entry is None:
+            return
+        root, trace_id = entry
+        echoed = header.get("trace_id")
+        if echoed is not None and echoed != trace_id:
+            self.report.trace_mismatches += 1
+        records = header.get("spans")
+        if isinstance(records, list):
+            self.spans.graft(records, parent=root)
+        self.spans.end(root, now, status=status)
 
 
 async def _connection(
@@ -231,8 +290,17 @@ async def _connection(
             req_id = conn_index * 10_000_000 + seq
             seq += 1
             request = sample_request(rng, spec, req_id)
-            campaign.sent(req_id, loop.time())
-            writer.write(encode_frame(request.to_header()))
+            if (
+                spec.trace
+                and spec.engine_trace_every > 0
+                and seq % spec.engine_trace_every == 0
+            ):
+                request = replace(request, trace=True)
+            context = campaign.sent(req_id, loop.time())
+            header = request.to_header()
+            if context is not None:
+                header.update(context.to_fields())
+            writer.write(encode_frame(header))
         with contextlib.suppress(ConnectionResetError, BrokenPipeError):
             await writer.drain()
         done_sending.set()
@@ -273,6 +341,12 @@ async def _run_campaign(
     )
     campaign.report.wall_seconds = loop.time() - started
     campaign.report.unanswered = len(campaign.pending)
+    if campaign.spans is not None:
+        # Close out roots of unanswered requests so the forest is clean.
+        now = loop.time()
+        for root, _trace_id in campaign.trace_roots.values():
+            campaign.spans.end(root, now, status="unanswered")
+        campaign.report.spans = campaign.spans
     if fetch_stats:
         campaign.report.server_stats = await fetch_server_stats(host, port)
     return campaign.report
@@ -288,19 +362,89 @@ def run_load(
 # -- control-plane helpers ---------------------------------------------------------
 
 
-async def fetch_server_stats(host: str, port: int) -> dict:
-    """One ``stats`` round-trip on a fresh connection."""
+async def fetch_server_stats(
+    host: str, port: int, timeout: float = CONTROL_TIMEOUT
+) -> dict:
+    """One ``stats`` round-trip on a fresh connection.
+
+    Bounded by ``timeout`` wall seconds end to end; a wedged or
+    unreachable server raises :class:`TimeoutError` with a clean message
+    instead of hanging the caller.
+    """
+
+    async def go() -> dict:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(encode_frame({"type": "stats"}))
+            await writer.drain()
+            header, _ = await read_frame(reader)
+            return header.get("snapshot", {})
+        finally:
+            writer.close()
+
+    try:
+        return await asyncio.wait_for(go(), timeout)
+    except asyncio.TimeoutError:
+        raise TimeoutError(
+            f"stats request to {host}:{port} timed out after {timeout:.1f}s"
+        ) from None
+
+
+async def _traced_round_trips(
+    host: str, port: int, requests: list[ActionRequest], timeout: float
+) -> tuple[SpanCollector, list[dict]]:
+    spans = SpanCollector(clock="wall")
+    outcomes: list[dict] = []
+    loop = asyncio.get_running_loop()
     reader, writer = await asyncio.open_connection(host, port)
     try:
-        writer.write(encode_frame({"type": "stats"}))
-        await writer.drain()
-        header, _ = await read_frame(reader)
-        return header.get("snapshot", {})
+        for request in requests:
+            now = loop.time()
+            context = TraceContext.new()
+            root = spans.begin(
+                f"request {request.id}", "request", "client", now,
+                trace_id=context.trace_id,
+            )
+            spans.event("send", "event", "client", now, parent=root)
+            header = request.to_header()
+            header.update(context.child(root).to_fields())
+            writer.write(encode_frame(header))
+            await writer.drain()
+            reply, _ = await asyncio.wait_for(read_frame(reader), timeout)
+            arrived = loop.time()
+            records = reply.get("spans")
+            if isinstance(records, list):
+                spans.graft(records, parent=root)
+            status = reply.get("status", reply.get("type", "?"))
+            spans.end(root, arrived, status=status)
+            reply["latency_ms"] = (arrived - now) * 1000.0
+            outcomes.append(reply)
     finally:
         writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+    return spans, outcomes
 
 
-def request_shutdown(host: str, port: int) -> bool:
+def run_traced_requests(
+    host: str,
+    port: int,
+    requests: list[ActionRequest],
+    timeout: float = CONTROL_TIMEOUT,
+) -> tuple[SpanCollector, list[dict]]:
+    """Submit ``requests`` one at a time with full trace context (blocking).
+
+    Powers ``repro service trace``: each request gets a fresh trace id, the
+    server's span records are grafted under the client root, and the
+    replies (with a measured ``latency_ms``) come back alongside the
+    merged wall-clock collector.
+    """
+    return asyncio.run(_traced_round_trips(host, port, requests, timeout))
+
+
+def request_shutdown(
+    host: str, port: int, timeout: float = CONTROL_TIMEOUT
+) -> bool:
     """Ask a running server to stop; True if it acknowledged."""
 
     async def go() -> bool:
@@ -313,4 +457,13 @@ def request_shutdown(host: str, port: int) -> bool:
         finally:
             writer.close()
 
-    return asyncio.run(go())
+    async def bounded() -> bool:
+        try:
+            return await asyncio.wait_for(go(), timeout)
+        except asyncio.TimeoutError:
+            raise TimeoutError(
+                f"shutdown request to {host}:{port} timed out "
+                f"after {timeout:.1f}s"
+            ) from None
+
+    return asyncio.run(bounded())

@@ -68,6 +68,11 @@ class ActionRequest:
     p: int = 1
     q: int = 0
     seed: int = 0
+    #: Opt into an engine-level span forest: the request's resolution runs
+    #: at ``TraceLevel.FULL`` and the server grafts the protocol spans
+    #: under the request's execute span (and ships them back to a tracing
+    #: client).  Off by default — FULL costs real time per action.
+    trace: bool = False
 
     @staticmethod
     def from_header(header: dict) -> "ActionRequest":
@@ -100,13 +105,21 @@ class ActionRequest:
             raise ServiceProtocolError(f"p={p} outside [1, n={n}]")
         if not 0 <= q <= n - p:
             raise ServiceProtocolError(f"q={q} outside [0, n-p={n - p}]")
-        return ActionRequest(id=req_id, variant=variant, n=n, p=p, q=q, seed=seed)
+        # Like the TraceContext fields, ``trace`` degrades rather than
+        # rejects: any truthy value opts in, garbage opts out.
+        return ActionRequest(
+            id=req_id, variant=variant, n=n, p=p, q=q, seed=seed,
+            trace=bool(header.get("trace", False)),
+        )
 
     def to_header(self) -> dict:
-        return {
+        header = {
             "type": "submit", "id": self.id, "variant": self.variant,
             "n": self.n, "p": self.p, "q": self.q, "seed": self.seed,
         }
+        if self.trace:
+            header["trace"] = True
+        return header
 
 
 @dataclass(frozen=True)
@@ -148,13 +161,15 @@ def _exc_name(exc) -> Optional[str]:
     return exc.name() if hasattr(exc, "name") else type(exc).__name__
 
 
-def _execute_base(request: ActionRequest) -> ActionOutcome:
+def _execute_base(
+    request: ActionRequest, trace_level: TraceLevel
+) -> tuple[ActionOutcome, object]:
     from repro.core.manager import ActionStatus
     from repro.workloads.generator import general_case
 
     result = general_case(
         request.n, request.p, request.q, seed=request.seed,
-        trace_level=TraceLevel.COUNTS,
+        trace_level=trace_level,
     ).run(max_events=400_000)
     instance = result.manager.instance("A1")
     status = {
@@ -173,46 +188,52 @@ def _execute_base(request: ActionRequest) -> ActionOutcome:
         exception=_exc_name(handled), handlers=handlers,
         messages=result.resolution_message_total(),
         sim_duration=result.duration,
-    )
+    ), result.runtime
 
 
-def _execute_ct(request: ActionRequest) -> ActionOutcome:
+def _execute_ct(
+    request: ActionRequest, trace_level: TraceLevel
+) -> tuple[ActionOutcome, object]:
     from repro.core.crash_tolerant import run_crash_tolerant
 
     result = run_crash_tolerant(
         request.n, raisers=request.p, nested=request.q, seed=request.seed,
-        run_until=80.0, trace_level=TraceLevel.COUNTS,
+        run_until=80.0, trace_level=trace_level,
     )
     return _variant_outcome(
         request, "ct", result, result.all_survivors_handled(),
         result.handled_exceptions(), result.protocol_messages(),
-    )
+    ), result.runtime
 
 
-def _execute_mc(request: ActionRequest) -> ActionOutcome:
+def _execute_mc(
+    request: ActionRequest, trace_level: TraceLevel
+) -> tuple[ActionOutcome, object]:
     from repro.core.multicast_variant import run_multicast_resolution
 
     result = run_multicast_resolution(
         request.n, p=request.p, q=request.q, seed=request.seed,
-        trace_level=TraceLevel.COUNTS,
+        trace_level=trace_level,
     )
     return _variant_outcome(
         request, "mc", result, result.all_handled(),
         result.handled_exceptions(), result.multicast_operations(),
-    )
+    ), result.runtime
 
 
-def _execute_cd(request: ActionRequest) -> ActionOutcome:
+def _execute_cd(
+    request: ActionRequest, trace_level: TraceLevel
+) -> tuple[ActionOutcome, object]:
     from repro.core.centralized_variant import run_centralized
 
     result = run_centralized(
         request.n, raisers=request.p, seed=request.seed,
-        trace_level=TraceLevel.COUNTS,
+        trace_level=trace_level,
     )
     return _variant_outcome(
         request, "cd", result, result.all_handled(),
         result.handled_exceptions(), result.total_messages(),
-    )
+    ), result.runtime
 
 
 def _variant_outcome(
@@ -245,4 +266,44 @@ def execute_request(request: ActionRequest) -> ActionOutcome:
     Deterministic given ``(variant, n, p, q, seed)`` — the service is a
     stateless resolution oracle, so retried requests are idempotent.
     """
-    return _EXECUTORS[request.variant](request)
+    outcome, _runtime = _EXECUTORS[request.variant](request, TraceLevel.COUNTS)
+    return outcome
+
+
+def execute_request_traced(
+    request: ActionRequest,
+) -> tuple[ActionOutcome, list[dict]]:
+    """Like :func:`execute_request`, but at FULL trace.
+
+    Returns the outcome plus the engine's causal span forest as serialized
+    records (virtual-time timestamps — see :func:`rescale_records` for
+    mapping them onto a wall-clock window).
+    """
+    outcome, runtime = _EXECUTORS[request.variant](request, TraceLevel.FULL)
+    return outcome, runtime.spans.to_records()
+
+
+def rescale_records(
+    records: list[dict], wall_start: float, wall_end: float, vt_end: float
+) -> list[dict]:
+    """Map virtual-time span records onto a wall-clock window, in place.
+
+    The engine ran in virtual time ``[0, vt_end]`` during the wall window
+    ``[wall_start, wall_end]``; each record's timestamps are scaled
+    linearly onto that window so the engine forest nests correctly inside
+    a wall-clock execute span.  The original virtual times are preserved
+    as ``vt_start``/``vt_end`` attrs.
+    """
+    scale = (wall_end - wall_start) / vt_end if vt_end > 0 else 0.0
+    for record in records:
+        start = record.get("start")
+        if not isinstance(start, (int, float)):
+            continue
+        attrs = record.setdefault("attrs", {})
+        attrs["vt_start"] = start
+        record["start"] = wall_start + start * scale
+        end = record.get("end")
+        if isinstance(end, (int, float)):
+            attrs["vt_end"] = end
+            record["end"] = wall_start + end * scale
+    return records

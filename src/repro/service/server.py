@@ -28,32 +28,50 @@ Load discipline (the part the paper's batch campaigns never needed):
 
 Observability: a per-server :class:`~repro.obs.metrics.MetricsRegistry`
 (counters for submitted/accepted/shed/completed, wall-clock latency and
-action-size histograms, queue/rate gauges) served live over the same
-frame protocol by ``stats`` requests, as JSON or rendered text.
+per-stage breakdown histograms, queue/rate gauges) served live over the
+same frame protocol by ``stats`` requests, as JSON or rendered text.
+
+Tracing (PR 8): every request gets a wall-clock span tree — queue-wait /
+execute / serialize / reply under one root — held by an always-on
+:class:`~repro.service.flight.FlightRecorder` (ring of the last K
+completed traces plus all open ones) that dumps Chrome-trace/JSONL
+artifacts when a shed, p99-budget breach, stalled request or protocol
+error fires.  A client that sends ``trace_id``/``parent_span`` header
+fields joins its request to the server trace (the span records come back
+on the ``outcome`` frame); ``trace: true`` additionally runs the engine
+at FULL and nests the protocol-level span forest under the execute span.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+from pathlib import Path
 from typing import Optional
 
 from repro.obs.export import metrics_to_text
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import (
+    MS_LATENCY_BUCKETS,
+    MetricsRegistry,
+    histogram_quantile,
+)
+from repro.obs.spans import TraceContext
 from repro.rt.kernel import AsyncioKernel
 from repro.rt.tcp import MAX_FRAME, FrameError, encode_frame, read_frame
+from repro.service.flight import FlightRecorder
 from repro.service.protocol import (
     ActionRequest,
     ServiceProtocolError,
     execute_request,
+    execute_request_traced,
+    rescale_records,
 )
 
-#: Wall-clock latency buckets (milliseconds): sub-millisecond admission
-#: through multi-second queue waits under overload.
-MS_BUCKETS = (
-    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
-    1000.0, 2000.0, 5000.0, 10000.0,
-)
+#: Wall-clock latency buckets (milliseconds) for the service histograms:
+#: log-spaced so sub-millisecond stage timings and multi-second overload
+#: queue waits resolve on one axis (the old linear-ish edges binned every
+#: stage under 1 ms into a single bucket).
+MS_BUCKETS = MS_LATENCY_BUCKETS
 
 #: Action-size buckets (participants per action) for the mix histogram.
 N_BUCKETS = (2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0, 128.0)
@@ -127,6 +145,14 @@ class ResolutionServer:
         initial_rate / max_rate / min_rate: token-bucket parameters.
         pacer_interval: wall seconds between slow-start control ticks.
         max_frame: per-frame byte ceiling (protocol hardening).
+        flight_dir: directory for flight-recorder dumps (``None`` keeps
+            the ring in memory but writes no artifacts).
+        flight_capacity: completed request traces retained in the ring.
+        stall_after: wall seconds before an open request trace counts as
+            stalled (fires the ``stall`` trigger).
+        p99_budget_ms: rolling per-pacer-tick p99 latency budget; a tick
+            whose completed-request p99 exceeds it fires ``p99-breach``
+            (``None`` disables the check).
     """
 
     def __init__(
@@ -140,6 +166,10 @@ class ResolutionServer:
         min_rate: float = 50.0,
         pacer_interval: float = 0.25,
         max_frame: int = MAX_FRAME,
+        flight_dir: Optional[Path] = None,
+        flight_capacity: int = 256,
+        stall_after: float = 30.0,
+        p99_budget_ms: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -150,6 +180,7 @@ class ResolutionServer:
         self.max_frame = max_frame
         self.queue_limit = queue_limit
         self.pacer_interval = pacer_interval
+        self.p99_budget_ms = p99_budget_ms
         self.bucket = TokenBucket(
             initial_rate=initial_rate, max_rate=max_rate, min_rate=min_rate
         )
@@ -157,6 +188,11 @@ class ResolutionServer:
         # ``run(until=max_seconds)`` and pacer arithmetic read naturally.
         self.kernel = AsyncioKernel(time_scale=1.0)
         self.metrics = MetricsRegistry()
+        self.flight = FlightRecorder(
+            capacity=flight_capacity, dump_dir=flight_dir,
+            stall_after=stall_after,
+        )
+        self._p99_prev_buckets: Optional[list[int]] = None
         self.ready = asyncio.Event()
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
         self._server: Optional[asyncio.AbstractServer] = None
@@ -264,6 +300,9 @@ class ResolutionServer:
                 # session closed; the server (and every other session)
                 # keeps running.
                 self.metrics.counter("service.protocol_errors").inc()
+                self.flight.trigger(
+                    "protocol-error", self.kernel.loop.time(), detail=str(exc)
+                )
                 self._reply(writer, {"type": "error", "reason": str(exc)})
                 with contextlib.suppress(Exception):
                     await writer.drain()
@@ -308,31 +347,51 @@ class ResolutionServer:
             )
             return
         now = self.kernel.loop.time()
+        # Missing/malformed context parses to None → fresh root trace;
+        # tracing never turns a request into a protocol error.
+        context = TraceContext.from_header(header)
+        trace = self.flight.start(now, request_id=request.id, context=context)
         if self._stopping or not self.bucket.try_take(now) or self._queue.full():
             metrics.counter("service.shed").inc()
-            self._reply(
-                writer,
-                {
-                    "type": "overloaded",
-                    "id": request.id,
-                    "queue": self._queue.qsize(),
-                    "rate": round(self.bucket.rate, 1),
-                },
-            )
+            self.flight.finish(trace, self.kernel.loop.time(), "shed")
+            self.flight.trigger("shed", now, detail=f"request {request.id}")
+            reply = {
+                "type": "overloaded",
+                "id": request.id,
+                "queue": self._queue.qsize(),
+                "rate": round(self.bucket.rate, 1),
+            }
+            if context is not None:
+                reply["trace_id"] = trace.trace_id
+            self._reply(writer, reply)
             return
         metrics.counter("service.accepted").inc()
-        self._queue.put_nowait((request, writer, now))
+        trace.begin_stage("queue-wait", now, queue_depth=self._queue.qsize())
+        self._queue.put_nowait((request, writer, now, trace, context))
 
     async def _worker(self) -> None:
         metrics = self.metrics
+        loop = self.kernel.loop
         latency = metrics.histogram("service.latency_ms", MS_BUCKETS)
+        queue_wait = metrics.histogram("service.queue_wait_ms", MS_BUCKETS)
+        execute_ms = metrics.histogram("service.execute_ms", MS_BUCKETS)
+        serialize_ms = metrics.histogram("service.serialize_ms", MS_BUCKETS)
+        reply_ms = metrics.histogram("service.reply_ms", MS_BUCKETS)
         sizes = metrics.histogram("service.action_n", N_BUCKETS)
         while True:
-            request, writer, enqueued = await self._queue.get()
+            request, writer, enqueued, trace, context = await self._queue.get()
+            dequeued = loop.time()
+            queue_wait.observe((dequeued - enqueued) * 1000.0)
+            trace.begin_stage("execute", dequeued, variant=request.variant,
+                              n=request.n, p=request.p, q=request.q)
             try:
-                outcome = execute_request(request)
+                if request.trace:
+                    outcome, engine_records = execute_request_traced(request)
+                else:
+                    outcome, engine_records = execute_request(request), None
             except Exception as exc:  # noqa: BLE001 — engine bug: report, survive
                 metrics.counter("service.engine_errors").inc()
+                self.flight.finish(trace, loop.time(), "error")
                 self._reply(
                     writer,
                     {
@@ -341,21 +400,56 @@ class ResolutionServer:
                     },
                 )
                 continue
+            executed = loop.time()
+            if engine_records is not None:
+                # Nest the engine's virtual-time forest inside the
+                # wall-clock execute window.
+                rescale_records(
+                    engine_records, dequeued, executed,
+                    max(outcome.sim_duration, 1e-9),
+                )
+                trace.graft_engine(engine_records)
+            trace.end_stage(executed, status=outcome.status)
+            execute_ms.observe((executed - dequeued) * 1000.0)
+
+            trace.begin_stage("serialize", executed)
+            reply = outcome.to_header()
+            if context is not None:
+                # The client is tracing: echo the trace id and ship the
+                # server-side span records so it can graft them into one
+                # connected forest.  The shipped copy is closed at the
+                # serialize timestamp (the reply span happens after the
+                # bytes leave; it stays in the flight recorder).
+                serialized = loop.time()
+                trace.end_stage(serialized)
+                records = trace.to_records()
+                for record in records:
+                    if record["end"] is None:
+                        record["end"] = serialized
+                reply["trace_id"] = trace.trace_id
+                reply["spans"] = records
+            else:
+                serialized = loop.time()
+                trace.end_stage(serialized)
+            serialize_ms.observe((serialized - executed) * 1000.0)
+
             metrics.counter("service.completed").inc()
             metrics.counter(f"service.completed.{request.variant}").inc()
-            latency.observe(
-                (self.kernel.loop.time() - enqueued) * 1000.0
-            )
+            latency.observe((serialized - enqueued) * 1000.0)
             sizes.observe(request.n)
             metrics.histogram("service.sim_duration").observe(
                 outcome.sim_duration
             )
-            self._reply(writer, outcome.to_header())
+            trace.begin_stage("reply", serialized)
+            self._reply(writer, reply)
             if not writer.is_closing():
                 with contextlib.suppress(
                     ConnectionResetError, BrokenPipeError
                 ):
                     await writer.drain()
+            replied = loop.time()
+            reply_ms.observe((replied - serialized) * 1000.0)
+            self.flight.finish(trace, replied, outcome.status)
             # One engine run is a synchronous burst; yield so session
             # readers interleave even when the queue never empties.
             await asyncio.sleep(0)
@@ -365,10 +459,42 @@ class ResolutionServer:
     async def _pacer(self) -> None:
         while True:
             await asyncio.sleep(self.pacer_interval)
+            now = self.kernel.loop.time()
             self.bucket.adjust(self._queue.qsize() / self.queue_limit)
             gauges = self.metrics
             gauges.gauge("service.queue_depth").set(self._queue.qsize())
             gauges.gauge("service.admit_rate").set(self.bucket.rate)
+            self.flight.check_stalls(now)
+            self._check_p99_budget(now)
+
+    def _check_p99_budget(self, now: float) -> None:
+        """Fire ``p99-breach`` when this tick's completed-request p99
+        exceeds the budget (estimated from the latency histogram's bucket
+        deltas since the previous tick — no per-request storage)."""
+        if self.p99_budget_ms is None:
+            return
+        hist = self.metrics.histogram("service.latency_ms", MS_BUCKETS)
+        buckets = list(hist.bucket_counts)
+        prev, self._p99_prev_buckets = self._p99_prev_buckets, buckets
+        if prev is None:
+            return
+        delta = [b - p for b, p in zip(buckets, prev)]
+        count = sum(delta)
+        if not count:
+            return
+        estimate = histogram_quantile(
+            {
+                "bounds": list(hist.bounds), "bucket_counts": delta,
+                "count": count, "min": None, "max": hist.max,
+            },
+            0.99,
+        )
+        if estimate is not None and estimate > self.p99_budget_ms:
+            self.metrics.counter("service.p99_breaches").inc()
+            self.flight.trigger(
+                "p99-breach", now,
+                detail=f"p99≈{estimate:g}ms > budget {self.p99_budget_ms:g}ms",
+            )
 
     def stats_snapshot(self) -> dict:
         """The live registry snapshot, gauges refreshed at call time."""
@@ -379,6 +505,17 @@ class ResolutionServer:
             metrics.gauge("service.uptime_seconds").set(
                 self.kernel.loop.time() - self._started_wall
             )
+        flight = self.flight
+        for reason, count in flight.trigger_counts.items():
+            metrics.counter(f"service.flight.trigger.{reason}").value = count
+        metrics.counter("service.flight.dumps").value = len(flight.dumps)
+        metrics.counter("service.flight.suppressed").value = flight.suppressed
+        metrics.gauge("service.flight.open_traces").set(
+            len(flight.open_traces())
+        )
+        metrics.gauge("service.flight.completed_traces").set(
+            len(flight.completed_traces())
+        )
         return metrics.snapshot()
 
     def _on_stats(self, header: dict, writer: asyncio.StreamWriter) -> None:

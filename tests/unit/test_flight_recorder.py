@@ -1,0 +1,171 @@
+"""Flight recorder: request-trace lifecycle, the bounded ring, triggers,
+stall detection and the dumped artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import validate_chrome_trace
+from repro.obs.spans import TraceContext
+from repro.service.flight import TRIGGER_REASONS, FlightRecorder, RequestTrace
+
+
+class TestRequestTrace:
+    def test_stage_spans_nest_under_root(self) -> None:
+        trace = RequestTrace("t1", 7, now=10.0)
+        trace.begin_stage("queue-wait", 10.0, queue_depth=3)
+        trace.begin_stage("execute", 10.5)
+        trace.end_stage(11.0, status="committed")
+        trace.finish(11.2, "committed")
+        stages = trace.spans.by_category("stage")
+        assert [s.name for s in stages] == ["queue-wait", "execute"]
+        assert all(s.parent_id == trace.root for s in stages)
+        # begin_stage closed the still-open previous stage.
+        assert stages[0].end == 10.5
+        assert trace.spans.open_spans() == []
+
+    def test_finish_is_idempotent(self) -> None:
+        trace = RequestTrace("t1", 1, now=0.0)
+        trace.finish(1.0, "committed")
+        trace.finish(2.0, "error")
+        root = trace.spans.get(trace.root)
+        assert root.end == 1.0
+        assert trace.status == "committed"
+
+    def test_engine_records_graft_under_current_stage(self) -> None:
+        trace = RequestTrace("t1", 1, now=0.0)
+        stage = trace.begin_stage("execute", 0.1)
+        trace.graft_engine(
+            [{"span_id": 1, "start": 0.15, "end": 0.2, "name": "action A1"}]
+        )
+        (grafted,) = [s for s in trace.spans if s.name == "action A1"]
+        assert grafted.parent_id == stage
+
+    def test_context_points_at_root(self) -> None:
+        trace = RequestTrace("deadbeef", 1, now=0.0)
+        context = trace.context()
+        assert context == TraceContext("deadbeef", parent_span=trace.root)
+
+    def test_shipped_records_have_no_recorder_internals(self) -> None:
+        recorder = FlightRecorder()
+        trace = recorder.start(0.0, request_id=5)
+        for record in trace.to_records():
+            assert "_key" not in record.get("attrs", {})
+
+
+class TestFlightRecorderRing:
+    def test_completed_traces_bounded_by_capacity(self) -> None:
+        recorder = FlightRecorder(capacity=3)
+        for i in range(10):
+            trace = recorder.start(float(i), request_id=i)
+            recorder.finish(trace, float(i) + 0.5, "committed")
+        completed = recorder.completed_traces()
+        assert len(completed) == 3
+        assert [t.request_id for t in completed] == [7, 8, 9]
+
+    def test_open_traces_never_evicted(self) -> None:
+        recorder = FlightRecorder(capacity=2)
+        open_traces = [recorder.start(float(i)) for i in range(5)]
+        assert len(recorder.open_traces()) == 5
+        for trace in open_traces:
+            recorder.finish(trace, 10.0, "committed")
+        assert recorder.open_traces() == []
+        assert len(recorder.completed_traces()) == 2
+
+    def test_double_finish_does_not_duplicate(self) -> None:
+        recorder = FlightRecorder(capacity=8)
+        trace = recorder.start(0.0, request_id=1)
+        recorder.finish(trace, 1.0, "committed")
+        recorder.finish(trace, 2.0, "error")
+        assert len(recorder.completed_traces()) == 1
+
+    def test_invalid_capacity_rejected(self) -> None:
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_incoming_context_joins_distributed_trace(self) -> None:
+        recorder = FlightRecorder()
+        context = TraceContext("cafe1234", parent_span=99)
+        trace = recorder.start(0.0, request_id=1, context=context)
+        assert trace.trace_id == "cafe1234"
+        assert trace.remote_parent == 99
+
+    def test_missing_context_starts_fresh_root(self) -> None:
+        recorder = FlightRecorder()
+        a = recorder.start(0.0)
+        b = recorder.start(0.0)
+        assert a.trace_id != b.trace_id
+        assert a.remote_parent is None
+
+
+class TestTriggers:
+    def test_unknown_reason_raises(self) -> None:
+        with pytest.raises(ValueError, match="unknown trigger"):
+            FlightRecorder().trigger("coffee-spill", 0.0)
+
+    def test_counts_per_reason_without_dump_dir(self) -> None:
+        recorder = FlightRecorder()
+        for reason in TRIGGER_REASONS:
+            assert recorder.trigger(reason, 0.0) is None
+        assert recorder.trigger_counts == {r: 1 for r in TRIGGER_REASONS}
+        assert recorder.dumps == []
+
+    def test_dump_writes_valid_chrome_trace(self, tmp_path) -> None:
+        recorder = FlightRecorder(capacity=4, dump_dir=tmp_path)
+        trace = recorder.start(1.0, request_id=7)
+        trace.begin_stage("execute", 1.1)
+        recorder.finish(trace, 1.5, "committed")
+        still_open = recorder.start(1.6, request_id=8)
+        path = recorder.trigger("shed", 2.0, detail="bucket empty")
+        assert path is not None and path.exists()
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["trigger"] == "shed"
+        assert doc["otherData"]["detail"] == "bucket empty"
+        assert doc["otherData"]["completed_traces"] == 1
+        assert doc["otherData"]["open_traces"] == 1
+        jsonl = path.with_name(path.name.replace(".trace.json", ".spans.jsonl"))
+        assert jsonl.exists()
+        lines = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert any(line.get("category") == "request" for line in lines)
+        recorder.finish(still_open, 3.0, "committed")
+
+    def test_dumps_rate_limited(self, tmp_path) -> None:
+        recorder = FlightRecorder(dump_dir=tmp_path, min_dump_interval=5.0)
+        assert recorder.trigger("shed", 0.0) is not None
+        assert recorder.trigger("shed", 1.0) is None
+        assert recorder.trigger("p99-breach", 4.9) is None
+        assert recorder.suppressed == 2
+        # Past the window: dumps again, sequence number advances.
+        second = recorder.trigger("shed", 6.0)
+        assert second is not None
+        assert second.name != recorder.dumps[0].name
+
+    def test_stall_fires_once_per_trace(self, tmp_path) -> None:
+        recorder = FlightRecorder(
+            dump_dir=tmp_path, stall_after=10.0, min_dump_interval=0.0
+        )
+        trace = recorder.start(0.0, request_id=3)
+        assert recorder.check_stalls(5.0) == 0
+        assert recorder.check_stalls(11.0) == 1
+        # Same wedged request on later ticks: no re-fire.
+        assert recorder.check_stalls(20.0) == 0
+        assert recorder.trigger_counts.get("stall") == 1
+        recorder.finish(trace, 21.0, "error")
+        fresh = recorder.start(22.0, request_id=4)
+        assert recorder.check_stalls(40.0) == 1
+        recorder.finish(fresh, 41.0, "error")
+
+    def test_merged_collector_is_a_clean_forest(self) -> None:
+        recorder = FlightRecorder(capacity=4)
+        for i in range(3):
+            trace = recorder.start(float(i), request_id=i)
+            trace.begin_stage("execute", i + 0.1)
+            recorder.finish(trace, i + 0.9, "committed")
+        recorder.start(5.0, request_id=99)  # stays open
+        merged = recorder.merged_collector()
+        assert merged.clock == "wall"
+        assert len(merged.roots()) == 4
+        assert merged.forest_problems() == []

@@ -193,3 +193,100 @@ class TestDynamicExceptionPickling:
         hostile = declare_exception("ActionFailureException")
         assert declarations.ActionFailureException is original
         assert hostile is not original
+
+
+class TestHubTracePropagation:
+    """Distributed-trace header fields through a TcpHub, plus the
+    protocol-error observer hook the flight recorder hangs off."""
+
+    @staticmethod
+    def _run_hub_scenario(scenario):
+        from repro.rt.kernel import AsyncioKernel
+        from repro.rt.tcp import TcpHub
+
+        kernel = AsyncioKernel(time_scale=1.0)
+        hub = TcpHub()
+        kernel.add_service(hub.serve)
+
+        async def driver() -> None:
+            kernel.hold()
+            try:
+                await hub.ready.wait()
+                await scenario(hub)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:
+                kernel.fail(exc)
+            finally:
+                kernel.release()
+
+        kernel.add_service(driver)
+        try:
+            kernel.run(until=30.0)
+        finally:
+            kernel.close()
+        return hub
+
+    def test_trace_fields_survive_forwarding(self) -> None:
+        """The hub forwards frames verbatim, so trace_id/parent_span reach
+        the destination untouched — propagation through hops is free."""
+        from repro.obs.spans import TraceContext
+
+        received: list[dict] = []
+
+        async def scenario(hub) -> None:
+            reader_b, writer_b = await asyncio.open_connection(
+                hub.host, hub.port
+            )
+            writer_b.write(encode_frame({"register": ["b"]}))
+            await writer_b.drain()
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while "b" not in hub._routes:
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.005)
+
+            _, writer_a = await asyncio.open_connection(hub.host, hub.port)
+            writer_a.write(encode_frame({"register": ["a"]}))
+            header = {"dst": "b", "token": 9}
+            header.update(
+                TraceContext(trace_id="feedface01", parent_span=31).to_fields()
+            )
+            writer_a.write(encode_frame(header))
+            await writer_a.drain()
+            forwarded, _ = await asyncio.wait_for(
+                read_frame(reader_b), timeout=10
+            )
+            received.append(forwarded)
+            for writer in (writer_a, writer_b):
+                writer.close()
+
+        self._run_hub_scenario(scenario)
+        (forwarded,) = received
+        context = TraceContext.from_header(forwarded)
+        assert context == TraceContext(trace_id="feedface01", parent_span=31)
+        assert forwarded["token"] == 9
+
+    def test_on_protocol_error_hook_fires(self) -> None:
+        """A malformed frame invokes the observer with the error detail —
+        and a hook that itself raises must not take the hub down."""
+        seen: list[str] = []
+
+        async def scenario(hub) -> None:
+            def hook(detail: str) -> None:
+                seen.append(detail)
+                raise RuntimeError("observer bug")  # must be swallowed
+
+            hub.on_protocol_error = hook
+            _, writer = await asyncio.open_connection(hub.host, hub.port)
+            writer.write(struct.pack("!I", 4) + b"Zzzz")
+            await writer.drain()
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while hub.protocol_errors == 0:
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.01)
+            writer.close()
+
+        hub = self._run_hub_scenario(scenario)
+        assert hub.protocol_errors == 1
+        assert len(seen) == 1
+        assert "FrameError" in seen[0]

@@ -325,3 +325,125 @@ class TestLiveServer:
         while not server._stopping and time.monotonic() < deadline:
             time.sleep(0.01)
         assert server._stopping
+
+
+# -- distributed tracing over the live path ----------------------------------------
+
+
+class TestLiveTracing:
+    def test_traced_submit_echoes_trace_and_spans(self, start_server) -> None:
+        from repro.obs.spans import SpanCollector, TraceContext
+
+        server = start_server()
+        client = SpanCollector(clock="wall")
+        root = client.begin("request 51", "request", "client", 0.0)
+        context = TraceContext(trace_id="cafe51cafe51", parent_span=root)
+        header = ActionRequest(
+            id=51, variant="base", n=3, p=1, q=0, seed=3
+        ).to_header()
+        header.update(context.to_fields())
+        (reply,) = _exchange(server.port, [header], replies=1)
+        assert reply["type"] == "outcome"
+        assert reply["trace_id"] == "cafe51cafe51"
+        records = reply["spans"]
+        assert isinstance(records, list) and records
+        names = {record["name"] for record in records}
+        assert {"queue-wait", "execute", "serialize"} <= names
+        # Grafting the shipped records closes the loop: one connected
+        # forest rooted at the client's request span.
+        client.graft(records, parent=root)
+        client.end(root, 1.0)
+        assert client.forest_problems() == []
+        assert len(client.roots()) == 1
+
+    def test_untraced_submit_keeps_old_reply_shape(self, start_server) -> None:
+        server = start_server()
+        request = ActionRequest(id=52, variant="base", n=3, p=1, q=0, seed=0)
+        (reply,) = _exchange(server.port, [request.to_header()], replies=1)
+        assert reply["type"] == "outcome"
+        assert "trace_id" not in reply
+        assert "spans" not in reply
+
+    def test_malformed_trace_context_still_resolves(self, start_server) -> None:
+        """Garbage trace fields degrade to an untraced request — never a
+        protocol error, never a dropped session."""
+        server = start_server()
+        header = ActionRequest(
+            id=53, variant="base", n=3, p=1, q=0, seed=0
+        ).to_header()
+        header["trace_id"] = 12345  # wrong type
+        header["parent_span"] = "not an int"
+        # The pong is answered inline while the submit runs through the
+        # worker queue, so reply order is not guaranteed.
+        replies = _exchange(server.port, [header, {"type": "ping"}], replies=2)
+        kinds = sorted(reply["type"] for reply in replies)
+        assert kinds == ["outcome", "pong"]
+        (outcome,) = [r for r in replies if r["type"] == "outcome"]
+        assert outcome["id"] == 53
+        assert "spans" not in outcome
+        assert server.metrics.counter("service.protocol_errors").value == 0
+
+    def test_engine_trace_opt_in_ships_engine_spans(self, start_server) -> None:
+        from repro.obs.spans import TraceContext
+
+        server = start_server()
+        header = ActionRequest(
+            id=54, variant="base", n=3, p=1, q=0, seed=1, trace=True
+        ).to_header()
+        header.update(TraceContext.new().to_fields())
+        (reply,) = _exchange(server.port, [header], replies=1)
+        records = reply["spans"]
+        categories = {record["category"] for record in records}
+        assert "action" in categories, "engine forest missing from records"
+        engine = [r for r in records if r["category"] == "action"]
+        # Rescaled onto the wall execute window, virtual times kept as attrs.
+        assert all("vt_start" in r["attrs"] for r in engine)
+
+    def test_breakdown_histograms_populated(self, start_server) -> None:
+        server = start_server()
+        request = ActionRequest(id=55, variant="base", n=3, p=1, q=0, seed=0)
+        _exchange(server.port, [request.to_header()], replies=1)
+        (reply,) = _exchange(server.port, [{"type": "stats"}], replies=1)
+        histograms = reply["snapshot"]["histograms"]
+        for stage in ("queue_wait", "execute", "serialize", "reply"):
+            assert histograms[f"service.{stage}_ms"]["count"] == 1, stage
+        assert histograms["service.latency_ms"]["count"] == 1
+
+    def test_flight_recorder_tracks_completions(self, start_server) -> None:
+        server = start_server()
+        request = ActionRequest(id=56, variant="base", n=3, p=1, q=0, seed=0)
+        _exchange(server.port, [request.to_header()], replies=1)
+        # The worker closes the trace *after* writing the reply, so the
+        # client can observe the outcome a beat before the ring does.
+        deadline = time.monotonic() + 10.0
+        while not server.flight.completed_traces():
+            assert time.monotonic() < deadline, "trace never reached the ring"
+            time.sleep(0.01)
+        completed = server.flight.completed_traces()
+        assert [t.request_id for t in completed] == [56]
+        assert completed[0].status == "committed"
+        assert server.flight.open_traces() == []
+
+    def test_shed_dumps_flight_recording(self, start_server, tmp_path) -> None:
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        server = start_server(
+            initial_rate=50.0, max_rate=50.0, min_rate=50.0,
+            flight_dir=tmp_path,
+        )
+        headers = [
+            ActionRequest(id=i, variant="base", n=2, p=1, q=0, seed=i).to_header()
+            for i in range(200)
+        ]
+        replies = _exchange(server.port, headers, replies=200)
+        assert any(reply["type"] == "overloaded" for reply in replies)
+        dumps = [p for p in tmp_path.iterdir() if p.name.endswith(".trace.json")]
+        assert dumps, "shed must auto-dump a flight recording"
+        doc = json.loads(dumps[0].read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["trigger"] == "shed"
+        assert server.flight.trigger_counts["shed"] >= 1
+        # A shed storm rate-limits to one dump, not one per shed.
+        assert len(dumps) == 1

@@ -1,0 +1,225 @@
+"""TraceContext parsing, span-record interchange and the obs plumbing
+the distributed-tracing path relies on (wall clocks, log buckets,
+histogram quantiles, VT→wall rescaling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.export import spans_to_chrome, validate_chrome_trace
+from repro.obs.metrics import (
+    MS_LATENCY_BUCKETS,
+    MetricsRegistry,
+    histogram_quantile,
+    log_spaced_buckets,
+)
+from repro.obs.spans import SpanCollector, TraceContext
+from repro.service.protocol import rescale_records
+
+
+class TestTraceContext:
+    def test_new_contexts_are_distinct_roots(self) -> None:
+        a, b = TraceContext.new(), TraceContext.new()
+        assert a.trace_id != b.trace_id
+        assert a.parent_span is None
+
+    def test_field_roundtrip(self) -> None:
+        context = TraceContext(trace_id="abc123", parent_span=7)
+        assert TraceContext.from_header(context.to_fields()) == context
+
+    def test_root_omits_parent_field(self) -> None:
+        fields = TraceContext(trace_id="abc123").to_fields()
+        assert fields == {"trace_id": "abc123"}
+
+    def test_child_keeps_trace_id(self) -> None:
+        context = TraceContext(trace_id="abc123", parent_span=7)
+        child = context.child(42)
+        assert child.trace_id == "abc123"
+        assert child.parent_span == 42
+
+    def test_absent_context_parses_to_none(self) -> None:
+        assert TraceContext.from_header({"type": "submit", "id": 1}) is None
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "not a dict",
+            None,
+            {"trace_id": 123},
+            {"trace_id": ""},
+            {"trace_id": "x" * 65},
+            {"trace_id": "ok", "parent_span": "seven"},
+            {"trace_id": "ok", "parent_span": True},
+            {"trace_id": "ok", "parent_span": 1.5},
+        ],
+    )
+    def test_malformed_context_degrades_to_none(self, header) -> None:
+        # Tolerant parsing is the tracing safety property: garbage trace
+        # fields must never raise (the server would turn them into a
+        # protocol error and kill the request).
+        assert TraceContext.from_header(header) is None
+
+    def test_parent_span_accepted_as_plain_int(self) -> None:
+        context = TraceContext.from_header({"trace_id": "ok", "parent_span": 3})
+        assert context == TraceContext(trace_id="ok", parent_span=3)
+
+
+class TestCollectorClock:
+    def test_default_clock_is_virtual(self) -> None:
+        assert SpanCollector().clock == "virtual"
+
+    def test_wall_clock_accepted(self) -> None:
+        assert SpanCollector(clock="wall").clock == "wall"
+
+    def test_unknown_clock_rejected(self) -> None:
+        with pytest.raises(ValueError, match="unknown clock"):
+            SpanCollector(clock="lunar")
+
+    def test_wall_chrome_export_scales_to_microseconds(self) -> None:
+        spans = SpanCollector(clock="wall")
+        root = spans.begin("req", "request", "c", 1000.0)
+        spans.end(root, 1000.25)
+        doc = spans_to_chrome(spans)
+        assert validate_chrome_trace(doc) == []
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        # Shifted to the forest origin, scaled seconds → microseconds.
+        assert event["ts"] == pytest.approx(0.0)
+        assert event["dur"] == pytest.approx(250_000.0)
+        assert doc["otherData"]["clock"] == "wall"
+
+
+class TestRecordInterchange:
+    def _forest(self) -> SpanCollector:
+        spans = SpanCollector()
+        root = spans.begin("action", "action", "O1", 0.0, colour="red")
+        child = spans.begin("resolution", "resolution", "O1", 1.0, parent=root)
+        spans.event("commit", "event", "O1", 2.0, parent=child, cause=root)
+        spans.end(child, 3.0)
+        spans.end(root, 4.0)
+        return spans
+
+    def test_roundtrip_preserves_structure(self) -> None:
+        original = self._forest()
+        copy = SpanCollector(clock="wall")
+        mapping = copy.graft(original.to_records())
+        assert len(copy) == len(original)
+        assert copy.forest_problems() == []
+        # Same tree shape under remapped ids.
+        for span in original:
+            twin = copy.get(mapping[span.span_id])
+            assert twin.name == span.name
+            assert twin.start == span.start and twin.end == span.end
+            if span.parent_id is None:
+                assert twin.parent_id is None
+            else:
+                assert twin.parent_id == mapping[span.parent_id]
+
+    def test_graft_reparents_foreign_roots(self) -> None:
+        client = SpanCollector(clock="wall")
+        root = client.begin("request", "request", "client", 0.0)
+        client.graft(self._forest().to_records(), parent=root)
+        grafted_roots = [
+            s for s in client if s.parent_id == root and s.name == "action"
+        ]
+        assert len(grafted_roots) == 1
+        assert client.forest_problems() == []
+
+    def test_graft_ids_never_collide_with_local_spans(self) -> None:
+        client = SpanCollector()
+        local = client.begin("local", "x", "c", 0.0)
+        mapping = client.graft(self._forest().to_records())
+        assert local not in mapping.values()
+        assert len({local, *mapping.values()}) == len(mapping) + 1
+
+    def test_graft_skips_malformed_records(self) -> None:
+        client = SpanCollector()
+        records = [
+            "not a record",
+            {"span_id": "seven", "start": 0.0},
+            {"span_id": 1, "start": "never"},
+            {"span_id": 2, "start": 5.0, "name": "ok"},
+        ]
+        mapping = client.graft(records)
+        assert list(mapping) == [2]
+        assert len(client) == 1
+        assert client.forest_problems() == []
+
+
+class TestRescaleRecords:
+    def test_linear_map_onto_wall_window(self) -> None:
+        records = [
+            {"span_id": 1, "start": 0.0, "end": 10.0},
+            {"span_id": 2, "start": 5.0, "end": None},
+        ]
+        rescale_records(records, wall_start=100.0, wall_end=101.0, vt_end=10.0)
+        assert records[0]["start"] == pytest.approx(100.0)
+        assert records[0]["end"] == pytest.approx(101.0)
+        assert records[1]["start"] == pytest.approx(100.5)
+        assert records[1]["end"] is None
+        # Virtual times survive as attrs.
+        assert records[0]["attrs"]["vt_start"] == 0.0
+        assert records[0]["attrs"]["vt_end"] == 10.0
+        assert records[1]["attrs"]["vt_start"] == 5.0
+
+    def test_zero_virtual_duration_collapses_to_wall_start(self) -> None:
+        records = [{"span_id": 1, "start": 3.0, "end": 3.0}]
+        rescale_records(records, wall_start=50.0, wall_end=51.0, vt_end=0.0)
+        assert records[0]["start"] == 50.0
+        assert records[0]["end"] == 50.0
+
+
+class TestLogSpacedBuckets:
+    def test_monotonic_and_bounded(self) -> None:
+        edges = log_spaced_buckets(0.05, 20_000.0)
+        assert edges == tuple(sorted(set(edges)))
+        assert edges[0] == pytest.approx(0.05)
+        assert edges[-1] >= 20_000.0
+
+    def test_per_decade_density(self) -> None:
+        edges = log_spaced_buckets(1.0, 1000.0, per_decade=3)
+        assert len(edges) == 10  # 3 decades × 3 + the closing edge
+
+    @pytest.mark.parametrize("low,high", [(0.0, 1.0), (-1.0, 1.0), (5.0, 2.0)])
+    def test_bad_ranges_rejected(self, low, high) -> None:
+        with pytest.raises(ValueError):
+            log_spaced_buckets(low, high)
+
+    def test_histograms_accept_custom_edges(self) -> None:
+        registry = MetricsRegistry()
+        hist = registry.histogram("svc.latency_ms", MS_LATENCY_BUCKETS)
+        hist.observe(0.3)
+        hist.observe(4500.0)
+        data = registry.snapshot()["histograms"]["svc.latency_ms"]
+        assert data["count"] == 2
+        assert tuple(data["bounds"]) == MS_LATENCY_BUCKETS
+
+
+class TestHistogramQuantile:
+    def _data(self, values, bounds=(1.0, 10.0, 100.0)) -> dict:
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", bounds)
+        for value in values:
+            hist.observe(value)
+        return registry.snapshot()["histograms"]["h"]
+
+    def test_empty_histogram_is_none(self) -> None:
+        assert histogram_quantile(self._data([]), 0.99) is None
+
+    def test_median_lands_in_right_bucket(self) -> None:
+        data = self._data([0.5] * 51 + [50.0] * 49)
+        estimate = histogram_quantile(data, 0.5)
+        assert estimate is not None
+        assert estimate <= 1.0
+
+    def test_p99_reaches_upper_buckets(self) -> None:
+        data = self._data([0.5] * 99 + [99.0])
+        assert histogram_quantile(data, 0.99) > 10.0
+
+    def test_clamped_to_observed_extremes(self) -> None:
+        data = self._data([2.0, 3.0])
+        assert histogram_quantile(data, 0.0) >= 2.0
+        assert histogram_quantile(data, 1.0) <= 3.0
+
+    def test_overflow_bucket_uses_max(self) -> None:
+        data = self._data([5000.0])
+        assert histogram_quantile(data, 0.99) == pytest.approx(5000.0)
