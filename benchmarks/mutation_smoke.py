@@ -163,8 +163,10 @@ MUTANTS: tuple[Mutant, ...] = (
     Mutant(
         "ct-no-acks-missing", CT,
         "raiser awaits no ACKs: commits before the group is informed",
-        "        self.acks_missing = set(self.detector.alive_peers())",
-        "        self.acks_missing = set()",
+        """        self.acks_missing = set(self.detector.alive_peers())
+        for peer in self.group:""",
+        """        self.acks_missing = set()
+        for peer in self.group:""",
     ),
     Mutant(
         "ct-ack-noop", CT,
@@ -194,10 +196,12 @@ MUTANTS: tuple[Mutant, ...] = (
         "nested member aborts without announcing HaveNested",
         """        self.aborting = True
         self.nested_members.add(self.name)
+        self._checkpoint("aborting")
         for peer in self.detector.alive_peers():
             self.send(peer, KIND_CT_HAVE_NESTED, CtHaveNested(self.action, self.name))""",
         """        self.aborting = True
-        self.nested_members.add(self.name)""",
+        self.nested_members.add(self.name)
+        self._checkpoint("aborting")""",
     ),
     Mutant(
         "ct-suspect-no-advance", CT,

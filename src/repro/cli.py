@@ -445,6 +445,15 @@ def cmd_service_serve(args: argparse.Namespace) -> int:
         server.serve_forever(max_seconds=args.max_seconds)
     except KeyboardInterrupt:
         pass
+    except OSError as exc:
+        # Bind/listen failure (port taken, privileged port, bad address):
+        # one line, non-zero exit — not a traceback.
+        print(
+            f"serve failed on {args.host}:{args.port}: "
+            f"{exc.strerror or exc}",
+            file=sys.stderr,
+        )
+        return 1
     finally:
         snapshot = server.stats_snapshot()
         server.close()
@@ -476,7 +485,13 @@ def cmd_service_load(args: argparse.Namespace) -> int:
         trace=args.trace,
         engine_trace_every=args.engine_trace_every,
     )
-    report = run_load(args.host, args.port, spec, fetch_stats=args.stats)
+    try:
+        report = run_load(args.host, args.port, spec, fetch_stats=args.stats)
+    except (TimeoutError, OSError) as exc:
+        # Unreachable/refused/wedged server: a load run that never got off
+        # the ground is an error message, not a traceback.
+        print(f"service load failed: {exc}", file=sys.stderr)
+        return 1
     payload = report.to_payload()
     if args.stats:
         payload["server_stats"] = report.server_stats
@@ -503,7 +518,11 @@ def cmd_service_load(args: argparse.Namespace) -> int:
             f"max in-flight={report.max_inflight}"
         )
     if args.shutdown:
-        acked = request_shutdown(args.host, args.port)
+        try:
+            acked = request_shutdown(args.host, args.port)
+        except (TimeoutError, OSError) as exc:
+            print(f"shutdown request failed: {exc}", file=sys.stderr)
+            return 1
         # With --json, stdout is machine-readable; status goes to stderr.
         print(
             f"shutdown {'acknowledged' if acked else 'NOT acknowledged'}",

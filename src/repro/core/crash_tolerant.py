@@ -61,12 +61,32 @@ Fault-free message count for N members, P raisers, Q nested::
 
 (versus the base algorithm's ``(N-1)(2P+3Q+1)``: HaveNested here is one
 broadcast instead of one message per raiser).
+
+**Crash-restart recovery.**  Crash = silence, but a node can come back: a
+participant constructed over a :class:`~repro.transactions.durable.
+DurableStore` checkpoints its protocol state (raised / informed / aborting
+/ handled) to its write-ahead log, and :meth:`CrashTolerantParticipant.
+restart` replays it after :meth:`~repro.objects.runtime.Runtime.
+restart_node` brings the node back.  The restart path wipes volatile
+state (a crash loses memory — only the WAL and the durable objects
+survive), lets the store undo whatever transactions the crash cut short,
+then runs the rejoin protocol: broadcast ``CT_REJOIN_REQ`` (carrying the
+replayed own exception, if the WAL says we had raised).  A peer that
+already holds a verdict replies with its Commit and the returnee
+**confirms its abort** — the action resolved without it, its effects are
+already undone, and decisions made over the survivor view are stable.  A
+peer still resolving re-syncs the returnee instead: re-adds it to the
+alive view, re-sends its own Exception / nested status, ACKs the
+returnee's replayed raise — and the protocol proceeds as if the silence
+had been mere slowness, so the returnee **rejoins with the agreed
+handler**.  Fault-free runs exchange no rejoin messages, so the count
+formula above is untouched.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.exceptions.handlers import HandlerSet
 from repro.exceptions.tree import ExceptionClass, ResolutionTree
@@ -76,16 +96,30 @@ from repro.net.message import Message
 from repro.objects.base import DistributedObject
 from repro.objects.runtime import Runtime
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.transactions.durable import DurableStore
+    from repro.transactions.manager import Transaction
+
 KIND_CT_EXCEPTION = "CT_EXCEPTION"
 KIND_CT_ACK = "CT_ACK"
 KIND_CT_COMMIT = "CT_COMMIT"
 KIND_CT_HAVE_NESTED = "CT_HAVE_NESTED"
 KIND_CT_NESTED_COMPLETED = "CT_NESTED_COMPLETED"
+KIND_CT_REJOIN_REQ = "CT_REJOIN_REQ"
+KIND_CT_REJOIN_REPLY = "CT_REJOIN_REPLY"
 
 CT_KINDS = frozenset({
     KIND_CT_EXCEPTION, KIND_CT_ACK, KIND_CT_COMMIT,
     KIND_CT_HAVE_NESTED, KIND_CT_NESTED_COMPLETED,
+    KIND_CT_REJOIN_REQ, KIND_CT_REJOIN_REPLY,
 })
+
+#: Later checkpoints supersede earlier ones; equal ranks may overwrite
+#: (e.g. ``informed`` then ``aborting`` on a nested member).
+_CHECKPOINT_RANK = {
+    "informed": 1, "raised": 2, "aborting": 2,
+    "handled": 3, "confirmed-abort": 3,
+}
 
 
 @dataclass(frozen=True)
@@ -122,6 +156,26 @@ class CtCommit:
     raisers: tuple[str, ...]
 
 
+@dataclass(frozen=True)
+class CtRejoinReq:
+    """A restarted member announcing itself, with whatever its WAL said
+    it had raised before the crash (``None`` if it had not raised)."""
+
+    action: str
+    sender: str
+    exception: Optional[ExceptionClass]
+
+
+@dataclass(frozen=True)
+class CtRejoinReply:
+    """A peer's answer: the verdict if it already holds one, else
+    ``None`` ("still resolving — normal protocol messages follow")."""
+
+    action: str
+    sender: str
+    commit: Optional[CtCommit]
+
+
 class CrashTolerantParticipant(DistributedObject):
     """A participant that survives peer crashes, including mid-abortion."""
 
@@ -138,6 +192,7 @@ class CrashTolerantParticipant(DistributedObject):
         abort_duration: float = 0.0,
         abort_signal: Optional[ExceptionClass] = None,
         membership_group: str | None = None,
+        store: "DurableStore | None" = None,
     ) -> None:
         super().__init__(name)
         self.action = action
@@ -161,6 +216,17 @@ class CrashTolerantParticipant(DistributedObject):
         self.aborting = False
         self.commit: Optional[CtCommit] = None
         self.handled: Optional[ExceptionClass] = None
+        #: Durable state (WAL + atomic objects); ``None`` = volatile-only.
+        self.store = store
+        #: The action's open work transaction over the durable store —
+        #: the writes a crash cuts short and the WAL must undo.
+        self.work_txn: "Transaction | None" = None
+        self.restarted = False
+        #: After a restart: ``"rejoined"`` (handler ran with the agreed
+        #: verdict) or ``"confirmed-abort"`` (resolution finished without
+        #: us; our effects are undone) or ``"already-handled"``.
+        self.rejoin_outcome: Optional[str] = None
+        self._ckpt_rank = 0
         #: Span collector at FULL trace level (cached in attach), else None.
         self._spans = None
         self._span_id: Optional[int] = None
@@ -175,9 +241,45 @@ class CrashTolerantParticipant(DistributedObject):
         self.on_kind(KIND_CT_COMMIT, self._on_commit)
         self.on_kind(KIND_CT_HAVE_NESTED, self._on_have_nested)
         self.on_kind(KIND_CT_NESTED_COMPLETED, self._on_nested_completed)
+        self.on_kind(KIND_CT_REJOIN_REQ, self._on_rejoin_req)
+        self.on_kind(KIND_CT_REJOIN_REPLY, self._on_rejoin_reply)
 
     def start(self) -> None:
         self.detector.start()
+
+    # -- durability ------------------------------------------------------------
+
+    def _checkpoint(self, state: str, **extra) -> None:
+        """Durably record the protocol state the restart path rebuilds
+        from.  Later states supersede earlier ones (never downgrade —
+        e.g. a straggler Exception after abort start must not demote
+        ``aborting`` back to ``informed`` as the WAL's last word)."""
+        if self.store is None:
+            return
+        rank = _CHECKPOINT_RANK[state]
+        if rank < self._ckpt_rank:
+            return
+        self._ckpt_rank = rank
+        self.store.checkpoint_action(self.action, state, **extra)
+
+    def begin_work(self) -> None:
+        """Open the action's work transaction: one durable write whose
+        undo information hits the WAL before the mutation, so a crash
+        mid-action leaves exactly the state the restart path must undo."""
+        if self.store is None or self.work_txn is not None or self.crashed:
+            return
+        obj = next(iter(self.store.objects.values()))
+        txn = self.store.manager.begin()
+        txn.write(obj, "progress", self.name)
+        txn.prepare()  # durable point: the undo info is on disk
+        self.work_txn = txn
+
+    def _abort_work(self) -> None:
+        """Backward recovery of the action's durable effects (the
+        paper's implicit abort before handlers run, Figure 2(b))."""
+        if self.work_txn is not None:
+            self.work_txn.abort()
+            self.work_txn = None
 
     # -- observability ---------------------------------------------------------
 
@@ -224,6 +326,7 @@ class CrashTolerantParticipant(DistributedObject):
         self.raised_local = True
         self.raisers.add(self.name)
         self.le[self.name] = exception
+        self._checkpoint("raised", exception=exception.name())
         self._span_open("X")
         if self._spans is not None:
             self._spans.event(
@@ -245,6 +348,7 @@ class CrashTolerantParticipant(DistributedObject):
         payload: CtException = message.payload
         self.le[payload.sender] = payload.exception
         self.raisers.add(payload.sender)
+        self._checkpoint("informed")
         self._span_open("S", cause=message.msg_id)
         if self.commit is not None:
             # Decision already taken (the sender is a late raiser — e.g.
@@ -275,6 +379,12 @@ class CrashTolerantParticipant(DistributedObject):
 
     def _on_commit(self, message: Message) -> None:
         payload: CtCommit = message.payload
+        if self.rejoin_outcome == "confirmed-abort":
+            # We restarted after the action resolved and confirmed our
+            # abort: the verdict is acknowledged, but we are out of the
+            # action — a straggler or merged Commit must not pull us back
+            # into running a handler the survivor view excluded us from.
+            return
         if self.commit is None:
             own = self.le.get(self.name) if self.raised_local else None
             if own is not None and not self.tree.covers(payload.exception, own):
@@ -340,6 +450,81 @@ class CrashTolerantParticipant(DistributedObject):
             self.le[payload.sender] = payload.signal
         self._advance()
 
+    def _on_rejoin_req(self, message: Message) -> None:
+        payload: CtRejoinReq = message.payload
+        self.runtime.trace.record(
+            self.sim_now, "ct.rejoin_req", self.name,
+            action=self.action, peer=payload.sender,
+        )
+        if self.commit is not None:
+            # The action resolved while the sender was down.  Decisions
+            # made over the survivor view are stable: hand it the verdict
+            # (it will confirm its abort) and leave the suspicion alone.
+            self.send(
+                payload.sender, KIND_CT_REJOIN_REPLY,
+                CtRejoinReply(self.action, self.name, self.commit),
+            )
+            return
+        # Still resolving: the returnee's silence was no worse than
+        # slowness.  Welcome it back and re-send everything its pre-crash
+        # self may have lost with its memory — our exception, our nested
+        # status — in the same per-channel FIFO order the live protocol
+        # guarantees (HaveNested before the ACK, see ``_on_exception``).
+        self.detector.rejoin(payload.sender)
+        if payload.exception is not None:
+            self.le[payload.sender] = payload.exception
+            self.raisers.add(payload.sender)
+            self._maybe_start_abort()
+        if self.aborting:
+            self.send(
+                payload.sender, KIND_CT_HAVE_NESTED,
+                CtHaveNested(self.action, self.name),
+            )
+            if self.name in self.nested_done:
+                self.send(
+                    payload.sender, KIND_CT_NESTED_COMPLETED,
+                    CtNestedCompleted(self.action, self.name, self.abort_signal),
+                )
+        if payload.exception is not None:
+            self.send(payload.sender, KIND_CT_ACK, CtAck(self.action, self.name))
+        if self.raised_local:
+            self.send(
+                payload.sender, KIND_CT_EXCEPTION,
+                CtException(self.action, self.name, self.le[self.name]),
+            )
+        self.send(
+            payload.sender, KIND_CT_REJOIN_REPLY,
+            CtRejoinReply(self.action, self.name, None),
+        )
+        self._advance()
+
+    def _on_rejoin_reply(self, message: Message) -> None:
+        payload: CtRejoinReply = message.payload
+        if payload.commit is None:
+            return  # peer is still resolving; its protocol messages follow
+        if self.rejoin_outcome is not None or self.handled is not None:
+            return
+        # The action already resolved without us: our WAL replay undid our
+        # effects, the survivor view excluded us — confirm the abort
+        # instead of running a handler we were never committed into.
+        if self.commit is None:
+            self.commit = payload.commit
+        self.rejoin_outcome = "confirmed-abort"
+        self._checkpoint(
+            "confirmed-abort", exception=payload.commit.exception.name()
+        )
+        self.detector.stop()
+        self.runtime.trace.record(
+            self.sim_now, "ct.rejoin_abort", self.name,
+            action=self.action, exception=payload.commit.exception.name(),
+        )
+        if self._spans is not None:
+            self._spans.event(
+                "rejoin confirmed-abort", "rejoin", self.name, self.sim_now,
+                parent=self._span_id,
+                exception=payload.commit.exception.name(),
+            )
+
     def _on_suspect(self, peer: str) -> None:
         # Waive anything the dead peer owed us — its ACK and, if it died
         # mid-abortion, its NestedCompleted — then re-evaluate: this is
@@ -360,6 +545,7 @@ class CrashTolerantParticipant(DistributedObject):
             return
         self.aborting = True
         self.nested_members.add(self.name)
+        self._checkpoint("aborting")
         for peer in self.detector.alive_peers():
             self.send(peer, KIND_CT_HAVE_NESTED, CtHaveNested(self.action, self.name))
         self.runtime.trace.record(
@@ -476,6 +662,17 @@ class CrashTolerantParticipant(DistributedObject):
             return
         self.handled = exception
         self.detector.stop()
+        # Backward recovery precedes the handler: the action's durable
+        # effects roll back (undo records -> WAL abort record) so the
+        # handler starts from a transaction-consistent state.
+        self._abort_work()
+        self._checkpoint("handled", exception=exception.name())
+        if self.restarted and self.rejoin_outcome is None:
+            self.rejoin_outcome = "rejoined"
+            self.runtime.trace.record(
+                self.sim_now, "ct.rejoin", self.name,
+                action=self.action, exception=exception.name(),
+            )
         self.runtime.trace.record(
             self.sim_now, "ct.handle", self.name, exception=exception.name()
         )
@@ -491,6 +688,93 @@ class CrashTolerantParticipant(DistributedObject):
             spans.end(self._state_span_id, now)
             spans.end(self._span_id, now, outcome=f"handled {exception.name()}")
 
+    # -- crash-restart recovery ---------------------------------------------------
+
+    def _exception_named(self, name: Optional[str]) -> Optional[ExceptionClass]:
+        if name is None:
+            return None
+        for member in self.tree.members:
+            if member.name() == name:
+                return member
+        return None
+
+    def restart(self, store: "DurableStore | None" = None) -> None:
+        """Come back from a crash (after ``runtime.restart_node``).
+
+        A crash loses memory: every field the live protocol maintained is
+        wiped and rebuilt from the two things that survive — the WAL
+        (``store.recovery``, which already undid the transactions the
+        crash cut short) and the durable objects.  Then the rejoin
+        protocol runs: broadcast ``CT_REJOIN_REQ`` and let the peers'
+        replies decide between full re-participation and confirmed abort.
+        """
+        if store is not None:
+            self.store = store
+        # -- volatile state dies with the node -------------------------------
+        self.le = {}
+        self.raisers = set()
+        self.acks_missing = set()
+        self.nested_members = set()
+        self.nested_done = set()
+        self.raised_local = False
+        self.aborting = False
+        self.commit = None
+        self.handled = None
+        self.work_txn = None
+        self._span_id = None
+        self._state_span_id = None
+        self._abort_span_id = None
+        self.restarted = True
+        self.rejoin_outcome = None
+        self._ckpt_rank = 0
+        self.detector.restart()
+        # -- durable state replays -------------------------------------------
+        state = (
+            self.store.last_action_state(self.action)
+            if self.store is not None else None
+        )
+        last = state["state"] if state else None
+        recovered = (
+            len(self.store.recovered_incomplete) if self.store is not None else 0
+        )
+        self.runtime.trace.record(
+            self.sim_now, "ct.restart", self.name,
+            action=self.action, replayed=last, undone=recovered,
+        )
+        if self._spans is not None:
+            self._spans.event(
+                f"restart {self.name}", "restart", self.name, self.sim_now,
+                replayed=last or "none", undone=recovered,
+            )
+        if last in ("handled", "confirmed-abort"):
+            # We crashed *after* the action finished with us: nothing to
+            # rejoin, and the WAL already holds the final word.
+            self.rejoin_outcome = "already-handled"
+            self.handled = self._exception_named(state.get("exception"))
+            self._ckpt_rank = _CHECKPOINT_RANK[last]
+            self.detector.stop()
+            return
+        exception = None
+        if last == "raised":
+            exception = self._exception_named(state.get("exception"))
+        if exception is not None:
+            # Re-adopt our own raise; ACKs must be re-collected because
+            # the pre-crash ones died with our memory.
+            self.raised_local = True
+            self.raisers.add(self.name)
+            self.le[self.name] = exception
+            self.acks_missing = set(self.detector.alive_peers())
+            self._ckpt_rank = _CHECKPOINT_RANK["raised"]
+        elif last is not None:
+            self._ckpt_rank = _CHECKPOINT_RANK[last]
+        self._span_open("X" if exception is not None else "S")
+        for peer in self.group:
+            if peer != self.name:
+                self.send(
+                    peer, KIND_CT_REJOIN_REQ,
+                    CtRejoinReq(self.action, self.name, exception),
+                )
+
 
 def ct_expected_messages(n: int, p: int, q: int = 0) -> int:
     """Fault-free protocol messages: ``(N-1)(2P + 2Q + 1)`` (module doc)."""
@@ -505,11 +789,17 @@ class CrashTolerantRunResult:
     participants: dict[str, CrashTolerantParticipant]
     crashed: tuple[str, ...]
     membership_group: str = "ct:A1"
+    restarted: tuple[str, ...] = ()
+    stores: "dict[str, DurableStore] | None" = None
 
     def survivors(self) -> list[CrashTolerantParticipant]:
         return [
             p for n, p in self.participants.items() if n not in self.crashed
         ]
+
+    def returnees(self) -> list[CrashTolerantParticipant]:
+        """Participants that crashed and later restarted."""
+        return [self.participants[name] for name in self.restarted]
 
     def all_survivors_handled(self) -> bool:
         return all(p.handled is not None for p in self.survivors())
@@ -545,6 +835,10 @@ def run_crash_tolerant(
     max_retries: int = 25,
     run_until: float = 200.0,
     trace_level=None,
+    restart_at: float | None = None,
+    durable_dir: "str | None" = None,
+    wal_fsync: bool = False,
+    work_at: float | None = None,
 ) -> CrashTolerantRunResult:
     """Run the crash-tolerant variant, optionally crashing members.
 
@@ -555,6 +849,16 @@ def run_crash_tolerant(
     ``abort_duration`` each, signalling an exception when
     ``nested_signal``).  ``failure_plan``/``reliable`` run the protocol
     over a faulty channel with the ARQ transport underneath.
+
+    ``restart_at`` restarts every crash victim at that (virtual) time:
+    the node comes back, and the participant replays its WAL and runs the
+    rejoin protocol.  ``durable_dir`` gives every participant a durable
+    store (an atomic object plus a per-node WAL file under that
+    directory); each opens a work transaction at ``work_at`` (default:
+    ``raise_at``) whose writes a crash cuts short — exactly the state the
+    restart path must undo.  ``wal_fsync=False`` (the default) keeps
+    simulated-time runs off the disk-latency path; the recovery benchmark
+    and CI smoke turn it on.
     """
     from repro.exceptions.declarations import UniversalException, declare_exception
     from repro.objects.naming import canonical_name
@@ -583,6 +887,20 @@ def run_crash_tolerant(
     )
     group_name = "ct:A1"
     runtime.membership.create(group_name, list(names))
+    stores: dict[str, "DurableStore"] | None = None
+    if durable_dir is not None:
+        from pathlib import Path
+
+        from repro.transactions.atomic_object import AtomicObject
+        from repro.transactions.durable import DurableStore
+
+        base = Path(durable_dir)
+        stores = {}
+        for name in names:
+            obj = AtomicObject(f"st:{name}", {"progress": None})
+            stores[name] = DurableStore(
+                base / f"{name}.wal", [obj], fsync=wal_fsync
+            )
     participants: dict[str, CrashTolerantParticipant] = {}
     for index, name in enumerate(names):
         depth = 1 if raisers <= index < raisers + nested else 0
@@ -592,10 +910,18 @@ def run_crash_tolerant(
             nested_depth=depth, abort_duration=abort_duration,
             abort_signal=signal_exc if depth else None,
             membership_group=group_name,
+            store=stores[name] if stores is not None else None,
         )
         runtime.register(participant)
         participants[name] = participant
         runtime.sim.schedule(0.0, participant.start, label=f"start:{name}")
+    if stores is not None:
+        for name in names:
+            runtime.sim.schedule(
+                raise_at if work_at is None else work_at,
+                participants[name].begin_work,
+                label=f"ct-work:{name}",
+            )
     for i in range(raisers):
         raiser = participants[names[i]]
         runtime.sim.schedule(
@@ -609,7 +935,42 @@ def run_crash_tolerant(
             lambda v=victim: runtime.crash_node(f"node:{v}"),
             label=f"crash:{victim}",
         )
+    restarted: tuple[str, ...] = ()
+    if restart_at is not None:
+        if restart_at <= crash_at:
+            raise ValueError(
+                f"restart_at ({restart_at}) must follow crash_at ({crash_at})"
+            )
+        restarted = tuple(crash)
+
+        def _restart(victim: str) -> None:
+            runtime.restart_node(f"node:{victim}")
+            store = None
+            if stores is not None:
+                from repro.transactions.durable import DurableStore
+
+                old = stores[victim]
+                old.close()
+                # Reopen over the same WAL file and the same (durable)
+                # objects: this runs the real recover() path — torn-tail
+                # truncation, replay, undo, recovered-abort markers.
+                store = DurableStore(
+                    old.path, old.objects.values(), fsync=wal_fsync
+                )
+                stores[victim] = store
+            participants[victim].restart(store)
+
+        for victim in crash:
+            runtime.sim.schedule(
+                restart_at,
+                lambda v=victim: _restart(v),
+                label=f"restart:{victim}",
+            )
     runtime.run(until=run_until, max_events=2_000_000)
+    if stores is not None:
+        for store in stores.values():
+            store.close()
     return CrashTolerantRunResult(
-        runtime, participants, tuple(crash), membership_group=group_name
+        runtime, participants, tuple(crash), membership_group=group_name,
+        restarted=restarted, stores=stores,
     )

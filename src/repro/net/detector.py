@@ -78,6 +78,35 @@ class Heartbeater:
     def stop(self) -> None:
         self._running = False
 
+    def restart(self) -> None:
+        """Fresh start after this object's *own* node restarts.
+
+        The crash killed the beat/check chains (they die on
+        ``obj.crashed``) but left ``_running`` set, so a plain
+        :meth:`start` would no-op.  Force a new generation and forget
+        pre-crash suspicions — a restarted node re-learns who is alive
+        rather than trusting verdicts from its previous life.
+        """
+        self.stop()
+        self.suspected.clear()
+        self.start()
+
+    def rejoin(self, peer: str) -> None:
+        """Welcome a restarted peer back: clear its suspicion and re-add
+        it to the membership view.  No-op for an unsuspected peer (beyond
+        refreshing ``last_seen`` so the rejoin itself counts as life)."""
+        self.last_seen[peer] = self.obj.sim_now
+        if peer not in self.suspected:
+            return
+        self.suspected.discard(peer)
+        self.obj.runtime.trace.record(
+            self.obj.sim_now, "detector.rejoin", self.obj.name, peer=peer
+        )
+        if self.membership_group is not None:
+            membership = self.obj.runtime.membership
+            if self.membership_group in membership.groups():
+                membership.join(self.membership_group, peer)
+
     def is_suspected(self, name: str) -> bool:
         return name in self.suspected
 

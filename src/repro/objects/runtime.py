@@ -155,6 +155,34 @@ class Runtime:
             self.spans.event(f"crash {node_id}", "crash", node_id, self.sim.now)
         self.metrics.counter("node.crashes").inc()
 
+    def restart_node(self, node_id: str) -> None:
+        """Restart a crashed node: its objects send and receive again.
+
+        Closes the node's open crash windows at the current time, so the
+        silence stays exact over ``[crash, restart)`` — messages sent into
+        the window were lost forever; messages from here on flow.  Only
+        the *node* comes back: volatile object state is whatever the
+        object left in place, and reconstructing a protocol-consistent
+        state from durable storage (WAL replay, rejoin) is the restarted
+        object's own business.  No-op on a node that is not crashed.
+        """
+        from repro.net.failures import CrashWindow
+
+        node = self.nodes[node_id]
+        if not node.crashed:
+            return
+        node.crashed = False
+        now = self.sim.now
+        hosted = set(node.hosted_names())
+        crashes = self.network.injector.plan.crashes
+        for index, window in enumerate(crashes):
+            if window.name in hosted and window.covers(now):
+                crashes[index] = CrashWindow(window.name, window.start, now)
+        self.trace.record(now, "node.restart", node_id)
+        if self.spans.enabled:
+            self.spans.event(f"restart {node_id}", "restart", node_id, now)
+        self.metrics.counter("node.restarts").inc()
+
     # -- execution -------------------------------------------------------------
 
     def run(self, until: float | None = None, max_events: int | None = 200_000) -> None:

@@ -44,6 +44,19 @@ MIXES = ("heavy", "small", "uniform")
 CONTROL_TIMEOUT = 5.0
 
 
+async def _open_connection(host: str, port: int):
+    """Connect to the service, turning raw socket errors into one clean
+    :class:`ConnectionError` naming the endpoint — what a CLI can print
+    on a single line instead of a traceback."""
+    try:
+        return await asyncio.open_connection(host, port)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        raise ConnectionError(
+            f"cannot connect to resolution service at {host}:{port}: {reason}"
+        ) from None
+
+
 @dataclass(frozen=True)
 class LoadSpec:
     """One open-loop campaign against a running server."""
@@ -274,7 +287,7 @@ async def _connection(
     spec = campaign.spec
     rng = random.Random(spec.seed * 100_003 + conn_index)
     schedule = arrival_times(rng, spec, spec.rate / spec.connections)
-    reader, writer = await asyncio.open_connection(host, port)
+    reader, writer = await _open_connection(host, port)
     loop = asyncio.get_running_loop()
     done_sending = asyncio.Event()
 
@@ -333,12 +346,19 @@ async def _run_campaign(
     campaign = _Campaign(spec)
     loop = asyncio.get_running_loop()
     started = loop.time()
-    await asyncio.gather(
+    # return_exceptions keeps one refused connection from orphaning its
+    # siblings mid-flight (un-retrieved task exceptions spray tracebacks);
+    # collect everything, then surface the first failure as the verdict.
+    results = await asyncio.gather(
         *(
             _connection(host, port, campaign, index)
             for index in range(spec.connections)
-        )
+        ),
+        return_exceptions=True,
     )
+    for result in results:
+        if isinstance(result, BaseException):
+            raise result
     campaign.report.wall_seconds = loop.time() - started
     campaign.report.unanswered = len(campaign.pending)
     if campaign.spans is not None:
@@ -373,7 +393,7 @@ async def fetch_server_stats(
     """
 
     async def go() -> dict:
-        reader, writer = await asyncio.open_connection(host, port)
+        reader, writer = await _open_connection(host, port)
         try:
             writer.write(encode_frame({"type": "stats"}))
             await writer.drain()
@@ -396,7 +416,7 @@ async def _traced_round_trips(
     spans = SpanCollector(clock="wall")
     outcomes: list[dict] = []
     loop = asyncio.get_running_loop()
-    reader, writer = await asyncio.open_connection(host, port)
+    reader, writer = await _open_connection(host, port)
     try:
         for request in requests:
             now = loop.time()
@@ -448,7 +468,7 @@ def request_shutdown(
     """Ask a running server to stop; True if it acknowledged."""
 
     async def go() -> bool:
-        reader, writer = await asyncio.open_connection(host, port)
+        reader, writer = await _open_connection(host, port)
         try:
             writer.write(encode_frame({"type": "shutdown"}))
             await writer.drain()

@@ -243,9 +243,15 @@ class ResolutionServer:
 
     async def _serve(self) -> None:
         self._started_wall = self.kernel.loop.time()
-        self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.port
-        )
+        try:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.host, self.port
+            )
+        except OSError as exc:
+            # Bind/listen failure: a service-task exception would die
+            # silently; fail() re-raises it from serve_forever() instead.
+            self.kernel.fail(exc)
+            return
         self.port = self._server.sockets[0].getsockname()[1]
         self.ready.set()
         try:

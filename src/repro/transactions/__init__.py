@@ -11,6 +11,7 @@ handlers may call (Figure 2(a)) and that backward recovery calls implicitly
 """
 
 from repro.transactions.atomic_object import AtomicObject
+from repro.transactions.durable import DurableStore
 from repro.transactions.errors import (
     DeadlockError,
     LockConflictError,
@@ -21,10 +22,20 @@ from repro.transactions.errors import (
 from repro.transactions.locks import LockManager, LockMode
 from repro.transactions.log import UndoLog, UndoRecord
 from repro.transactions.manager import Transaction, TransactionManager, TxnState
+from repro.transactions.wal import (
+    WalError,
+    WalRecovery,
+    WalScan,
+    WriteAheadLog,
+    recover,
+    replay_records,
+    scan_wal,
+)
 
 __all__ = [
     "AtomicObject",
     "DeadlockError",
+    "DurableStore",
     "LockConflictError",
     "LockManager",
     "LockMode",
@@ -36,4 +47,11 @@ __all__ = [
     "TxnState",
     "UndoLog",
     "UndoRecord",
+    "WalError",
+    "WalRecovery",
+    "WalScan",
+    "WriteAheadLog",
+    "recover",
+    "replay_records",
+    "scan_wal",
 ]

@@ -51,6 +51,11 @@ class AtomicObject:
             raise KeyError(f"{self.name} has no key {key!r}")
         return value
 
+    def probe(self, key: Hashable) -> tuple[Any, bool]:
+        """Non-mutating ``(value, existed)`` read — the undo information a
+        write-ahead log must persist *before* the mutation happens."""
+        return self._state.get(key), key in self._state
+
     def put(self, key: Hashable, value: Any) -> tuple[Any, bool]:
         """Raw write; returns ``(old_value, existed)`` for undo logging."""
         existed = key in self._state

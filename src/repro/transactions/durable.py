@@ -1,0 +1,72 @@
+"""Durable atomic-object store: objects + WAL + manager + restart path.
+
+This is the glue a *node* uses: open a store over its atomic objects and
+its per-node WAL file, and the constructor runs the full restart path
+first — scan (truncating any torn tail), replay, undo incomplete
+transactions, mark them recovered — before handing back a
+:class:`~repro.transactions.manager.TransactionManager` whose every
+mutation is WAL-logged from then on.  Opening a store over a fresh path
+is a no-op recovery, so the same code serves first boot and restart.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from repro.transactions.atomic_object import AtomicObject
+from repro.transactions.manager import TransactionManager
+from repro.transactions.wal import WalRecovery, recover
+
+
+class DurableStore:
+    """One node's durable transaction state.
+
+    Args:
+        path: the node's WAL file.
+        objects: the atomic objects this node hosts (these stand in for
+            durable object storage — see the scope note in
+            :mod:`repro.transactions.wal`).
+        fsync: pass ``False`` to skip real ``os.fsync`` calls (tests,
+            simulated-time benchmarks).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        objects: Iterable[AtomicObject],
+        fsync: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self.objects: dict[str, AtomicObject] = {obj.name: obj for obj in objects}
+        self.recovery: WalRecovery
+        self.recovery, self.wal = recover(self.path, self.objects, fsync=fsync)
+        self.manager = TransactionManager(wal=self.wal)
+
+    # -- protocol checkpoints ------------------------------------------------
+
+    def checkpoint_action(self, action: str, state: str, **extra: Any) -> None:
+        """Durably record the node's last known action state, so a
+        restart knows which action it was inside and how far it got."""
+        self.wal.log_action(action, state, **extra)
+
+    def last_action_state(self, action: str) -> Optional[dict]:
+        """The replayed checkpoint for ``action`` (``None`` on first
+        boot or if the node never checkpointed it)."""
+        return self.recovery.action_state(action)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def recovered_incomplete(self) -> tuple[int, ...]:
+        """Transaction ids the restart path undid (crash cut them short)."""
+        return self.recovery.incomplete
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableStore({self.path}, objects={sorted(self.objects)}, "
+            f"recovered={len(self.recovery.incomplete)})"
+        )

@@ -20,12 +20,15 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Any, Callable, Hashable
+from typing import TYPE_CHECKING, Any, Callable, Hashable
 
 from repro.transactions.atomic_object import AtomicObject
 from repro.transactions.errors import TransactionStateError
 from repro.transactions.locks import LockManager, LockMode
 from repro.transactions.log import UndoLog, UndoRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.transactions.wal import WriteAheadLog
 
 
 class TxnState(enum.Enum):
@@ -75,6 +78,7 @@ class Transaction:
             self.txn_id, obj.name, LockMode.EXCLUSIVE, ancestors=self.ancestor_ids()
         )
         self.touched.add(obj)
+        self._log_write(obj, key)
         old_value, existed = obj.put(key, value)
         self.undo.append(UndoRecord(obj, key, old_value, existed))
 
@@ -113,6 +117,7 @@ class Transaction:
                 f"txn {self.txn_id} does not hold the X lock on {obj.name}"
             )
         self.touched.add(obj)
+        self._log_write(obj, key)
         old_value, existed = obj.put(key, value)
         self.undo.append(UndoRecord(obj, key, old_value, existed))
 
@@ -133,6 +138,15 @@ class Transaction:
         self._require_active()
         return self.manager.begin(parent=self)
 
+    def prepare(self) -> None:
+        """Durable point for 2PC-style participants: force the
+        transaction's undo information to disk before voting yes.  A
+        no-op without a WAL (pure in-memory transactions)."""
+        self._require_active()
+        self._require_children_settled()
+        if self.manager.wal is not None:
+            self.manager.wal.log_prepare(self.txn_id)
+
     def commit(self) -> None:
         """Commit this transaction.
 
@@ -148,6 +162,8 @@ class Transaction:
             self.parent.touched.update(self.touched)
             self.manager.locks.transfer(self.txn_id, self.parent.txn_id)
             self.state = TxnState.COMMITTED
+            if self.manager.wal is not None:
+                self.manager.wal.log_commit(self.txn_id, top=False)
             return
         try:
             for obj in self.touched:
@@ -155,10 +171,15 @@ class Transaction:
         except Exception:
             self.abort()
             raise
+        # The durable point: once the top-level commit record is forced,
+        # a restart will never undo this tree's writes.
+        if self.manager.wal is not None:
+            self.manager.wal.log_commit(self.txn_id, top=True)
         for obj in self.touched:
             obj.version += 1
         self.state = TxnState.COMMITTED
         self.manager.locks.release_all(self.txn_id)
+        self.manager._settle(self)
 
     def abort(self) -> None:
         """Abort: roll back own (and any active children's) effects."""
@@ -172,8 +193,21 @@ class Transaction:
         self.undo.undo_all()
         self.state = TxnState.ABORTED
         self.manager.locks.release_all(self.txn_id)
+        # Only after the rollback is fully applied: the abort record
+        # tells replay this transaction needs no further undoing.
+        if self.manager.wal is not None:
+            self.manager.wal.log_abort(self.txn_id)
+        self.manager._settle(self)
 
     # -- internals ---------------------------------------------------------------
+
+    def _log_write(self, obj: AtomicObject, key: Hashable) -> None:
+        """WAL rule: persistable undo info goes to the log *before* the
+        in-place mutation."""
+        wal = self.manager.wal
+        if wal is not None:
+            old_value, existed = obj.probe(key)
+            wal.log_write(self.txn_id, obj.name, key, old_value, existed)
 
     def _require_active(self) -> None:
         if self.state is not TxnState.ACTIVE:
@@ -194,12 +228,21 @@ class Transaction:
 
 
 class TransactionManager:
-    """Creates transactions and owns the lock table."""
+    """Creates transactions and owns the lock table.
 
-    def __init__(self) -> None:
+    With a :class:`~repro.transactions.wal.WriteAheadLog` attached, every
+    begin/write/prepare/commit/abort is also logged durably, so a node
+    restart can reconstruct and undo whatever the crash cut short.
+    """
+
+    def __init__(self, wal: "WriteAheadLog | None" = None) -> None:
         self.locks = LockManager()
         self._ids = itertools.count(1)
         self.transactions: dict[int, Transaction] = {}
+        self.wal = wal
+        #: Top-level transaction trees pruned after settling (leak fix
+        #: regression counter: long-running services settle millions).
+        self.settled_trees = 0
 
     def begin(self, parent: Transaction | None = None) -> Transaction:
         """Start a new transaction (the handler-visible ``start``)."""
@@ -207,9 +250,30 @@ class TransactionManager:
         if parent is not None:
             parent.children.append(txn)
         self.transactions[txn.txn_id] = txn
+        if self.wal is not None:
+            self.wal.log_begin(txn.txn_id, parent.txn_id if parent else None)
         return txn
 
     def active_count(self) -> int:
         return sum(
             1 for txn in self.transactions.values() if txn.state is TxnState.ACTIVE
         )
+
+    def _settle(self, txn: Transaction) -> None:
+        """Drop a settled *top-level* tree from the registry.
+
+        Once the top level commits or aborts, no transaction in the tree
+        can ever become active again (commit requires settled children;
+        abort cascades), so keeping the tree alive is a pure memory leak
+        under service-mode traffic.  Nested settles keep their records —
+        the enclosing transaction may still need them (``children``,
+        repro of Figure 2 flows) — and go away with the top level.
+        """
+        if txn.parent is not None:
+            return
+        stack = [txn]
+        while stack:
+            node = stack.pop()
+            self.transactions.pop(node.txn_id, None)
+            stack.extend(node.children)
+        self.settled_trees += 1

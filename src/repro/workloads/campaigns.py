@@ -91,9 +91,19 @@ FAULTS = (
     "none", "drop", "corrupt", "partition",
     "crash_participant", "crash_resolver",
 )
+#: Crash-*restart* faults (ct only): the victim dies mid-protocol and its
+#: node later comes back, replays its WAL and runs the rejoin protocol.
+#: ``early`` restarts before resolution completes (the returnee must
+#: rejoin with the agreed handler), ``late`` restarts after (it must
+#: confirm its abort), ``resolver`` crashes and early-restarts the
+#: would-be resolver itself.  These rows live in :func:`recovery_matrix`
+#: (E28), not the default matrix, so ``BENCH_faults.json`` stays stable.
+RECOVERY_FAULTS = (
+    "crash_restart_early", "crash_restart_late", "crash_restart_resolver",
+)
 FUZZ_FAULTS = ("none", "drop", "corrupt", "partition", "crash")
 
-SABOTAGES = ("disagree", "double", "count", "stall")
+SABOTAGES = ("disagree", "double", "count", "stall", "rejoin")
 
 # Fault parameters (shared by every cell so campaigns stay comparable).
 DROP_P = 0.2
@@ -117,6 +127,14 @@ HB_INTERVAL = 2.0
 #: partition cells (suspicion under partitions is a different experiment).
 HB_TIMEOUT = 12.0
 FUZZ_CRASH_AT = 15.0
+#: Early restart: before anyone suspects the victim (suspicion needs
+#: HB_TIMEOUT of silence past the last pre-crash heartbeat, ~t=24), so
+#: resolution is still in flight and the returnee can fully re-participate.
+RESTART_EARLY_AT = 16.0
+#: Late restart: well after the survivors resolved over the shrunk view
+#: (commit lands ~t=25-27), so the returnee's only correct move is to
+#: confirm its abort.
+RESTART_LATE_AT = 60.0
 RUN_UNTIL = 400.0
 
 
@@ -276,14 +294,18 @@ def _fault_knobs(cell: CampaignCell, members: Sequence[str]) -> dict:
         }
     if cell.fault in ("crash_participant", "crash_resolver", "crash"):
         return {}  # crashes are scheduled per-variant, not injector knobs
+    if cell.fault in RECOVERY_FAULTS:
+        return {}  # crash + restart are scheduled per-variant too
     raise ValueError(f"unknown fault: {cell.fault}")
 
 
 def _crash_spec(cell: CampaignCell) -> tuple[tuple[str, ...], float]:
     """(victims, crash time) for crash cells; ((), 0.0) otherwise."""
-    if cell.fault == "crash_resolver":
+    if cell.fault in ("crash_resolver", "crash_restart_resolver"):
         return (_resolver_victim(cell),), CRASH_AT
-    if cell.fault == "crash_participant":
+    if cell.fault in (
+        "crash_participant", "crash_restart_early", "crash_restart_late"
+    ):
         victim = _participant_victim(cell)
         at = (
             CT_NESTED_CRASH_AT
@@ -292,6 +314,24 @@ def _crash_spec(cell: CampaignCell) -> tuple[tuple[str, ...], float]:
         )
         return (victim,), at
     return (), 0.0
+
+
+def restart_spec(cell: CampaignCell) -> Optional[float]:
+    """Restart time for recovery cells; ``None`` for everything else."""
+    if cell.fault == "crash_restart_late":
+        return RESTART_LATE_AT
+    if cell.fault in ("crash_restart_early", "crash_restart_resolver"):
+        return RESTART_EARLY_AT
+    return None
+
+
+def expected_rejoin_outcome(cell: CampaignCell) -> Optional[str]:
+    """The recovery oracle's verdict for the restarted victim."""
+    if cell.fault == "crash_restart_late":
+        return "confirmed-abort"
+    if cell.fault in ("crash_restart_early", "crash_restart_resolver"):
+        return "rejoined"
+    return None
 
 
 def _observe_paper_base(
@@ -369,37 +409,108 @@ def _trace_handled(runtime, category: str) -> tuple[dict[str, str], list[str]]:
 def _observe_paper_ct(
     cell: CampaignCell, run_until: Optional[float] = None
 ) -> _Observation:
+    import shutil
+    import tempfile
+
     from repro.core.crash_tolerant import ct_expected_messages, run_crash_tolerant
 
     victims, crash_at = _crash_spec(cell)
     names = [canonical_name(i) for i in range(cell.n)]
     knobs = _fault_knobs(cell, names)
-    result = run_crash_tolerant(
-        cell.n, raisers=cell.p, nested=cell.q,
-        crash=victims, crash_at=crash_at,
-        raise_at=RAISE_AT, seed=cell.seed, latency=ConstantLatency(1.0),
-        hb_interval=HB_INTERVAL, hb_timeout=HB_TIMEOUT,
-        abort_duration=ABORT_DURATION,
-        ack_timeout=ACK_TIMEOUT, max_retries=MAX_RETRIES,
-        run_until=RUN_UNTIL if run_until is None else run_until,
-        **knobs,
-    )
-    handled, double = _trace_handled(result.runtime, "ct.handle")
-    survivors = tuple(n for n in names if n not in victims)
-    handled = {n: e for n, e in handled.items() if n in survivors}
-    finished = all(n in handled for n in survivors)
-    measured = result.protocol_messages()
-    expected = (
-        ct_expected_messages(cell.n, cell.p, cell.q)
-        if cell.fault == "none"
-        else None
-    )
-    return _Observation(
-        finished=finished, handled=handled, double_handled=double,
-        measured=measured, expected=expected,
-        crashed=victims, survivors=survivors,
-        sim_duration=result.runtime.sim.now, runtime=result.runtime,
-    )
+    restart_at = restart_spec(cell)
+    wal_dir: Optional[str] = None
+    if restart_at is not None:
+        # Recovery cells run over real per-node WAL files: the restart
+        # path must exercise scan/replay/undo against actual bytes, not a
+        # mocked log.  (fsync itself stays off — simulated time.)
+        wal_dir = tempfile.mkdtemp(prefix="repro-wal-")
+        knobs.update(restart_at=restart_at, durable_dir=wal_dir)
+    try:
+        result = run_crash_tolerant(
+            cell.n, raisers=cell.p, nested=cell.q,
+            crash=victims, crash_at=crash_at,
+            raise_at=RAISE_AT, seed=cell.seed, latency=ConstantLatency(1.0),
+            hb_interval=HB_INTERVAL, hb_timeout=HB_TIMEOUT,
+            abort_duration=ABORT_DURATION,
+            ack_timeout=ACK_TIMEOUT, max_retries=MAX_RETRIES,
+            run_until=RUN_UNTIL if run_until is None else run_until,
+            **knobs,
+        )
+        problems: list[str] = []
+        handled, double = _trace_handled(result.runtime, "ct.handle")
+        survivors = tuple(n for n in names if n not in victims)
+        if restart_at is not None:
+            problems.extend(_check_recovery(cell, result))
+            # A rejoined returnee ran the resolved handler: it re-enters
+            # the agreement and exactly-once oracles alongside survivors.
+            rejoined = tuple(
+                v for v in victims
+                if result.participants[v].rejoin_outcome == "rejoined"
+            )
+            handled = {
+                n: e for n, e in handled.items()
+                if n in survivors or n in rejoined
+            }
+        else:
+            handled = {n: e for n, e in handled.items() if n in survivors}
+        finished = all(n in handled for n in survivors)
+        measured = result.protocol_messages()
+        expected = (
+            ct_expected_messages(cell.n, cell.p, cell.q)
+            if cell.fault == "none"
+            else None
+        )
+        return _Observation(
+            finished=finished, handled=handled, double_handled=double,
+            problems=problems, measured=measured, expected=expected,
+            crashed=victims, survivors=survivors,
+            sim_duration=result.runtime.sim.now, runtime=result.runtime,
+        )
+    finally:
+        if wal_dir is not None:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+
+
+def _check_recovery(cell: CampaignCell, result) -> list[str]:
+    """The recovery oracle: the crashed node rejoined or confirmed abort.
+
+    Checks, per restarted victim: (a) the rejoin outcome matches the
+    cell's fault (early restart -> ``rejoined``, late -> standing
+    ``confirmed-abort``); (b) its WAL replay actually undid the work
+    transaction the crash cut short; (c) its durable object state is back
+    to the initial snapshot; (d) a rejoined victim handled the same
+    exception the survivors did (the agreement oracle re-checks this
+    globally once the victim is folded into ``handled``).
+    """
+    problems: list[str] = []
+    want = expected_rejoin_outcome(cell)
+    for victim in result.restarted:
+        participant = result.participants[victim]
+        outcome = participant.rejoin_outcome
+        if outcome != want:
+            problems.append(
+                f"recovery: {victim} outcome {outcome!r}, wanted {want!r}"
+            )
+        store = (result.stores or {}).get(victim)
+        if store is None:
+            problems.append(f"recovery: {victim} has no durable store")
+            continue
+        if not store.recovered_incomplete:
+            problems.append(
+                f"recovery: {victim} WAL replay undid no transactions "
+                "(the crash cut its work transaction short)"
+            )
+        obj = next(iter(store.objects.values()))
+        if obj.snapshot() != {"progress": None}:
+            problems.append(
+                f"recovery: {victim} durable state not rolled back: "
+                f"{obj.snapshot()}"
+            )
+        if want == "rejoined" and participant.handled is None:
+            problems.append(
+                f"recovery: {victim} rejoined but never ran a handler"
+            )
+    return problems
 
 
 def _observe_paper_mc(
@@ -571,6 +682,11 @@ def observe_cell(
         raise ValueError(
             f"no observer for family={cell.family} variant={cell.variant}"
         )
+    if cell.fault in RECOVERY_FAULTS and cell.variant != "ct":
+        raise ValueError(
+            f"recovery fault {cell.fault!r} requires the ct variant "
+            "(only the crash-tolerant extension has a rejoin protocol)"
+        )
     return observer(cell, run_until=run_until)
 
 
@@ -595,6 +711,10 @@ def _apply_sabotage(cell: CampaignCell, obs: _Observation) -> None:
             obs.expected = obs.measured - 1
     elif cell.sabotage == "stall":
         obs.finished = False
+    elif cell.sabotage == "rejoin":
+        obs.problems.append(
+            "sabotage: seeded recovery violation (rejoin outcome flipped)"
+        )
     else:
         raise ValueError(f"unknown sabotage: {cell.sabotage}")
 
@@ -737,6 +857,71 @@ def default_matrix(smoke: bool = False, seed: int = 0) -> list[CampaignCell]:
         for fault in FUZZ_FAULTS
     )
     return cells
+
+
+def recovery_matrix(smoke: bool = False, seed: int = 0) -> list[CampaignCell]:
+    """The crash-restart recovery campaign (E28, ``BENCH_recovery.json``).
+
+    Fuzzed paper shapes x the three recovery faults on the crash-tolerant
+    variant — every cell runs a real WAL per node, crashes the victim
+    mid-protocol (mid-*abortion* when the shape has nested members) and
+    restarts its node, asserting the victim rejoins with the agreed
+    handler (early/resolver restarts) or confirms its abort (late).  Each
+    shape also runs fault-free to re-prove the exact Section 4.4 count
+    with the durable layer attached — durability must not cost messages.
+
+    Full: 8 shapes x 4 = 32 cells.  Smoke: 2 shapes x 4 = 8 (the CI
+    ``recovery-smoke`` gate).  Kept out of :func:`default_matrix` so the
+    long-tracked ``BENCH_faults.json`` trajectory stays comparable.
+    """
+    import random
+
+    rng = random.Random(seed)
+    n_shapes = 2 if smoke else 8
+    shapes: list[tuple[int, int, int]] = []
+    while len(shapes) < n_shapes:
+        n = rng.randint(3, 8)
+        p = rng.randint(1, n)
+        q = rng.randint(0, n - p)
+        if (n, p, q) not in shapes:
+            shapes.append((n, p, q))
+    if not any(q for (_, _, q) in shapes):
+        # Always cover the crash-mid-abortion path at least once.
+        n, p, _ = shapes[-1]
+        if p == n:
+            n, p = n + 1, p
+        shapes[-1] = (n, p, 1)
+    return [
+        CampaignCell("paper", "ct", fault, n, p, q, seed=seed)
+        for (n, p, q) in shapes
+        for fault in (*RECOVERY_FAULTS, "none")
+    ]
+
+
+def recovery_oracle_selftest(seed: int = 0) -> list[str]:
+    """Sabotage pass for the recovery oracle (returns problems; [] = good).
+
+    Mirrors :func:`oracle_selftest` for the E28 rows: a healthy recovery
+    cell must classify ``OK``, and the same cell with a seeded recovery
+    violation must flip to ``INVARIANT-VIOLATION``.
+    """
+    base = CampaignCell(
+        "paper", "ct", "crash_restart_early", n=5, p=2, q=0, seed=seed
+    )
+    problems: list[str] = []
+    healthy = run_cell(base)
+    if healthy.classification != OK:
+        problems.append(
+            f"recovery self-test baseline not OK: {healthy.classification} "
+            f"{healthy.violations or healthy.detail}"
+        )
+    sabotaged = run_cell(replace(base, sabotage="rejoin"))
+    if sabotaged.classification != INVARIANT_VIOLATION:
+        problems.append(
+            "recovery sabotage not caught: classified "
+            f"{sabotaged.classification}, wanted {INVARIANT_VIOLATION}"
+        )
+    return problems
 
 
 @dataclass

@@ -79,3 +79,42 @@ class TestFuzz:
     def test_verbose_lists_plans(self, capsys):
         main(["fuzz", "--count", "2", "--participants", "3", "--verbose"])
         assert "FuzzPlan" in capsys.readouterr().out
+
+
+class TestServiceErrors:
+    """Unreachable servers and failed binds exit cleanly, not by traceback."""
+
+    def test_load_against_dead_server_is_one_line(self, capsys):
+        code = main([
+            "service", "load", "--port", "1",
+            "--rate", "10", "--duration", "1",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "service load failed" in captured.err
+        assert "cannot connect to resolution service" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_trace_against_dead_server_is_one_line(self, capsys):
+        code = main(["service", "trace", "--port", "1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "Traceback" not in captured.err
+
+    def test_serve_bind_failure_is_one_line(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            code = main([
+                "service", "serve", "--port", str(port), "--max-seconds", "5",
+            ])
+        finally:
+            blocker.close()
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "serve failed" in captured.err
+        assert "Traceback" not in captured.err
