@@ -1,25 +1,32 @@
-"""E22 — schedule-space exploration: certified bounds and throughput.
+"""E29 — distributed schedule exploration: certified N=4 bounds, sharding, caching.
 
-Three measurements back the claims in REPORT.md's "Bugs found & fixed"
-section:
+Extends the PR-8 explorer bench (E22) to the PR-10 distributed search:
 
-1. **Certified bounds** — bounded-exhaustive DFS (sleep-set POR +
-   canonical-history pruning + independent-group collapse) over every
-   protocol variant's fault-free N=3 cell.  ``exhaustive=True`` means the
-   windowed choice tree was drained, i.e. *every* same-timestamp
-   interleaving the modelled environment can produce was either run or
-   proven Mazurkiewicz-equivalent to one that was.  All must be green.
-2. **Delay-bounded fault cells** — CHESS-style d=1 sweeps over the
-   crash/partition cells, where full exhaustion is out of reach but a
-   single deviation from FIFO already covers the classic race windows.
-3. **Random-walk throughput** — seeded walks on the busiest variant
-   (crash-tolerant, heartbeat chatter included).  The acceptance floor
-   is >= 500 schedules/min; the replayable ``rw:<seed>`` strings make any
-   hit reproducible with one CLI line.
+1. **Certified bounds** — bounded-exhaustive DFS over every protocol
+   variant's fault-free cell, now through the *sharded* frontier driver
+   (:func:`repro.explore.sharding.explore_cell_sharded`): N=3 in smoke
+   mode, **N=4 in full mode** — tens of thousands of interleavings per
+   variant, drained or proven Mazurkiewicz-equivalent.  A search that
+   hits ``max_runs`` without exhausting **fails the bench loudly**
+   (non-zero exit + a ``problems`` entry): a truncated certification
+   certifies nothing and must never record as ``ok``.
+2. **Delay-bounded fault cells, d=2** — CHESS-style two-deviation sweeps
+   over the crash/partition cells (d=1 in smoke/budget modes).
+3. **Sharded random-walk throughput** — seed-range-sharded walks across
+   the warm fork pools, compared against the recorded serial baseline
+   (25,147.6 schedules/min on the 1-CPU reference box).  Multi-core
+   boxes must clear 2x; a single-core box falls back to the bit-identical
+   in-process path and must stay within noise of 1x.
+4. **Cross-run digest cache** — the same campaign cold then warm
+   (:class:`repro.explore.cache.DigestCache`): the warm pass must skip
+   at least half of its runs via cache hits while reproducing the cold
+   digest sets and findings exactly.
 
-Results land in ``BENCH_explore.json`` at the repo root.  ``--smoke``
-trims the matrix to an exhaustive base-cell DFS plus 200 random walks
-(the CI gate, well under 90 s).  Any finding prints its minimized repro
+Results land in ``BENCH_explore.json``.  ``--smoke`` is the CI gate
+(N=3, well under 90 s); ``--campaign --budget-s N`` runs the fullest
+prefix of the campaign that fits a wall-clock budget (the CI
+``explore-campaign`` job), checking the budget between cells and
+recording what was skipped.  Any finding prints its minimized repro
 command and, with ``--artifacts DIR``, dumps span traces for upload.
 """
 
@@ -30,6 +37,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -41,18 +49,24 @@ if str(Path(__file__).resolve().parent) not in sys.path:
 
 from _harness import record_table  # noqa: E402
 
-from repro.explore import explore_cell  # noqa: E402
+from repro.explore import DigestCache  # noqa: E402
 from repro.explore.engine import export_schedule_trace  # noqa: E402
+from repro.explore.sharding import explore_cell_sharded  # noqa: E402
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_explore.json"
 
-#: Fault-free N=3 cells: one per protocol variant, all DFS-exhaustible.
-DFS_CELLS = tuple(
-    f"paper:{variant}:none:n3p1q1:s0"
-    for variant in ("base", "mc", "cd", "ct", "cr")
-)
+VARIANTS = ("base", "mc", "cd", "ct", "cr")
 
-#: Fault cells for the d=1 delay-bounded sweep (full mode only).
+
+def dfs_cells(n: int) -> tuple[str, ...]:
+    """Fault-free cells, one per protocol variant, at size ``n``."""
+    return tuple(f"paper:{v}:none:n{n}p1q1:s0" for v in VARIANTS)
+
+
+#: Fault cells for the delay-bounded sweep.  All four are exhaustible at
+#: d=2 within the full-mode budget (measured: ct crash_participant 5.2k
+#: runs, ct crash_resolver 3.3k, base partition 2.7k, ct partition the
+#: heavyweight).
 DELAY_CELLS = (
     "paper:ct:crash_participant:n3p1q1:s0",
     "paper:ct:crash_resolver:n3p1q1:s0",
@@ -64,7 +78,34 @@ DELAY_CELLS = (
 #: space (heartbeats + ARQ timers), so it lower-bounds the others.
 WALK_CELL = "paper:ct:none:n3p1q1:s0"
 
-THROUGHPUT_FLOOR = 500.0  # schedules/min, the acceptance criterion
+THROUGHPUT_FLOOR = 500.0  # schedules/min, absolute sanity floor
+#: Serial random-walk throughput recorded by the PR-8 bench on the 1-CPU
+#: reference box — the denominator of the sharding speedup claim.
+RECORDED_SERIAL_PER_MIN = 25_147.6
+#: Required sharded/recorded ratio: 2x with real cores to spread over;
+#: on a single core the serial fallback must stay within noise of 1x.
+SPEEDUP_FLOOR_MULTI = 2.0
+SPEEDUP_FLOOR_SINGLE = 0.8
+
+#: Warm cache pass must skip at least this fraction of its lookups.
+CACHE_SKIP_FLOOR = 0.5
+
+#: Per-search run budgets.  The N=4 trees measured serially: mc 736,
+#: cd 6, ct 4.5k, cr 12.8k nodes — base is the heavyweight.  The budget
+#: is a backstop against regressions exploding the tree, not a truncation
+#: device: hitting it fails the bench.
+MAX_RUNS = {3: 40_000, 4: 2_000_000}
+DELAY_MAX_RUNS = {1: 5_000, 2: 200_000}
+
+
+class BudgetExceeded(Exception):
+    """Raised between cells when ``--budget-s`` is spent."""
+
+
+def _budget_check(deadline: float | None, skipped: list[str], what: str):
+    if deadline is not None and time.perf_counter() > deadline:
+        skipped.append(what)
+        raise BudgetExceeded(what)
 
 
 def _report_findings(result, artifacts: Path | None) -> None:
@@ -83,11 +124,40 @@ def _report_findings(result, artifacts: Path | None) -> None:
                 print(f"  artifact export failed: {exc}", file=sys.stderr)
 
 
+def _check_certification(result, cell_id: str, problems: list[str],
+                         artifacts: Path | None) -> str:
+    """Common verdict logic; budget truncation is always loud."""
+    verdict = "OK"
+    if result.budget_exhausted:
+        problems.append(
+            f"{cell_id}: search hit max_runs without exhausting — "
+            "the recorded bound certifies NOTHING at this budget"
+        )
+        verdict = "FAIL"
+    elif not result.exhaustive:
+        problems.append(f"{cell_id}: not exhaustive (window truncation)")
+        verdict = "FAIL"
+    if not result.ok:
+        problems.append(f"{cell_id}: {len(result.findings)} finding(s)")
+        _report_findings(result, artifacts)
+        verdict = "FAIL"
+    return verdict
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke", action="store_true",
-        help="CI gate: exhaustive base-cell DFS + 200 random walks",
+        help="CI gate: N=3 sharded DFS + walks + warm-cache check",
+    )
+    parser.add_argument(
+        "--campaign", action="store_true",
+        help="budget mode: run the fullest campaign prefix that fits "
+             "--budget-s, recording anything skipped",
+    )
+    parser.add_argument(
+        "--budget-s", type=float, default=600.0,
+        help="wall-clock budget for --campaign mode (default 600)",
     )
     parser.add_argument(
         "--walks", type=int, default=None,
@@ -95,6 +165,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="random-walk seed base"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="shard worker count (default: one per usable core)",
+    )
+    parser.add_argument(
+        "--split-depth", type=int, default=None,
+        help="DFS frontier split depth (default: 4 multi-core, 1 single)",
+    )
+    parser.add_argument(
+        "--cache", type=Path, default=None, metavar="FILE",
+        help="persistent digest-cache file (default: a per-run temp file; "
+             "pass a stable path to make successive campaigns incremental)",
     )
     parser.add_argument(
         "--out", type=Path, default=DEFAULT_OUT,
@@ -106,88 +189,65 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     walks = args.walks if args.walks is not None else (
-        200 if args.smoke else 500
+        200 if (args.smoke or args.campaign) else 500
+    )
+    cores = os.cpu_count() or 1
+    split_depth = args.split_depth if args.split_depth is not None else (
+        4 if cores > 1 else 1
+    )
+    dfs_n = 3 if (args.smoke or args.campaign) else 4
+    delay_bound = 1 if (args.smoke or args.campaign) else 2
+    deadline = (
+        time.perf_counter() + args.budget_s if args.campaign else None
     )
 
     started = time.perf_counter()
     problems: list[str] = []
+    skipped: list[str] = []
     rows = []
-    sections: dict[str, list[dict]] = {"dfs": [], "delay": [], "random": []}
+    sections: dict[str, list[dict]] = {
+        "dfs": [], "delay": [], "random": [], "cache": [],
+    }
 
-    dfs_cells = DFS_CELLS[:1] if args.smoke else DFS_CELLS
-    for cell_id in dfs_cells:
-        result = explore_cell(cell_id, mode="dfs", max_runs=20_000)
-        sections["dfs"].append(result.to_payload())
-        verdict = "OK" if result.ok and result.exhaustive else "FAIL"
-        if not result.exhaustive:
-            problems.append(f"{cell_id}: DFS not exhaustive within budget")
-        if not result.ok:
-            problems.append(f"{cell_id}: {len(result.findings)} finding(s)")
-            _report_findings(result, args.artifacts)
-        rows.append(
-            (
-                "dfs", cell_id, result.schedules_run, result.pruned,
-                "yes" if result.exhaustive else "NO",
-                result.distinct_digests, len(result.findings),
-                f"{result.schedules_per_minute():.0f}", verdict,
-            )
-        )
+    tmp_ctx = None
+    cache_path = args.cache
+    if cache_path is None:
+        tmp_ctx = tempfile.TemporaryDirectory(prefix="repro-explore-cache-")
+        cache_path = Path(tmp_ctx.name) / "digests.jsonl"
 
-    if not args.smoke:
-        for cell_id in DELAY_CELLS:
-            result = explore_cell(
-                cell_id, mode="delay", bound=1, max_runs=5_000
-            )
-            sections["delay"].append(result.to_payload())
-            verdict = "OK" if result.ok else "FAIL"
-            if not result.ok:
-                problems.append(f"{cell_id}: {len(result.findings)} finding(s)")
-                _report_findings(result, args.artifacts)
-            rows.append(
-                (
-                    "delay(d=1)", cell_id, result.schedules_run,
-                    result.pruned, "yes" if result.exhaustive else "NO",
-                    result.distinct_digests, len(result.findings),
-                    f"{result.schedules_per_minute():.0f}", verdict,
-                )
-            )
-
-    walk_result = explore_cell(
-        WALK_CELL, mode="random", schedules=walks, seed=args.seed
-    )
-    sections["random"].append(walk_result.to_payload())
-    throughput = walk_result.schedules_per_minute()
-    walk_ok = walk_result.ok and throughput >= THROUGHPUT_FLOOR
-    if throughput < THROUGHPUT_FLOOR:
-        problems.append(
-            f"random-walk throughput {throughput:.0f}/min "
-            f"below the {THROUGHPUT_FLOOR:.0f}/min floor"
+    try:
+        _run_campaign(
+            args, walks, split_depth, dfs_n, delay_bound, deadline,
+            cache_path, problems, skipped, rows, sections,
         )
-    if not walk_result.ok:
-        problems.append(f"{WALK_CELL}: {len(walk_result.findings)} finding(s)")
-        _report_findings(walk_result, args.artifacts)
-    rows.append(
-        (
-            "random", WALK_CELL, walk_result.schedules_run,
-            walk_result.pruned, "-", walk_result.distinct_digests,
-            len(walk_result.findings), f"{throughput:.0f}",
-            "OK" if walk_ok else "FAIL",
-        )
-    )
+    except BudgetExceeded as exc:
+        print(f"budget exhausted before: {exc}", file=sys.stderr)
+    finally:
+        if tmp_ctx is not None:
+            tmp_ctx.cleanup()
 
     elapsed = time.perf_counter() - started
     payload = {
-        "schema": 1,
+        "schema": 2,
+        "experiment": "E29",
         "generated_unix": round(time.time(), 3),
         "machine": {
-            "cpu_count": os.cpu_count(),
+            "cpu_count": cores,
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
-        "config": {"smoke": args.smoke, "walks": walks, "seed": args.seed},
+        "config": {
+            "smoke": args.smoke, "campaign": args.campaign,
+            "budget_s": args.budget_s if args.campaign else None,
+            "walks": walks, "seed": args.seed, "workers": args.workers,
+            "split_depth": split_depth, "dfs_n": dfs_n,
+            "delay_bound": delay_bound,
+            "cache_file": str(args.cache) if args.cache else "(temp)",
+        },
         "wall_seconds": round(elapsed, 3),
         "throughput_floor_per_min": THROUGHPUT_FLOOR,
-        "random_walk_per_min": round(throughput, 1),
+        "recorded_serial_per_min": RECORDED_SERIAL_PER_MIN,
+        "skipped_by_budget": skipped,
         "problems": problems,
         "ok": not problems,
         **sections,
@@ -195,24 +255,163 @@ def main(argv=None) -> int:
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
     record_table(
-        "E22",
-        "schedule-space exploration: certified bounds and throughput",
+        "E29",
+        "distributed schedule exploration: certified bounds, sharding, cache",
         (
             "mode", "cell", "runs", "pruned", "exhaustive",
             "digests", "findings", "sched/min", "verdict",
         ),
         rows,
         notes=(
-            f"{elapsed:.1f}s total (smoke={args.smoke}, walks={walks}, "
-            f"seed={args.seed}); exhaustive=yes certifies the windowed "
-            f"N=3 choice tree was drained under the POR documented in "
-            f"EXPERIMENTS.md E22"
+            f"{elapsed:.1f}s total (smoke={args.smoke}, "
+            f"campaign={args.campaign}, N={dfs_n}, d={delay_bound}, "
+            f"walks={walks}, split_depth={split_depth}); exhaustive=yes "
+            f"certifies the windowed choice tree was drained under the "
+            f"POR documented in EXPERIMENTS.md E22/E29; budget-truncated "
+            f"searches fail the bench"
         ),
     )
     print(f"\nwrote {args.out}")
     for problem in problems:
         print(f"PROBLEM: {problem}", file=sys.stderr)
     return 1 if problems else 0
+
+
+def _run_campaign(
+    args, walks, split_depth, dfs_n, delay_bound, deadline,
+    cache_path, problems, skipped, rows, sections,
+) -> None:
+    # -- certified DFS bounds (sharded) ---------------------------------------
+    cells = dfs_cells(dfs_n)
+    if args.smoke:
+        cells = cells[:1] + cells[3:4]  # base + ct: cheapest and densest
+    for cell_id in cells:
+        _budget_check(deadline, skipped, f"dfs {cell_id}")
+        result = explore_cell_sharded(
+            cell_id, mode="dfs", max_runs=MAX_RUNS[dfs_n],
+            workers=args.workers, split_depth=split_depth,
+        )
+        sections["dfs"].append(result.to_payload())
+        verdict = _check_certification(
+            result, cell_id, problems, args.artifacts
+        )
+        rows.append((
+            f"dfs(n{dfs_n})", cell_id, result.schedules_run, result.pruned,
+            "yes" if result.exhaustive else "NO",
+            result.distinct_digests, len(result.findings),
+            f"{result.schedules_per_minute():.0f}", verdict,
+        ))
+
+    # -- delay-bounded fault cells --------------------------------------------
+    if not args.smoke:
+        for cell_id in DELAY_CELLS:
+            _budget_check(deadline, skipped, f"delay {cell_id}")
+            result = explore_cell_sharded(
+                cell_id, mode="delay", bound=delay_bound,
+                max_runs=DELAY_MAX_RUNS[delay_bound],
+            )
+            sections["delay"].append(result.to_payload())
+            verdict = _check_certification(
+                result, cell_id, problems, args.artifacts
+            )
+            rows.append((
+                f"delay(d={delay_bound})", cell_id, result.schedules_run,
+                result.pruned, "yes" if result.exhaustive else "NO",
+                result.distinct_digests, len(result.findings),
+                f"{result.schedules_per_minute():.0f}", verdict,
+            ))
+
+    # -- sharded random-walk throughput ---------------------------------------
+    _budget_check(deadline, skipped, "sharded walks")
+    walk_result = explore_cell_sharded(
+        WALK_CELL, mode="random", schedules=walks, seed=args.seed,
+        workers=args.workers,
+    )
+    sections["random"].append(walk_result.to_payload())
+    throughput = walk_result.schedules_per_minute()
+    cores = os.cpu_count() or 1
+    speedup = throughput / RECORDED_SERIAL_PER_MIN
+    speedup_floor = (
+        SPEEDUP_FLOOR_MULTI if cores > 1 else SPEEDUP_FLOOR_SINGLE
+    )
+    sections["random"][-1]["speedup_vs_recorded_serial"] = round(speedup, 3)
+    sections["random"][-1]["speedup_floor"] = speedup_floor
+    walk_ok = walk_result.ok
+    if throughput < THROUGHPUT_FLOOR:
+        problems.append(
+            f"random-walk throughput {throughput:.0f}/min "
+            f"below the {THROUGHPUT_FLOOR:.0f}/min floor"
+        )
+        walk_ok = False
+    if speedup < speedup_floor:
+        problems.append(
+            f"sharded walk throughput {throughput:.0f}/min is "
+            f"{speedup:.2f}x the recorded serial "
+            f"{RECORDED_SERIAL_PER_MIN:.0f}/min (floor {speedup_floor}x "
+            f"on {cores} core(s))"
+        )
+        walk_ok = False
+    if not walk_result.ok:
+        problems.append(f"{WALK_CELL}: {len(walk_result.findings)} finding(s)")
+        _report_findings(walk_result, args.artifacts)
+    rows.append((
+        "random", WALK_CELL, walk_result.schedules_run,
+        walk_result.pruned, "-", walk_result.distinct_digests,
+        len(walk_result.findings), f"{throughput:.0f}",
+        "OK" if walk_ok else "FAIL",
+    ))
+
+    # -- cross-run digest cache: cold then warm -------------------------------
+    _budget_check(deadline, skipped, "cache cold/warm")
+    with DigestCache(cache_path) as cold_cache:
+        cold = explore_cell_sharded(
+            WALK_CELL, mode="random", schedules=walks, seed=args.seed,
+            workers=args.workers, cache=cold_cache,
+        )
+        cold_stats = cold_cache.stats.to_payload()
+    with DigestCache(cache_path) as warm_cache:
+        warm_started = time.perf_counter()
+        warm = explore_cell_sharded(
+            WALK_CELL, mode="random", schedules=walks, seed=args.seed,
+            workers=args.workers, cache=warm_cache,
+        )
+        warm_elapsed = time.perf_counter() - warm_started
+        warm_stats = warm_cache.stats.to_payload()
+    identical = (
+        warm.digests == cold.digests
+        and [f.to_payload() for f in warm.findings]
+        == [f.to_payload() for f in cold.findings]
+    )
+    skip_rate = warm_stats["hit_rate"]
+    cache_ok = identical and skip_rate >= CACHE_SKIP_FLOOR
+    if not identical:
+        problems.append(
+            "warm cache pass diverged from the cold pass — a cache hit "
+            "replayed a wrong outcome"
+        )
+    if skip_rate < CACHE_SKIP_FLOOR:
+        problems.append(
+            f"warm cache pass skipped only {skip_rate:.0%} of lookups "
+            f"(floor {CACHE_SKIP_FLOOR:.0%})"
+        )
+    sections["cache"].append({
+        "cell": WALK_CELL,
+        "mode": "random",
+        "schedules": walks,
+        "cold": cold_stats,
+        "warm": warm_stats,
+        "warm_skip_rate": skip_rate,
+        "warm_elapsed_s": round(warm_elapsed, 3),
+        "identical_results": identical,
+        "ok": cache_ok,
+    })
+    rows.append((
+        "cache(warm)", WALK_CELL, warm.schedules_run,
+        warm_stats["hits"], "-", warm.distinct_digests,
+        len(warm.findings),
+        f"{warm.schedules_per_minute():.0f}",
+        "OK" if cache_ok else "FAIL",
+    ))
 
 
 if __name__ == "__main__":

@@ -1,14 +1,18 @@
 """E24: mutation-testing smoke — do the oracles actually bite?
 
 A green test suite only means something if it *fails* when the protocol
-is wrong.  This bench applies ~20 hand-rolled mutants to the two protocol
+is wrong.  This bench applies hand-rolled mutants to the two protocol
 engines — :mod:`repro.core.algorithm` (base Section 4.2) and
-:mod:`repro.core.crash_tolerant` — each a realistic implementation slip:
-a dropped ACK, a swapped send order, an off-by-one in the resolver
-election, a guard turned permissive.  For every mutant, a shadow copy of
+:mod:`repro.core.crash_tolerant` — and to the exploration infrastructure
+itself (:mod:`repro.explore.sharding` frontier/seed sharding and
+:mod:`repro.explore.cache` persistence: a skipped CRC check, a cache key
+that forgets the code version, an off-by-one in seed-range splitting).
+Each is a realistic implementation slip: a dropped ACK, a swapped send
+order, a guard turned permissive.  For every mutant, a shadow copy of
 ``src/`` is patched and a fast detection suite (campaign cells with the
-invariant oracles, exact Section 4.4 counts, plus one schedule-explorer
-replay) runs against it in a fresh interpreter.
+invariant oracles, exact Section 4.4 counts, one schedule-explorer
+replay, plus shard/cache safety probes) runs against it in a fresh
+interpreter.
 
 The bench passes only if **at least 90 %** of the mutants are killed
 (detection exits non-zero).  Before mutating anything, the detection
@@ -63,6 +67,8 @@ class Mutant:
 
 ALG = "src/repro/core/algorithm.py"
 CT = "src/repro/core/crash_tolerant.py"
+SHARD = "src/repro/explore/sharding.py"
+CACHE = "src/repro/explore/cache.py"
 
 MUTANTS: tuple[Mutant, ...] = (
     # -- base algorithm (Section 4.2) -------------------------------------------
@@ -229,14 +235,95 @@ MUTANTS: tuple[Mutant, ...] = (
             return""",
         """            return""",
     ),
+    # -- exploration infrastructure (PR-10 sharding + digest cache) --------------
+    Mutant(
+        "cache-crc-ignored", CACHE,
+        "corrupted cache lines accepted: bit rot replays stale digests",
+        """        if zlib.crc32(payload) != crc:
+            return None""",
+        """        if False:
+            return None""",
+    ),
+    Mutant(
+        "cache-scan-past-bad-line", CACHE,
+        "reader skips a bad line instead of stopping: untrusted tail read",
+        """                    if entry is None:
+                        # Torn tail or corruption: everything beyond the
+                        # first bad line is untrusted.  Forget it — a
+                        # smaller cache is a correct cache.
+                        self.stats.bad_lines += 1
+                        break""",
+        """                    if entry is None:
+                        # Torn tail or corruption: everything beyond the
+                        # first bad line is untrusted.  Forget it — a
+                        # smaller cache is a correct cache.
+                        self.stats.bad_lines += 1
+                        continue""",
+    ),
+    Mutant(
+        "cache-context-ignored", CACHE,
+        "cache key forgets the code version: stale entries survive edits",
+        """        body = json.dumps(
+            [SCHEMA, self.context, kind, list(parts)],
+            separators=(",", ":"), default=str,
+        )""",
+        """        body = json.dumps(
+            [SCHEMA, kind, list(parts)],
+            separators=(",", ":"), default=str,
+        )""",
+    ),
+    Mutant(
+        "cache-run-key-ignores-schedule", CACHE,
+        "run key forgets the schedule: any walk hits any other walk's entry",
+        """        return self._key(
+            "run",
+            (cell_id, schedule, list(window) if window else None,
+             max_choice_points),
+        )""",
+        """        return self._key(
+            "run",
+            (cell_id, list(window) if window else None,
+             max_choice_points),
+        )""",
+    ),
+    Mutant(
+        "shard-ranges-overlap", SHARD,
+        "seed-range split off by one: walks duplicated and dropped",
+        """        ranges.append((cursor, cursor + length))
+        cursor += length""",
+        """        ranges.append((cursor, cursor + length))
+        cursor += length - 1""",
+    ),
+    Mutant(
+        "shard-walk-seed-pinned", SHARD,
+        "every walk in a shard replays the shard's first seed",
+        """    for seed in range(seed_start, seed_stop):
+        outcome, controller, _ = _run(
+            cell, ScheduleSpec.random_walk(seed), window=window,""",
+        """    for seed in range(seed_start, seed_stop):
+        outcome, controller, _ = _run(
+            cell, ScheduleSpec.random_walk(seed_start), window=window,""",
+    ),
+    Mutant(
+        "shard-budget-silent", SHARD,
+        "subtree hits max_runs but reports the search as complete",
+        """    while True:
+        if schedules_run + pruned >= config["max_runs"]:
+            budget_exhausted = True
+            break""",
+        """    while True:
+        if schedules_run + pruned >= config["max_runs"]:
+            break""",
+    ),
 )
 
 #: CI subset: one per defect family, all certain kills, plus the
-#: explorer-replay special.
+#: explorer-replay special and one probe per exploration-infra family.
 SMOKE_IDS = (
     "alg-drop-exception-ack", "alg-ready-or", "alg-handler-restarted",
     "alg-commit-not-broadcast", "ct-ack-before-have-nested",
     "ct-no-acks-missing", "ct-resolver-never-handles", "ct-commit-not-adopted",
+    "cache-crc-ignored", "shard-ranges-overlap",
 )
 
 
@@ -289,6 +376,110 @@ def detection_problems() -> list[str]:
             )
     except Exception as exc:
         problems.append(f"explore ch:6=1: {type(exc).__name__}: {exc}")
+    problems.extend(_explore_infra_problems())
+    return problems
+
+
+def _explore_infra_problems() -> list[str]:
+    """Probes over the sharded explorer and the digest cache.
+
+    Behavioral properties, not pinned constants: seed-range splits must
+    partition, shard walks must replay their absolute seeds bit-for-bit,
+    a subtree that hits its budget must say so, and the cache must *miss*
+    for the wrong schedule / code version / anything behind a bad line.
+    Each probe is exactly the wrong-skip or wrong-merge a mutant of
+    ``sharding.py`` / ``cache.py`` would cause.
+    """
+    import tempfile
+
+    from repro.explore import DigestCache, run_digest
+    from repro.explore.engine import DEFAULT_WINDOW, _run
+    from repro.explore.sharding import (
+        _dfs_config,
+        _shard_ranges,
+        explore_subtree,
+        explore_walks,
+    )
+    from repro.workloads.campaigns import parse_cell_id
+
+    problems: list[str] = []
+    cell_id = "paper:ct:none:n3p1q1:s0"
+    try:
+        baseline, _, _ = _run(parse_cell_id(cell_id))
+    except Exception as exc:
+        return [f"shard baseline: {type(exc).__name__}: {exc}"]
+
+    # Seed-range splitting must partition [4, 9) exactly.
+    covered = [
+        seed for lo, hi in _shard_ranges(4, 5, 2) for seed in range(lo, hi)
+    ]
+    if covered != [4, 5, 6, 7, 8]:
+        problems.append(f"shard ranges don't partition: {covered}")
+
+    # A shard's walks must be the absolute seeds' walks, bit-identical.
+    config = {
+        "window": list(DEFAULT_WINDOW), "max_choice_points": 400,
+        "minimize": False, "shrink_budget": 0,
+    }
+    try:
+        walks = explore_walks((cell_id, baseline, 4, 7, config))
+        for expected, (seed, outcome, _finding) in zip(range(4, 7), walks):
+            want = run_digest(cell_id, f"rw:{expected}")
+            if (
+                seed != expected
+                or outcome.schedule != want.schedule
+                or outcome.digest != want.digest
+                or outcome.trace_hash != want.trace_hash
+            ):
+                problems.append(f"walk shard diverged at seed {expected}")
+                break
+    except Exception as exc:
+        problems.append(f"walk shard: {type(exc).__name__}: {exc}")
+
+    # A subtree that hits max_runs must report it loudly.
+    try:
+        result = explore_subtree((
+            cell_id, baseline, (),
+            _dfs_config(DEFAULT_WINDOW, 400, 1, True, True, False, 0),
+        ))
+        if not result["budget_exhausted"]:
+            problems.append("subtree hit max_runs silently")
+    except Exception as exc:
+        problems.append(f"subtree budget: {type(exc).__name__}: {exc}")
+
+    # Cache safety: every lookup below must MISS on correct code.
+    with tempfile.TemporaryDirectory(prefix="repro-mutcache-") as tmp:
+        path = Path(tmp) / "cache.jsonl"
+        scratch = Path(tmp) / "scratch.jsonl"
+        with DigestCache(path, context="ctx-a") as writer:
+            key0 = writer.run_key(cell_id, "rw:0", DEFAULT_WINDOW, 400)
+            writer.put_run(key0, baseline)
+        with DigestCache(scratch, context="ctx-a") as aux:
+            key_crc = aux.run_key(cell_id, "rw:2", DEFAULT_WINDOW, 400)
+            key_torn = aux.run_key(cell_id, "rw:3", DEFAULT_WINDOW, 400)
+            aux.put_run(key_crc, baseline)
+            aux.put_run(key_torn, baseline)
+        crc_line, torn_line = scratch.read_bytes().splitlines(keepends=True)
+        # A CRC-tampered but JSON-valid line, then a valid line behind it:
+        # both must stay invisible (stop at first bad line; verify CRCs).
+        bad_crc = (b"00000000" if crc_line[:8] != b"00000000" else b"11111111")
+        with open(path, "ab") as fh:
+            fh.write(bad_crc + crc_line[8:])
+            fh.write(torn_line)
+        with DigestCache(path, context="ctx-a") as reader:
+            if reader.get_run(
+                reader.run_key(cell_id, "rw:1", DEFAULT_WINDOW, 400)
+            ) is not None:
+                problems.append("cache: rw:1 hit rw:0's entry")
+            if reader.get_run(key_crc) is not None:
+                problems.append("cache: CRC-tampered entry was trusted")
+            if reader.get_run(key_torn) is not None:
+                problems.append("cache: entry behind a bad line was read")
+        with DigestCache(path, context="ctx-b") as other:
+            if other.get_run(
+                other.run_key(cell_id, "rw:0", DEFAULT_WINDOW, 400)
+            ) is not None:
+                problems.append("cache: wrong code-version token hit")
     return problems
 
 
@@ -334,6 +525,60 @@ def run_detection(shadow: Path) -> tuple[bool, str]:
     return False, "SURVIVED"
 
 
+#: Cells the survivor hunt explores, cheapest first: the clean n3 cells
+#: where any mutant-introduced order sensitivity shows up fastest.
+HUNT_CELLS = (
+    "paper:ct:none:n3p1q1:s0",
+    "paper:base:none:n3p1q1:s0",
+)
+
+
+def hunt_survivor(shadow: Path, mutant: Mutant, pin_dir: Path | None) -> dict:
+    """Explore the mutated tree for a schedule that exposes the survivor.
+
+    Any finding's minimized schedule is printed as a candidate detection
+    problem (replay it in :func:`detection_problems` to turn the survivor
+    into a kill) and, with ``pin_dir``, emitted as a pinned regression
+    module — green on pristine code, a tripwire against reintroduction.
+    """
+    from repro.explore.campaign import hunt_schedule, pin_regression
+    from repro.explore.engine import Finding
+
+    hunts = []
+    for cell in HUNT_CELLS:
+        outcome = hunt_schedule(
+            shadow / "src", cell, mode="delay", bound=2, max_runs=400,
+        )
+        hunts.append({"cell": cell, **{
+            k: outcome.get(k)
+            for k in ("ok", "error", "findings", "schedules_run", "exhaustive")
+        }})
+        for payload in outcome.get("findings", ()):
+            print(
+                f"  hunt: {mutant.mutant_id} diverges on {cell} under "
+                f"{payload['minimized']} ({payload['classification']})"
+            )
+            if pin_dir is not None:
+                finding = Finding(
+                    cell_id=payload["cell"],
+                    schedule=payload["schedule"],
+                    minimized=payload["minimized"],
+                    classification=payload["classification"],
+                    violations=tuple(payload["violations"]),
+                    digest=(),
+                    baseline_digest=(),
+                )
+                path = pin_regression(
+                    finding, pin_dir,
+                    origin=f"mutation hunt over survivor {mutant.mutant_id}",
+                    name=f"pinned_hunt_{mutant.mutant_id}",
+                )
+                print(f"  hunt: pinned {path}")
+        if outcome.get("findings"):
+            break
+    return {"cells": hunts}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--check", action="store_true",
@@ -343,6 +588,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--mutant", default=None,
                         help="run a single mutant by id")
     parser.add_argument("--list", action="store_true", help="list mutants")
+    parser.add_argument("--hunt", action="store_true",
+                        help="for each SURVIVOR, run the schedule explorer "
+                             "against the mutated tree hunting for a "
+                             "distinguishing interleaving (ddmin-shrunk)")
+    parser.add_argument("--pin-dir", type=Path, default=None,
+                        help="emit hunt findings as pinned regression "
+                             "modules under this directory")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     args = parser.parse_args(argv)
 
@@ -390,14 +642,22 @@ def main(argv: list[str] | None = None) -> int:
             original = (shadow / mutant.path).read_text()
             apply_mutant(shadow, mutant)
             killed, detail = run_detection(shadow)
-            (shadow / mutant.path).write_text(original)
-            results.append({
+            entry = {
                 "mutant": mutant.mutant_id,
                 "path": mutant.path,
                 "description": mutant.description,
                 "killed": killed,
                 "detail": detail,
-            })
+            }
+            if not killed and args.hunt:
+                # Feedback loop: a survivor means the fixed detection
+                # problems are blind to it — send the schedule explorer
+                # after a distinguishing interleaving in the mutated tree.
+                entry["hunt"] = hunt_survivor(
+                    shadow, mutant, pin_dir=args.pin_dir
+                )
+            (shadow / mutant.path).write_text(original)
+            results.append(entry)
             print(f"{'KILLED ' if killed else 'ALIVE  '} {mutant.mutant_id}")
     elapsed = time.perf_counter() - started
 

@@ -266,16 +266,43 @@ def cmd_explore(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
         return 0 if outcome.classification == "OK" else 1
 
-    result = explore_cell(
-        args.cell,
-        mode=args.mode,
-        schedules=args.schedules,
-        seed=args.seed,
-        bound=args.bound,
-        max_runs=args.max_runs,
-        window=window,
-        por=not args.no_por,
+    sharded = (
+        args.workers is not None
+        or args.split_depth is not None
+        or args.cache is not None
     )
+    if sharded:
+        from repro.explore import DigestCache, explore_cell_sharded
+
+        cache = None
+        if args.cache is not None:
+            cache = DigestCache(args.cache)
+        result = explore_cell_sharded(
+            args.cell,
+            mode=args.mode,
+            schedules=args.schedules,
+            seed=args.seed,
+            bound=args.bound,
+            max_runs=args.max_runs,
+            window=window,
+            por=not args.no_por,
+            workers=args.workers,
+            split_depth=args.split_depth if args.split_depth else 4,
+            cache=cache,
+        )
+        if cache is not None:
+            cache.close()
+    else:
+        result = explore_cell(
+            args.cell,
+            mode=args.mode,
+            schedules=args.schedules,
+            seed=args.seed,
+            bound=args.bound,
+            max_runs=args.max_runs,
+            window=window,
+            por=not args.no_por,
+        )
     payload = result.to_payload()
     if args.artifacts and result.findings:
         exported = []
@@ -755,6 +782,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument(
         "--window", type=float, nargs=2, metavar=("START", "END"),
         default=None, help="exploration window in sim time",
+    )
+    p_explore.add_argument(
+        "--workers", type=int, default=None,
+        help="shard the search across a process pool (default: serial engine)",
+    )
+    p_explore.add_argument(
+        "--split-depth", type=int, default=None,
+        help="choice-point depth at which DFS frontiers shard (default 4)",
+    )
+    p_explore.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="persistent cross-run digest cache (append-only jsonl)",
     )
     p_explore.add_argument("--no-por", action="store_true",
                            help="disable partial-order reduction (dfs)")

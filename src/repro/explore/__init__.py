@@ -21,6 +21,14 @@ exception, same commit outcome, same fault-free message count); every
 violation is ddmin-shrunk to a minimal schedule with a one-line repro.
 """
 
+from repro.explore.cache import CacheStats, DigestCache, context_token
+from repro.explore.campaign import (
+    default_roster,
+    hunt_schedule,
+    pin_campaign_findings,
+    pin_regression,
+    run_campaign,
+)
 from repro.explore.controller import PruneRun, ScheduleController
 from repro.explore.engine import (
     ExploreResult,
@@ -30,16 +38,27 @@ from repro.explore.engine import (
     run_digest,
 )
 from repro.explore.schedule import ScheduleSpec
+from repro.explore.sharding import explore_cell_sharded, rt_interleaving_probe
 from repro.explore.shrink import ddmin
 
 __all__ = [
+    "CacheStats",
+    "DigestCache",
     "ExploreResult",
     "Finding",
     "PruneRun",
     "ScheduleController",
     "ScheduleSpec",
+    "context_token",
     "ddmin",
+    "default_roster",
     "explore_cell",
+    "explore_cell_sharded",
+    "hunt_schedule",
+    "pin_campaign_findings",
+    "pin_regression",
     "replay_cell",
+    "run_campaign",
     "run_digest",
+    "rt_interleaving_probe",
 ]

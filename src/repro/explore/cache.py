@@ -1,0 +1,377 @@
+"""Persistent cross-run digest cache for the schedule explorer.
+
+Exploration campaigns are rerun constantly — after every engine change,
+on every CI run, nightly — and most of that work re-derives digests for
+schedule prefixes the previous campaign already certified.  This module
+remembers them across processes: an append-only file of checksummed
+records (the same ``<crc32 hex> <compact json>`` line format, fsync-free,
+as the :mod:`repro.transactions.wal` logs, and torn-tail tolerant in the
+same way) keyed by a **canonical schedule-prefix digest**.
+
+Two entry kinds:
+
+* ``run`` — the :class:`~repro.explore.engine.RunOutcome` (plus the
+  ddmin-minimized finding, if the run diverged) of one fully
+  spec-determined run: a seeded random walk or an explicit ``ch:``
+  deviation vector.  Warm campaigns skip re-executing these outright.
+* ``result`` — the canonical part of a whole bounded-exhaustive search
+  (digest set, findings, exhaustiveness) for one cell under one exact
+  configuration.  A DFS run's suffix depends on accumulated search state,
+  so individual DFS runs are *not* reusable in isolation — but the whole
+  certified tree is, and a warm campaign skips re-deriving it entirely.
+
+Safety ("never a wrong skip"):
+
+* every key is an HMAC-like hash over the **context token** — a digest of
+  every ``repro`` source file — plus the cell id, the schedule (or search
+  configuration) and the exploration window/bounds.  Any code or
+  configuration change makes every old key miss; the campaign degrades to
+  a cold start, never replays stale outcomes;
+* every line carries a CRC over its payload; the reader stops at the
+  first invalid line (torn tail, interleaved write, disk corruption) and
+  the entries beyond it are simply forgotten — again a cold start;
+* only the coordinating parent process reads or appends the file
+  (workers return outcomes over the pool); appends are line-buffered so
+  the only loss mode a crash can produce is a torn *tail*.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.explore.engine import Finding, RunOutcome
+
+SCHEMA = 1
+
+_TOKEN_CACHE: dict[str, str] = {}
+
+
+def context_token(root: Optional[Path] = None) -> str:
+    """Digest of every ``repro`` source file (memoised per path).
+
+    The cache key's code-version component: two processes share cache
+    entries only when their ``repro`` trees are byte-identical, so an
+    engine/protocol edit can never satisfy a lookup recorded by older
+    code.  Only ``.py`` files matter — the simulation reads nothing else.
+    """
+    if root is None:
+        root = Path(__file__).resolve().parents[1]
+    root = Path(root)
+    key = str(root)
+    token = _TOKEN_CACHE.get(key)
+    if token is None:
+        acc = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            acc.update(str(path.relative_to(root)).encode())
+            acc.update(b"\0")
+            acc.update(path.read_bytes())
+            acc.update(b"\0")
+        token = acc.hexdigest()
+        _TOKEN_CACHE[key] = token
+    return token
+
+
+def _digest_to_text(digest: tuple) -> str:
+    return repr(digest)
+
+
+def _digest_from_text(text: str) -> tuple:
+    """Inverse of :func:`_digest_to_text`.
+
+    Digests contain only literals (strings, ints, ``None``, nested
+    tuples), so ``ast.literal_eval`` reconstructs the exact tuple — a
+    JSON round-trip would silently turn tuples into lists and break
+    digest-set equality with freshly computed outcomes.
+    """
+    value = ast.literal_eval(text)
+    if not isinstance(value, tuple):
+        raise ValueError(f"digest text is not a tuple: {text!r}")
+    return value
+
+
+def encode_outcome(outcome: RunOutcome) -> dict:
+    return {
+        "cell": outcome.cell_id,
+        "schedule": outcome.schedule,
+        "classification": outcome.classification,
+        "violations": list(outcome.violations),
+        "digest": _digest_to_text(outcome.digest),
+        "choice_points": outcome.choice_points,
+        "truncated_points": outcome.truncated_points,
+        "trace_hash": outcome.trace_hash,
+    }
+
+
+def decode_outcome(data: dict) -> RunOutcome:
+    return RunOutcome(
+        cell_id=data["cell"],
+        schedule=data["schedule"],
+        classification=data["classification"],
+        violations=tuple(data["violations"]),
+        digest=_digest_from_text(data["digest"]),
+        choice_points=data["choice_points"],
+        truncated_points=data["truncated_points"],
+        trace_hash=data["trace_hash"],
+    )
+
+
+def encode_finding(finding: Finding) -> dict:
+    return {
+        "cell": finding.cell_id,
+        "schedule": finding.schedule,
+        "minimized": finding.minimized,
+        "classification": finding.classification,
+        "violations": list(finding.violations),
+        "digest": _digest_to_text(finding.digest),
+        "baseline_digest": _digest_to_text(finding.baseline_digest),
+        "occurrences": finding.occurrences,
+    }
+
+
+def decode_finding(data: dict) -> Finding:
+    return Finding(
+        cell_id=data["cell"],
+        schedule=data["schedule"],
+        minimized=data["minimized"],
+        classification=data["classification"],
+        violations=tuple(data["violations"]),
+        digest=_digest_from_text(data["digest"]),
+        baseline_digest=_digest_from_text(data["baseline_digest"]),
+        occurrences=data["occurrences"],
+    )
+
+
+@dataclass
+class CacheStats:
+    """Load/lookup accounting, reported by benchmarks and the CLI."""
+
+    entries_loaded: int = 0
+    bad_lines: int = 0
+    hits: int = 0
+    misses: int = 0
+    appended: int = 0
+
+    def to_payload(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "entries_loaded": self.entries_loaded,
+            "bad_lines": self.bad_lines,
+            "hits": self.hits,
+            "misses": self.misses,
+            "appended": self.appended,
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+        }
+
+
+@dataclass
+class DigestCache:
+    """The append-only cross-run cache (see module docstring).
+
+    Args:
+        path: the cache file; created on first append, loaded lazily on
+            first lookup.  A missing, empty, or corrupted file is a valid
+            cold cache.
+        context: override the code-version token (tests use this to
+            simulate a cache written by different code).
+    """
+
+    path: Path
+    context: Optional[str] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _mem: Optional[dict[str, dict]] = field(default=None, repr=False)
+    _handle: Any = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.path = Path(self.path)
+        if self.context is None:
+            self.context = context_token()
+
+    # -- keys ------------------------------------------------------------------
+
+    def _key(self, kind: str, parts: tuple) -> str:
+        body = json.dumps(
+            [SCHEMA, self.context, kind, list(parts)],
+            separators=(",", ":"), default=str,
+        )
+        return hashlib.sha256(body.encode()).hexdigest()
+
+    def run_key(
+        self,
+        cell_id: str,
+        schedule: str,
+        window: Optional[tuple[float, float]],
+        max_choice_points: Optional[int],
+    ) -> str:
+        """Key for one spec-determined run (walk or ``ch:`` vector)."""
+        return self._key(
+            "run",
+            (cell_id, schedule, list(window) if window else None,
+             max_choice_points),
+        )
+
+    def result_key(self, cell_id: str, mode: str, config: dict) -> str:
+        """Key for a whole bounded search under one exact configuration."""
+        return self._key(
+            "result", (cell_id, mode, sorted(config.items())),
+        )
+
+    # -- persistence -----------------------------------------------------------
+
+    def _load(self) -> dict[str, dict]:
+        if self._mem is not None:
+            return self._mem
+        mem: dict[str, dict] = {}
+        if self.path.exists():
+            with open(self.path, "rb") as fh:
+                for raw in fh:
+                    entry = self._parse_line(raw)
+                    if entry is None:
+                        # Torn tail or corruption: everything beyond the
+                        # first bad line is untrusted.  Forget it — a
+                        # smaller cache is a correct cache.
+                        self.stats.bad_lines += 1
+                        break
+                    mem[entry["k"]] = entry
+        self._mem = mem
+        self.stats.entries_loaded = len(mem)
+        return mem
+
+    @staticmethod
+    def _parse_line(raw: bytes) -> Optional[dict]:
+        if not raw.endswith(b"\n"):
+            return None
+        line = raw[:-1]
+        if len(line) < 10 or line[8:9] != b" ":
+            return None
+        crc_text, payload = line[:8], line[9:]
+        try:
+            crc = int(crc_text, 16)
+        except ValueError:
+            return None
+        if zlib.crc32(payload) != crc:
+            return None
+        try:
+            entry = json.loads(payload)
+        except ValueError:
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("s") != SCHEMA
+            or entry.get("t") not in ("run", "result")
+            or not isinstance(entry.get("k"), str)
+            or not isinstance(entry.get("v"), dict)
+        ):
+            return None
+        return entry
+
+    def _append(self, entry: dict) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+        payload = json.dumps(
+            entry, separators=(",", ":"), sort_keys=True
+        ).encode()
+        self._handle.write(b"%08x %s\n" % (zlib.crc32(payload), payload))
+        self._handle.flush()
+        self.stats.appended += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "DigestCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get_run(
+        self, key: str
+    ) -> Optional[tuple[RunOutcome, Optional[Finding]]]:
+        entry = self._load().get(key)
+        if entry is None or entry["t"] != "run":
+            self.stats.misses += 1
+            return None
+        try:
+            outcome = decode_outcome(entry["v"]["o"])
+            finding = (
+                decode_finding(entry["v"]["f"])
+                if entry["v"].get("f") is not None else None
+            )
+        except (KeyError, ValueError, SyntaxError, TypeError):
+            # A structurally valid line with garbage inside: treat as a
+            # miss, never guess.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return outcome, finding
+
+    def put_run(
+        self, key: str, outcome: RunOutcome, finding: Optional[Finding] = None
+    ) -> None:
+        value = {"o": encode_outcome(outcome)}
+        if finding is not None:
+            value["f"] = encode_finding(finding)
+        entry = {"s": SCHEMA, "t": "run", "k": key, "v": value}
+        self._load()[key] = entry
+        self._append(entry)
+
+    def get_result(self, key: str) -> Optional[dict]:
+        """A cached whole-search summary (see :func:`encode_result`)."""
+        entry = self._load().get(key)
+        if entry is None or entry["t"] != "result":
+            self.stats.misses += 1
+            return None
+        value = entry["v"]
+        try:
+            decoded = {
+                "baseline": decode_outcome(value["baseline"]),
+                "digests": frozenset(
+                    _digest_from_text(text) for text in value["digests"]
+                ),
+                "findings": [
+                    decode_finding(data) for data in value["findings"]
+                ],
+                "exhaustive": bool(value["exhaustive"]),
+                "budget_exhausted": bool(value.get("budget_exhausted", False)),
+                "schedules_run": int(value["schedules_run"]),
+                "pruned": int(value["pruned"]),
+                "bounds": dict(value.get("bounds", {})),
+            }
+        except (KeyError, ValueError, SyntaxError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return decoded
+
+    def put_result(self, key: str, result) -> None:
+        """Record an :class:`~repro.explore.engine.ExploreResult`'s
+        canonical part (digest set, findings, exhaustiveness)."""
+        value = {
+            "baseline": encode_outcome(result.baseline),
+            "digests": sorted(
+                _digest_to_text(digest) for digest in result.digests
+            ),
+            "findings": [
+                encode_finding(finding) for finding in result.findings
+            ],
+            "exhaustive": result.exhaustive,
+            "budget_exhausted": bool(
+                getattr(result, "budget_exhausted", False)
+            ),
+            "schedules_run": result.schedules_run,
+            "pruned": result.pruned,
+            "bounds": dict(result.bounds),
+        }
+        entry = {"s": SCHEMA, "t": "result", "k": key, "v": value}
+        self._load()[key] = entry
+        self._append(entry)

@@ -462,6 +462,10 @@ class ExploreResult:
     #: True when the DFS drained the whole (windowed) choice tree within
     #: its budgets — the certified-bound claim for clean variants.
     exhaustive: bool = False
+    #: True when the search stopped because ``max_runs`` bit — distinct
+    #: from window truncation, and the loud "this bound certified
+    #: nothing" signal benchmarks must not bury in an ``ok`` run.
+    budget_exhausted: bool = False
     elapsed_s: float = 0.0
     bounds: dict = field(default_factory=dict)
 
@@ -486,6 +490,7 @@ class ExploreResult:
             "pruned": self.pruned,
             "distinct_digests": self.distinct_digests,
             "exhaustive": self.exhaustive,
+            "budget_exhausted": self.budget_exhausted,
             "elapsed_s": round(self.elapsed_s, 3),
             "schedules_per_minute": round(self.schedules_per_minute(), 1),
             "bounds": self.bounds,
@@ -569,6 +574,7 @@ def explore_cell(
     schedules_run = 1
     pruned = 0
     exhaustive = False
+    budget_exhausted = False
     truncated = baseline.truncated_points > 0
 
     if mode == "dfs":
@@ -580,12 +586,14 @@ def explore_cell(
             pruned = 0
             findings = {}
             digests = {baseline.digest}
+            budget_exhausted = False
             truncated = baseline.truncated_points > 0
             baseline_replayed = False
             unsound = False
             while True:
                 if schedules_run + pruned >= max_runs:
                     exhaustive = False
+                    budget_exhausted = True
                     break
                 driver.begin_run()
                 try:
@@ -675,6 +683,7 @@ def explore_cell(
                         seen.add(extended)
                         queue.append(extended)
         exhaustive = not queue and not truncated
+        budget_exhausted = bool(queue)
         bounds = {"bound": bound, "max_runs": max_runs}
     else:
         raise ValueError(f"unknown exploration mode: {mode!r}")
@@ -692,6 +701,7 @@ def explore_cell(
             findings.values(), key=lambda f: (f.classification, f.minimized)
         ),
         exhaustive=exhaustive,
+        budget_exhausted=budget_exhausted,
         elapsed_s=time.perf_counter() - started,
         bounds=bounds,
     )

@@ -1,0 +1,696 @@
+"""Distributed schedule exploration: sharded frontiers and seed ranges.
+
+The serial explorer (:func:`repro.explore.engine.explore_cell`) certifies
+an N=3 tree in under a second but N=4 trees run to hundreds of thousands
+of schedules — one core is the bottleneck.  Both search modes shard
+naturally across the PR-6 warm ``parallel_map`` pools:
+
+* **Random walks** are embarrassingly parallel: the seed range
+  ``[seed, seed + schedules)`` splits into contiguous sub-ranges, one per
+  shard.  Every walk is fully determined by its absolute seed, and the
+  merge replays the serial driver exactly (seed order, first finding per
+  digest wins), so the sharded result — digests, findings, minimized
+  schedules — is **identical to the serial one** for every worker count
+  and shard boundary.
+
+* **Bounded-exhaustive DFS** shards by *choice-point prefix*.  A serial
+  enumeration pass runs the normal POR'd DFS but cuts every path at
+  ``split_depth`` in-window choice points, recording the cut prefix
+  instead of descending (paths that complete shallower are full runs and
+  are merged directly).  Each prefix then seeds an independent subtree
+  search: the DFS driver starts with the prefix pinned as unflippable
+  frames and a **fresh** sleep-set/state table, so a shard never prunes
+  on the strength of what another shard explored.  That makes every
+  subtree self-contained — deterministic in isolation — at the price of
+  re-exploring states the serial search would have recognised across
+  subtrees.  Soundness is unchanged: shards only ever explore *more*
+  interleavings than the serial reduction, so
+
+      merged digest set == serial digest set
+
+  (the testable equality; see ``tests/properties``).  Run/prune *counts*
+  legitimately differ from serial.  The merge folds per-prefix results in
+  enumeration order, so the full merged result is bit-identical across
+  worker counts and shard assignments.
+
+On hosts without ``fork`` or with one core, ``parallel_map`` falls back
+to in-process execution of the very same shard functions — same merge,
+same result, serial wall-clock.
+
+The optional :class:`~repro.explore.cache.DigestCache` short-circuits
+both modes across *processes*: random walks hit per-seed ``run`` entries,
+DFS and delay searches hit whole-``result`` entries (a DFS run's suffix
+depends on accumulated search state, so only the whole certified tree is
+reusable).  Cache lookups and appends happen exclusively in the
+coordinating parent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Optional, Union
+
+from repro.explore.controller import PruneRun
+from repro.explore.engine import (
+    DEFAULT_WINDOW,
+    ExploreResult,
+    Finding,
+    RunOutcome,
+    UnsoundReduction,
+    _DfsDriver,
+    _diverges,
+    _Frame,
+    _minimise,
+    _run,
+)
+from repro.explore.cache import DigestCache
+from repro.explore.schedule import ScheduleSpec
+from repro.workloads.campaigns import CampaignCell, parse_cell_id
+from repro.workloads.parallel import parallel_map
+
+#: A schedule prefix: the branch taken at each of the first ``k``
+#: in-window choice points, plus whether that choice group was collapsed
+#: (the subtree driver must re-arm the same-instant spawn guard for it).
+Prefix = tuple[tuple[int, bool], ...]
+
+
+# -- prefix enumeration --------------------------------------------------------------
+
+
+class _PrefixEnumerator(_DfsDriver):
+    """The serial DFS, cut at ``split_depth``: emits frontier prefixes.
+
+    Paths reaching ``split_depth`` choice points are recorded and pruned
+    (their subtrees belong to the shards); shallower paths complete as
+    ordinary runs and their outcomes merge directly.  Sleep sets and
+    canonical-history pruning apply above the cut exactly as in the
+    serial search — a branch pruned here is one whose continuations are
+    covered by already-emitted prefixes, so shard coverage is preserved.
+    """
+
+    def __init__(self, split_depth: int, por: bool, collapse: bool) -> None:
+        super().__init__(por=por, collapse=collapse)
+        self.split_depth = split_depth
+        self.prefixes: list[Prefix] = []
+
+    def on_choice(self, pos, metas, eligible, time, priority):
+        if self.depth == self.split_depth and self.depth >= len(self.frames):
+            self.prefixes.append(
+                tuple((frame.chosen, frame.collapsed) for frame in self.frames)
+            )
+            raise PruneRun()
+        return super().on_choice(pos, metas, eligible, time, priority)
+
+
+def _prefix_frames(prefix: Prefix) -> list[_Frame]:
+    """Pinned frames replaying ``prefix``: never flipped by backtracking."""
+    return [
+        _Frame(
+            chosen=chosen, tried={chosen}, eligible=(),
+            entry_asleep=frozenset(), collapsed=collapsed,
+        )
+        for chosen, collapsed in prefix
+    ]
+
+
+# -- picklable shard workers ---------------------------------------------------------
+
+
+def _record_first_wins(findings: dict, finding: Finding) -> None:
+    existing = findings.get(finding.digest)
+    if existing is None:
+        findings[finding.digest] = finding
+    else:
+        findings[finding.digest] = replace(
+            existing, occurrences=existing.occurrences + finding.occurrences
+        )
+
+
+def _make_finding(
+    cell: CampaignCell,
+    window,
+    baseline: RunOutcome,
+    outcome: RunOutcome,
+    controller,
+    minimize: bool,
+    shrink_budget: int,
+) -> Finding:
+    recorded = controller.recorded_spec()
+    minimized = recorded
+    if minimize and recorded.choices:
+        minimized = _minimise(
+            cell, window, baseline, recorded.choices, budget=shrink_budget
+        )
+    return Finding(
+        cell_id=cell.cell_id,
+        schedule=outcome.schedule,
+        minimized=minimized.encode(),
+        classification=outcome.classification,
+        violations=outcome.violations,
+        digest=outcome.digest,
+        baseline_digest=baseline.digest,
+    )
+
+
+def explore_subtree(item: tuple) -> dict:
+    """``parallel_map`` worker: drain one prefix-rooted DFS subtree.
+
+    ``item`` is ``(cell_id, baseline, prefix, config)`` with ``config`` a
+    plain dict of the search bounds.  Returns a picklable summary; the
+    result is fully determined by the item (fresh driver, fresh tables),
+    which is what makes the enumeration-order merge shard-invariant.
+    """
+    cell_id, baseline, prefix, config = item
+    cell = parse_cell_id(cell_id)
+    window = (
+        tuple(config["window"]) if config["window"] is not None else None
+    )
+    driver = _DfsDriver(por=config["por"], collapse=config["collapse"])
+    driver.frames = _prefix_frames(prefix)
+    digests: set = set()
+    findings: dict = {}
+    schedules_run = 0
+    pruned = 0
+    truncated = False
+    budget_exhausted = False
+    unsound = False
+    max_depth_seen = 0
+    while True:
+        if schedules_run + pruned >= config["max_runs"]:
+            budget_exhausted = True
+            break
+        driver.begin_run()
+        try:
+            outcome, controller, _ = _run(
+                cell, None, window=window,
+                max_choice_points=config["max_choice_points"],
+                on_choice=driver.on_choice, on_event=driver.on_event,
+            )
+            schedules_run += 1
+            truncated = truncated or outcome.truncated_points > 0
+            digests.add(outcome.digest)
+            if _diverges(outcome, baseline):
+                _record_first_wins(
+                    findings,
+                    _make_finding(
+                        cell, window, baseline, outcome, controller,
+                        config["minimize"], config["shrink_budget"],
+                    ),
+                )
+        except PruneRun:
+            pruned += 1
+        except UnsoundReduction:
+            unsound = True
+            break
+        if not driver.backtrack():
+            break
+        max_depth_seen = max(max_depth_seen, driver.max_depth_seen)
+    return {
+        "digests": tuple(digests),
+        "findings": [findings[key] for key in findings],
+        "schedules_run": schedules_run,
+        "pruned": pruned,
+        "truncated": truncated,
+        "budget_exhausted": budget_exhausted,
+        "unsound": unsound,
+        "max_depth_seen": max(max_depth_seen, driver.max_depth_seen),
+        "collapsed_groups": driver.collapsed_groups,
+    }
+
+
+def explore_walks(item: tuple) -> list:
+    """``parallel_map`` worker: run one contiguous range of seeded walks.
+
+    ``item`` is ``(cell_id, baseline, seed_start, seed_stop, config)``.
+    Returns ``[(seed, RunOutcome, Finding | None), ...]`` in seed order —
+    each element fully determined by its absolute seed, so any partition
+    of the seed range merges back to the identical campaign.
+    """
+    cell_id, baseline, seed_start, seed_stop, config = item
+    cell = parse_cell_id(cell_id)
+    window = (
+        tuple(config["window"]) if config["window"] is not None else None
+    )
+    out = []
+    for seed in range(seed_start, seed_stop):
+        outcome, controller, _ = _run(
+            cell, ScheduleSpec.random_walk(seed), window=window,
+            max_choice_points=config["max_choice_points"],
+        )
+        finding = None
+        if _diverges(outcome, baseline):
+            finding = _make_finding(
+                cell, window, baseline, outcome, controller,
+                config["minimize"], config["shrink_budget"],
+            )
+        out.append((seed, outcome, finding))
+    return out
+
+
+# -- sharded drivers -----------------------------------------------------------------
+
+
+def _shard_ranges(start: int, count: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``[start, start+count)`` into ``shards`` contiguous ranges.
+
+    Deterministic and exhaustive: ranges are consecutive, cover every
+    seed exactly once, and differ in length by at most one.
+    """
+    shards = max(1, min(shards, count)) if count else 0
+    ranges = []
+    base, extra = divmod(count, shards) if shards else (0, 0)
+    cursor = start
+    for index in range(shards):
+        length = base + (1 if index < extra else 0)
+        ranges.append((cursor, cursor + length))
+        cursor += length
+    return ranges
+
+
+def _dfs_config(
+    window, max_choice_points, max_runs, por, collapse, minimize, shrink_budget
+) -> dict:
+    return {
+        "window": list(window) if window is not None else None,
+        "max_choice_points": max_choice_points,
+        "max_runs": max_runs,
+        "por": por,
+        "collapse": collapse,
+        "minimize": minimize,
+        "shrink_budget": shrink_budget,
+    }
+
+
+def explore_cell_sharded(
+    cell: Union[CampaignCell, str],
+    mode: str = "dfs",
+    schedules: int = 200,
+    seed: int = 0,
+    bound: int = 2,
+    max_runs: int = 5000,
+    max_choice_points: int = 400,
+    window: Optional[tuple[float, float]] = DEFAULT_WINDOW,
+    por: bool = True,
+    minimize: bool = True,
+    shrink_budget: int = 150,
+    workers: Optional[int] = None,
+    split_depth: int = 4,
+    cache: Optional[DigestCache] = None,
+) -> ExploreResult:
+    """Sharded mirror of :func:`repro.explore.engine.explore_cell`.
+
+    ``mode``:
+
+    * ``dfs`` — prefix-sharded bounded-exhaustive DFS.  ``max_runs``
+      bounds each subtree (and the enumeration pass) individually; the
+      merged digest set equals the serial one whenever both are
+      exhaustive.
+    * ``random`` — seed-range-sharded walks; bit-identical to the serial
+      driver for every worker count and shard boundary.
+    * ``delay`` — delegates to the serial engine (the BFS frontier is
+      sequential by construction) but still participates in whole-result
+      caching.
+
+    ``workers=None`` lets ``parallel_map`` pick (its usual serial
+    fallback applies on one core); an explicit ``workers >= 2`` always
+    pools.  ``cache`` short-circuits repeated campaigns — per-seed for
+    walks, whole-result for dfs/delay — and is touched only in this
+    process, never in workers.
+    """
+    if isinstance(cell, str):
+        cell = parse_cell_id(cell)
+    started = time.perf_counter()
+
+    if mode == "random":
+        return _sharded_random(
+            cell, schedules, seed, max_choice_points, window, minimize,
+            shrink_budget, workers, cache, started,
+        )
+    if mode == "delay":
+        return _cached_delay(
+            cell, bound, max_runs, max_choice_points, window, por,
+            minimize, shrink_budget, cache, started,
+        )
+    if mode != "dfs":
+        raise ValueError(f"unknown sharded exploration mode: {mode!r}")
+
+    result_key = None
+    if cache is not None:
+        result_key = cache.result_key(
+            cell.cell_id, "dfs",
+            {
+                "window": list(window) if window else None,
+                "max_choice_points": max_choice_points,
+                "max_runs": max_runs,
+                "por": por,
+                "minimize": minimize,
+                "shrink_budget": shrink_budget,
+                "split_depth": split_depth,
+            },
+        )
+        cached = cache.get_result(result_key)
+        if cached is not None:
+            return _from_cached_result(
+                cell, "dfs", window, cached, started
+            )
+
+    baseline, _, _ = _run(
+        cell, None, window=window, max_choice_points=max_choice_points
+    )
+
+    for collapse in (True, False):
+        merged = _sharded_dfs_once(
+            cell, baseline, window, max_choice_points, max_runs, por,
+            collapse, minimize, shrink_budget, workers, split_depth,
+        )
+        if merged is not None:
+            break
+
+    result = ExploreResult(
+        cell=cell,
+        mode="dfs",
+        window=window,
+        baseline=baseline,
+        schedules_run=merged["schedules_run"],
+        pruned=merged["pruned"],
+        distinct_digests=len(merged["digests"]),
+        digests=frozenset(merged["digests"]),
+        findings=sorted(
+            merged["findings"].values(),
+            key=lambda f: (f.classification, f.minimized),
+        ),
+        exhaustive=merged["exhaustive"],
+        budget_exhausted=merged["budget_exhausted"],
+        elapsed_s=time.perf_counter() - started,
+        bounds=merged["bounds"],
+    )
+    if cache is not None and result_key is not None:
+        cache.put_result(result_key, result)
+    return result
+
+
+def _sharded_dfs_once(
+    cell, baseline, window, max_choice_points, max_runs, por, collapse,
+    minimize, shrink_budget, workers, split_depth,
+) -> Optional[dict]:
+    """One collapse-setting attempt; ``None`` means retry without collapse."""
+    enumerator = _PrefixEnumerator(split_depth, por=por, collapse=collapse)
+    digests = {baseline.digest}
+    findings: dict = {}
+    schedules_run = 0
+    pruned = 0
+    truncated = baseline.truncated_points > 0
+    budget_exhausted = False
+    run_index = 0
+    while True:
+        if schedules_run + pruned >= max_runs:
+            budget_exhausted = True
+            break
+        enumerator.begin_run()
+        run_index += 1
+        try:
+            outcome, controller, _ = _run(
+                cell, None, window=window,
+                max_choice_points=max_choice_points,
+                on_choice=enumerator.on_choice,
+                on_event=enumerator.on_event,
+            )
+            schedules_run += 1
+            truncated = truncated or outcome.truncated_points > 0
+            digests.add(outcome.digest)
+            # Mirror the serial driver: the very first DFS run is the
+            # baseline replayed under the driver and is never a finding.
+            # (If it was cut at the frontier, the greedy path lives in a
+            # shard and no run here is the baseline.)
+            if run_index == 1:
+                pass
+            elif _diverges(outcome, baseline):
+                _record_first_wins(
+                    findings,
+                    _make_finding(
+                        cell, window, baseline, outcome, controller,
+                        minimize, shrink_budget,
+                    ),
+                )
+        except PruneRun:
+            pruned += 1
+        except UnsoundReduction:
+            if collapse:
+                return None
+            raise
+        if not enumerator.backtrack():
+            break
+
+    config = _dfs_config(
+        window, max_choice_points, max_runs, por, collapse, minimize,
+        shrink_budget,
+    )
+    items = [
+        (cell.cell_id, baseline, prefix, config)
+        for prefix in enumerator.prefixes
+    ]
+    # One task per prefix: subtree sizes vary by orders of magnitude and
+    # are unknown up front, so any grouping risks serializing a giant
+    # subtree behind small ones.
+    shard_results = parallel_map(
+        explore_subtree, items, max_workers=workers, chunk_size=1,
+        cost_hint=float(len(items)) * 2000.0,
+    )
+    exhausted_shards = 0
+    max_depth_seen = enumerator.max_depth_seen
+    collapsed_groups = enumerator.collapsed_groups
+    for shard in shard_results:
+        if shard["unsound"]:
+            if collapse:
+                return None
+            raise UnsoundReduction(
+                "collapse-free subtree reported an unsound reduction"
+            )
+        for digest in shard["digests"]:
+            digests.add(digest)
+        for finding in shard["findings"]:
+            _record_first_wins(findings, finding)
+        schedules_run += shard["schedules_run"]
+        pruned += shard["pruned"]
+        truncated = truncated or shard["truncated"]
+        if shard["budget_exhausted"]:
+            exhausted_shards += 1
+            budget_exhausted = True
+        max_depth_seen = max(max_depth_seen, shard["max_depth_seen"])
+        collapsed_groups += shard["collapsed_groups"]
+    return {
+        "digests": digests,
+        "findings": findings,
+        "schedules_run": schedules_run,
+        "pruned": pruned,
+        "exhaustive": not truncated and not budget_exhausted,
+        "budget_exhausted": budget_exhausted,
+        "bounds": {
+            "max_runs": max_runs,
+            "max_choice_points": max_choice_points,
+            "por": por,
+            "group_collapse": collapse,
+            "collapsed_groups": collapsed_groups,
+            "max_depth_seen": max_depth_seen,
+            "sharded": True,
+            "split_depth": split_depth,
+            "prefixes": len(items),
+            "exhausted_shards": exhausted_shards,
+            "workers": workers,
+        },
+    }
+
+
+def _sharded_random(
+    cell, schedules, seed, max_choice_points, window, minimize,
+    shrink_budget, workers, cache, started,
+) -> ExploreResult:
+    baseline, _, _ = _run(
+        cell, None, window=window, max_choice_points=max_choice_points
+    )
+    config = {
+        "window": list(window) if window is not None else None,
+        "max_choice_points": max_choice_points,
+        "minimize": minimize,
+        "shrink_budget": shrink_budget,
+    }
+    by_seed: dict[int, tuple[RunOutcome, Optional[Finding]]] = {}
+    misses: list[int] = []
+    cache_hits = 0
+    for walk_seed in range(seed, seed + schedules):
+        if cache is not None:
+            key = cache.run_key(
+                cell.cell_id, f"rw:{walk_seed}", window, max_choice_points
+            )
+            hit = cache.get_run(key)
+            if hit is not None:
+                by_seed[walk_seed] = hit
+                cache_hits += 1
+                continue
+        misses.append(walk_seed)
+
+    if misses:
+        # Misses are usually contiguous (cold cache) or sparse (warm);
+        # group consecutive seeds so shard payloads stay compact.
+        shard_count = max(1, (workers or 1)) * 4 if workers else 8
+        ranges: list[tuple[int, int]] = []
+        run_start = misses[0]
+        previous = misses[0]
+        for walk_seed in misses[1:]:
+            if walk_seed != previous + 1:
+                ranges.append((run_start, previous + 1))
+                run_start = walk_seed
+            previous = walk_seed
+        ranges.append((run_start, previous + 1))
+        split: list[tuple[int, int]] = []
+        for lo, hi in ranges:
+            split.extend(_shard_ranges(lo, hi - lo, shard_count))
+        items = [
+            (cell.cell_id, baseline, lo, hi, config)
+            for lo, hi in split if hi > lo
+        ]
+        for shard in parallel_map(
+            explore_walks, items, max_workers=workers,
+            cost_hint=float(len(misses)) * 500.0,
+            item_costs=[float(hi - lo) for _, _, lo, hi, _ in items],
+        ):
+            for walk_seed, outcome, finding in shard:
+                by_seed[walk_seed] = (outcome, finding)
+                if cache is not None:
+                    cache.put_run(
+                        cache.run_key(
+                            cell.cell_id, f"rw:{walk_seed}", window,
+                            max_choice_points,
+                        ),
+                        outcome, finding,
+                    )
+
+    digests = {baseline.digest}
+    findings: dict = {}
+    schedules_run = 1
+    for walk_seed in range(seed, seed + schedules):
+        outcome, finding = by_seed[walk_seed]
+        schedules_run += 1
+        digests.add(outcome.digest)
+        if finding is not None:
+            _record_first_wins(findings, finding)
+    return ExploreResult(
+        cell=cell,
+        mode="random",
+        window=window,
+        baseline=baseline,
+        schedules_run=schedules_run,
+        pruned=0,
+        distinct_digests=len(digests),
+        digests=frozenset(digests),
+        findings=sorted(
+            findings.values(), key=lambda f: (f.classification, f.minimized)
+        ),
+        exhaustive=False,
+        elapsed_s=time.perf_counter() - started,
+        bounds={
+            "schedules": schedules,
+            "seed": seed,
+            "sharded": True,
+            "workers": workers,
+            "cache_hits": cache_hits,
+            "cache_misses": len(misses),
+        },
+    )
+
+
+def _cached_delay(
+    cell, bound, max_runs, max_choice_points, window, por, minimize,
+    shrink_budget, cache, started,
+) -> ExploreResult:
+    from repro.explore.engine import explore_cell
+
+    result_key = None
+    if cache is not None:
+        result_key = cache.result_key(
+            cell.cell_id, "delay",
+            {
+                "window": list(window) if window else None,
+                "max_choice_points": max_choice_points,
+                "max_runs": max_runs,
+                "bound": bound,
+                "por": por,
+                "minimize": minimize,
+                "shrink_budget": shrink_budget,
+            },
+        )
+        cached = cache.get_result(result_key)
+        if cached is not None:
+            return _from_cached_result(
+                cell, "delay", window, cached, started
+            )
+    result = explore_cell(
+        cell, mode="delay", bound=bound, max_runs=max_runs,
+        max_choice_points=max_choice_points, window=window, por=por,
+        minimize=minimize, shrink_budget=shrink_budget,
+    )
+    if cache is not None and result_key is not None:
+        cache.put_result(result_key, result)
+    return result
+
+
+def _from_cached_result(
+    cell, mode, window, cached: dict, started: float
+) -> ExploreResult:
+    bounds = dict(cached["bounds"])
+    bounds["from_cache"] = True
+    return ExploreResult(
+        cell=cell,
+        mode=mode,
+        window=window,
+        baseline=cached["baseline"],
+        schedules_run=cached["schedules_run"],
+        pruned=cached["pruned"],
+        distinct_digests=len(cached["digests"]),
+        digests=cached["digests"],
+        findings=list(cached["findings"]),
+        exhaustive=cached["exhaustive"],
+        budget_exhausted=cached["budget_exhausted"],
+        elapsed_s=time.perf_counter() - started,
+        bounds=bounds,
+    )
+
+
+# -- wall-clock interleaving probe ---------------------------------------------------
+
+
+def rt_interleaving_probe(
+    cell: Union[CampaignCell, str],
+    runs: int = 3,
+    time_scale: float = 0.002,
+) -> dict:
+    """Run ``cell`` repeatedly on the asyncio backend and digest-compare.
+
+    The simulated explorer can only permute *same-timestamp* events; real
+    wall-clock concurrency also jitters across timestamps.  This probe
+    executes the cell on :mod:`repro.rt`'s asyncio kernel ``runs`` times
+    via the PR-7 conformance harness and compares each oracle digest
+    against the simulated run — a cheap adversarial sweep over
+    interleavings the simulation cannot express.  Returns
+    ``{"ok": bool, "runs": n, "divergences": [...]}``.
+    """
+    from repro.rt.harness import ProtocolHarness
+
+    if isinstance(cell, str):
+        cell = parse_cell_id(cell)
+    harness = ProtocolHarness(time_scale=time_scale)
+    divergences = []
+    completed = 0
+    for attempt in range(runs):
+        result = harness.compare(cell)
+        completed += 1
+        if not result.match:
+            divergences.append(
+                {"attempt": attempt, "keys": list(result.divergent_keys())}
+            )
+    return {
+        "ok": not divergences,
+        "runs": completed,
+        "divergences": divergences,
+    }

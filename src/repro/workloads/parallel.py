@@ -343,6 +343,41 @@ def _discard_pool(pool) -> None:
         _map_pool = None
 
 
+def _balanced_bounds(
+    costs: Sequence[float], target_chunks: int
+) -> list[tuple[int, int]]:
+    """Contiguous ``(start, stop)`` ranges with near-equal total cost.
+
+    Greedy: close a chunk once its accumulated cost reaches an even share
+    of the *remaining* cost, re-targeting after each close — so one huge
+    item gets a chunk to itself and the small ones regroup around it.
+    Shared by the sweep runner's grid chunking and ``parallel_map``'s
+    ``item_costs`` path.
+    """
+    total_points = len(costs)
+    if target_chunks <= 1 or total_points <= 1:
+        return [(0, total_points)] if total_points else []
+    target_chunks = min(target_chunks, total_points)
+    remaining_cost = float(sum(costs))
+    remaining_chunks = target_chunks
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    acc = 0.0
+    target = remaining_cost / remaining_chunks
+    for index, cost in enumerate(costs):
+        acc += cost
+        stop = index + 1
+        if acc >= target and stop < total_points and remaining_chunks > 1:
+            bounds.append((start, stop))
+            start = stop
+            remaining_cost -= acc
+            remaining_chunks -= 1
+            acc = 0.0
+            target = remaining_cost / remaining_chunks
+    bounds.append((start, total_points))
+    return bounds
+
+
 def _map_chunk(payload):
     """Pool worker for :func:`parallel_map`: apply ``fn`` to one chunk.
 
@@ -369,6 +404,7 @@ def parallel_map(
     start_method: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
     cost_hint: Optional[float] = None,
+    item_costs: Optional[Sequence[float]] = None,
 ) -> list:
     """Map a picklable function over items across a process pool, in order.
 
@@ -386,12 +422,24 @@ def parallel_map(
     :attr:`ParallelSweepRunner.POOL_BREAK_EVEN_COST`, the map runs
     serially — pool dispatch would cost more than it saves.  An explicit
     ``max_workers >= 2`` always pools.
+
+    ``item_costs`` (one relative weight per item) switches the default
+    fixed-length chunking to cost-balanced boundaries via
+    :func:`_balanced_bounds` — for heterogeneous items (the schedule
+    explorer's frontier shards vary by orders of magnitude) this keeps a
+    giant item from serializing a chunk of small ones behind it.  Ignored
+    when an explicit ``chunk_size`` is given.  Chunking never affects
+    results, only load balance.
     """
     if max_workers is not None and max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
     if chunk_size is not None and chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     items = list(items)
+    if item_costs is not None and len(item_costs) != len(items):
+        raise ValueError(
+            f"item_costs has {len(item_costs)} entries for {len(items)} items"
+        )
     workers = max_workers if max_workers is not None else _default_workers()
     if start_method is None:
         available = multiprocessing.get_all_start_methods()
@@ -413,11 +461,17 @@ def parallel_map(
             if progress is not None:
                 progress(index + 1, len(items))
         return results
-    size = chunk_size
-    if size is None:
-        size = max(1, -(-len(items) // (workers * 4)))
     indexed = list(enumerate(items))
-    chunks = [indexed[i : i + size] for i in range(0, len(indexed), size)]
+    if chunk_size is None and item_costs is not None:
+        chunks = [
+            indexed[start:stop]
+            for start, stop in _balanced_bounds(item_costs, workers * 4)
+        ]
+    else:
+        size = chunk_size
+        if size is None:
+            size = max(1, -(-len(items) // (workers * 4)))
+        chunks = [indexed[i : i + size] for i in range(0, len(indexed), size)]
     payloads = [(fn, chunk) for chunk in chunks]
     slots: list = [None] * len(items)
     filled = [False] * len(items)
@@ -602,32 +656,8 @@ class ParallelSweepRunner:
                 (start, min(start + size, total_points))
                 for start in range(0, total_points, size)
             ]
-        target_chunks = min(total_points, self.max_workers * 4)
-        if target_chunks <= 1:
-            return [(0, total_points)]
         costs = [estimate_point_cost(n, p, q) for n, p, q in grid]
-        remaining_cost = sum(costs)
-        remaining_chunks = target_chunks
-        bounds: list[tuple[int, int]] = []
-        start = 0
-        acc = 0
-        target = remaining_cost / remaining_chunks
-        for index, cost in enumerate(costs):
-            acc += cost
-            stop = index + 1
-            if (
-                acc >= target
-                and stop < total_points
-                and remaining_chunks > 1
-            ):
-                bounds.append((start, stop))
-                start = stop
-                remaining_cost -= acc
-                remaining_chunks -= 1
-                acc = 0
-                target = remaining_cost / remaining_chunks
-        bounds.append((start, total_points))
-        return bounds
+        return _balanced_bounds(costs, self.max_workers * 4)
 
     def _pooled_sweep(
         self,

@@ -1,0 +1,216 @@
+"""Unit tests for the persistent cross-run digest cache.
+
+The cache's contract is asymmetric: a hit must be *provably* safe (same
+code, same cell, same schedule, same bounds — byte-for-byte), while any
+doubt — torn line, stale code, wrong key — must degrade to a miss.  The
+tests here pin both directions: round-trips reproduce outcomes exactly,
+and every corruption mode yields a cold start, never a wrong skip.
+"""
+
+import zlib
+from pathlib import Path
+
+from repro.explore.cache import (
+    CacheStats,
+    DigestCache,
+    _digest_from_text,
+    _digest_to_text,
+    context_token,
+    decode_finding,
+    decode_outcome,
+    encode_finding,
+    encode_outcome,
+)
+from repro.explore.engine import Finding, RunOutcome
+
+WINDOW = (9.5, 70.0)
+
+
+def _outcome(schedule: str = "rw:5", digest=("OK", (("a", "E1"),), 10)):
+    return RunOutcome(
+        cell_id="paper:ct:none:n3p1q1:s0",
+        schedule=schedule,
+        classification="OK",
+        violations=(),
+        digest=digest,
+        choice_points=12,
+        truncated_points=0,
+        trace_hash="abcd1234abcd1234",
+    )
+
+
+def _finding():
+    return Finding(
+        cell_id="paper:ct:none:n3p1q1:s0",
+        schedule="rw:5",
+        minimized="ch:6=1",
+        classification="INVARIANT-VIOLATION",
+        violations=("premature commit",),
+        digest=("INVARIANT-VIOLATION", (("a", "E1"),), None),
+        baseline_digest=("OK", (("a", "E1"),), 10),
+        occurrences=3,
+    )
+
+
+class TestCodecs:
+    def test_outcome_round_trip(self):
+        outcome = _outcome()
+        assert decode_outcome(encode_outcome(outcome)) == outcome
+
+    def test_finding_round_trip(self):
+        finding = _finding()
+        assert decode_finding(encode_finding(finding)) == finding
+
+    def test_digest_text_preserves_nested_tuples(self):
+        # JSON would turn the inner tuples into lists and silently break
+        # digest-set equality; the repr/literal_eval path must not.
+        digest = ("OK", (("p1", "E"), ("p2", "F")), None)
+        assert _digest_from_text(_digest_to_text(digest)) == digest
+        assert isinstance(_digest_from_text(_digest_to_text(digest))[1], tuple)
+
+
+class TestKeys:
+    def test_keys_differ_by_every_component(self, tmp_path):
+        cache = DigestCache(tmp_path / "c.jsonl", context="x")
+        base = cache.run_key("cell", "rw:1", WINDOW, 400)
+        assert cache.run_key("cell", "rw:2", WINDOW, 400) != base
+        assert cache.run_key("cell2", "rw:1", WINDOW, 400) != base
+        assert cache.run_key("cell", "rw:1", None, 400) != base
+        assert cache.run_key("cell", "rw:1", WINDOW, 300) != base
+        other = DigestCache(tmp_path / "c2.jsonl", context="y")
+        assert other.run_key("cell", "rw:1", WINDOW, 400) != base
+
+    def test_context_token_changes_with_source(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        first = context_token(tmp_path)
+        # memoised per path
+        assert context_token(tmp_path) == first
+        other = tmp_path / "other"
+        other.mkdir()
+        (other / "a.py").write_text("x = 2\n")
+        assert context_token(other) != first
+
+
+class TestPersistence:
+    def test_run_round_trip_across_instances(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        outcome, finding = _outcome(), _finding()
+        with DigestCache(path, context="x") as writer:
+            key = writer.run_key("cell", "rw:5", WINDOW, 400)
+            writer.put_run(key, outcome, finding)
+        with DigestCache(path, context="x") as reader:
+            got = reader.get_run(key)
+            assert got == (outcome, finding)
+            assert reader.stats.hits == 1
+
+    def test_result_round_trip(self, tmp_path):
+        from repro.explore.engine import ExploreResult
+        from repro.workloads.campaigns import parse_cell_id
+
+        result = ExploreResult(
+            cell=parse_cell_id("paper:ct:none:n3p1q1:s0"),
+            mode="dfs",
+            window=WINDOW,
+            baseline=_outcome("fifo"),
+            schedules_run=7,
+            pruned=3,
+            distinct_digests=2,
+            digests=frozenset({_outcome().digest, _finding().digest}),
+            findings=[_finding()],
+            exhaustive=True,
+            budget_exhausted=False,
+            bounds={"max_runs": 100},
+        )
+        path = tmp_path / "c.jsonl"
+        with DigestCache(path, context="x") as writer:
+            key = writer.result_key("cell", "dfs", {"max_runs": 100})
+            writer.put_result(key, result)
+        with DigestCache(path, context="x") as reader:
+            got = reader.get_result(key)
+        assert got["digests"] == result.digests
+        assert got["findings"] == result.findings
+        assert got["baseline"] == result.baseline
+        assert got["exhaustive"] is True
+        assert got["budget_exhausted"] is False
+        assert got["schedules_run"] == 7
+
+    def test_wrong_context_misses(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with DigestCache(path, context="code-v1") as writer:
+            key = writer.run_key("cell", "rw:5", WINDOW, 400)
+            writer.put_run(key, _outcome())
+        with DigestCache(path, context="code-v2") as reader:
+            assert reader.get_run(
+                reader.run_key("cell", "rw:5", WINDOW, 400)
+            ) is None
+            assert reader.stats.misses == 1
+
+    def test_kind_confusion_misses(self, tmp_path):
+        # A run entry must not satisfy a result lookup under the same key
+        # string, and vice versa.
+        path = tmp_path / "c.jsonl"
+        with DigestCache(path, context="x") as cache:
+            key = cache.run_key("cell", "rw:5", WINDOW, 400)
+            cache.put_run(key, _outcome())
+            assert cache.get_result(key) is None
+
+
+class TestCorruption:
+    def _seed(self, path: Path) -> tuple[str, str]:
+        with DigestCache(path, context="x") as writer:
+            key1 = writer.run_key("cell", "rw:1", WINDOW, 400)
+            key2 = writer.run_key("cell", "rw:2", WINDOW, 400)
+            writer.put_run(key1, _outcome("rw:1"))
+            writer.put_run(key2, _outcome("rw:2"))
+        return key1, key2
+
+    def test_torn_tail_drops_only_the_tail(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        key1, key2 = self._seed(path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-9])  # tear the last line
+        with DigestCache(path, context="x") as reader:
+            assert reader.get_run(key1) is not None
+            assert reader.get_run(key2) is None
+            assert reader.stats.bad_lines == 1
+            assert reader.stats.entries_loaded == 1
+
+    def test_bad_crc_stops_the_scan(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        key1, key2 = self._seed(path)
+        first, second = path.read_bytes().splitlines(keepends=True)
+        bad = (b"00000000" if first[:8] != b"00000000" else b"11111111")
+        path.write_bytes(bad + first[8:] + second)
+        with DigestCache(path, context="x") as reader:
+            # Everything at and beyond the first bad line is untrusted.
+            assert reader.get_run(key1) is None
+            assert reader.get_run(key2) is None
+            assert reader.stats.entries_loaded == 0
+
+    def test_garbage_payload_inside_valid_crc_line_is_a_miss(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with DigestCache(path, context="x") as writer:
+            key = writer.run_key("cell", "rw:1", WINDOW, 400)
+            payload = (
+                '{"k":"%s","s":1,"t":"run","v":{"o":{"bogus":1}}}' % key
+            ).encode()
+            with open(path, "ab") as fh:
+                fh.write(b"%08x %s\n" % (zlib.crc32(payload), payload))
+        with DigestCache(path, context="x") as reader:
+            assert reader.get_run(key) is None
+            assert reader.stats.misses == 1
+
+    def test_missing_and_empty_files_are_cold_caches(self, tmp_path):
+        with DigestCache(tmp_path / "absent.jsonl", context="x") as cache:
+            assert cache.get_run("whatever") is None
+        empty = tmp_path / "empty.jsonl"
+        empty.touch()
+        with DigestCache(empty, context="x") as cache:
+            assert cache.get_run("whatever") is None
+            assert cache.stats.bad_lines == 0
+
+
+def test_stats_payload_hit_rate():
+    stats = CacheStats(hits=3, misses=1)
+    assert stats.to_payload()["hit_rate"] == 0.75
+    assert CacheStats().to_payload()["hit_rate"] == 0.0

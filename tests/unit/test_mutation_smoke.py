@@ -41,14 +41,16 @@ def test_mutant_ids_unique_and_smoke_subset_valid() -> None:
     mod = _load_module()
     ids = [m.mutant_id for m in mod.MUTANTS]
     assert len(ids) == len(set(ids))
-    assert len(ids) >= 20
+    assert len(ids) >= 25
     assert set(mod.SMOKE_IDS) <= set(ids)
     targets = {m.path for m in mod.MUTANTS}
     assert targets == {
         "src/repro/core/algorithm.py",
         "src/repro/core/crash_tolerant.py",
+        "src/repro/explore/sharding.py",
+        "src/repro/explore/cache.py",
     }
-    # The CI subset covers both engines.
+    # The CI subset covers both protocol engines and both infra families.
     smoke_targets = {
         m.path for m in mod.MUTANTS if m.mutant_id in mod.SMOKE_IDS
     }
